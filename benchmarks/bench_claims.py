@@ -1,0 +1,26 @@
+"""Headline claims C1-C5: the paper's quantitative statements, measured."""
+
+from __future__ import annotations
+
+from repro.experiments.claims import headline_claims
+
+
+def test_headline_claims(benchmark, save_result):
+    """Measure every claim; the deterministic ones must hold.
+
+    C1 (pages), C2 (modelled stall), C3's comparison ratio and C5 (modelled
+    memory) are counter-based and deterministic, so they are asserted.  The
+    wall-clock ratios inside C3/C4 vary with machine load and are recorded
+    in the saved report rather than asserted.
+    """
+    report = benchmark.pedantic(
+        lambda: headline_claims(quick=True), rounds=1, iterations=1
+    )
+    save_result("claims_report", report.render())
+    by_id = {c.claim_id: c for c in report.claims}
+    assert by_id["C1"].holds, by_id["C1"].measured
+    assert by_id["C2"].holds, by_id["C2"].measured
+    assert by_id["C5"].holds, by_id["C5"].measured
+    # C3/C4 include wall-time ratios; require presence, log outcome.
+    assert "x" in by_id["C3"].measured
+    assert "x" in by_id["C4"].measured

@@ -1,0 +1,17 @@
+"""E2: FLAT's density independence (paper §2.1 headline claim)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_flat import density_sweep_experiment
+
+
+def test_e2_density_sweep(benchmark, save_result):
+    """FLAT's I/O stays ~flat across an 8x density increase; R-tree grows."""
+    sweep = benchmark.pedantic(
+        lambda: density_sweep_experiment(density_factors=(1, 2, 4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("E2_density_sweep", sweep.render())
+    assert sweep.flat_growth() < 1.25
+    assert sweep.rtree_growth() > sweep.flat_growth() * 1.2

@@ -1,0 +1,63 @@
+"""E1 + E3: FLAT vs R-tree range queries (Figures 2, 3 and 4).
+
+``--benchmark-only`` timings compare one dense-region window executed by
+FLAT and by the R-tree; the saved tables carry the full demo statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.datasets import circuit_dataset, flat_index_for, rtree_baseline_for
+from repro.experiments.fig_flat import crawl_trace_experiment, flat_vs_rtree_experiment
+from repro.workloads.ranges import density_stratified_queries
+
+N_NEURONS = 40
+PAGE_CAPACITY = 48
+EXTENT = 80.0
+
+
+@pytest.fixture(scope="module")
+def dense_window():
+    circuit = circuit_dataset(n_neurons=N_NEURONS)
+    return density_stratified_queries(
+        circuit.segments(), 1, EXTENT, dense=True, seed=2013
+    )[0]
+
+
+def test_flat_dense_query(benchmark, dense_window):
+    """Time FLAT's seed+crawl on a dense window (E1, FLAT side)."""
+    index = flat_index_for(n_neurons=N_NEURONS, page_capacity=PAGE_CAPACITY)
+    result = benchmark(lambda: index.query(dense_window, verify=False))
+    assert result.stats.num_results > 0
+
+
+def test_rtree_dense_query(benchmark, dense_window):
+    """Time the R-tree on the same window (E1, baseline side)."""
+    index = flat_index_for(n_neurons=N_NEURONS, page_capacity=PAGE_CAPACITY)
+    rtree = rtree_baseline_for(n_neurons=N_NEURONS, page_capacity=PAGE_CAPACITY)
+    uids = benchmark(lambda: rtree.range_query(dense_window))
+    expected = sorted(index.query(dense_window).uids)
+    assert sorted(uids) == expected
+
+
+def test_e1_dense_and_sparse_tables(benchmark, save_result):
+    """Regenerate the E1 tables; FLAT must beat the R-tree on dense I/O."""
+
+    def run():
+        dense = flat_vs_rtree_experiment(region="dense", n_neurons=N_NEURONS)
+        sparse = flat_vs_rtree_experiment(region="sparse", n_neurons=N_NEURONS)
+        return dense, sparse
+
+    dense, sparse = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("E1_flat_vs_rtree", dense.render() + "\n\n" + sparse.render())
+    assert dense.flat.mean_io_ms < dense.rtree.mean_io_ms
+    assert dense.flat.mean_results == dense.rtree.mean_results
+
+
+def test_e3_crawl_trace(benchmark, save_result):
+    """Regenerate the Figure 4 crawl trace; the crawl must be contiguous."""
+    trace = benchmark.pedantic(crawl_trace_experiment, rounds=1, iterations=1)
+    save_result("E3_crawl_trace", trace.render())
+    assert trace.contiguous_fraction == pytest.approx(1.0)
+    assert trace.reseeds == 0

@@ -1,0 +1,14 @@
+"""E8: tissue-statistics scan (the FLAT production use case of §2.1)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_flat import tissue_statistics_experiment
+
+
+def test_e8_tissue_statistics(benchmark, save_result):
+    """Grid scan over the column: FLAT needs no more I/O than the R-tree."""
+    result = benchmark.pedantic(tissue_statistics_experiment, rounds=1, iterations=1)
+    save_result("E8_tissue_statistics", result.render())
+    assert result.flat_total_pages <= result.rtree_total_pages
+    assert len(result.densities) == result.cells_per_axis**3
+    assert max(result.densities) > 0.0

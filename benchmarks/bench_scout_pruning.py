@@ -1,0 +1,17 @@
+"""E4: SCOUT candidate-set pruning (Figure 5)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_scout import pruning_experiment
+
+
+def test_e4_candidate_pruning(benchmark, save_result):
+    """The candidate set shrinks as the walkthrough proceeds."""
+    result = benchmark.pedantic(pruning_experiment, rounds=1, iterations=1)
+    save_result("E4_candidate_pruning", result.render())
+    history = result.candidate_history
+    assert len(history) >= 5
+    # Strong start-to-steady-state contraction (Figure 5's shape): the
+    # steady-state candidate set is a small fraction of the initial one.
+    assert min(history[2:]) <= max(history[0], 1) // 2
+    assert history[0] >= history[-1]

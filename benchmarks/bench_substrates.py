@@ -1,0 +1,111 @@
+"""Substrate micro-benchmarks: the building blocks under the three systems.
+
+Not paper figures — these keep the foundations honest (a regression here
+would silently distort every experiment above) and document the costs a
+downstream user should expect.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.touch.parallel import sharded_touch_join
+from repro.core.touch.tree import build_touch_tree
+from repro.experiments.datasets import circuit_dataset, dense_join_workload
+from repro.geometry.aabb import AABB
+from repro.hilbert.curve import HilbertEncoder3D, hilbert_encode
+from repro.neuro.generator import MorphologyGenerator
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.tree import RTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.object_store import ObjectStore
+
+
+@pytest.fixture(scope="module")
+def segment_items():
+    circuit = circuit_dataset(n_neurons=20)
+    return [(s.uid, s.aabb) for s in circuit.segments()]
+
+
+def test_hilbert_encode_throughput(benchmark):
+    """Raw curve encoding (order 10, 3-D)."""
+    coords = [(x % 1024, (x * 7) % 1024, (x * 13) % 1024) for x in range(256)]
+    benchmark(lambda: [hilbert_encode(c, 10) for c in coords])
+
+
+def test_hilbert_encoder_points(benchmark):
+    world = AABB(0, 0, 0, 1000, 1000, 1000)
+    encoder = HilbertEncoder3D(world, order=10)
+    points = [(i % 997, (i * 3) % 997, (i * 11) % 997) for i in range(256)]
+    benchmark(lambda: [encoder.key(p) for p in points])
+
+
+def test_rtree_str_bulk_load(benchmark, segment_items):
+    tree = benchmark(lambda: str_bulk_load(segment_items, max_entries=16, leaf_capacity=48))
+    assert len(tree) == len(segment_items)
+
+
+def test_rtree_insertion_build(benchmark, segment_items):
+    items = segment_items[:2000]
+
+    def build():
+        tree = RTree(max_entries=16, leaf_capacity=48)
+        for uid, mbr in items:
+            tree.insert(uid, mbr)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == len(items)
+
+
+def test_rtree_knn(benchmark, segment_items):
+    from repro.geometry.vec import Vec3
+
+    tree = str_bulk_load(segment_items, max_entries=16)
+    result = benchmark(lambda: tree.knn(Vec3(0.0, 500.0, 0.0), 10))
+    assert len(result) == 10
+
+
+def test_object_store_build(benchmark):
+    circuit = circuit_dataset(n_neurons=20)
+    store = benchmark(lambda: ObjectStore(circuit.segments(), page_capacity=48))
+    assert store.num_pages > 0
+
+
+def test_buffer_pool_churn(benchmark):
+    circuit = circuit_dataset(n_neurons=20)
+    store = ObjectStore(circuit.segments(), page_capacity=48)
+    page_ids = store.disk.page_ids()
+
+    def churn():
+        pool = BufferPool(store.disk, capacity=32)
+        for pid in page_ids:
+            pool.fetch(pid)
+        for pid in reversed(page_ids):
+            pool.fetch(pid)
+        return pool
+
+    pool = benchmark(churn)
+    assert pool.stats.demand_fetches == 2 * len(page_ids)
+
+
+def test_morphology_growth(benchmark):
+    generator = MorphologyGenerator()
+    morphology = benchmark(lambda: generator.grow(seed=42))
+    assert morphology.num_segments > 0
+
+
+def test_touch_tree_build(benchmark):
+    objects_a, _ = dense_join_workload(4000)
+    root = benchmark(lambda: build_touch_tree(list(objects_a), leaf_capacity=32, fanout=8))
+    assert root.subtree_object_count() == len(objects_a)
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_sharded_join(benchmark, shards):
+    """Sharding overhead/benefit on the execution-model driver."""
+    objects_a, objects_b = dense_join_workload(2000)
+    result = benchmark(
+        lambda: sharded_touch_join(list(objects_a), list(objects_b), eps=3.0, shards=shards)
+    )
+    assert result.makespan_ms <= result.total_work_ms + 1e-9

@@ -1,0 +1,40 @@
+"""E6: the Figure 7 join comparison — time, memory, pairwise comparisons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.datasets import dense_join_workload
+from repro.experiments.fig_touch import JOIN_ALGORITHMS, join_comparison_experiment
+
+N_PER_SIDE = 1200  # small enough that the O(n^2) strawman stays benchable
+EPS = 3.0
+
+
+@pytest.fixture(scope="module")
+def join_inputs():
+    return dense_join_workload(N_PER_SIDE)
+
+
+@pytest.mark.parametrize("algorithm", list(JOIN_ALGORITHMS))
+def test_join_algorithm(benchmark, join_inputs, algorithm):
+    """Wall-clock of each join algorithm on the same dense inputs."""
+    objects_a, objects_b = join_inputs
+    join = JOIN_ALGORITHMS[algorithm]
+    result = benchmark(lambda: join(objects_a, objects_b, eps=EPS))
+    expected = JOIN_ALGORITHMS["TOUCH"](objects_a, objects_b, eps=EPS)
+    assert result.sorted_pairs() == expected.sorted_pairs()
+
+
+def test_e6_join_table(benchmark, save_result):
+    """Regenerate the Figure 7 statistics table with refinement applied."""
+    result = benchmark.pedantic(
+        lambda: join_comparison_experiment(n_per_side=2500), rounds=1, iterations=1
+    )
+    save_result("E6_join_comparison", result.render())
+    touch = result.row("TOUCH")
+    for name in ("PBSM", "S3", "plane-sweep", "nested-loop"):
+        assert touch.comparisons < result.row(name).comparisons
+    assert touch.replicated == 0
+    assert result.row("PBSM").replicated > 0
+    assert touch.filtered > 0  # empty space is actually exploited

@@ -1,0 +1,32 @@
+"""E7: join scaling — the §4.1 order-of-magnitude claims as a size sweep."""
+
+from __future__ import annotations
+
+from repro.experiments.fig_touch import join_scaling_experiment
+
+
+def test_e7_join_scaling(benchmark, save_result):
+    """TOUCH stays fastest and the competitors' gap widens with size."""
+    result = benchmark.pedantic(
+        lambda: join_scaling_experiment(sizes=(1000, 2000, 4000), nested_loop_max=2000),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("E7_join_scaling", result.render())
+
+    largest = max(r.n_per_side for r in result.rows)
+
+    def comparisons(algorithm: str, n: int) -> int:
+        return next(
+            r.comparisons
+            for r in result.rows
+            if r.algorithm == algorithm and r.n_per_side == n
+        )
+
+    touch = comparisons("TOUCH", largest)
+    # Comparison counts are deterministic (unlike wall time): TOUCH needs
+    # several times fewer than every competitor at the largest size.
+    assert comparisons("PBSM", largest) > touch * 2
+    assert comparisons("plane-sweep", largest) > touch * 2
+    assert comparisons("S3", largest) > touch
+    assert comparisons("nested-loop", 2000) > comparisons("TOUCH", 2000) * 20

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Model maintenance: "build, analyze and fix the models" (paper §1/§5).
+
+The BBP workflow grows a circuit over time: new neurons are placed, queries
+validate the tissue, mis-placed branches get removed.  This example builds a
+circuit in stages, keeping one FLAT index alive throughout:
+
+1. index the initial circuit,
+2. insert a new neuron's segments (local partition splits + re-linking),
+3. run validation queries (results always exact),
+4. remove a mis-placed branch (partition dissolution),
+5. persist the final model (SWC + manifest) and reload it.
+
+Run:  python examples/model_maintenance.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from tempfile import mkdtemp
+
+import repro
+from repro.neuro.circuit import generate_circuit
+
+
+def exactness_check(index: repro.FLATIndex, segments, label: str) -> None:
+    world = repro.AABB.union_all(s.aabb for s in segments)
+    box = repro.AABB.from_center_extent(world.center(), 180.0)
+    got = sorted(index.query(box).uids)
+    expected = sorted(s.uid for s in segments if s.aabb.intersects(box))
+    assert got == expected, label
+    print(f"  [{label}] validation query: {len(got)} segments, exact")
+
+
+def main() -> None:
+    # Stage 1: initial model.
+    base = generate_circuit(n_neurons=12, seed=7)
+    alive = {s.uid: s for s in base.segments()}
+    index = repro.FLATIndex(list(alive.values()), page_capacity=32)
+    live = sum(1 for p in index.partitions if p.num_objects)
+    print(f"initial model: {base.num_neurons} neurons, {len(alive):,} segments, "
+          f"{live} partitions")
+    exactness_check(index, list(alive.values()), "initial")
+
+    # Stage 2: a new neuron arrives (same column, fresh morphology).
+    grown = generate_circuit(n_neurons=13, seed=7)
+    new_segments = [s for s in grown.segments() if s.neuron_id == 12]
+    uid_base = max(alive) + 1
+    inserted = []
+    for i, s in enumerate(new_segments):
+        placed = repro.Segment(
+            uid=uid_base + i, p0=s.p0, p1=s.p1, radius=s.radius,
+            neuron_id=s.neuron_id, branch_id=s.branch_id, order=s.order,
+        )
+        index.insert(placed)
+        alive[placed.uid] = placed
+        inserted.append(placed)
+    index.validate()
+    live_after = sum(1 for p in index.partitions if p.num_objects)
+    print(f"\ninserted neuron 12: +{len(inserted)} segments, "
+          f"partitions {live} -> {live_after} (local splits only)")
+    exactness_check(index, list(alive.values()), "after insert")
+
+    # Stage 3: fix the model - remove one mis-placed branch of the new cell.
+    victim_branch = inserted[0].branch_id
+    victims = [s for s in inserted if s.branch_id == victim_branch]
+    for s in victims:
+        index.delete(s.uid)
+        del alive[s.uid]
+    index.validate()
+    print(f"\nremoved branch {victim_branch}: -{len(victims)} segments")
+    exactness_check(index, list(alive.values()), "after fix")
+
+    # Stage 4: persist the grown model and reload it.
+    out_dir = Path(mkdtemp(prefix="repro_model_"))
+    manifest = repro.save_circuit(grown, out_dir)
+    reloaded = repro.load_circuit(out_dir)
+    print(f"\npersisted to {manifest.parent.name}: "
+          f"{reloaded.num_neurons} neurons, {reloaded.num_segments:,} segments reload OK")
+
+    report = repro.circuit_morphometry(reloaded)
+    print(f"final model cable: {report.total_cable_um:,.0f} um across "
+          f"{report.num_sections} sections")
+
+
+if __name__ == "__main__":
+    main()

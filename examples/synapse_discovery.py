@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Synapse discovery: the model-building workflow of paper §4.
+
+Builds a microcircuit, then identifies where to place the synapses — "the
+places where branches of different neurons are close enough for electrical
+impulses to leap over" — by running the axon x dendrite distance join with
+every algorithm of the demo (TOUCH, S3, PBSM, plane-sweep, nested-loop),
+applying the exact touch rule as refinement, and printing the Figure 7
+statistics: join time, memory footprint, pairwise comparisons.
+
+Run:  python examples/synapse_discovery.py [n_per_side]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+import repro
+from repro.experiments.datasets import dense_join_workload
+from repro.experiments.fig_touch import join_comparison_experiment
+from repro.geometry.distance import segments_touch
+from repro.neuro.synapses import refine_touch
+
+
+def main(n_per_side: int = 2000) -> None:
+    # The shared experiment harness runs all algorithms on a dense circuit
+    # sample and checks that they produce the identical pair set (E6).
+    result = join_comparison_experiment(n_per_side=n_per_side, eps=3.0)
+    print(result.render())
+    print()
+
+    # Re-run TOUCH standalone to place the synapses and summarise biology.
+    axons, dendrites = dense_join_workload(n_per_side)
+    join = repro.touch_join(
+        list(axons),
+        list(dendrites),
+        eps=3.0,
+        refine=lambda a, b: a.neuron_id != b.neuron_id and segments_touch(a, b),
+    )
+    segment_of = {s.uid: s for s in list(axons) + list(dendrites)}
+    synapses = []
+    for pre_uid, post_uid in join.pairs:
+        synapse = refine_touch(segment_of[pre_uid], segment_of[post_uid], tolerance=0.0)
+        if synapse is not None:
+            synapses.append(synapse)
+
+    print(f"placed {len(synapses)} synapses")
+    per_pair = Counter((s.pre_neuron, s.post_neuron) for s in synapses)
+    if per_pair:
+        (pre, post), count = per_pair.most_common(1)[0]
+        print(f"strongest connection: neuron {pre} -> neuron {post} "
+              f"({count} touch points)")
+        ys = [s.position.y for s in synapses]
+        print(f"synapse depth range: {min(ys):.0f} .. {max(ys):.0f} um")
+
+    # The join's downstream purpose: connectivity analysis.
+    from repro.neuro.connectome import summarize_connectome
+
+    print()
+    print(summarize_connectome(synapses).render())
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2000)

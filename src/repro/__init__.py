@@ -1,0 +1,125 @@
+"""repro — spatial data management for data-driven neuroscience.
+
+A from-scratch reproduction of the systems demonstrated in *"Data-driven
+Neuroscience: Enabling Breakthroughs Via Innovative Data Management"*
+(Stougiannis, Tauheed, Pavlovic, Heinis, Ailamaki — SIGMOD 2013):
+
+* :class:`FLATIndex` — density-independent spatial range queries
+  (seed-and-crawl execution over page-sized partitions),
+* :class:`ScoutPrefetcher` / :class:`ExplorationSession` — content-aware
+  prefetching for structure-following query sequences,
+* :func:`touch_join` — in-memory spatial distance join by hierarchical
+  data-oriented partitioning (plus the PBSM / S3 / sweep / nested-loop
+  baselines),
+
+together with every substrate they run on: a 3-D geometry kernel, Hilbert
+curves, an R-tree with STR/Hilbert bulk loading, a paged-storage simulator
+with an LRU buffer pool, and a synthetic neural-circuit generator standing
+in for the proprietary Blue Brain datasets.
+
+Quickstart
+----------
+>>> import repro
+>>> circuit = repro.generate_circuit(n_neurons=20, seed=7)
+>>> index = repro.FLATIndex(circuit.segments())
+>>> window = repro.AABB.from_center_extent(circuit.bounding_box().center(), 100.0)
+>>> result = index.query(window)
+>>> synapses = repro.touch_join(circuit.axon_segments(),
+...                             circuit.dendrite_segments(), eps=3.0)
+"""
+
+from repro.core.flat import FLATIndex, FLATQueryResult, FLATQueryStats
+from repro.core.scout import (
+    ExplorationSession,
+    ExtrapolationPrefetcher,
+    HilbertPrefetcher,
+    MarkovPrefetcher,
+    NoPrefetcher,
+    ScoutPrefetcher,
+    SessionMetrics,
+    Skeleton,
+)
+from repro.core.touch import (
+    JoinResult,
+    JoinStats,
+    nested_loop_join,
+    pbsm_join,
+    plane_sweep_join,
+    s3_join,
+    touch_join,
+)
+from repro.errors import ReproError
+from repro.geometry import AABB, Segment, TriangleMesh, Vec3
+from repro.neuro import (
+    Circuit,
+    CircuitConfig,
+    Morphology,
+    MorphologyConfig,
+    MorphologyGenerator,
+    generate_circuit,
+    read_swc,
+    write_swc,
+)
+from repro.neuro.morphometry import circuit_morphometry, sholl_analysis
+from repro.neuro.persistence import load_circuit, save_circuit
+from repro.objects import BoxObject, SpatialObject
+from repro.rtree import RTree, hilbert_bulk_load, str_bulk_load
+from repro.storage import BufferPool, Disk, DiskParameters, ObjectStore
+from repro.viz import render_crawl, render_density, render_walk
+from repro.workloads import branch_walk, random_walk, uniform_queries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AABB",
+    "BoxObject",
+    "BufferPool",
+    "Circuit",
+    "CircuitConfig",
+    "Disk",
+    "DiskParameters",
+    "ExplorationSession",
+    "ExtrapolationPrefetcher",
+    "FLATIndex",
+    "FLATQueryResult",
+    "FLATQueryStats",
+    "HilbertPrefetcher",
+    "JoinResult",
+    "JoinStats",
+    "MarkovPrefetcher",
+    "Morphology",
+    "MorphologyConfig",
+    "MorphologyGenerator",
+    "NoPrefetcher",
+    "ObjectStore",
+    "RTree",
+    "ReproError",
+    "ScoutPrefetcher",
+    "Segment",
+    "SessionMetrics",
+    "Skeleton",
+    "SpatialObject",
+    "TriangleMesh",
+    "Vec3",
+    "__version__",
+    "branch_walk",
+    "circuit_morphometry",
+    "generate_circuit",
+    "hilbert_bulk_load",
+    "load_circuit",
+    "nested_loop_join",
+    "pbsm_join",
+    "plane_sweep_join",
+    "random_walk",
+    "read_swc",
+    "render_crawl",
+    "render_density",
+    "render_walk",
+    "s3_join",
+    "save_circuit",
+    "sholl_analysis",
+    "str_bulk_load",
+    "touch_join",
+    "uniform_queries",
+    "write_swc",
+]

@@ -1,0 +1,184 @@
+"""Command-line demo runner: ``python -m repro <command>``.
+
+The paper is a *demo*; this CLI is its terminal incarnation.  Each
+subcommand reruns one demo station and prints the same statistics the
+screens displayed, plus an ASCII rendering of the figure:
+
+* ``demo flat``  — §2: FLAT vs R-tree on dense/sparse windows, density
+  sweep, crawl-order figure;
+* ``demo scout`` — §3: candidate pruning and the walkthrough comparison,
+  walk figure;
+* ``demo touch`` — §4: the join comparison and the scaling sweep;
+* ``demo all``   — all three in sequence;
+* ``claims``     — the headline claims C1-C5, measured;
+* ``circuit``    — generate a circuit, print its morphometry, optionally
+  export it (SWC + manifest) with ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Data-driven Neuroscience' (SIGMOD'13): "
+        "FLAT, SCOUT and TOUCH demos in the terminal.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="re-run a demo station")
+    demo.add_argument("station", choices=["flat", "scout", "touch", "all"])
+    demo.add_argument("--quick", action="store_true", help="smaller workloads")
+    demo.add_argument("--no-figures", action="store_true", help="skip ASCII figures")
+
+    claims = sub.add_parser("claims", help="measure the paper's headline claims")
+    claims.add_argument("--full", action="store_true", help="full-size workloads")
+
+    report = sub.add_parser("report", help="run every experiment, emit one report")
+    report.add_argument("--full", action="store_true", help="full-size workloads")
+    report.add_argument("--out", type=str, default=None, help="write the report to a file")
+
+    circuit = sub.add_parser("circuit", help="generate and inspect a circuit")
+    circuit.add_argument("--neurons", type=int, default=20)
+    circuit.add_argument("--seed", type=int, default=0)
+    circuit.add_argument("--out", type=str, default=None, help="export directory (SWC + manifest)")
+    circuit.add_argument("--no-figures", action="store_true")
+    return parser
+
+
+def _demo_flat(quick: bool, figures: bool) -> None:
+    from repro.experiments.fig_flat import (
+        crawl_trace_experiment,
+        density_sweep_experiment,
+        flat_vs_rtree_experiment,
+    )
+
+    n_queries = 4 if quick else 12
+    for region in ("dense", "sparse"):
+        print(flat_vs_rtree_experiment(region=region, num_queries=n_queries).render())
+        print()
+    factors = (1, 2, 4) if quick else (1, 2, 4, 8)
+    print(density_sweep_experiment(density_factors=factors).render())
+    print()
+    trace = crawl_trace_experiment()
+    print(trace.render())
+    if figures:
+        from repro.experiments.datasets import circuit_dataset, flat_index_for
+        from repro.viz import render_crawl
+        from repro.workloads.ranges import density_stratified_queries
+
+        circuit = circuit_dataset(n_neurons=40)
+        index = flat_index_for(n_neurons=40, page_capacity=48)
+        box = density_stratified_queries(circuit.segments(), 1, 150.0, dense=True, seed=2013)[0]
+        print()
+        print(render_crawl(index, trace.crawl_order, box))
+
+
+def _demo_scout(quick: bool, figures: bool) -> None:
+    from repro.experiments.fig_scout import pruning_experiment, walkthrough_experiment
+
+    print(pruning_experiment().render())
+    print()
+    print(walkthrough_experiment(num_walks=1 if quick else 3).render())
+    if figures:
+        from repro.experiments.datasets import circuit_dataset
+        from repro.viz import render_walk
+        from repro.workloads.walks import branch_walk
+
+        circuit = circuit_dataset(n_neurons=40)
+        walk = branch_walk(circuit, window_extent=90.0, seed=3, min_steps=14)
+        print()
+        print(render_walk(circuit.segments(), walk.path, walk.queries[:4]))
+
+
+def _demo_touch(quick: bool, figures: bool) -> None:
+    from repro.experiments.fig_touch import (
+        join_comparison_experiment,
+        join_scaling_experiment,
+    )
+
+    print(join_comparison_experiment(n_per_side=800 if quick else 2500).render())
+    print()
+    sizes = (500, 1000) if quick else (1000, 2000, 4000)
+    print(join_scaling_experiment(sizes=sizes, nested_loop_max=min(sizes[-1], 2000)).render())
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    figures = not args.no_figures
+    stations = {
+        "flat": _demo_flat,
+        "scout": _demo_scout,
+        "touch": _demo_touch,
+    }
+    selected = list(stations) if args.station == "all" else [args.station]
+    for position, name in enumerate(selected):
+        if position:
+            print("\n" + "=" * 72 + "\n")
+        print(f"--- demo station: {name.upper()} ---\n")
+        stations[name](args.quick, figures)
+    return 0
+
+
+def _run_claims(args: argparse.Namespace) -> int:
+    from repro.experiments.claims import headline_claims
+
+    report = headline_claims(quick=not args.full)
+    print(report.render())
+    return 0 if report.all_hold else 1
+
+
+def _run_circuit(args: argparse.Namespace) -> int:
+    from repro.neuro.circuit import generate_circuit
+    from repro.neuro.morphometry import circuit_morphometry
+
+    circuit = generate_circuit(n_neurons=args.neurons, seed=args.seed)
+    print(circuit_morphometry(circuit).render())
+    if not args.no_figures:
+        from repro.viz import render_density
+
+        print()
+        print(render_density(circuit.segments()))
+    if args.out is not None:
+        from repro.neuro.persistence import save_circuit
+
+        manifest = save_circuit(circuit, args.out)
+        print(f"\nexported to {manifest.parent} ({circuit.num_neurons} SWC files + manifest)")
+    return 0
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import generate_report
+
+    text = generate_report(quick=not args.full, progress=print)
+    if args.out is not None:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+        print(f"report written to {args.out}")
+    else:
+        print()
+        print(text)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return _run_demo(args)
+    if args.command == "claims":
+        return _run_claims(args)
+    if args.command == "circuit":
+        return _run_circuit(args)
+    if args.command == "report":
+        return _run_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

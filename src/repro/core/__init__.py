@@ -1,0 +1,41 @@
+"""The paper's three contributions: FLAT, SCOUT and TOUCH."""
+
+from repro.core.flat import FLATIndex, FLATQueryResult, FLATQueryStats
+from repro.core.scout import (
+    ExplorationSession,
+    ExtrapolationPrefetcher,
+    HilbertPrefetcher,
+    MarkovPrefetcher,
+    NoPrefetcher,
+    ScoutPrefetcher,
+    SessionMetrics,
+)
+from repro.core.touch import (
+    JoinResult,
+    JoinStats,
+    nested_loop_join,
+    pbsm_join,
+    plane_sweep_join,
+    s3_join,
+    touch_join,
+)
+
+__all__ = [
+    "ExplorationSession",
+    "ExtrapolationPrefetcher",
+    "FLATIndex",
+    "FLATQueryResult",
+    "FLATQueryStats",
+    "HilbertPrefetcher",
+    "JoinResult",
+    "JoinStats",
+    "MarkovPrefetcher",
+    "NoPrefetcher",
+    "ScoutPrefetcher",
+    "SessionMetrics",
+    "nested_loop_join",
+    "pbsm_join",
+    "plane_sweep_join",
+    "s3_join",
+    "touch_join",
+]

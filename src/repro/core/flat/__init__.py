@@ -1,0 +1,25 @@
+"""FLAT: density-independent spatial range queries (paper §2, ICDE'12).
+
+FLAT splits range query execution into two density-independent phases:
+
+1. **Seed** — find *one* partition intersecting the query through a small
+   R-tree (cost tracks tree height, not overlap), and
+2. **Crawl** — recursively visit precomputed partition neighbours that still
+   intersect the query (cost tracks result size only).
+
+The public entry point is :class:`FLATIndex`.
+"""
+
+from repro.core.flat.index import FLATIndex, FLATQueryResult
+from repro.core.flat.neighborhood import build_neighbor_links
+from repro.core.flat.partitions import Partition, build_partitions
+from repro.core.flat.stats import FLATQueryStats
+
+__all__ = [
+    "FLATIndex",
+    "FLATQueryResult",
+    "FLATQueryStats",
+    "Partition",
+    "build_neighbor_links",
+    "build_partitions",
+]

@@ -1,0 +1,61 @@
+"""FLAT indexing phase, step 1: pack objects into disk-page partitions.
+
+Partitions are STR tiles of ``page_capacity`` objects: spatially compact,
+non-replicated, one partition per simulated disk page.  The partition MBRs
+are what the seed index and the neighborhood links are built over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import IndexError_
+from repro.geometry.aabb import AABB
+from repro.objects import SpatialObject
+from repro.rtree.bulk import str_chunks
+
+__all__ = ["Partition", "build_partitions"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A page-sized group of objects with its MBR.
+
+    ``partition_id`` doubles as the page id on the simulated disk.
+    """
+
+    partition_id: int
+    mbr: AABB
+    object_uids: tuple[int, ...]
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.object_uids)
+
+
+def build_partitions(
+    objects: Sequence[SpatialObject], page_capacity: int
+) -> list[Partition]:
+    """STR-tile ``objects`` into partitions of at most ``page_capacity``."""
+    if not objects:
+        raise IndexError_("cannot partition an empty dataset")
+    if page_capacity < 1:
+        raise IndexError_("page capacity must be >= 1")
+
+    def center(obj: SpatialObject) -> tuple[float, float, float]:
+        c = obj.aabb.center()
+        return (c.x, c.y, c.z)
+
+    chunks = str_chunks(list(objects), page_capacity, center)
+    partitions = []
+    for pid, chunk in enumerate(chunks):
+        mbr = AABB.union_all(o.aabb for o in chunk)
+        partitions.append(
+            Partition(
+                partition_id=pid,
+                mbr=mbr,
+                object_uids=tuple(o.uid for o in chunk),
+            )
+        )
+    return partitions

@@ -1,0 +1,42 @@
+"""SCOUT: content-aware prefetching for structure-following queries (§3, VLDB'12).
+
+A scientist following a neuron branch issues a *sequence* of spatial range
+queries.  While the result of query *n* is consumed (think time), SCOUT:
+
+1. reconstructs the topological skeleton of the result (:mod:`skeleton`),
+2. prunes the candidate structures to those that exited query *n−1* and
+   entered query *n* (:mod:`structures` — the paper's Figure 5),
+3. linearly extrapolates the exit edges of the surviving candidates and
+   prefetches the pages under the predicted query boxes (:mod:`prefetcher`).
+
+Baselines from the demo (Hilbert, extrapolation, Markov/history, none) are
+in :mod:`baselines`; :mod:`session` drives a full walkthrough and collects
+the Figure 6 counters.
+"""
+
+from repro.core.scout.baselines import (
+    ExtrapolationPrefetcher,
+    HilbertPrefetcher,
+    MarkovPrefetcher,
+    NoPrefetcher,
+)
+from repro.core.scout.metrics import SessionMetrics, StepMetrics
+from repro.core.scout.prefetcher import Prefetcher, ScoutPrefetcher
+from repro.core.scout.session import ExplorationSession
+from repro.core.scout.skeleton import Skeleton, Structure
+from repro.core.scout.structures import CandidateTracker
+
+__all__ = [
+    "CandidateTracker",
+    "ExplorationSession",
+    "ExtrapolationPrefetcher",
+    "HilbertPrefetcher",
+    "MarkovPrefetcher",
+    "NoPrefetcher",
+    "Prefetcher",
+    "ScoutPrefetcher",
+    "SessionMetrics",
+    "Skeleton",
+    "StepMetrics",
+    "Structure",
+]

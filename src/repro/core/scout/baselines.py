@@ -1,0 +1,201 @@
+"""Prefetching baselines demonstrated against SCOUT (paper §3.2).
+
+* :class:`NoPrefetcher` — cold walkthrough; the speedup denominator.
+* :class:`HilbertPrefetcher` — space-locality prefetching in Hilbert order
+  (Park & Kim [13]): pages whose MBR centres are next along the curve from
+  the current query centre.
+* :class:`ExtrapolationPrefetcher` — location-only linear motion model from
+  the last two query centres ("only use the current location [13] or the
+  last few positions").
+* :class:`MarkovPrefetcher` — learns grid-cell transitions from *past*
+  sessions (Lee et al. [8]); the paper argues this helps little because
+  different users rarely follow the same paths, which E5 reproduces.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Sequence
+
+from repro.core.flat.index import FLATIndex
+from repro.errors import PrefetchError
+from repro.geometry.aabb import AABB
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+from repro.hilbert.curve import HilbertEncoder3D
+from repro.storage.buffer_pool import BufferPool
+
+__all__ = [
+    "NoPrefetcher",
+    "HilbertPrefetcher",
+    "ExtrapolationPrefetcher",
+    "MarkovPrefetcher",
+]
+
+
+class NoPrefetcher:
+    """Prefetch nothing (the demand-only baseline)."""
+
+    name = "none"
+
+    def observe(self, box: AABB, result_segments: Sequence[Segment]) -> None:
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+class _BudgetedPrefetcher:
+    """Shared plumbing: an index to translate boxes to pages and a budget."""
+
+    def __init__(self, index: FLATIndex, pool: BufferPool, budget_pages: int = 24) -> None:
+        if budget_pages < 0:
+            raise PrefetchError("budget_pages must be >= 0")
+        self.index = index
+        self.pool = pool
+        self.budget_pages = budget_pages
+
+    def _prefetch_pids(self, pids: Sequence[int]) -> int:
+        issued = 0
+        for pid in pids:
+            if issued >= self.budget_pages:
+                break
+            if self.pool.resident(pid):
+                continue
+            self.pool.prefetch(pid)
+            issued += 1
+        return issued
+
+    def _prefetch_box(self, predicted: AABB) -> int:
+        center = predicted.center()
+        pids = sorted(
+            self.index.partitions_intersecting(predicted),
+            key=lambda pid: self.index.partitions[pid].mbr.min_distance_to_point(center),
+        )
+        return self._prefetch_pids(pids)
+
+
+class HilbertPrefetcher(_BudgetedPrefetcher):
+    """Prefetch pages adjacent in Hilbert order to the current position."""
+
+    name = "hilbert"
+
+    def __init__(
+        self,
+        index: FLATIndex,
+        pool: BufferPool,
+        budget_pages: int = 24,
+        hilbert_order: int = 10,
+    ) -> None:
+        super().__init__(index, pool, budget_pages)
+        self._encoder = HilbertEncoder3D(index.world, order=hilbert_order)
+        keyed = sorted(
+            (self._encoder.key_of_box(p.mbr), p.partition_id) for p in index.partitions
+        )
+        self._keys = [k for k, _ in keyed]
+        self._pids = [pid for _, pid in keyed]
+
+    def observe(self, box: AABB, result_segments: Sequence[Segment]) -> None:
+        key = self._encoder.key(box.center())
+        position = bisect.bisect_left(self._keys, key)
+        # Walk outward from the query position along the curve.
+        pids: list[int] = []
+        left = position - 1
+        right = position
+        while len(pids) < self.budget_pages * 2 and (left >= 0 or right < len(self._pids)):
+            if right < len(self._pids):
+                pids.append(self._pids[right])
+                right += 1
+            if left >= 0:
+                pids.append(self._pids[left])
+                left -= 1
+        self._prefetch_pids(pids)
+
+    def reset(self) -> None:
+        return None
+
+
+class ExtrapolationPrefetcher(_BudgetedPrefetcher):
+    """Predict the next window from the last two query centres only."""
+
+    name = "extrapolation"
+
+    def __init__(self, index: FLATIndex, pool: BufferPool, budget_pages: int = 24) -> None:
+        super().__init__(index, pool, budget_pages)
+        self._previous_center: Vec3 | None = None
+
+    def observe(self, box: AABB, result_segments: Sequence[Segment]) -> None:
+        center = box.center()
+        if self._previous_center is not None:
+            motion = center - self._previous_center
+            predicted = AABB.from_center_extent(center + motion, box.sizes)
+            self._prefetch_box(predicted)
+        self._previous_center = center
+
+    def reset(self) -> None:
+        self._previous_center = None
+
+
+class MarkovPrefetcher(_BudgetedPrefetcher):
+    """First-order Markov model over grid cells, trained on past sessions.
+
+    ``train`` ingests query-centre sequences of earlier users; ``observe``
+    prefetches the pages under the most likely successor cells of the
+    current cell.  With little overlap between users' paths the transition
+    table is sparse and the hit rate stays low — the paper's argument
+    against history-based prefetching at this scale.
+    """
+
+    name = "markov"
+
+    def __init__(
+        self,
+        index: FLATIndex,
+        pool: BufferPool,
+        budget_pages: int = 24,
+        cell_size: float = 100.0,
+        top_k: int = 3,
+    ) -> None:
+        super().__init__(index, pool, budget_pages)
+        if cell_size <= 0:
+            raise PrefetchError("cell_size must be positive")
+        self.cell_size = cell_size
+        self.top_k = top_k
+        self._transitions: dict[tuple[int, int, int], dict[tuple[int, int, int], int]] = {}
+        self._extent: tuple[float, float, float] | None = None
+
+    def _cell_of(self, point: Vec3) -> tuple[int, int, int]:
+        return (
+            int(point.x // self.cell_size),
+            int(point.y // self.cell_size),
+            int(point.z // self.cell_size),
+        )
+
+    def train(self, center_sequences: Sequence[Sequence[Vec3]]) -> None:
+        """Learn transitions from past users' query-centre sequences."""
+        for sequence in center_sequences:
+            cells = [self._cell_of(c) for c in sequence]
+            for src, dst in zip(cells, cells[1:]):
+                if src == dst:
+                    continue
+                self._transitions.setdefault(src, {}).setdefault(dst, 0)
+                self._transitions[src][dst] += 1
+
+    def observe(self, box: AABB, result_segments: Sequence[Segment]) -> None:
+        self._extent = box.sizes
+        cell = self._cell_of(box.center())
+        successors = self._transitions.get(cell)
+        if not successors:
+            return
+        likely = sorted(successors.items(), key=lambda kv: kv[1], reverse=True)[: self.top_k]
+        for dst, _count in likely:
+            center = Vec3(
+                (dst[0] + 0.5) * self.cell_size,
+                (dst[1] + 0.5) * self.cell_size,
+                (dst[2] + 0.5) * self.cell_size,
+            )
+            self._prefetch_box(AABB.from_center_extent(center, self._extent))
+
+    def reset(self) -> None:
+        # Learned transitions persist across sessions; per-walk state is none.
+        return None

@@ -1,0 +1,89 @@
+"""Walkthrough metrics — the counters of the paper's Figure 6.
+
+"We also show statistics of the last visualization, i.e., how much data was
+prefetched in total, how much was correctly prefetched and how much data
+needed to be retrieved additionally."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["StepMetrics", "SessionMetrics"]
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """Per-query counters of one walkthrough step."""
+
+    step: int
+    result_size: int
+    pages_needed: int
+    cache_hits: int
+    cache_misses: int
+    stall_ms: float
+    prefetch_issued: int
+
+
+@dataclass
+class SessionMetrics:
+    """Aggregated counters for one walkthrough."""
+
+    prefetcher: str
+    steps: list[StepMetrics] = field(default_factory=list)
+    total_prefetched: int = 0  # pages brought in speculatively (Fig 6: "prefetched in total")
+    prefetch_used: int = 0  # later demanded (Fig 6: "correctly prefetched")
+    demand_misses: int = 0  # fetched on the critical path (Fig 6: "retrieved additionally")
+    total_stall_ms: float = 0.0
+    prefetch_io_ms: float = 0.0
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def prefetch_accuracy(self) -> float:
+        """Fraction of prefetched pages that were actually needed."""
+        if self.total_prefetched == 0:
+            return 0.0
+        return self.prefetch_used / self.total_prefetched
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of needed page fetches served ahead of time or cached."""
+        demanded = sum(s.pages_needed for s in self.steps)
+        if demanded == 0:
+            return 0.0
+        return 1.0 - self.demand_misses / demanded
+
+    @property
+    def wasted_prefetches(self) -> int:
+        return self.total_prefetched - self.prefetch_used
+
+    @property
+    def mean_stall_ms(self) -> float:
+        if not self.steps:
+            return 0.0
+        return self.total_stall_ms / len(self.steps)
+
+    @property
+    def steady_state_stall_ms(self) -> float:
+        """Stall excluding the first window, which is cold for any policy.
+
+        Prefetchers can only act from the second query on; the demo's
+        "smoother visualization" observation (and the paper's up-to-15x
+        figure, measured on long sequences) is about this steady state.
+        """
+        return sum(s.stall_ms for s in self.steps[1:])
+
+    def speedup_over(self, baseline: "SessionMetrics") -> float:
+        """Stall-latency speedup of this session relative to ``baseline``."""
+        if self.total_stall_ms <= 0.0:
+            return float("inf")
+        return baseline.total_stall_ms / self.total_stall_ms
+
+    def steady_state_speedup_over(self, baseline: "SessionMetrics") -> float:
+        """Steady-state stall speedup relative to ``baseline``."""
+        if self.steady_state_stall_ms <= 0.0:
+            return float("inf")
+        return baseline.steady_state_stall_ms / self.steady_state_stall_ms

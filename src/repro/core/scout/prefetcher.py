@@ -1,0 +1,152 @@
+"""The SCOUT prefetcher and the prefetcher interface.
+
+A prefetcher is notified after every query of an exploration session
+(`observe`), during the scientist's think time, and may bring pages into the
+buffer pool off the critical path, subject to a per-step page budget.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.core.flat.index import FLATIndex
+from repro.core.scout.skeleton import Skeleton
+from repro.core.scout.structures import CandidateTracker
+from repro.errors import PrefetchError
+from repro.geometry.aabb import AABB
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+from repro.storage.buffer_pool import BufferPool
+
+__all__ = ["Prefetcher", "ScoutPrefetcher"]
+
+
+class Prefetcher(Protocol):
+    """Interface all prefetching policies implement."""
+
+    name: str
+
+    def observe(self, box: AABB, result_segments: Sequence[Segment]) -> None:
+        """Called after each query with its window and result content."""
+
+    def reset(self) -> None:
+        """Forget sequence state (new walkthrough)."""
+
+
+class ScoutPrefetcher:
+    """Content-aware prefetching: skeleton → prune → extrapolate → prefetch.
+
+    Parameters
+    ----------
+    index, pool:
+        The FLAT index serving the session and the buffer pool to prefetch
+        into.
+    budget_pages:
+        Maximum pages prefetched per step (models limited think time).
+    smooth_steps:
+        Trailing skeleton edges averaged for the extrapolation direction.
+    prune:
+        Candidate pruning on/off (ablation A4); when off, every exiting
+        structure is extrapolated.
+    """
+
+    name = "SCOUT"
+
+    def __init__(
+        self,
+        index: FLATIndex,
+        pool: BufferPool,
+        budget_pages: int = 24,
+        smooth_steps: int = 4,
+        prune: bool = True,
+        inflation: float = 1.25,
+    ) -> None:
+        if budget_pages < 0:
+            raise PrefetchError("budget_pages must be >= 0")
+        if inflation <= 0:
+            raise PrefetchError("inflation must be positive")
+        self.index = index
+        self.pool = pool
+        self.budget_pages = budget_pages
+        self.smooth_steps = smooth_steps
+        self.prune = prune
+        self.inflation = inflation
+        self.tracker = CandidateTracker()
+        self._last_center: Vec3 | None = None
+        self._last_step_length: float | None = None
+
+    def reset(self) -> None:
+        self.tracker.reset()
+        self._last_center = None
+        self._last_step_length = None
+
+    # -- core ------------------------------------------------------------------
+    def observe(self, box: AABB, result_segments: Sequence[Segment]) -> None:
+        center = box.center()
+        if self._last_center is not None:
+            step = center.distance_to(self._last_center)
+            if step > 0.0:
+                self._last_step_length = step
+        self._last_center = center
+
+        skeleton = Skeleton(result_segments)
+        skeleton.find_exits(box, smooth_steps=self.smooth_steps)
+        structures = skeleton.structures()
+        if self.prune:
+            candidates = self.tracker.update(structures)
+        else:
+            candidates = [s for s in structures if s.is_exiting]
+            self.tracker.history.append(len(candidates))
+
+        predicted_boxes = self._predict_boxes(box, candidates)
+        self._prefetch(predicted_boxes)
+
+    def _predict_boxes(self, box: AABB, candidates) -> list[AABB]:
+        """Extrapolate every exit edge of every candidate structure.
+
+        The user follows the structure, so the next window is centred on it
+        just past the current boundary: the exit point plus the advance that
+        remains once the window half-extent is accounted for (overlapping
+        windows put the next centre essentially *at* the exit).  Predicted
+        windows are inflated slightly (``inflation``) so a jagged path that
+        turns between queries still lands inside the prefetched region.
+        """
+        extent = tuple(s * self.inflation for s in box.sizes)
+        step = self._step_length(box)
+        half_window = max(box.sizes) / 2.0
+        lead = max(0.0, step - half_window) + step * 0.25
+        boxes = []
+        for structure in candidates:
+            for edge in structure.exit_edges:
+                predicted_center = edge.exit_point + edge.direction * lead
+                boxes.append(AABB.from_center_extent(predicted_center, extent))
+        return boxes
+
+    def _step_length(self, box: AABB) -> float:
+        if self._last_step_length is not None:
+            return self._last_step_length
+        # No motion observed yet: assume the user advances half a window.
+        return max(box.sizes) / 2.0
+
+    def _prefetch(self, predicted_boxes: list[AABB]) -> None:
+        if not predicted_boxes:
+            return
+        budget = self.budget_pages
+        ranked: list[tuple[float, int]] = []
+        seen: set[int] = set()
+        for predicted in predicted_boxes:
+            center = predicted.center()
+            for pid in self.index.partitions_intersecting(predicted):
+                if pid in seen:
+                    continue
+                seen.add(pid)
+                distance = self.index.partitions[pid].mbr.min_distance_to_point(center)
+                ranked.append((distance, pid))
+        ranked.sort()
+        for _, pid in ranked:
+            if budget <= 0:
+                break
+            if self.pool.resident(pid):
+                continue
+            self.pool.prefetch(pid)
+            budget -= 1

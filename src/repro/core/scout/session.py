@@ -1,0 +1,84 @@
+"""Exploration sessions: drive a query sequence against FLAT + buffer pool.
+
+This is the demo's walkthrough loop: issue a window query, stall on the
+pages the cache does not hold, hand the result to the user (visualisation),
+then let the prefetcher work during think time.  All Figure 6 statistics
+fall out of the buffer-pool counter deltas per step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.flat.index import FLATIndex
+from repro.core.scout.metrics import SessionMetrics, StepMetrics
+from repro.core.scout.prefetcher import Prefetcher
+from repro.geometry.aabb import AABB
+from repro.geometry.segment import Segment
+from repro.storage.buffer_pool import BufferPool
+
+__all__ = ["ExplorationSession"]
+
+
+class ExplorationSession:
+    """Runs walkthroughs (sequences of range queries) with a prefetcher."""
+
+    def __init__(
+        self,
+        index: FLATIndex,
+        pool: BufferPool,
+        prefetcher: Prefetcher,
+    ) -> None:
+        self.index = index
+        self.pool = pool
+        self.prefetcher = prefetcher
+
+    def run(self, walk: Sequence[AABB], cold_cache: bool = True) -> SessionMetrics:
+        """Execute ``walk`` and collect per-step and aggregate metrics.
+
+        ``cold_cache`` drops the buffer pool first (each demo walkthrough
+        starts cold; prefetching differences would otherwise wash out).
+        """
+        if cold_cache:
+            self.pool.clear()
+        self.prefetcher.reset()
+        metrics = SessionMetrics(prefetcher=getattr(self.prefetcher, "name", "unknown"))
+
+        for step, box in enumerate(walk):
+            before = self.pool.stats.snapshot()
+            result = self.index.query(box, pool=self.pool)
+            after_query = self.pool.stats.snapshot()
+            query_delta = after_query.delta_since(before)
+
+            # Think time: visualise + prefetch for the next step.
+            segments = self._result_segments(result.uids)
+            self.prefetcher.observe(box, segments)
+            after_prefetch = self.pool.stats.snapshot()
+            prefetch_delta = after_prefetch.delta_since(after_query)
+
+            metrics.steps.append(
+                StepMetrics(
+                    step=step,
+                    result_size=len(result.uids),
+                    pages_needed=query_delta.demand_fetches,
+                    cache_hits=query_delta.demand_hits,
+                    cache_misses=query_delta.demand_misses,
+                    stall_ms=query_delta.stall_time_ms,
+                    prefetch_issued=prefetch_delta.prefetch_issued,
+                )
+            )
+            metrics.total_prefetched += prefetch_delta.prefetch_issued
+            metrics.demand_misses += query_delta.demand_misses
+            metrics.total_stall_ms += query_delta.stall_time_ms
+            metrics.prefetch_io_ms += prefetch_delta.prefetch_io_ms
+            metrics.prefetch_used += query_delta.prefetch_used
+
+        return metrics
+
+    def _result_segments(self, uids: Sequence[int]) -> list[Segment]:
+        segments = []
+        for uid in uids:
+            obj = self.index.object(uid)
+            if isinstance(obj, Segment):
+                segments.append(obj)
+        return segments

@@ -1,0 +1,68 @@
+"""Candidate structure tracking (the pruning of Figure 5).
+
+"SCOUT ... only considers the intersection between the structures leaving
+the (n−1)th query and the set of structures entering the nth (the most
+recent) query.  The structure the user follows must be in the intersection."
+
+Identity across queries is established by shared segment uids: a structure
+in query *n* continues a candidate from query *n−1* iff it contains at least
+one segment that the candidate was predicted to continue through (its exit
+segments) or shares segments with it (query windows overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scout.skeleton import Structure
+
+__all__ = ["CandidateTracker"]
+
+
+@dataclass
+class CandidateTracker:
+    """Maintains the shrinking candidate set across a query sequence.
+
+    ``history`` records the candidate count after each update — the series
+    plotted in the paper's Figure 5.
+    """
+
+    history: list[int] = field(default_factory=list)
+    _previous_exit_uids: set[int] | None = field(default=None, repr=False)
+
+    def update(self, structures: list[Structure]) -> list[Structure]:
+        """Intersect the incoming structures with the previous exits.
+
+        A structure of query *n* stays a candidate iff it contains one of
+        the segments through which a candidate *left* query *n−1*: the
+        followed structure necessarily re-enters through its own exit,
+        while structures that exited behind the motion fall out of the new
+        window and are pruned (the shrinking sets of Figure 5).  On the
+        first query every exiting structure is a candidate.
+        """
+        exiting = [s for s in structures if s.is_exiting]
+        if self._previous_exit_uids is None:
+            candidates = exiting
+        else:
+            candidates = [
+                s for s in exiting if s.segment_uids & self._previous_exit_uids
+            ]
+            if not candidates:
+                # The followed structure left the tracked set (sharp turn or
+                # teleport): recover by restarting from the exiting set
+                # rather than going blind.
+                candidates = exiting
+        self._previous_exit_uids = {
+            edge.segment_uid for s in candidates for edge in s.exit_edges
+        }
+        self.history.append(len(candidates))
+        return candidates
+
+    def reset(self) -> None:
+        self._previous_exit_uids = None
+        self.history.clear()
+
+    @property
+    def converged(self) -> bool:
+        """True once the candidate set has shrunk to a single structure."""
+        return bool(self.history) and self.history[-1] == 1

@@ -1,0 +1,51 @@
+"""Nested-loop join (Mishra & Eich [11]) — the O(n·m) strawman.
+
+"The nested loop join has a complexity of O(n^2)" (paper §4).  It is also
+the correctness oracle every other algorithm is property-tested against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.touch.stats import JoinResult, JoinStats, RefineFunc, apply_predicate
+from repro.objects import SpatialObject
+
+__all__ = ["nested_loop_join"]
+
+
+def nested_loop_join(
+    objects_a: Sequence[SpatialObject],
+    objects_b: Sequence[SpatialObject],
+    eps: float = 0.0,
+    refine: RefineFunc | None = None,
+) -> JoinResult:
+    """Compare every pair; exact but quadratic."""
+    stats = JoinStats(algorithm="nested-loop", n_a=len(objects_a), n_b=len(objects_b))
+    pairs: list[tuple[int, int]] = []
+    start = time.perf_counter()
+    for a in objects_a:
+        box_a = a.aabb
+        a_min_x = box_a.min_x - eps
+        a_min_y = box_a.min_y - eps
+        a_min_z = box_a.min_z - eps
+        a_max_x = box_a.max_x + eps
+        a_max_y = box_a.max_y + eps
+        a_max_z = box_a.max_z + eps
+        for b in objects_b:
+            box_b = b.aabb
+            stats.comparisons += 1
+            if (
+                a_min_x <= box_b.max_x
+                and box_b.min_x <= a_max_x
+                and a_min_y <= box_b.max_y
+                and box_b.min_y <= a_max_y
+                and a_min_z <= box_b.max_z
+                and box_b.min_z <= a_max_z
+            ):
+                apply_predicate(a, b, refine, stats, pairs)
+    stats.probe_ms = (time.perf_counter() - start) * 1000.0
+    # No auxiliary structures at all.
+    stats.memory_bytes = 0
+    return JoinResult(pairs=pairs, stats=stats)

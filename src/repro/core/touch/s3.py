@@ -1,0 +1,74 @@
+"""S3: synchronized R-tree traversal join.
+
+Both datasets are indexed (STR bulk load) and the trees are descended in
+lockstep: a node pair is expanded only if the node MBRs are within ``eps``.
+The memory footprint is small (two indexes, no replication) — the paper
+groups it with the "equally small memory footprint" competitors that TOUCH
+beats by about two orders of magnitude, because on dense data the two
+trees' internal MBRs overlap so heavily that the node-pair frontier
+explodes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.touch.stats import JoinResult, JoinStats, RefineFunc, apply_predicate
+from repro.objects import SpatialObject
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.node import Node
+
+__all__ = ["s3_join"]
+
+
+def s3_join(
+    objects_a: Sequence[SpatialObject],
+    objects_b: Sequence[SpatialObject],
+    eps: float = 0.0,
+    refine: RefineFunc | None = None,
+    max_entries: int = 16,
+) -> JoinResult:
+    """Build R-trees on both sides, then join by synchronized traversal."""
+    stats = JoinStats(algorithm="S3", n_a=len(objects_a), n_b=len(objects_b))
+    if not objects_a or not objects_b:
+        return JoinResult(pairs=[], stats=stats)
+
+    start = time.perf_counter()
+    by_uid_a = {o.uid: o for o in objects_a}
+    by_uid_b = {o.uid: o for o in objects_b}
+    tree_a = str_bulk_load([(o.uid, o.aabb) for o in objects_a], max_entries=max_entries)
+    tree_b = str_bulk_load([(o.uid, o.aabb) for o in objects_b], max_entries=max_entries)
+    stats.build_ms = (time.perf_counter() - start) * 1000.0
+    stats.memory_bytes = tree_a.byte_size() + tree_b.byte_size()
+
+    start = time.perf_counter()
+    pairs: list[tuple[int, int]] = []
+    stack: list[tuple[Node, Node]] = [(tree_a.root, tree_b.root)]
+    while stack:
+        node_a, node_b = stack.pop()
+        if node_a.is_leaf and node_b.is_leaf:
+            for entry_a in node_a.entries:
+                box_a = entry_a.mbr
+                for entry_b in node_b.entries:
+                    stats.comparisons += 1
+                    if box_a.intersects_expanded(entry_b.mbr, eps):
+                        assert entry_a.uid is not None and entry_b.uid is not None
+                        apply_predicate(
+                            by_uid_a[entry_a.uid], by_uid_b[entry_b.uid], refine, stats, pairs
+                        )
+        elif node_b.is_leaf or (not node_a.is_leaf and node_a.level >= node_b.level):
+            # Descend the taller (or only internal) side A.
+            for entry_a in node_a.entries:
+                stats.comparisons += 1
+                if entry_a.mbr.intersects_expanded(node_b.mbr(), eps):
+                    assert entry_a.child is not None
+                    stack.append((entry_a.child, node_b))
+        else:
+            for entry_b in node_b.entries:
+                stats.comparisons += 1
+                if node_a.mbr().intersects_expanded(entry_b.mbr, eps):
+                    assert entry_b.child is not None
+                    stack.append((node_a, entry_b.child))
+    stats.probe_ms = (time.perf_counter() - start) * 1000.0
+    return JoinResult(pairs=pairs, stats=stats)

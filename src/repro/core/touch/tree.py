@@ -1,0 +1,104 @@
+"""TOUCH phase 1: data-oriented partitioning of dataset A.
+
+Dataset A is packed bottom-up into a hierarchy of spatially tight nodes
+(STR tiles), which — unlike a space-oriented grid — leaves *empty space*
+between sibling MBRs.  That dead space is what enables filtering in phase 2:
+a B object falling entirely into it provably has no join partner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.touch.stats import BOX_BYTES, REF_BYTES
+from repro.errors import JoinError
+from repro.geometry.aabb import AABB
+from repro.objects import SpatialObject
+from repro.rtree.bulk import str_chunks
+
+__all__ = ["TouchNode", "build_touch_tree"]
+
+
+@dataclass
+class TouchNode:
+    """A node of the TOUCH hierarchy over dataset A.
+
+    Leaves hold A objects; every node owns a *bucket* that phase 2 fills
+    with the B objects assigned to it (each B object lives in exactly one
+    bucket — no replication).
+    """
+
+    level: int
+    mbr: AABB
+    children: list["TouchNode"] = field(default_factory=list)
+    objects: list[SpatialObject] = field(default_factory=list)
+    bucket: list[SpatialObject] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def iter_nodes(self) -> Iterator["TouchNode"]:
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def subtree_object_count(self) -> int:
+        return sum(len(n.objects) for n in self.iter_nodes())
+
+    def structure_bytes(self) -> int:
+        """Modelled memory of the hierarchy itself (boxes + references)."""
+        total = 0
+        for node in self.iter_nodes():
+            total += BOX_BYTES
+            total += REF_BYTES * (len(node.children) + len(node.objects))
+        return total
+
+    def bucket_bytes(self) -> int:
+        return sum(REF_BYTES * len(n.bucket) for n in self.iter_nodes())
+
+
+def build_touch_tree(
+    objects_a: Sequence[SpatialObject],
+    leaf_capacity: int = 32,
+    fanout: int = 8,
+) -> TouchNode:
+    """Pack ``objects_a`` into a TOUCH hierarchy with STR tiling."""
+    if not objects_a:
+        raise JoinError("cannot build a TOUCH tree over an empty dataset")
+    if leaf_capacity < 1 or fanout < 2:
+        raise JoinError("leaf_capacity must be >= 1 and fanout >= 2")
+
+    def obj_center(obj: SpatialObject) -> tuple[float, float, float]:
+        c = obj.aabb.center()
+        return (c.x, c.y, c.z)
+
+    leaf_groups = str_chunks(list(objects_a), leaf_capacity, obj_center)
+    nodes = [
+        TouchNode(
+            level=0,
+            mbr=AABB.union_all(o.aabb for o in group),
+            objects=list(group),
+        )
+        for group in leaf_groups
+    ]
+
+    def node_center(node: TouchNode) -> tuple[float, float, float]:
+        c = node.mbr.center()
+        return (c.x, c.y, c.z)
+
+    while len(nodes) > 1:
+        next_level = nodes[0].level + 1
+        groups = str_chunks(nodes, fanout, node_center)
+        nodes = [
+            TouchNode(
+                level=next_level,
+                mbr=AABB.union_all(n.mbr for n in group),
+                children=list(group),
+            )
+            for group in groups
+        ]
+    return nodes[0]

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometric input (degenerate boxes, NaNs, ...)."""
+
+
+class StorageError(ReproError):
+    """Raised by the paged-storage substrate (unknown pages, bad capacity)."""
+
+
+class PageNotFoundError(StorageError):
+    """Raised when a page id is not present in a :class:`~repro.storage.Disk`."""
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(f"page {page_id} does not exist")
+        self.page_id = page_id
+
+
+class IndexError_(ReproError):
+    """Raised by index structures (R-tree, FLAT) on invalid configuration."""
+
+
+class InvariantViolation(ReproError):
+    """Raised when a structural invariant check fails (used by validators)."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator is configured inconsistently."""
+
+
+class JoinError(ReproError):
+    """Raised by spatial-join algorithms on invalid configuration."""
+
+
+class PrefetchError(ReproError):
+    """Raised by prefetchers / exploration sessions on invalid configuration."""
+
+
+class MorphologyError(ReproError):
+    """Raised by the neuron morphology model (bad SWC data, empty trees)."""

@@ -1,0 +1,129 @@
+"""Shared, cached experiment datasets.
+
+Circuits and indexes are expensive to build; experiments and benchmarks
+share them through these memoised constructors.  Cache keys are the full
+parameter tuples, so differently configured experiments never collide.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.flat.index import FLATIndex
+from repro.geometry.segment import Segment
+from repro.neuro.circuit import Circuit, CircuitConfig, generate_circuit
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.tree import RTree
+from repro.utils.rng import derive_seed, make_rng
+
+__all__ = [
+    "circuit_dataset",
+    "dense_join_workload",
+    "flat_index_for",
+    "rtree_baseline_for",
+    "DEFAULT_SEED",
+]
+
+DEFAULT_SEED = 2013  # the paper's year; fixed so all docs show the same numbers
+
+
+@lru_cache(maxsize=16)
+def circuit_dataset(
+    n_neurons: int = 40,
+    seed: int = DEFAULT_SEED,
+    column_radius: float = 220.0,
+    column_height: float = 1100.0,
+) -> Circuit:
+    """A memoised circuit (see :class:`repro.neuro.CircuitConfig`)."""
+    config = CircuitConfig(
+        n_neurons=n_neurons,
+        seed=seed,
+        column_radius=column_radius,
+        column_height=column_height,
+    )
+    return generate_circuit(config)
+
+
+@lru_cache(maxsize=16)
+def rtree_baseline_for(
+    n_neurons: int = 40,
+    seed: int = DEFAULT_SEED,
+    page_capacity: int = 48,
+    internal_fanout: int = 16,
+    method: str = "insert",
+    column_radius: float = 220.0,
+    column_height: float = 1100.0,
+) -> RTree:
+    """The baseline R-tree of the demo over the matching cached circuit.
+
+    ``method="insert"`` builds the tree dynamically in dataset order — the
+    realistic model-building pipeline (neurons are added incrementally) and
+    the regime where overlap degrades range queries.  ``method="str"`` bulk
+    loads instead (ablation: a statically repacked tree is close to FLAT's
+    partitioning, isolating the contribution of the crawl vs the packing).
+    """
+    circuit = circuit_dataset(
+        n_neurons=n_neurons,
+        seed=seed,
+        column_radius=column_radius,
+        column_height=column_height,
+    )
+    items = [(s.uid, s.aabb) for s in circuit.segments()]
+    if method == "str":
+        return str_bulk_load(items, max_entries=internal_fanout, leaf_capacity=page_capacity)
+    if method != "insert":
+        raise ValueError(f"unknown R-tree build method {method!r}")
+    tree = RTree(max_entries=internal_fanout, leaf_capacity=page_capacity)
+    for uid, mbr in items:
+        tree.insert(uid, mbr)
+    return tree
+
+
+@lru_cache(maxsize=8)
+def dense_join_workload(
+    n_per_side: int,
+    seed: int = DEFAULT_SEED,
+    n_neurons: int = 300,
+    column_radius: float = 110.0,
+    column_height: float = 450.0,
+) -> tuple[tuple[Segment, ...], tuple[Segment, ...]]:
+    """Axon/dendrite samples from a *dense* microcircuit (E6/E7 input).
+
+    The paper's join runs on tissue where every unit of volume contains
+    interleaved branches of many neurons.  Taking whole neurons in gid
+    order would instead yield spatially separated morphologies, so the
+    samples here are random draws over the full dense column.
+    """
+    circuit = circuit_dataset(
+        n_neurons=n_neurons,
+        seed=seed,
+        column_radius=column_radius,
+        column_height=column_height,
+    )
+    axons = circuit.axon_segments()
+    dendrites = circuit.dendrite_segments()
+    rng = make_rng(derive_seed(seed, "join-sample", n_per_side))
+    pick_a = rng.permutation(len(axons))[:n_per_side]
+    pick_b = rng.permutation(len(dendrites))[:n_per_side]
+    return (
+        tuple(axons[i] for i in pick_a),
+        tuple(dendrites[i] for i in pick_b),
+    )
+
+
+@lru_cache(maxsize=16)
+def flat_index_for(
+    n_neurons: int = 40,
+    seed: int = DEFAULT_SEED,
+    page_capacity: int = 48,
+    column_radius: float = 220.0,
+    column_height: float = 1100.0,
+) -> FLATIndex:
+    """A memoised FLAT index over the matching cached circuit."""
+    circuit = circuit_dataset(
+        n_neurons=n_neurons,
+        seed=seed,
+        column_radius=column_radius,
+        column_height=column_height,
+    )
+    return FLATIndex(circuit.segments(), page_capacity=page_capacity)

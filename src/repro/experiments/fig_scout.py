@@ -1,0 +1,268 @@
+"""SCOUT experiments: E4 (Figure 5, candidate pruning) and E5 (Figure 6).
+
+E5 replays the same walkthroughs under every prefetching policy (cold cache
+each time) and reports the Figure 6 counters: total prefetched, correctly
+prefetched, additionally retrieved, stall latency, and the speedup over the
+no-prefetch baseline ("speeding up query sequences by a factor of up to
+15x", §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.flat.index import FLATIndex
+from repro.core.scout.baselines import (
+    ExtrapolationPrefetcher,
+    HilbertPrefetcher,
+    MarkovPrefetcher,
+    NoPrefetcher,
+)
+from repro.core.scout.metrics import SessionMetrics
+from repro.core.scout.prefetcher import ScoutPrefetcher
+from repro.core.scout.session import ExplorationSession
+from repro.experiments.datasets import DEFAULT_SEED, circuit_dataset, flat_index_for
+from repro.storage.buffer_pool import BufferPool
+from repro.utils.rng import derive_seed
+from repro.utils.tables import Table
+from repro.workloads.walks import BranchWalk, branch_walk
+
+__all__ = [
+    "PruningResult",
+    "pruning_experiment",
+    "WalkthroughResult",
+    "walkthrough_experiment",
+    "default_prefetcher_factories",
+]
+
+#: Experiment defaults: small pages + wide windows => several pages per
+#: step, so prefetching has something to win (mirrors the demo datasets,
+#: where a window covers many mesh pages).
+SCOUT_PAGE_CAPACITY = 12
+SCOUT_WINDOW_EXTENT = 90.0
+
+
+@dataclass
+class PruningResult:
+    """E4: the candidate-set size after each query of a walkthrough."""
+
+    candidate_history: list[int]
+    followed_branch: int
+    converged_at: int | None  # first step with exactly one candidate
+
+    def render(self) -> str:
+        series = ", ".join(str(c) for c in self.candidate_history)
+        when = self.converged_at if self.converged_at is not None else "never"
+        return (
+            "E4 candidate pruning (Figure 5)\n"
+            f"candidates per step: {series}\n"
+            f"converged to a single structure at step: {when}"
+        )
+
+
+def pruning_experiment(
+    n_neurons: int = 40,
+    window_extent: float = SCOUT_WINDOW_EXTENT,
+    page_capacity: int = SCOUT_PAGE_CAPACITY,
+    seed: int = DEFAULT_SEED,
+    walk_seed: int = 11,
+    min_steps: int = 14,
+) -> PruningResult:
+    """Run one walkthrough with SCOUT and record the pruning series."""
+    circuit = circuit_dataset(n_neurons=n_neurons, seed=seed)
+    index = flat_index_for(n_neurons=n_neurons, seed=seed, page_capacity=page_capacity)
+    walk = branch_walk(
+        circuit, window_extent=window_extent, seed=walk_seed, min_steps=min_steps
+    )
+    pool = BufferPool(index.disk, capacity=256)
+    prefetcher = ScoutPrefetcher(index, pool)
+    ExplorationSession(index, pool, prefetcher).run(walk.queries)
+    history = list(prefetcher.tracker.history)
+    converged = next((i for i, c in enumerate(history) if c == 1), None)
+    return PruningResult(
+        candidate_history=history,
+        followed_branch=walk.followed_branch,
+        converged_at=converged,
+    )
+
+
+PrefetcherFactory = Callable[[FLATIndex, BufferPool], object]
+
+
+def default_prefetcher_factories(
+    budget_pages: int = 24,
+    markov_training: Sequence[BranchWalk] = (),
+) -> dict[str, PrefetcherFactory]:
+    """The demo's selectable prefetching methods (§3.2)."""
+
+    def make_markov(index: FLATIndex, pool: BufferPool) -> MarkovPrefetcher:
+        prefetcher = MarkovPrefetcher(index, pool, budget_pages=budget_pages)
+        prefetcher.train([walk.path for walk in markov_training])
+        return prefetcher
+
+    return {
+        "none": lambda index, pool: NoPrefetcher(),
+        "hilbert": lambda index, pool: HilbertPrefetcher(index, pool, budget_pages=budget_pages),
+        "extrapolation": lambda index, pool: ExtrapolationPrefetcher(
+            index, pool, budget_pages=budget_pages
+        ),
+        "markov": make_markov,
+        "SCOUT": lambda index, pool: ScoutPrefetcher(index, pool, budget_pages=budget_pages),
+    }
+
+
+@dataclass
+class WalkthroughRow:
+    method: str
+    total_stall_ms: float
+    mean_stall_ms: float
+    demand_misses: int
+    prefetched: int
+    prefetch_used: int
+    accuracy: float
+    speedup: float
+    best_speedup: float  # best single walk ("up to ...x", paper 3.1)
+    steady_speedup: float  # excluding each walk's cold first window
+
+
+@dataclass
+class WalkthroughResult:
+    """E5: Figure 6 counters per prefetching method, summed over walks."""
+
+    num_walks: int
+    num_steps: int
+    rows: list[WalkthroughRow]
+
+    def render(self) -> str:
+        table = Table(
+            [
+                "method",
+                "stall ms",
+                "ms/step",
+                "missed",
+                "prefetched",
+                "correct",
+                "accuracy",
+                "speedup",
+                "best walk",
+                "steady state",
+            ],
+            title=f"E5 walkthrough prefetching ({self.num_walks} walks, "
+            f"{self.num_steps} steps total)",
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.method,
+                    row.total_stall_ms,
+                    row.mean_stall_ms,
+                    row.demand_misses,
+                    row.prefetched,
+                    row.prefetch_used,
+                    row.accuracy,
+                    f"{row.speedup:.1f}x",
+                    f"{row.best_speedup:.1f}x",
+                    f"{row.steady_speedup:.1f}x",
+                ]
+            )
+        return table.render()
+
+    def row(self, method: str) -> WalkthroughRow:
+        for row in self.rows:
+            if row.method == method:
+                return row
+        raise KeyError(method)
+
+
+def walkthrough_experiment(
+    n_neurons: int = 40,
+    window_extent: float = SCOUT_WINDOW_EXTENT,
+    page_capacity: int = SCOUT_PAGE_CAPACITY,
+    num_walks: int = 3,
+    budget_pages: int = 24,
+    pool_capacity: int = 384,
+    seed: int = DEFAULT_SEED,
+    methods: Sequence[str] | None = None,
+    min_steps: int = 14,
+) -> WalkthroughResult:
+    """Run E5: every method over the same walks, cold cache per walk.
+
+    The Markov baseline is trained on *different* walks (other "users"), so
+    the experiment reproduces the paper's point that learned paths rarely
+    transfer at this scale.
+    """
+    circuit = circuit_dataset(n_neurons=n_neurons, seed=seed)
+    index = flat_index_for(n_neurons=n_neurons, seed=seed, page_capacity=page_capacity)
+
+    walks = [
+        branch_walk(
+            circuit,
+            window_extent=window_extent,
+            seed=derive_seed(seed, "walk", i),
+            min_steps=min_steps,
+        )
+        for i in range(num_walks)
+    ]
+    training = [
+        branch_walk(
+            circuit,
+            window_extent=window_extent,
+            seed=derive_seed(seed, "train", i),
+            min_steps=min_steps,
+        )
+        for i in range(num_walks)
+    ]
+    factories = default_prefetcher_factories(
+        budget_pages=budget_pages, markov_training=training
+    )
+    if methods is not None:
+        factories = {name: factories[name] for name in methods}
+
+    aggregated: dict[str, list[SessionMetrics]] = {name: [] for name in factories}
+    for name, factory in factories.items():
+        for walk in walks:
+            pool = BufferPool(index.disk, capacity=pool_capacity)
+            prefetcher = factory(index, pool)
+            session = ExplorationSession(index, pool, prefetcher)
+            aggregated[name].append(session.run(walk.queries, cold_cache=True))
+
+    def total(metrics: list[SessionMetrics], attr: str) -> float:
+        return sum(getattr(m, attr) for m in metrics)
+
+    baseline = aggregated.get("none")
+    baseline_stall = total(baseline, "total_stall_ms") if baseline else None
+    rows = []
+    total_steps = sum(len(w.queries) for w in walks)
+    for name, metrics in aggregated.items():
+        stall = total(metrics, "total_stall_ms")
+        prefetched = int(total(metrics, "total_prefetched"))
+        used = int(total(metrics, "prefetch_used"))
+        if baseline is not None:
+            per_walk = [
+                b.total_stall_ms / m.total_stall_ms
+                for b, m in zip(baseline, metrics)
+                if m.total_stall_ms > 0
+            ]
+            best = max(per_walk, default=1.0)
+            baseline_steady = sum(b.steady_state_stall_ms for b in baseline)
+            steady = sum(m.steady_state_stall_ms for m in metrics)
+            steady_speedup = (baseline_steady / steady) if steady > 0 else float("inf")
+        else:
+            best = 1.0
+            steady_speedup = 1.0
+        rows.append(
+            WalkthroughRow(
+                method=name,
+                total_stall_ms=stall,
+                mean_stall_ms=stall / total_steps,
+                demand_misses=int(total(metrics, "demand_misses")),
+                prefetched=prefetched,
+                prefetch_used=used,
+                accuracy=(used / prefetched) if prefetched else 0.0,
+                speedup=(baseline_stall / stall) if baseline_stall and stall > 0 else 1.0,
+                best_speedup=best,
+                steady_speedup=steady_speedup,
+            )
+        )
+    return WalkthroughResult(num_walks=num_walks, num_steps=total_steps, rows=rows)

@@ -1,0 +1,246 @@
+"""TOUCH experiments: E6 (Figure 7 live stats) and E7 (scaling claims).
+
+E6 runs the synapse-discovery join with every algorithm on the same
+datasets and reports the Figure 7 charts: time spent on the join, memory
+footprint and number of pairwise comparisons.  E7 sweeps the dataset size
+and reports each competitor's slowdown relative to TOUCH — the "one order
+of magnitude faster than PBSM, two orders faster than S3 / sweep" claims
+of §4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.touch.join import touch_join
+from repro.core.touch.nested_loop import nested_loop_join
+from repro.core.touch.pbsm import pbsm_join
+from repro.core.touch.plane_sweep import plane_sweep_join
+from repro.core.touch.s3 import s3_join
+from repro.core.touch.stats import JoinResult
+from repro.experiments.datasets import DEFAULT_SEED, dense_join_workload
+from repro.geometry.distance import segments_touch
+from repro.geometry.segment import Segment
+from repro.objects import SpatialObject
+from repro.utils.tables import Table
+
+__all__ = [
+    "JoinComparisonResult",
+    "join_comparison_experiment",
+    "JoinScalingResult",
+    "join_scaling_experiment",
+    "JOIN_ALGORITHMS",
+]
+
+JoinFunc = Callable[..., JoinResult]
+
+#: The demo's selectable join methods ("TOUCH, S3, PBSM etc.", §4.2).
+JOIN_ALGORITHMS: dict[str, JoinFunc] = {
+    "TOUCH": touch_join,
+    "PBSM": pbsm_join,
+    "S3": s3_join,
+    "plane-sweep": plane_sweep_join,
+    "nested-loop": nested_loop_join,
+}
+
+
+def _touch_refine(a: SpatialObject, b: SpatialObject) -> bool:
+    """Exact touch-rule refinement for segment pairs (identity otherwise)."""
+    if isinstance(a, Segment) and isinstance(b, Segment):
+        if a.neuron_id == b.neuron_id and a.neuron_id != -1:
+            return False  # no autapses
+        return segments_touch(a, b)
+    return True
+
+
+@dataclass
+class JoinRow:
+    algorithm: str
+    pairs: int
+    comparisons: int
+    memory_bytes: int
+    build_ms: float
+    probe_ms: float
+    total_ms: float
+    replicated: int
+    filtered: int
+
+
+@dataclass
+class JoinComparisonResult:
+    """E6: one synapse-discovery join, all algorithms, identical output."""
+
+    n_a: int
+    n_b: int
+    eps: float
+    synapses: int
+    rows: list[JoinRow]
+
+    def render(self) -> str:
+        table = Table(
+            [
+                "algorithm",
+                "pairs",
+                "comparisons",
+                "memory B",
+                "build ms",
+                "probe ms",
+                "total ms",
+                "replicas",
+                "filtered",
+            ],
+            title=f"E6 spatial join (|A|={self.n_a} axon x |B|={self.n_b} dendrite "
+            f"segments, eps={self.eps:g} um) -> {self.synapses} synapses",
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.algorithm,
+                    row.pairs,
+                    row.comparisons,
+                    row.memory_bytes,
+                    row.build_ms,
+                    row.probe_ms,
+                    row.total_ms,
+                    row.replicated,
+                    row.filtered,
+                ]
+            )
+        return table.render()
+
+    def row(self, algorithm: str) -> JoinRow:
+        for row in self.rows:
+            if row.algorithm == algorithm:
+                return row
+        raise KeyError(algorithm)
+
+
+def join_comparison_experiment(
+    n_per_side: int = 2500,
+    eps: float = 3.0,
+    refine: bool = True,
+    seed: int = DEFAULT_SEED,
+    algorithms: Sequence[str] | None = None,
+) -> JoinComparisonResult:
+    """Run E6 on dense axon x dendrite samples (see ``dense_join_workload``).
+
+    All algorithms must return the identical pair set; a mismatch raises.
+    """
+    objects_a, objects_b = dense_join_workload(n_per_side, seed=seed)
+    selected = algorithms if algorithms is not None else list(JOIN_ALGORITHMS)
+    refine_fn = _touch_refine if refine else None
+
+    rows = []
+    reference: list[tuple[int, int]] | None = None
+    synapses = 0
+    for name in selected:
+        result = JOIN_ALGORITHMS[name](objects_a, objects_b, eps=eps, refine=refine_fn)
+        if reference is None:
+            reference = result.sorted_pairs()
+            synapses = len(reference)
+        elif result.sorted_pairs() != reference:
+            raise AssertionError(f"{name} disagrees with {rows[0].algorithm}")
+        stats = result.stats
+        rows.append(
+            JoinRow(
+                algorithm=name,
+                pairs=stats.results,
+                comparisons=stats.comparisons,
+                memory_bytes=stats.memory_bytes,
+                build_ms=stats.build_ms,
+                probe_ms=stats.probe_ms,
+                total_ms=stats.total_ms,
+                replicated=stats.replicated,
+                filtered=stats.filtered,
+            )
+        )
+    return JoinComparisonResult(
+        n_a=len(objects_a), n_b=len(objects_b), eps=eps, synapses=synapses, rows=rows
+    )
+
+
+@dataclass
+class ScalingRow:
+    n_per_side: int
+    algorithm: str
+    total_ms: float
+    comparisons: int
+    memory_bytes: int
+    slowdown_vs_touch: float
+
+
+@dataclass
+class JoinScalingResult:
+    """E7: competitor slowdown relative to TOUCH as dataset size grows."""
+
+    eps: float
+    rows: list[ScalingRow]
+
+    def render(self) -> str:
+        table = Table(
+            ["n/side", "algorithm", "total ms", "comparisons", "memory B", "vs TOUCH"],
+            title=f"E7 join scaling (eps={self.eps:g} um)",
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.n_per_side,
+                    row.algorithm,
+                    row.total_ms,
+                    row.comparisons,
+                    row.memory_bytes,
+                    f"{row.slowdown_vs_touch:.1f}x",
+                ]
+            )
+        return table.render()
+
+    def slowdown(self, algorithm: str, n_per_side: int | None = None) -> float:
+        """Slowdown of ``algorithm`` at the largest (or given) size."""
+        rows = [r for r in self.rows if r.algorithm == algorithm]
+        if n_per_side is not None:
+            rows = [r for r in rows if r.n_per_side == n_per_side]
+        if not rows:
+            raise KeyError(algorithm)
+        return rows[-1].slowdown_vs_touch
+
+
+def join_scaling_experiment(
+    sizes: Sequence[int] = (1000, 2000, 4000),
+    eps: float = 3.0,
+    seed: int = DEFAULT_SEED,
+    algorithms: Sequence[str] | None = None,
+    nested_loop_max: int = 4000,
+) -> JoinScalingResult:
+    """Run E7: every algorithm at every size, slowdowns relative to TOUCH.
+
+    ``nested_loop_max`` caps the sizes the O(n^2) strawman runs at; beyond
+    it the quadratic cost is reported by extrapolation in EXPERIMENTS.md.
+    """
+    selected = algorithms if algorithms is not None else list(JOIN_ALGORITHMS)
+    if "TOUCH" not in selected:
+        selected = ["TOUCH", *selected]
+
+    rows: list[ScalingRow] = []
+    for n in sizes:
+        objects_a, objects_b = dense_join_workload(n, seed=seed)
+        touch_ms: float | None = None
+        for name in selected:
+            if name == "nested-loop" and n > nested_loop_max:
+                continue
+            result = JOIN_ALGORITHMS[name](objects_a, objects_b, eps=eps)
+            total_ms = result.stats.total_ms
+            if name == "TOUCH":
+                touch_ms = total_ms
+            assert touch_ms is not None
+            rows.append(
+                ScalingRow(
+                    n_per_side=n,
+                    algorithm=name,
+                    total_ms=total_ms,
+                    comparisons=result.stats.comparisons,
+                    memory_bytes=result.stats.memory_bytes,
+                    slowdown_vs_touch=total_ms / max(touch_ms, 1e-9),
+                )
+            )
+    return JoinScalingResult(eps=eps, rows=rows)

@@ -1,0 +1,27 @@
+"""3-D geometry kernel.
+
+Pure-Python/NumPy primitives used by every other subsystem: vectors, axis-
+aligned bounding boxes (the unit of indexing and joining), cylinder segments
+(the unit of neuron morphology) and triangle meshes (neuron surfaces).
+"""
+
+from repro.geometry.aabb import AABB
+from repro.geometry.distance import (
+    point_aabb_distance,
+    point_segment_distance,
+    segment_segment_distance,
+)
+from repro.geometry.mesh import TriangleMesh, tube_mesh
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+
+__all__ = [
+    "AABB",
+    "Segment",
+    "TriangleMesh",
+    "Vec3",
+    "point_aabb_distance",
+    "point_segment_distance",
+    "segment_segment_distance",
+    "tube_mesh",
+]

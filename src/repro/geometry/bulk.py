@@ -1,0 +1,92 @@
+"""Vectorised (NumPy) bulk operations over many boxes at once.
+
+The scalar :class:`~repro.geometry.aabb.AABB` API is the readable core;
+these helpers cover the hot bulk paths — testing thousands of boxes against
+one window, computing batch centres — without a Python-level loop.  Every
+function is property-tested against the scalar implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.aabb import AABB
+from repro.objects import SpatialObject
+
+__all__ = [
+    "boxes_to_array",
+    "objects_to_array",
+    "intersects_mask",
+    "centers_of",
+    "contained_mask",
+    "count_intersecting",
+]
+
+
+def boxes_to_array(boxes: Sequence[AABB]) -> np.ndarray:
+    """Pack boxes into an ``(n, 6)`` array of bounds.
+
+    Column order matches :meth:`AABB.bounds`:
+    ``min_x, min_y, min_z, max_x, max_y, max_z``.
+    """
+    if not boxes:
+        return np.empty((0, 6), dtype=float)
+    return np.array([b.bounds() for b in boxes], dtype=float)
+
+
+def objects_to_array(objects: Sequence[SpatialObject]) -> np.ndarray:
+    """Pack the AABBs of spatial objects into an ``(n, 6)`` bounds array."""
+    if not objects:
+        return np.empty((0, 6), dtype=float)
+    return np.array([o.aabb.bounds() for o in objects], dtype=float)
+
+
+def _validate(bounds: np.ndarray) -> np.ndarray:
+    bounds = np.asarray(bounds, dtype=float)
+    if bounds.ndim != 2 or bounds.shape[1] != 6:
+        raise GeometryError("bounds array must have shape (n, 6)")
+    return bounds
+
+
+def intersects_mask(bounds: np.ndarray, box: AABB, eps: float = 0.0) -> np.ndarray:
+    """Boolean mask: which of the ``(n, 6)`` boxes intersect ``box``?
+
+    ``eps`` expands every candidate box (the distance-join predicate),
+    matching :meth:`AABB.intersects_expanded`.
+    """
+    bounds = _validate(bounds)
+    return (
+        (bounds[:, 0] - eps <= box.max_x)
+        & (box.min_x <= bounds[:, 3] + eps)
+        & (bounds[:, 1] - eps <= box.max_y)
+        & (box.min_y <= bounds[:, 4] + eps)
+        & (bounds[:, 2] - eps <= box.max_z)
+        & (box.min_z <= bounds[:, 5] + eps)
+    )
+
+
+def contained_mask(bounds: np.ndarray, box: AABB) -> np.ndarray:
+    """Boolean mask: which boxes lie entirely inside ``box``?"""
+    bounds = _validate(bounds)
+    return (
+        (bounds[:, 0] >= box.min_x)
+        & (bounds[:, 1] >= box.min_y)
+        & (bounds[:, 2] >= box.min_z)
+        & (bounds[:, 3] <= box.max_x)
+        & (bounds[:, 4] <= box.max_y)
+        & (bounds[:, 5] <= box.max_z)
+    )
+
+
+def centers_of(bounds: np.ndarray) -> np.ndarray:
+    """``(n, 3)`` array of box centres."""
+    bounds = _validate(bounds)
+    return (bounds[:, :3] + bounds[:, 3:]) / 2.0
+
+
+def count_intersecting(bounds: np.ndarray, box: AABB, eps: float = 0.0) -> int:
+    """How many boxes intersect ``box`` (vectorised selectivity probe)."""
+    return int(np.count_nonzero(intersects_mask(bounds, box, eps)))

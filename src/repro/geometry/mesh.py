@@ -1,0 +1,131 @@
+"""Triangle meshes and tube ("surface mesh") generation.
+
+The paper's Figure 1 shows neurons rendered as surface meshes; the datasets
+behind the FLAT/SCOUT demos are described as "represented by a surface mesh".
+This module provides the mesh substrate: a compact indexed triangle mesh and
+a generator that skins a branch polyline into a tube, so experiments can run
+over mesh triangles as well as capsule segments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+
+__all__ = ["TriangleMesh", "tube_mesh"]
+
+
+@dataclass
+class TriangleMesh:
+    """Indexed triangle mesh.
+
+    ``vertices`` is an ``(n, 3)`` float array; ``faces`` an ``(m, 3)`` int
+    array of vertex indices.
+    """
+
+    vertices: np.ndarray
+    faces: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.vertices = np.asarray(self.vertices, dtype=float)
+        self.faces = np.asarray(self.faces, dtype=np.int64)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise GeometryError("vertices must be an (n, 3) array")
+        if self.faces.ndim != 2 or self.faces.shape[1] != 3:
+            raise GeometryError("faces must be an (m, 3) array")
+        if len(self.faces) and (self.faces.min() < 0 or self.faces.max() >= len(self.vertices)):
+            raise GeometryError("face indices out of range")
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.vertices.shape[0])
+
+    @property
+    def num_faces(self) -> int:
+        return int(self.faces.shape[0])
+
+    def aabb(self) -> AABB:
+        if self.num_vertices == 0:
+            raise GeometryError("empty mesh has no bounding box")
+        lo = self.vertices.min(axis=0)
+        hi = self.vertices.max(axis=0)
+        return AABB(float(lo[0]), float(lo[1]), float(lo[2]), float(hi[0]), float(hi[1]), float(hi[2]))
+
+    def surface_area(self) -> float:
+        if self.num_faces == 0:
+            return 0.0
+        tri = self.vertices[self.faces]
+        e1 = tri[:, 1] - tri[:, 0]
+        e2 = tri[:, 2] - tri[:, 0]
+        cross = np.cross(e1, e2)
+        return float(0.5 * np.linalg.norm(cross, axis=1).sum())
+
+    def triangle_centroids(self) -> np.ndarray:
+        return self.vertices[self.faces].mean(axis=1)
+
+    def merged_with(self, other: "TriangleMesh") -> "TriangleMesh":
+        """Concatenate two meshes (re-indexing the second one's faces)."""
+        vertices = np.vstack([self.vertices, other.vertices])
+        faces = np.vstack([self.faces, other.faces + self.num_vertices])
+        return TriangleMesh(vertices, faces)
+
+
+def _orthonormal_frame(direction: Vec3) -> tuple[Vec3, Vec3]:
+    """Two unit vectors orthogonal to ``direction`` and to each other."""
+    d = direction.normalized()
+    helper = Vec3(0.0, 0.0, 1.0) if abs(d.z) < 0.9 else Vec3(1.0, 0.0, 0.0)
+    u = d.cross(helper).normalized()
+    v = d.cross(u).normalized()
+    return u, v
+
+
+def tube_mesh(path: Sequence[Vec3], radii: Sequence[float], sides: int = 6) -> TriangleMesh:
+    """Skin a polyline into a tube of triangles (a branch surface mesh).
+
+    ``path`` is the branch centreline, ``radii`` the per-point radii, and
+    ``sides`` the number of vertices per cross-section ring.  Consecutive
+    rings are stitched with two triangles per side; the tube is open-ended
+    (caps add nothing to the experiments).
+    """
+    if len(path) != len(radii):
+        raise GeometryError("path and radii must have the same length")
+    if len(path) < 2:
+        raise GeometryError("tube needs at least two path points")
+    if sides < 3:
+        raise GeometryError("tube needs at least 3 sides")
+
+    rings: list[list[Vec3]] = []
+    for i, center in enumerate(path):
+        if i == 0:
+            direction = path[1] - path[0]
+        elif i == len(path) - 1:
+            direction = path[-1] - path[-2]
+        else:
+            direction = path[i + 1] - path[i - 1]
+        if direction.norm() == 0.0:
+            direction = Vec3(0.0, 0.0, 1.0)
+        u, v = _orthonormal_frame(direction)
+        ring = []
+        for k in range(sides):
+            angle = 2.0 * math.pi * k / sides
+            offset = u * (math.cos(angle) * radii[i]) + v * (math.sin(angle) * radii[i])
+            ring.append(center + offset)
+        rings.append(ring)
+
+    vertices = np.array([[p.x, p.y, p.z] for ring in rings for p in ring], dtype=float)
+    faces = []
+    for i in range(len(rings) - 1):
+        base0 = i * sides
+        base1 = (i + 1) * sides
+        for k in range(sides):
+            k2 = (k + 1) % sides
+            faces.append((base0 + k, base1 + k, base1 + k2))
+            faces.append((base0 + k, base1 + k2, base0 + k2))
+    return TriangleMesh(vertices, np.array(faces, dtype=np.int64))

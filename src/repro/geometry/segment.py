@@ -1,0 +1,81 @@
+"""Cylinder segments — the atomic spatial element of a neuron morphology.
+
+A neuron branch is a polyline of 3-D points with per-point radii; each
+consecutive pair forms a :class:`Segment` (a capsule/cylinder).  Segments are
+what the Blue Brain tools index: FLAT partitions them, SCOUT reconstructs
+skeletons from them and TOUCH joins axonal against dendritic ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GeometryError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+
+__all__ = ["Segment"]
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A capsule between ``p0`` and ``p1`` with cross-section ``radius``.
+
+    ``uid`` is a dataset-wide unique id assigned when a circuit is flattened;
+    ``neuron_id``/``branch_id``/``order`` record provenance (which neuron,
+    which branch, position along the branch).  Provenance is *never* consulted
+    by the spatial algorithms — it exists for ground-truth evaluation (e.g.
+    did SCOUT prefetch the branch the user follows?) and for reporting.
+    """
+
+    uid: int
+    p0: Vec3
+    p1: Vec3
+    radius: float
+    neuron_id: int = -1
+    branch_id: int = -1
+    order: int = -1
+    _aabb: AABB = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise GeometryError(f"segment {self.uid} has negative radius {self.radius}")
+        if not (self.p0.is_finite() and self.p1.is_finite()):
+            raise GeometryError(f"segment {self.uid} has non-finite endpoints")
+        r = self.radius
+        box = AABB(
+            min(self.p0.x, self.p1.x) - r,
+            min(self.p0.y, self.p1.y) - r,
+            min(self.p0.z, self.p1.z) - r,
+            max(self.p0.x, self.p1.x) + r,
+            max(self.p0.y, self.p1.y) + r,
+            max(self.p0.z, self.p1.z) + r,
+        )
+        object.__setattr__(self, "_aabb", box)
+
+    @property
+    def aabb(self) -> AABB:
+        """Tight bounding box of the capsule (inflated by the radius)."""
+        return self._aabb
+
+    @property
+    def length(self) -> float:
+        return self.p0.distance_to(self.p1)
+
+    @property
+    def direction(self) -> Vec3:
+        """Unit vector from ``p0`` to ``p1`` (zero vector for degenerate segments)."""
+        return (self.p1 - self.p0).normalized()
+
+    def midpoint(self) -> Vec3:
+        return self.p0.lerp(self.p1, 0.5)
+
+    def point_at(self, t: float) -> Vec3:
+        """Point at parameter ``t`` in [0, 1] along the axis."""
+        return self.p0.lerp(self.p1, t)
+
+    def volume(self) -> float:
+        """Cylinder volume (caps ignored): pi r^2 L."""
+        import math
+
+        return math.pi * self.radius * self.radius * self.length

@@ -1,0 +1,86 @@
+"""Immutable 3-D vector.
+
+``Vec3`` is a ``NamedTuple`` so instances are lightweight, hashable and
+unpackable (``x, y, z = v``).  Component-wise helpers cover the handful of
+operations the rest of the library needs; bulk math uses NumPy arrays instead
+of lists of ``Vec3``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, NamedTuple
+
+__all__ = ["Vec3"]
+
+
+class Vec3(NamedTuple):
+    """A point or direction in 3-D space."""
+
+    x: float
+    y: float
+    z: float
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: "Vec3") -> "Vec3":  # type: ignore[override]
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":  # type: ignore[override]
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__  # type: ignore[assignment]
+
+    def __truediv__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x / scalar, self.y / scalar, self.z / scalar)
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    # -- products and norms ---------------------------------------------
+    def dot(self, other: "Vec3") -> float:
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def norm(self) -> float:
+        return math.sqrt(self.dot(self))
+
+    def norm_squared(self) -> float:
+        return self.dot(self)
+
+    def normalized(self) -> "Vec3":
+        """Return a unit-length copy; the zero vector normalises to itself."""
+        n = self.norm()
+        if n == 0.0:
+            return self
+        return self / n
+
+    def distance_to(self, other: "Vec3") -> float:
+        return (self - other).norm()
+
+    # -- utilities --------------------------------------------------------
+    def lerp(self, other: "Vec3", t: float) -> "Vec3":
+        """Linear interpolation: ``self`` at ``t=0``, ``other`` at ``t=1``."""
+        return Vec3(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+            self.z + (other.z - self.z) * t,
+        )
+
+    def is_finite(self) -> bool:
+        return math.isfinite(self.x) and math.isfinite(self.y) and math.isfinite(self.z)
+
+    @staticmethod
+    def zero() -> "Vec3":
+        return Vec3(0.0, 0.0, 0.0)
+
+    def components(self) -> Iterator[float]:
+        return iter((self.x, self.y, self.z))

@@ -1,0 +1,5 @@
+"""Hilbert space-filling curve (arbitrary dimension and order)."""
+
+from repro.hilbert.curve import HilbertEncoder3D, hilbert_decode, hilbert_encode
+
+__all__ = ["HilbertEncoder3D", "hilbert_decode", "hilbert_encode"]

@@ -1,0 +1,42 @@
+"""Neuron morphology and circuit substrate.
+
+The Blue Brain datasets behind the paper's demos are proprietary; this
+package reconstructs their *spatial statistics* with a seeded synthetic
+generator: a layered cortical column populated with neurons whose branched,
+tortuous morphologies are grown recursively (apical/basal dendrites, axon).
+Every segment carries provenance (neuron, branch, order) used only for
+ground-truth evaluation, never by the spatial algorithms themselves.
+"""
+
+from repro.neuro.circuit import Circuit, CircuitConfig, generate_circuit
+from repro.neuro.connectome import build_connectome, summarize_connectome
+from repro.neuro.generator import MorphologyConfig, MorphologyGenerator
+from repro.neuro.morphology import Morphology, Section, SectionType
+from repro.neuro.morphometry import circuit_morphometry, sholl_analysis
+from repro.neuro.persistence import load_circuit, save_circuit
+from repro.neuro.surface import circuit_surface_mesh, neuron_surface_mesh
+from repro.neuro.swc import read_swc, write_swc
+from repro.neuro.synapses import Synapse, find_touches_brute_force
+
+__all__ = [
+    "Circuit",
+    "CircuitConfig",
+    "Morphology",
+    "MorphologyConfig",
+    "MorphologyGenerator",
+    "Section",
+    "SectionType",
+    "Synapse",
+    "build_connectome",
+    "circuit_morphometry",
+    "circuit_surface_mesh",
+    "find_touches_brute_force",
+    "generate_circuit",
+    "load_circuit",
+    "neuron_surface_mesh",
+    "read_swc",
+    "save_circuit",
+    "sholl_analysis",
+    "summarize_connectome",
+    "write_swc",
+]

@@ -1,0 +1,223 @@
+"""Circuits: neurons placed in a layered cortical column.
+
+A circuit is the unit dataset of every experiment.  Template morphologies
+(grown once per template, as in the BBP workflow) are placed at sampled soma
+positions with a random rotation about the vertical axis.  ``segments()``
+flattens the circuit into the capsule-segment dataset the indexes and joins
+consume; increasing ``n_neurons`` at fixed column size reproduces the
+"increasingly detailed models ⇒ denser data" axis of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import MorphologyError
+from repro.geometry.aabb import AABB
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+from repro.neuro.generator import MorphologyConfig, MorphologyGenerator
+from repro.neuro.morphology import Morphology, SectionType
+from repro.utils.rng import derive_seed, make_rng
+
+__all__ = ["CircuitConfig", "Neuron", "Circuit", "generate_circuit"]
+
+#: Cortical layers as (name, thickness fraction, relative neuron density).
+_LAYERS = (
+    ("L1", 0.08, 0.03),
+    ("L2/3", 0.26, 0.28),
+    ("L4", 0.16, 0.22),
+    ("L5", 0.24, 0.24),
+    ("L6", 0.26, 0.23),
+)
+
+
+@dataclass(frozen=True)
+class CircuitConfig:
+    """Parameters of a generated circuit (lengths in micrometres)."""
+
+    n_neurons: int = 50
+    column_radius: float = 220.0
+    column_height: float = 1100.0
+    n_morphology_templates: int = 8
+    morphology: MorphologyConfig = field(default_factory=MorphologyConfig)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_neurons < 1:
+            raise MorphologyError("circuit needs at least one neuron")
+        if self.n_morphology_templates < 1:
+            raise MorphologyError("need at least one morphology template")
+        if self.column_radius <= 0 or self.column_height <= 0:
+            raise MorphologyError("column dimensions must be positive")
+
+
+@dataclass
+class Neuron:
+    """A placed neuron: global id, soma position and world-space morphology."""
+
+    gid: int
+    soma_position: Vec3
+    morphology: Morphology
+    layer: str
+
+
+class Circuit:
+    """A set of placed neurons plus the flattened segment dataset."""
+
+    def __init__(self, neurons: list[Neuron], config: CircuitConfig) -> None:
+        self.neurons = neurons
+        self.config = config
+        self._segments: list[Segment] | None = None
+        self._branch_ids: dict[tuple[int, int], int] = {}
+        self._branch_map: dict[int, list[Segment]] | None = None
+
+    # -- flattening -----------------------------------------------------------
+    def segments(self) -> list[Segment]:
+        """All capsule segments of the circuit with provenance tags.
+
+        ``uid`` is dataset-wide sequential; ``branch_id`` is globally unique
+        per (neuron, section) so SCOUT's evaluation can identify branches.
+        The list is built once and cached.
+        """
+        if self._segments is None:
+            segments: list[Segment] = []
+            uid = 0
+            for neuron in self.neurons:
+                for section_id, order, p0, p1, radius in neuron.morphology.iter_segments():
+                    key = (neuron.gid, section_id)
+                    branch_id = self._branch_ids.setdefault(key, len(self._branch_ids))
+                    segments.append(
+                        Segment(
+                            uid=uid,
+                            p0=p0,
+                            p1=p1,
+                            radius=radius,
+                            neuron_id=neuron.gid,
+                            branch_id=branch_id,
+                            order=order,
+                        )
+                    )
+                    uid += 1
+            self._segments = segments
+        return self._segments
+
+    def segments_of_type(self, *types: SectionType) -> list[Segment]:
+        """Segments whose originating section has one of ``types``.
+
+        Used to split the circuit into the axonal (pre-synaptic) and
+        dendritic (post-synaptic) sides of the TOUCH join.
+        """
+        wanted = set(types)
+        type_of_branch: dict[int, SectionType] = {}
+        self.segments()  # ensure branch ids exist
+        for neuron in self.neurons:
+            for section in neuron.morphology.sections.values():
+                key = (neuron.gid, section.section_id)
+                if key in self._branch_ids:
+                    type_of_branch[self._branch_ids[key]] = section.section_type
+        return [s for s in self.segments() if type_of_branch.get(s.branch_id) in wanted]
+
+    def axon_segments(self) -> list[Segment]:
+        return self.segments_of_type(SectionType.AXON)
+
+    def dendrite_segments(self) -> list[Segment]:
+        return self.segments_of_type(
+            SectionType.BASAL_DENDRITE, SectionType.APICAL_DENDRITE
+        )
+
+    # -- measures -------------------------------------------------------------
+    @property
+    def num_neurons(self) -> int:
+        return len(self.neurons)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments())
+
+    def bounding_box(self) -> AABB:
+        return AABB.union_all(s.aabb for s in self.segments())
+
+    def column_box(self) -> AABB:
+        """The nominal column the somas were placed in."""
+        r = self.config.column_radius
+        return AABB(-r, 0.0, -r, r, self.config.column_height, r)
+
+    def segment_density(self) -> float:
+        """Segments per cubic micrometre of the nominal column."""
+        volume = math.pi * self.config.column_radius**2 * self.config.column_height
+        return self.num_segments / volume
+
+    def branch_map(self) -> dict[int, list[Segment]]:
+        """branch_id -> segments in on-branch order (built once, cached)."""
+        if self._branch_map is None:
+            grouped: dict[int, list[Segment]] = {}
+            for segment in self.segments():
+                grouped.setdefault(segment.branch_id, []).append(segment)
+            for segments in grouped.values():
+                segments.sort(key=lambda s: s.order)
+            self._branch_map = grouped
+        return self._branch_map
+
+    def branch_segments(self, branch_id: int) -> list[Segment]:
+        """Segments of one branch in on-branch order."""
+        return list(self.branch_map().get(branch_id, []))
+
+    def branch_ids(self) -> list[int]:
+        return sorted(self.branch_map())
+
+
+def _sample_layer(rng, layers=_LAYERS) -> tuple[str, float, float]:
+    """Pick a layer by relative density; return (name, y_lo_frac, y_hi_frac)."""
+    weights = [density for _, _, density in layers]
+    total = sum(weights)
+    pick = float(rng.uniform(0.0, total))
+    acc = 0.0
+    y_top = 1.0  # layer 1 starts at the pia (top of the column)
+    for name, thickness, density in layers:
+        acc += density
+        y_lo = y_top - thickness
+        if pick <= acc:
+            return name, y_lo, y_top
+        y_top = y_lo
+    name, thickness, _ = layers[-1]
+    return name, 0.0, thickness
+
+
+def generate_circuit(config: CircuitConfig | None = None, **overrides) -> Circuit:
+    """Generate a circuit from ``config`` (or keyword overrides of the default).
+
+    Examples
+    --------
+    >>> circuit = generate_circuit(n_neurons=20, seed=7)
+    >>> circuit.num_neurons
+    20
+    """
+    if config is None:
+        config = CircuitConfig(**overrides)
+    elif overrides:
+        raise TypeError("pass either a config object or keyword overrides, not both")
+
+    template_rng = make_rng(derive_seed(config.seed, "templates"))
+    generator = MorphologyGenerator(config.morphology)
+    templates = [
+        generator.grow(make_rng(derive_seed(config.seed, "template", i)))
+        for i in range(config.n_morphology_templates)
+    ]
+    del template_rng
+
+    placement_rng = make_rng(derive_seed(config.seed, "placement"))
+    neurons: list[Neuron] = []
+    for gid in range(config.n_neurons):
+        layer, y_lo_frac, y_hi_frac = _sample_layer(placement_rng)
+        y = float(placement_rng.uniform(y_lo_frac, y_hi_frac)) * config.column_height
+        # Uniform position in the column disk.
+        angle = float(placement_rng.uniform(0.0, 2.0 * math.pi))
+        r = config.column_radius * math.sqrt(float(placement_rng.uniform(0.0, 1.0)))
+        position = Vec3(r * math.cos(angle), y, r * math.sin(angle))
+        template = templates[int(placement_rng.integers(0, len(templates)))]
+        rotation = float(placement_rng.uniform(0.0, 2.0 * math.pi))
+        placed = template.transformed(translation=position, rotation_y=rotation)
+        neurons.append(Neuron(gid=gid, soma_position=position, morphology=placed, layer=layer))
+    return Circuit(neurons, config)

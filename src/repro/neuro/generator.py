@@ -1,0 +1,244 @@
+"""Synthetic morphology growth.
+
+Grows biophysically plausible *stand-in* morphologies: a soma sprouting
+basal dendrites, one apical dendrite biased toward the pia (+y) and an axon
+biased downward, each a recursively bifurcating tree of tortuous sections.
+The generator reproduces the spatial statistics the paper's techniques are
+sensitive to — elongated, jagged, branching structures that overlap heavily
+in dense tissue — with every draw taken from a seeded generator so circuits
+are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MorphologyError
+from repro.geometry.vec import Vec3
+from repro.neuro.morphology import Morphology, Section, SectionType
+from repro.utils.rng import make_rng
+
+__all__ = ["MorphologyConfig", "MorphologyGenerator"]
+
+
+@dataclass(frozen=True)
+class MorphologyConfig:
+    """Growth parameters (lengths in micrometres, angles in degrees)."""
+
+    soma_radius_mean: float = 8.0
+    soma_radius_sd: float = 1.0
+    num_basal_range: tuple[int, int] = (3, 5)
+    num_apical: int = 1
+    num_axon: int = 1
+    points_per_section_range: tuple[int, int] = (5, 9)
+    segment_length_mean: float = 9.0
+    segment_length_sd: float = 2.5
+    tortuosity_deg: float = 14.0
+    branch_angle_deg: float = 38.0
+    branch_prob: float = 0.7
+    max_branch_order: int = 4
+    initial_radius: dict[SectionType, float] = field(
+        default_factory=lambda: {
+            SectionType.AXON: 1.2,
+            SectionType.BASAL_DENDRITE: 1.6,
+            SectionType.APICAL_DENDRITE: 2.4,
+        }
+    )
+    in_section_taper: float = 0.985
+    branch_taper: float = 0.8
+    apical_bias: float = 0.35
+    axon_bias: float = 0.25
+    apical_length_scale: float = 1.6
+    # Axons genuinely run for millimetres in cortical tissue; long axonal
+    # paths are also what the demo's walkthroughs follow.
+    axon_length_scale: float = 2.6
+    min_radius: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.num_basal_range[0] < 1 or self.num_basal_range[0] > self.num_basal_range[1]:
+            raise MorphologyError("invalid num_basal_range")
+        if self.points_per_section_range[0] < 2:
+            raise MorphologyError("sections need at least 2 points")
+        if not 0.0 <= self.branch_prob <= 1.0:
+            raise MorphologyError("branch_prob must be a probability")
+        if self.max_branch_order < 0:
+            raise MorphologyError("max_branch_order must be >= 0")
+
+
+def _rotate_about(v: Vec3, axis: Vec3, angle: float) -> Vec3:
+    """Rodrigues rotation of ``v`` by ``angle`` radians around unit ``axis``."""
+    cos_a = math.cos(angle)
+    sin_a = math.sin(angle)
+    return (
+        v * cos_a
+        + axis.cross(v) * sin_a
+        + axis * (axis.dot(v) * (1.0 - cos_a))
+    )
+
+
+def _any_perpendicular(v: Vec3) -> Vec3:
+    helper = Vec3(0.0, 0.0, 1.0) if abs(v.z) < 0.9 else Vec3(1.0, 0.0, 0.0)
+    return v.cross(helper).normalized()
+
+
+@dataclass(frozen=True)
+class _GrowthTask:
+    parent_id: int
+    start: Vec3
+    direction: Vec3
+    radius: float
+    section_type: SectionType
+    order: int
+
+
+class MorphologyGenerator:
+    """Grows :class:`Morphology` instances from a :class:`MorphologyConfig`."""
+
+    def __init__(self, config: MorphologyConfig | None = None) -> None:
+        self.config = config if config is not None else MorphologyConfig()
+
+    # -- public API -----------------------------------------------------------
+    def grow(self, seed: int | np.random.Generator = 0) -> Morphology:
+        """Grow one morphology with the soma at the origin."""
+        rng = make_rng(seed)
+        cfg = self.config
+        soma_radius = max(1.0, rng.normal(cfg.soma_radius_mean, cfg.soma_radius_sd))
+        morphology = Morphology(soma_position=Vec3.zero(), soma_radius=soma_radius)
+
+        tasks: list[_GrowthTask] = []
+        for direction, section_type in self._trunk_directions(rng):
+            radius = cfg.initial_radius[section_type]
+            start = direction * soma_radius  # on the soma surface
+            tasks.append(
+                _GrowthTask(
+                    parent_id=-1,
+                    start=start,
+                    direction=direction,
+                    radius=radius,
+                    section_type=section_type,
+                    order=0,
+                )
+            )
+
+        next_section_id = 0
+        # FIFO processing guarantees parents receive smaller ids than children.
+        while tasks:
+            task = tasks.pop(0)
+            section_id = next_section_id
+            next_section_id += 1
+            section, end_direction = self._grow_section(task, section_id, rng)
+            morphology.add_section(section)
+            tasks.extend(self._maybe_branch(task, section, end_direction, rng))
+        return morphology
+
+    # -- growth internals ----------------------------------------------------
+    def _trunk_directions(self, rng: np.random.Generator) -> list[tuple[Vec3, SectionType]]:
+        cfg = self.config
+        out: list[tuple[Vec3, SectionType]] = []
+        num_basal = int(rng.integers(cfg.num_basal_range[0], cfg.num_basal_range[1] + 1))
+        for _ in range(num_basal):
+            # Basal dendrites leave sideways/downwards.
+            direction = Vec3(
+                float(rng.normal()), -abs(float(rng.normal())) * 0.7, float(rng.normal())
+            ).normalized()
+            out.append((direction, SectionType.BASAL_DENDRITE))
+        for _ in range(cfg.num_apical):
+            direction = Vec3(
+                float(rng.normal()) * 0.2, 1.0, float(rng.normal()) * 0.2
+            ).normalized()
+            out.append((direction, SectionType.APICAL_DENDRITE))
+        for _ in range(cfg.num_axon):
+            direction = Vec3(
+                float(rng.normal()) * 0.3, -1.0, float(rng.normal()) * 0.3
+            ).normalized()
+            out.append((direction, SectionType.AXON))
+        return out
+
+    def _length_scale(self, section_type: SectionType) -> float:
+        if section_type is SectionType.APICAL_DENDRITE:
+            return self.config.apical_length_scale
+        if section_type is SectionType.AXON:
+            return self.config.axon_length_scale
+        return 1.0
+
+    def _bias(self, section_type: SectionType) -> tuple[Vec3, float]:
+        """Global direction pull (target, strength) per section type."""
+        if section_type is SectionType.APICAL_DENDRITE:
+            return Vec3(0.0, 1.0, 0.0), self.config.apical_bias
+        if section_type is SectionType.AXON:
+            return Vec3(0.0, -1.0, 0.0), self.config.axon_bias
+        return Vec3(0.0, 0.0, 0.0), 0.0
+
+    def _grow_section(
+        self, task: _GrowthTask, section_id: int, rng: np.random.Generator
+    ) -> tuple[Section, Vec3]:
+        cfg = self.config
+        lo, hi = cfg.points_per_section_range
+        num_points = int(rng.integers(lo, hi + 1))
+        scale = self._length_scale(task.section_type)
+        bias_target, bias_strength = self._bias(task.section_type)
+
+        points = [task.start]
+        radii = [task.radius]
+        direction = task.direction
+        radius = task.radius
+        for _ in range(num_points - 1):
+            # Jagged growth: random tilt around a random perpendicular axis.
+            tilt = math.radians(abs(float(rng.normal(0.0, cfg.tortuosity_deg))))
+            spin = float(rng.uniform(0.0, 2.0 * math.pi))
+            perp = _rotate_about(_any_perpendicular(direction), direction, spin)
+            direction = _rotate_about(direction, perp, tilt).normalized()
+            if bias_strength > 0.0:
+                direction = (
+                    direction * (1.0 - bias_strength) + bias_target * bias_strength
+                ).normalized()
+            step = max(1.0, float(rng.normal(cfg.segment_length_mean, cfg.segment_length_sd)))
+            points.append(points[-1] + direction * (step * scale))
+            radius = max(cfg.min_radius, radius * cfg.in_section_taper)
+            radii.append(radius)
+
+        section = Section(
+            section_id=section_id,
+            section_type=task.section_type,
+            parent_id=task.parent_id,
+            points=points,
+            radii=radii,
+        )
+        return section, direction
+
+    def _maybe_branch(
+        self,
+        task: _GrowthTask,
+        section: Section,
+        end_direction: Vec3,
+        rng: np.random.Generator,
+    ) -> list[_GrowthTask]:
+        cfg = self.config
+        if task.order >= cfg.max_branch_order:
+            return []
+        if float(rng.random()) >= cfg.branch_prob:
+            return []
+        # Bifurcate: two children splayed +/- half the branch angle around a
+        # random axis perpendicular to the growth direction.
+        half_angle = math.radians(cfg.branch_angle_deg) / 2.0
+        spin = float(rng.uniform(0.0, 2.0 * math.pi))
+        axis = _rotate_about(_any_perpendicular(end_direction), end_direction, spin)
+        child_radius = max(cfg.min_radius, section.radii[-1] * cfg.branch_taper)
+        children = []
+        for sign in (1.0, -1.0):
+            jitter = float(rng.normal(0.0, 0.15))
+            child_dir = _rotate_about(end_direction, axis, sign * half_angle * (1.0 + jitter))
+            children.append(
+                _GrowthTask(
+                    parent_id=section.section_id,
+                    start=section.points[-1],
+                    direction=child_dir.normalized(),
+                    radius=child_radius,
+                    section_type=task.section_type,
+                    order=task.order + 1,
+                )
+            )
+        return children

@@ -1,0 +1,205 @@
+"""Neuron morphology model.
+
+A morphology is a tree of *sections* (unbranched runs of 3-D points with
+per-point radii) rooted at the soma, exactly the structure of the SWC
+interchange format and of the BBP models the paper indexes.  Consecutive
+point pairs of a section form the capsule segments that all spatial
+algorithms operate on.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import MorphologyError
+from repro.geometry.aabb import AABB
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+
+__all__ = ["SectionType", "Section", "Morphology"]
+
+
+class SectionType(enum.IntEnum):
+    """SWC structure identifiers."""
+
+    SOMA = 1
+    AXON = 2
+    BASAL_DENDRITE = 3
+    APICAL_DENDRITE = 4
+
+
+@dataclass
+class Section:
+    """An unbranched run of the morphology tree.
+
+    ``points[0]`` coincides with the parent's last point (or the soma centre
+    for root sections); ``radii`` holds the cross-section radius at each
+    point.
+    """
+
+    section_id: int
+    section_type: SectionType
+    parent_id: int  # -1 for sections attached to the soma
+    points: list[Vec3]
+    radii: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.points) != len(self.radii):
+            raise MorphologyError(
+                f"section {self.section_id}: {len(self.points)} points vs "
+                f"{len(self.radii)} radii"
+            )
+        if len(self.points) < 2:
+            raise MorphologyError(f"section {self.section_id} needs >= 2 points")
+        if any(r < 0 for r in self.radii):
+            raise MorphologyError(f"section {self.section_id} has a negative radius")
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.points) - 1
+
+    def length(self) -> float:
+        return sum(
+            self.points[i].distance_to(self.points[i + 1]) for i in range(self.num_segments)
+        )
+
+    def arc_points(self) -> list[tuple[float, Vec3]]:
+        """(cumulative arc length, point) pairs along the section."""
+        out = [(0.0, self.points[0])]
+        acc = 0.0
+        for i in range(1, len(self.points)):
+            acc += self.points[i - 1].distance_to(self.points[i])
+            out.append((acc, self.points[i]))
+        return out
+
+
+@dataclass
+class Morphology:
+    """A complete neuron: soma plus a tree of sections."""
+
+    soma_position: Vec3
+    soma_radius: float
+    sections: dict[int, Section] = field(default_factory=dict)
+
+    def add_section(self, section: Section) -> None:
+        if section.section_id in self.sections:
+            raise MorphologyError(f"duplicate section id {section.section_id}")
+        if section.parent_id != -1 and section.parent_id not in self.sections:
+            raise MorphologyError(
+                f"section {section.section_id} references unknown parent {section.parent_id}"
+            )
+        self.sections[section.section_id] = section
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def num_sections(self) -> int:
+        return len(self.sections)
+
+    @property
+    def num_segments(self) -> int:
+        return sum(s.num_segments for s in self.sections.values())
+
+    def children_of(self, section_id: int) -> list[Section]:
+        return [s for s in self.sections.values() if s.parent_id == section_id]
+
+    def root_sections(self) -> list[Section]:
+        return [s for s in self.sections.values() if s.parent_id == -1]
+
+    def total_length(self) -> float:
+        return sum(s.length() for s in self.sections.values())
+
+    def max_branch_order(self) -> int:
+        """Depth of the section tree (roots have order 0)."""
+        order: dict[int, int] = {}
+
+        def order_of(section: Section) -> int:
+            if section.section_id in order:
+                return order[section.section_id]
+            if section.parent_id == -1:
+                result = 0
+            else:
+                result = order_of(self.sections[section.parent_id]) + 1
+            order[section.section_id] = result
+            return result
+
+        if not self.sections:
+            return 0
+        return max(order_of(s) for s in self.sections.values())
+
+    def validate(self) -> None:
+        """Check tree consistency: parent links resolve, sections connect."""
+        for section in self.sections.values():
+            if section.parent_id == -1:
+                continue
+            parent = self.sections.get(section.parent_id)
+            if parent is None:
+                raise MorphologyError(
+                    f"section {section.section_id} has unknown parent {section.parent_id}"
+                )
+            gap = section.points[0].distance_to(parent.points[-1])
+            tolerance = 1e-6 + 0.01 * max(parent.radii[-1], 1e-9)
+            if gap > max(tolerance, 1e-6):
+                raise MorphologyError(
+                    f"section {section.section_id} does not attach to parent "
+                    f"{section.parent_id} (gap {gap:.3g})"
+                )
+
+    # -- geometry ---------------------------------------------------------------
+    def iter_segments(self) -> Iterator[tuple[int, int, Vec3, Vec3, float]]:
+        """Yield ``(section_id, order, p0, p1, radius)`` for every segment.
+
+        ``radius`` is the mean of the endpoint radii (frustum approximated by
+        a capsule).
+        """
+        for section in self.sections.values():
+            for i in range(section.num_segments):
+                radius = 0.5 * (section.radii[i] + section.radii[i + 1])
+                yield section.section_id, i, section.points[i], section.points[i + 1], radius
+
+    def bounding_box(self) -> AABB:
+        boxes = [
+            AABB.from_center_extent(self.soma_position, 2.0 * self.soma_radius),
+        ]
+        for _, _, p0, p1, radius in self.iter_segments():
+            boxes.append(Segment(0, p0, p1, radius).aabb)
+        return AABB.union_all(boxes)
+
+    # -- placement -------------------------------------------------------------------
+    def transformed(self, translation: Vec3, rotation_y: float = 0.0) -> "Morphology":
+        """A copy rotated by ``rotation_y`` radians about the vertical axis
+        through the soma, then translated by ``translation``.
+
+        This is how a template morphology is placed at a circuit position;
+        rotating about the pia-facing axis preserves the layered anatomy.
+        """
+        cos_a = math.cos(rotation_y)
+        sin_a = math.sin(rotation_y)
+        origin = self.soma_position
+
+        def place(p: Vec3) -> Vec3:
+            rel = p - origin
+            rotated = Vec3(
+                rel.x * cos_a + rel.z * sin_a,
+                rel.y,
+                -rel.x * sin_a + rel.z * cos_a,
+            )
+            return rotated + origin + translation
+
+        out = Morphology(
+            soma_position=origin + translation,
+            soma_radius=self.soma_radius,
+        )
+        for section in sorted(self.sections.values(), key=lambda s: s.section_id):
+            out.add_section(
+                Section(
+                    section_id=section.section_id,
+                    section_type=section.section_type,
+                    parent_id=section.parent_id,
+                    points=[place(p) for p in section.points],
+                    radii=list(section.radii),
+                )
+            )
+        return out

@@ -1,0 +1,157 @@
+"""Morphometry: the statistics the neuroscientists compute over models.
+
+Paper §2.1: "FLAT is currently used by the neuroscientists to compute
+statistics (tissue density etc.) of the models they build."  This module
+provides the standard morphometric measures — cable length by neurite type,
+branch-order distributions, Sholl analysis, per-layer composition — over
+single morphologies and whole circuits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry.distance import point_segment_distance
+from repro.neuro.circuit import Circuit
+from repro.neuro.morphology import Morphology, SectionType
+from repro.utils.tables import Table
+
+__all__ = [
+    "branch_order_histogram",
+    "cable_length_by_type",
+    "sholl_analysis",
+    "MorphometryReport",
+    "circuit_morphometry",
+]
+
+
+def cable_length_by_type(morphology: Morphology) -> dict[SectionType, float]:
+    """Total cable length (µm) per neurite type."""
+    totals: dict[SectionType, float] = {}
+    for section in morphology.sections.values():
+        totals[section.section_type] = totals.get(section.section_type, 0.0) + section.length()
+    return totals
+
+
+def branch_order_histogram(morphology: Morphology) -> dict[int, int]:
+    """Number of sections at each branch order (roots are order 0)."""
+    orders: dict[int, int] = {}
+    cache: dict[int, int] = {}
+
+    def order_of(section_id: int) -> int:
+        if section_id in cache:
+            return cache[section_id]
+        section = morphology.sections[section_id]
+        result = 0 if section.parent_id == -1 else order_of(section.parent_id) + 1
+        cache[section_id] = result
+        return result
+
+    for section_id in morphology.sections:
+        order = order_of(section_id)
+        orders[order] = orders.get(order, 0) + 1
+    return dict(sorted(orders.items()))
+
+
+def sholl_analysis(
+    morphology: Morphology, step: float = 50.0, max_radius: float | None = None
+) -> list[tuple[float, int]]:
+    """Sholl analysis: neurite crossings of concentric spheres at the soma.
+
+    Returns ``(radius, crossings)`` pairs.  A segment crosses the sphere of
+    radius ``r`` when its endpoints lie on opposite sides of it.
+    """
+    if step <= 0:
+        raise ValueError("Sholl step must be positive")
+    soma = morphology.soma_position
+    distances = []
+    for _, _, p0, p1, _ in morphology.iter_segments():
+        distances.append((p0.distance_to(soma), p1.distance_to(soma)))
+    if not distances:
+        return []
+    reach = max(max(d) for d in distances)
+    if max_radius is not None:
+        reach = min(reach, max_radius)
+    out = []
+    radius = step
+    while radius <= reach + step:
+        crossings = sum(
+            1 for d0, d1 in distances if (d0 - radius) * (d1 - radius) <= 0 and d0 != d1
+        )
+        out.append((radius, crossings))
+        radius += step
+    return out
+
+
+@dataclass
+class MorphometryReport:
+    """Aggregate morphometry of a circuit."""
+
+    num_neurons: int
+    num_sections: int
+    num_segments: int
+    total_cable_um: float
+    cable_by_type: dict[SectionType, float]
+    mean_segment_length: float
+    mean_branch_order: float
+    neurons_per_layer: dict[str, int]
+    segment_density_per_um3: float
+    synapse_candidates_per_um3: float | None = field(default=None)
+
+    def render(self) -> str:
+        table = Table(["measure", "value"], title="circuit morphometry")
+        table.add_row(["neurons", self.num_neurons])
+        table.add_row(["sections", self.num_sections])
+        table.add_row(["segments", self.num_segments])
+        table.add_row(["total cable (um)", self.total_cable_um])
+        for section_type, cable in sorted(self.cable_by_type.items()):
+            table.add_row([f"  cable {section_type.name.lower()} (um)", cable])
+        table.add_row(["mean segment length (um)", self.mean_segment_length])
+        table.add_row(["mean max branch order", self.mean_branch_order])
+        table.add_row(["segment density (/um^3)", self.segment_density_per_um3])
+        for layer, count in sorted(self.neurons_per_layer.items()):
+            table.add_row([f"  neurons in {layer}", count])
+        return table.render()
+
+
+def circuit_morphometry(circuit: Circuit) -> MorphometryReport:
+    """Aggregate the morphometric measures over a whole circuit."""
+    cable_by_type: dict[SectionType, float] = {}
+    total_sections = 0
+    branch_orders = []
+    for neuron in circuit.neurons:
+        for section_type, cable in cable_length_by_type(neuron.morphology).items():
+            cable_by_type[section_type] = cable_by_type.get(section_type, 0.0) + cable
+        total_sections += neuron.morphology.num_sections
+        branch_orders.append(neuron.morphology.max_branch_order())
+
+    segments = circuit.segments()
+    total_cable = sum(cable_by_type.values())
+    layers: dict[str, int] = {}
+    for neuron in circuit.neurons:
+        layers[neuron.layer] = layers.get(neuron.layer, 0) + 1
+
+    volume = math.pi * circuit.config.column_radius**2 * circuit.config.column_height
+    return MorphometryReport(
+        num_neurons=circuit.num_neurons,
+        num_sections=total_sections,
+        num_segments=len(segments),
+        total_cable_um=total_cable,
+        cable_by_type=cable_by_type,
+        mean_segment_length=(
+            sum(s.length for s in segments) / len(segments) if segments else 0.0
+        ),
+        mean_branch_order=(
+            sum(branch_orders) / len(branch_orders) if branch_orders else 0.0
+        ),
+        neurons_per_layer=layers,
+        segment_density_per_um3=len(segments) / volume,
+    )
+
+
+def nearest_neurite_distance(morphology: Morphology, point) -> float:
+    """Distance from ``point`` to the closest neurite axis of a morphology."""
+    best = math.inf
+    for _, _, p0, p1, _ in morphology.iter_segments():
+        best = min(best, point_segment_distance(point, p0, p1))
+    return best

@@ -1,0 +1,84 @@
+"""Circuit persistence: save/load models as SWC files plus a manifest.
+
+"Building models" (paper §1) implies storing them: a circuit round-trips
+through a directory of standard SWC morphology files and a JSON manifest
+with the placement information (gid, layer, soma position, rotation is
+already baked into the stored coordinates).  The loaded circuit yields the
+identical segment dataset, so indexes built before and after a round-trip
+agree exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import MorphologyError
+from repro.geometry.vec import Vec3
+from repro.neuro.circuit import Circuit, CircuitConfig, Neuron
+from repro.neuro.swc import read_swc, write_swc
+
+__all__ = ["save_circuit", "load_circuit"]
+
+_MANIFEST = "circuit.json"
+
+
+def save_circuit(circuit: Circuit, directory: str | Path) -> Path:
+    """Write ``circuit`` to ``directory`` (created if missing).
+
+    Layout: one ``neuron_<gid>.swc`` per neuron plus ``circuit.json`` with
+    the config and per-neuron metadata.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: dict = {
+        "format": "repro-circuit/1",
+        "config": {
+            "n_neurons": circuit.config.n_neurons,
+            "column_radius": circuit.config.column_radius,
+            "column_height": circuit.config.column_height,
+            "n_morphology_templates": circuit.config.n_morphology_templates,
+            "seed": circuit.config.seed,
+        },
+        "neurons": [],
+    }
+    for neuron in circuit.neurons:
+        filename = f"neuron_{neuron.gid}.swc"
+        write_swc(neuron.morphology, directory / filename)
+        manifest["neurons"].append(
+            {
+                "gid": neuron.gid,
+                "layer": neuron.layer,
+                "soma": [neuron.soma_position.x, neuron.soma_position.y, neuron.soma_position.z],
+                "file": filename,
+            }
+        )
+    manifest_path = directory / _MANIFEST
+    manifest_path.write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+    return manifest_path
+
+
+def load_circuit(directory: str | Path) -> Circuit:
+    """Load a circuit previously written by :func:`save_circuit`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise MorphologyError(f"no circuit manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    if manifest.get("format") != "repro-circuit/1":
+        raise MorphologyError(f"unknown circuit format {manifest.get('format')!r}")
+
+    config = CircuitConfig(**manifest["config"])
+    neurons = []
+    for record in manifest["neurons"]:
+        morphology = read_swc(directory / record["file"])
+        neurons.append(
+            Neuron(
+                gid=int(record["gid"]),
+                soma_position=Vec3(*record["soma"]),
+                morphology=morphology,
+                layer=str(record["layer"]),
+            )
+        )
+    neurons.sort(key=lambda n: n.gid)
+    return Circuit(neurons, config)

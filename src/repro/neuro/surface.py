@@ -1,0 +1,41 @@
+"""Surface meshes for neurons and circuits.
+
+The datasets of the FLAT/SCOUT demos are "represented by a surface mesh"
+(paper §2.2/§3.2, Figure 1 right).  These helpers skin morphology sections
+into tube meshes so experiments and examples can report mesh-level statistics
+(triangle counts, surface area) alongside the capsule representation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MorphologyError
+from repro.geometry.mesh import TriangleMesh, tube_mesh
+from repro.neuro.circuit import Circuit
+from repro.neuro.morphology import Morphology
+
+__all__ = ["neuron_surface_mesh", "circuit_surface_mesh"]
+
+
+def neuron_surface_mesh(morphology: Morphology, sides: int = 6) -> TriangleMesh:
+    """Tube-mesh every section of ``morphology`` and merge the results."""
+    if not morphology.sections:
+        raise MorphologyError("cannot mesh a morphology with no sections")
+    merged: TriangleMesh | None = None
+    for section in sorted(morphology.sections.values(), key=lambda s: s.section_id):
+        mesh = tube_mesh(section.points, section.radii, sides=sides)
+        merged = mesh if merged is None else merged.merged_with(mesh)
+    assert merged is not None
+    return merged
+
+
+def circuit_surface_mesh(circuit: Circuit, sides: int = 6, max_neurons: int | None = None) -> TriangleMesh:
+    """Merged surface mesh of (up to ``max_neurons``) neurons of a circuit."""
+    neurons = circuit.neurons if max_neurons is None else circuit.neurons[:max_neurons]
+    if not neurons:
+        raise MorphologyError("circuit has no neurons to mesh")
+    merged: TriangleMesh | None = None
+    for neuron in neurons:
+        mesh = neuron_surface_mesh(neuron.morphology, sides=sides)
+        merged = mesh if merged is None else merged.merged_with(mesh)
+    assert merged is not None
+    return merged

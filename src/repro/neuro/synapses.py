@@ -1,0 +1,72 @@
+"""Synapse placement ground truth (the touch rule).
+
+Building a model ends with "identify[ing] where to place the synapses, i.e.,
+the places where branches of different neurons are close enough for
+electrical impulses to leap over" (paper §4).  The candidate pairs come from
+a spatial distance join (TOUCH et al.); this module provides the exact
+refinement — the touch rule of Kozloski et al. [7] — and a brute-force
+oracle the join algorithms are property-tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.geometry.distance import segment_segment_closest
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+
+__all__ = ["Synapse", "refine_touch", "find_touches_brute_force"]
+
+
+@dataclass(frozen=True, slots=True)
+class Synapse:
+    """A placed synapse candidate between an axonal and a dendritic segment."""
+
+    pre_uid: int
+    post_uid: int
+    pre_neuron: int
+    post_neuron: int
+    position: Vec3
+    gap: float  # surface-to-surface distance (<= tolerance; may be negative)
+
+
+def refine_touch(pre: Segment, post: Segment, tolerance: float = 0.0) -> Synapse | None:
+    """Apply the exact touch rule to a candidate pair.
+
+    Returns a :class:`Synapse` at the midpoint of the closest approach when
+    the capsule surfaces are within ``tolerance``, else ``None``.  Pairs from
+    the same neuron never form synapses (autapses are excluded, as in the
+    BBP pipeline).
+    """
+    if pre.neuron_id == post.neuron_id and pre.neuron_id != -1:
+        return None
+    s, t, axis_distance = segment_segment_closest(pre.p0, pre.p1, post.p0, post.p1)
+    gap = axis_distance - pre.radius - post.radius
+    if gap > tolerance:
+        return None
+    position = pre.point_at(s).lerp(post.point_at(t), 0.5)
+    return Synapse(
+        pre_uid=pre.uid,
+        post_uid=post.uid,
+        pre_neuron=pre.neuron_id,
+        post_neuron=post.neuron_id,
+        position=position,
+        gap=gap,
+    )
+
+
+def find_touches_brute_force(
+    pre_segments: Sequence[Segment],
+    post_segments: Sequence[Segment],
+    tolerance: float = 0.0,
+) -> list[Synapse]:
+    """O(n·m) oracle: every pair, exact rule.  Test/small-data use only."""
+    synapses = []
+    for pre in pre_segments:
+        for post in post_segments:
+            synapse = refine_touch(pre, post, tolerance)
+            if synapse is not None:
+                synapses.append(synapse)
+    return synapses

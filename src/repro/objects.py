@@ -1,0 +1,39 @@
+"""Spatial object protocol.
+
+Everything the indexes and joins operate on satisfies :class:`SpatialObject`:
+it has a dataset-wide unique ``uid`` and an axis-aligned bounding box.
+Neuron segments (:class:`repro.geometry.Segment`) are the domain instances;
+:class:`BoxObject` is the minimal synthetic instance used by tests and
+micro-workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.geometry.aabb import AABB
+
+__all__ = ["SpatialObject", "BoxObject"]
+
+
+@runtime_checkable
+class SpatialObject(Protocol):
+    """Anything with an id and a bounding box can be indexed and joined."""
+
+    uid: int
+
+    @property
+    def aabb(self) -> AABB: ...
+
+
+@dataclass(frozen=True, slots=True)
+class BoxObject:
+    """A bare box with an id — the simplest possible spatial object."""
+
+    uid: int
+    box: AABB
+
+    @property
+    def aabb(self) -> AABB:
+        return self.box

@@ -1,0 +1,63 @@
+"""R-tree nodes and entries.
+
+A node occupies exactly one simulated disk page (the textbook layout), so
+"nodes visited" equals "index pages read".  ``Entry`` doubles as the leaf
+entry (``uid`` set, ``child`` None) and the internal entry (``child`` set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvariantViolation
+from repro.geometry.aabb import AABB
+
+__all__ = ["Entry", "Node", "ENTRY_BYTES", "NODE_HEADER_BYTES"]
+
+#: Modelled bytes per entry: 6 float64 bounds + 8-byte pointer/uid.
+ENTRY_BYTES = 56
+#: Modelled per-node header bytes.
+NODE_HEADER_BYTES = 24
+
+
+@dataclass(slots=True)
+class Entry:
+    """One slot of a node: a box plus either a child node or an object uid."""
+
+    mbr: AABB
+    child: "Node | None" = None
+    uid: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.child is None) == (self.uid is None):
+            raise InvariantViolation("entry must reference exactly one of child/uid")
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.uid is not None
+
+
+@dataclass(slots=True)
+class Node:
+    """An R-tree node; ``level`` 0 is a leaf, the root has the highest level."""
+
+    level: int
+    entries: list[Entry] = field(default_factory=list)
+    node_id: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.entries)
+
+    def mbr(self) -> AABB:
+        """Tight box over the node's entries (node must be non-empty)."""
+        if not self.entries:
+            raise InvariantViolation(f"node {self.node_id} is empty, has no MBR")
+        return AABB.union_all(e.mbr for e in self.entries)
+
+    def byte_size(self) -> int:
+        return NODE_HEADER_BYTES + ENTRY_BYTES * len(self.entries)

@@ -1,0 +1,149 @@
+"""Node-splitting policies.
+
+``quadratic_split`` is Guttman's original quadratic-cost algorithm: pick the
+two entries that waste the most space together as seeds, then greedily assign
+the remainder by strongest preference, honouring the minimum fill.  A cheaper
+``linear_split`` is provided for ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import IndexError_
+from repro.geometry.aabb import AABB
+from repro.rtree.node import Entry
+
+__all__ = ["quadratic_split", "linear_split"]
+
+
+def quadratic_split(entries: Sequence[Entry], min_entries: int) -> tuple[list[Entry], list[Entry]]:
+    """Split ``entries`` into two groups, each with at least ``min_entries``."""
+    if len(entries) < 2:
+        raise IndexError_("cannot split fewer than two entries")
+    if len(entries) < 2 * min_entries:
+        raise IndexError_(
+            f"cannot split {len(entries)} entries with min fill {min_entries}"
+        )
+
+    seed_a, seed_b = _pick_seeds(entries)
+    group_a = [entries[seed_a]]
+    group_b = [entries[seed_b]]
+    mbr_a = entries[seed_a].mbr
+    mbr_b = entries[seed_b].mbr
+    remaining = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+
+    while remaining:
+        # Force assignment if one group must absorb everything left to
+        # satisfy the minimum fill.
+        if len(group_a) + len(remaining) == min_entries:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_entries:
+            group_b.extend(remaining)
+            break
+
+        index = _pick_next(remaining, mbr_a, mbr_b)
+        entry = remaining.pop(index)
+        growth_a = mbr_a.enlargement(entry.mbr)
+        growth_b = mbr_b.enlargement(entry.mbr)
+        prefer_a = growth_a < growth_b
+        if growth_a == growth_b:
+            # Resolve ties by smaller volume, then fewer entries.
+            if mbr_a.volume() != mbr_b.volume():
+                prefer_a = mbr_a.volume() < mbr_b.volume()
+            else:
+                prefer_a = len(group_a) <= len(group_b)
+        if prefer_a:
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.mbr)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.mbr)
+    return group_a, group_b
+
+
+def _pick_seeds(entries: Sequence[Entry]) -> tuple[int, int]:
+    """The pair wasting the most space when covered together."""
+    worst = -1.0
+    seeds = (0, 1)
+    for i in range(len(entries)):
+        vol_i = entries[i].mbr.volume()
+        for j in range(i + 1, len(entries)):
+            waste = (
+                entries[i].mbr.union(entries[j].mbr).volume()
+                - vol_i
+                - entries[j].mbr.volume()
+            )
+            if waste > worst:
+                worst = waste
+                seeds = (i, j)
+    return seeds
+
+
+def _pick_next(remaining: Sequence[Entry], mbr_a: AABB, mbr_b: AABB) -> int:
+    """The entry with the strongest preference for one of the groups."""
+    best_index = 0
+    best_diff = -1.0
+    for i, entry in enumerate(remaining):
+        diff = abs(mbr_a.enlargement(entry.mbr) - mbr_b.enlargement(entry.mbr))
+        if diff > best_diff:
+            best_diff = diff
+            best_index = i
+    return best_index
+
+
+def linear_split(entries: Sequence[Entry], min_entries: int) -> tuple[list[Entry], list[Entry]]:
+    """Guttman's linear split: seeds by greatest normalised separation."""
+    if len(entries) < 2:
+        raise IndexError_("cannot split fewer than two entries")
+    if len(entries) < 2 * min_entries:
+        raise IndexError_(
+            f"cannot split {len(entries)} entries with min fill {min_entries}"
+        )
+
+    best_axis = 0
+    best_separation = -1.0
+    best_pair = (0, 1)
+    lows = [(e.mbr.min_x, e.mbr.min_y, e.mbr.min_z) for e in entries]
+    highs = [(e.mbr.max_x, e.mbr.max_y, e.mbr.max_z) for e in entries]
+    for axis in range(3):
+        highest_low = max(range(len(entries)), key=lambda i: lows[i][axis])
+        lowest_high = min(range(len(entries)), key=lambda i: highs[i][axis])
+        if highest_low == lowest_high:
+            continue
+        width = max(h[axis] for h in highs) - min(low[axis] for low in lows)
+        if width <= 0:
+            continue
+        separation = (lows[highest_low][axis] - highs[lowest_high][axis]) / width
+        if separation > best_separation:
+            best_separation = separation
+            best_axis = axis
+            best_pair = (lowest_high, highest_low)
+    del best_axis
+    seed_a, seed_b = best_pair
+    if seed_a == seed_b:  # all boxes identical; arbitrary seeds
+        seed_a, seed_b = 0, 1
+
+    group_a = [entries[seed_a]]
+    group_b = [entries[seed_b]]
+    mbr_a = entries[seed_a].mbr
+    mbr_b = entries[seed_b].mbr
+    others = [e for i, e in enumerate(entries) if i not in (seed_a, seed_b)]
+    for idx, entry in enumerate(others):
+        remaining = len(others) - idx  # including ``entry``
+        # Force-assign when a group needs every remaining entry to reach
+        # the minimum fill.
+        if len(group_a) + remaining <= min_entries:
+            group_a.extend(others[idx:])
+            break
+        if len(group_b) + remaining <= min_entries:
+            group_b.extend(others[idx:])
+            break
+        if mbr_a.enlargement(entry.mbr) <= mbr_b.enlargement(entry.mbr):
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.mbr)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.mbr)
+    return group_a, group_b

@@ -1,0 +1,48 @@
+"""Query statistics — the live counters the demo screens display."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RangeQueryStats", "SeedSearchStats"]
+
+
+@dataclass
+class RangeQueryStats:
+    """Counters for one R-tree range query.
+
+    ``nodes_per_level`` maps tree level (0 = leaf) to the number of nodes
+    read at that level; the paper's Figure 3 contrasts exactly this against
+    FLAT ("due to overlap more nodes are retrieved on higher levels").
+    """
+
+    nodes_visited: int = 0
+    nodes_per_level: dict[int, int] = field(default_factory=dict)
+    entries_tested: int = 0
+    num_results: int = 0
+
+    def record_node(self, level: int) -> None:
+        self.nodes_visited += 1
+        self.nodes_per_level[level] = self.nodes_per_level.get(level, 0) + 1
+
+    @property
+    def leaf_nodes_visited(self) -> int:
+        return self.nodes_per_level.get(0, 0)
+
+    @property
+    def internal_nodes_visited(self) -> int:
+        return self.nodes_visited - self.leaf_nodes_visited
+
+    @property
+    def pages_read(self) -> int:
+        """One node occupies one page in the modelled layout."""
+        return self.nodes_visited
+
+
+@dataclass
+class SeedSearchStats:
+    """Counters for FLAT's early-exit 'find any object in range' descent."""
+
+    nodes_visited: int = 0
+    entries_tested: int = 0
+    found: bool = False

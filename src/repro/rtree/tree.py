@@ -1,0 +1,418 @@
+"""The R-tree proper.
+
+Dynamic operations follow Guttman's original design (ChooseLeaf by least
+volume enlargement, quadratic split, condense-tree deletion); bulk loading
+lives in :mod:`repro.rtree.bulk`.  Every traversal records the statistics the
+paper's demo visualises: nodes read per level, entries tested, pages touched.
+
+On dense data the R-tree's internal MBRs overlap heavily, so a range query
+descends many parallel paths — that degradation is precisely what FLAT
+(:mod:`repro.core.flat`) sidesteps, and the included counters make it
+measurable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Container, Iterator, Sequence
+
+from repro.errors import IndexError_, InvariantViolation
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.rtree.node import Entry, Node
+from repro.rtree.split import quadratic_split
+from repro.rtree.stats import RangeQueryStats, SeedSearchStats
+
+__all__ = ["RTree"]
+
+SplitFunc = Callable[[Sequence[Entry], int], tuple[list[Entry], list[Entry]]]
+
+
+class RTree:
+    """A 3-D R-tree over ``(uid, AABB)`` pairs.
+
+    Parameters
+    ----------
+    max_entries:
+        Fan-out of internal nodes (and default leaf capacity).
+    min_entries:
+        Minimum fill; defaults to 40% of ``max_entries``.
+    leaf_capacity:
+        Leaf fan-out when it differs from the internal one (a leaf models a
+        data page, an internal node an index page).
+    split:
+        Splitting policy; defaults to Guttman's quadratic split.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 16,
+        min_entries: int | None = None,
+        leaf_capacity: int | None = None,
+        split: SplitFunc = quadratic_split,
+    ) -> None:
+        if max_entries < 2:
+            raise IndexError_("max_entries must be >= 2")
+        if min_entries is None:
+            min_entries = max(1, (max_entries * 2) // 5)
+        if not 1 <= min_entries <= max_entries // 2:
+            raise IndexError_("min_entries must be in [1, max_entries/2]")
+        self.max_entries = max_entries
+        self.min_entries = min_entries
+        self.leaf_capacity = leaf_capacity if leaf_capacity is not None else max_entries
+        if self.leaf_capacity < 2:
+            raise IndexError_("leaf_capacity must be >= 2")
+        self._split_func = split
+        self._next_node_id = 0
+        self.root = self._new_node(level=0)
+        self._size = 0
+        # Bulk loaders may leave a trailing underfull node per level; the
+        # validator only enforces minimum fill for dynamically built trees.
+        self._maintains_min_fill = True
+
+    # -- construction helpers ------------------------------------------------
+    def _new_node(self, level: int, entries: list[Entry] | None = None) -> Node:
+        node = Node(level=level, entries=entries if entries is not None else [])
+        node.node_id = self._next_node_id
+        self._next_node_id += 1
+        return node
+
+    @classmethod
+    def _from_root(
+        cls,
+        root: Node,
+        size: int,
+        max_entries: int,
+        min_entries: int | None = None,
+        leaf_capacity: int | None = None,
+    ) -> "RTree":
+        """Internal: wrap a bulk-built subtree into a tree object."""
+        tree = cls(max_entries=max_entries, min_entries=min_entries, leaf_capacity=leaf_capacity)
+        tree.root = root
+        tree._size = size
+        tree._maintains_min_fill = False
+        tree._assign_node_ids()
+        return tree
+
+    def _assign_node_ids(self) -> None:
+        """Number nodes breadth-first (stable ids for page accounting)."""
+        next_id = 0
+        queue = [self.root]
+        while queue:
+            node = queue.pop(0)
+            node.node_id = next_id
+            next_id += 1
+            if not node.is_leaf:
+                queue.extend(e.child for e in node.entries if e.child is not None)
+        self._next_node_id = next_id
+
+    # -- basic properties -----------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a lone leaf root)."""
+        return self.root.level + 1
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter_nodes())
+
+    def iter_nodes(self) -> Iterator[Node]:
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries if e.child is not None)
+
+    def iter_leaf_entries(self) -> Iterator[Entry]:
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                yield from node.entries
+
+    def byte_size(self) -> int:
+        """Modelled in-memory footprint of the index structure."""
+        return sum(node.byte_size() for node in self.iter_nodes())
+
+    def _capacity_of(self, node: Node) -> int:
+        return self.leaf_capacity if node.is_leaf else self.max_entries
+
+    # -- insertion ---------------------------------------------------------------
+    def insert(self, uid: int, mbr: AABB) -> None:
+        """Insert object ``uid`` with bounding box ``mbr``."""
+        self._insert_entry(Entry(mbr=mbr, uid=uid), level=0)
+        self._size += 1
+
+    def _insert_entry(self, entry: Entry, level: int) -> None:
+        if level > self.root.level:
+            raise IndexError_(f"cannot insert at level {level} above root {self.root.level}")
+        overflow = self._insert_rec(self.root, entry, level)
+        if overflow is not None:
+            old_root = self.root
+            self.root = self._new_node(
+                level=old_root.level + 1,
+                entries=[
+                    Entry(mbr=old_root.mbr(), child=old_root),
+                    Entry(mbr=overflow.mbr(), child=overflow),
+                ],
+            )
+
+    def _insert_rec(self, node: Node, entry: Entry, level: int) -> Node | None:
+        if node.level == level:
+            node.entries.append(entry)
+        else:
+            slot = self._choose_subtree(node, entry.mbr)
+            child = slot.child
+            assert child is not None
+            overflow = self._insert_rec(child, entry, level)
+            slot.mbr = child.mbr()
+            if overflow is not None:
+                node.entries.append(Entry(mbr=overflow.mbr(), child=overflow))
+        if len(node.entries) > self._capacity_of(node):
+            return self._split_node(node)
+        return None
+
+    def _choose_subtree(self, node: Node, mbr: AABB) -> Entry:
+        """Least-enlargement child; ties by volume, then by fill."""
+        best: Entry | None = None
+        best_key: tuple[float, float, int] | None = None
+        for slot in node.entries:
+            child = slot.child
+            assert child is not None
+            key = (slot.mbr.enlargement(mbr), slot.mbr.volume(), len(child.entries))
+            if best_key is None or key < best_key:
+                best_key = key
+                best = slot
+        if best is None:
+            raise InvariantViolation("internal node with no entries")
+        return best
+
+    def _split_node(self, node: Node) -> Node:
+        group_a, group_b = self._split_func(node.entries, self.min_entries)
+        node.entries = group_a
+        return self._new_node(level=node.level, entries=group_b)
+
+    # -- deletion -----------------------------------------------------------------
+    def delete(self, uid: int, mbr: AABB | None = None) -> None:
+        """Remove object ``uid``; ``mbr`` (if given) narrows the search."""
+        path = self._find_leaf_path(self.root, uid, mbr)
+        if path is None:
+            raise KeyError(f"uid {uid} not in tree")
+        leaf = path[-1]
+        leaf.entries = [e for e in leaf.entries if e.uid != uid]
+        self._size -= 1
+        self._condense(path)
+
+    def _find_leaf_path(self, node: Node, uid: int, mbr: AABB | None) -> list[Node] | None:
+        if node.is_leaf:
+            if any(e.uid == uid for e in node.entries):
+                return [node]
+            return None
+        for slot in node.entries:
+            if mbr is not None and not slot.mbr.intersects(mbr):
+                continue
+            assert slot.child is not None
+            sub = self._find_leaf_path(slot.child, uid, mbr)
+            if sub is not None:
+                return [node, *sub]
+        return None
+
+    def _condense(self, path: list[Node]) -> None:
+        orphan_leaf_entries: list[Entry] = []
+        for i in range(len(path) - 1, 0, -1):
+            node = path[i]
+            parent = path[i - 1]
+            slot = next(s for s in parent.entries if s.child is node)
+            if len(node.entries) < self.min_entries:
+                parent.entries.remove(slot)
+                orphan_leaf_entries.extend(self._collect_leaf_entries(node))
+            else:
+                slot.mbr = node.mbr()
+        # Shrink the root while it is an internal node with a single child.
+        while not self.root.is_leaf and len(self.root.entries) == 1:
+            child = self.root.entries[0].child
+            assert child is not None
+            self.root = child
+        if not self.root.is_leaf and not self.root.entries:
+            self.root = self._new_node(level=0)
+        for entry in orphan_leaf_entries:
+            self._insert_entry(entry, level=0)
+
+    @staticmethod
+    def _collect_leaf_entries(node: Node) -> list[Entry]:
+        out: list[Entry] = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_leaf:
+                out.extend(current.entries)
+            else:
+                stack.extend(e.child for e in current.entries if e.child is not None)
+        return out
+
+    # -- queries ----------------------------------------------------------------------
+    def range_query(self, box: AABB) -> list[int]:
+        """All uids whose boxes intersect ``box`` (order unspecified)."""
+        results, _ = self.range_query_with_stats(box)
+        return results
+
+    def range_query_with_stats(self, box: AABB) -> tuple[list[int], RangeQueryStats]:
+        """Range query plus the per-level node-access statistics of Figure 3."""
+        stats = RangeQueryStats()
+        results: list[int] = []
+        if self._size == 0:
+            return results, stats
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            stats.record_node(node.level)
+            for entry in node.entries:
+                stats.entries_tested += 1
+                if not entry.mbr.intersects(box):
+                    continue
+                if node.is_leaf:
+                    assert entry.uid is not None
+                    results.append(entry.uid)
+                else:
+                    assert entry.child is not None
+                    stack.append(entry.child)
+        stats.num_results = len(results)
+        return results, stats
+
+    def find_any_in_range(
+        self, box: AABB, exclude: Container[int] | None = None
+    ) -> tuple[int | None, SeedSearchStats]:
+        """Early-exit search for *one* object intersecting ``box``.
+
+        This is FLAT's seeding primitive: unlike a full range query it stops
+        at the first hit, so its cost tracks the tree height rather than the
+        result size (and is insensitive to overlap-induced multi-path
+        descents as long as one path hits).  ``exclude`` filters uids (FLAT
+        passes the already-crawled partitions when re-seeding).
+        """
+        stats = SeedSearchStats()
+        if self._size == 0:
+            return None, stats
+        found = self._find_any_rec(self.root, box, exclude, stats)
+        stats.found = found is not None
+        return found, stats
+
+    def _find_any_rec(
+        self,
+        node: Node,
+        box: AABB,
+        exclude: Container[int] | None,
+        stats: SeedSearchStats,
+    ) -> int | None:
+        stats.nodes_visited += 1
+        for entry in node.entries:
+            stats.entries_tested += 1
+            if not entry.mbr.intersects(box):
+                continue
+            if node.is_leaf:
+                assert entry.uid is not None
+                if exclude is None or entry.uid not in exclude:
+                    return entry.uid
+            else:
+                assert entry.child is not None
+                hit = self._find_any_rec(entry.child, box, exclude, stats)
+                if hit is not None:
+                    return hit
+        return None
+
+    def knn(self, point: Vec3, k: int) -> list[tuple[int, float]]:
+        """The ``k`` nearest objects to ``point`` as ``(uid, distance)`` pairs.
+
+        Best-first traversal with a priority queue on MBR distance, which is
+        optimal in node accesses for the given tree.
+        """
+        if k < 1 or self._size == 0:
+            return []
+        counter = itertools.count()
+        heap: list[tuple[float, int, Node | None, int | None]] = [
+            (0.0, next(counter), self.root, None)
+        ]
+        results: list[tuple[int, float]] = []
+        while heap and len(results) < k:
+            dist, _, node, uid = heapq.heappop(heap)
+            if node is None:
+                assert uid is not None
+                results.append((uid, dist))
+                continue
+            for entry in node.entries:
+                entry_dist = entry.mbr.min_distance_to_point(point)
+                if node.is_leaf:
+                    heapq.heappush(heap, (entry_dist, next(counter), None, entry.uid))
+                else:
+                    heapq.heappush(heap, (entry_dist, next(counter), entry.child, None))
+        return results
+
+    # -- invariants ------------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`InvariantViolation` if any structural invariant fails."""
+        seen_uids: set[int] = set()
+        leaf_entries = self._validate_rec(self.root, is_root=True, seen_uids=seen_uids)
+        if leaf_entries != self._size:
+            raise InvariantViolation(
+                f"size mismatch: tree says {self._size}, counted {leaf_entries}"
+            )
+
+    def _validate_rec(self, node: Node, is_root: bool, seen_uids: set[int]) -> int:
+        cap = self._capacity_of(node)
+        if len(node.entries) > cap:
+            raise InvariantViolation(f"node {node.node_id} overflows: {len(node.entries)} > {cap}")
+        if self._maintains_min_fill and not is_root and len(node.entries) < self.min_entries:
+            raise InvariantViolation(
+                f"node {node.node_id} underfull: {len(node.entries)} < {self.min_entries}"
+            )
+        if not is_root and not node.entries:
+            raise InvariantViolation(f"non-root node {node.node_id} is empty")
+        if is_root and not node.is_leaf and len(node.entries) < 2:
+            raise InvariantViolation("internal root must have >= 2 entries")
+        count = 0
+        for entry in node.entries:
+            if node.is_leaf:
+                if entry.uid is None:
+                    raise InvariantViolation("leaf entry without uid")
+                if entry.uid in seen_uids:
+                    raise InvariantViolation(f"duplicate uid {entry.uid}")
+                seen_uids.add(entry.uid)
+                count += 1
+            else:
+                child = entry.child
+                if child is None:
+                    raise InvariantViolation("internal entry without child")
+                if child.level != node.level - 1:
+                    raise InvariantViolation(
+                        f"level break: node {node.node_id} level {node.level}, "
+                        f"child {child.node_id} level {child.level}"
+                    )
+                if not entry.mbr.contains_box(child.mbr()):
+                    raise InvariantViolation(
+                        f"entry MBR of node {node.node_id} does not cover child {child.node_id}"
+                    )
+                count += self._validate_rec(child, is_root=False, seen_uids=seen_uids)
+        return count
+
+    # -- diagnostics --------------------------------------------------------------------
+    def overlap_factor(self) -> float:
+        """Mean pairwise sibling MBR overlap volume, normalised by node volume.
+
+        A direct measure of why range queries degrade on dense data: sibling
+        subtrees that cover the same space must all be descended.
+        """
+        total_overlap = 0.0
+        total_volume = 0.0
+        for node in self.iter_nodes():
+            if node.is_leaf:
+                continue
+            entries = node.entries
+            for i in range(len(entries)):
+                total_volume += entries[i].mbr.volume()
+                for j in range(i + 1, len(entries)):
+                    total_overlap += entries[i].mbr.overlap_volume(entries[j].mbr)
+        if total_volume == 0.0:
+            return 0.0
+        return total_overlap / total_volume

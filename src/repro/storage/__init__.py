@@ -1,0 +1,15 @@
+"""Paged storage substrate.
+
+The Blue Brain tools run over data stored on disk in pages; the paper's demo
+screens report "disk pages retrieved" and I/O time.  This package provides a
+deterministic stand-in: a simulated disk with a seek+transfer cost model, an
+LRU buffer pool and an object store that clusters spatial objects into
+fixed-capacity pages in Hilbert order.
+"""
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import Disk, DiskParameters, IOStats
+from repro.storage.object_store import ObjectStore
+from repro.storage.page import Page
+
+__all__ = ["BufferPool", "Disk", "DiskParameters", "IOStats", "ObjectStore", "Page"]

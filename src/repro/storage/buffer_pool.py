@@ -1,0 +1,148 @@
+"""LRU buffer pool over the simulated disk.
+
+The pool distinguishes *demand* fetches (on the query's critical path; a miss
+stalls the user) from *prefetch* fetches (issued during the scientist's think
+time between queries of a sequence; their latency is off the critical path
+but still consumes I/O).  This split is exactly what the SCOUT demo's
+counters report: total prefetched, correctly prefetched (prefetched pages
+later hit by a demand fetch) and additionally retrieved (demand misses).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.storage.disk import Disk
+from repro.storage.page import Page
+
+__all__ = ["BufferPool", "BufferStats"]
+
+
+@dataclass
+class BufferStats:
+    """Counters surfaced by the pool; all monotonically increasing."""
+
+    demand_fetches: int = 0
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_issued: int = 0
+    prefetch_used: int = 0
+    stall_time_ms: float = 0.0
+    prefetch_io_ms: float = 0.0
+    evictions: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.demand_fetches == 0:
+            return 0.0
+        return self.demand_hits / self.demand_fetches
+
+    def snapshot(self) -> "BufferStats":
+        return BufferStats(
+            self.demand_fetches,
+            self.demand_hits,
+            self.demand_misses,
+            self.prefetch_issued,
+            self.prefetch_used,
+            self.stall_time_ms,
+            self.prefetch_io_ms,
+            self.evictions,
+        )
+
+    def delta_since(self, earlier: "BufferStats") -> "BufferStats":
+        return BufferStats(
+            self.demand_fetches - earlier.demand_fetches,
+            self.demand_hits - earlier.demand_hits,
+            self.demand_misses - earlier.demand_misses,
+            self.prefetch_issued - earlier.prefetch_issued,
+            self.prefetch_used - earlier.prefetch_used,
+            self.stall_time_ms - earlier.stall_time_ms,
+            self.prefetch_io_ms - earlier.prefetch_io_ms,
+            self.evictions - earlier.evictions,
+        )
+
+
+@dataclass
+class _Frame:
+    page: Page
+    prefetched: bool  # brought in by a prefetch and not yet demanded
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of pages.
+
+    ``capacity`` is in pages.  ``fetch`` is the demand path; ``prefetch`` the
+    speculative path.  Prefetched frames are flagged until first demanded so
+    prefetch accuracy can be computed exactly.
+    """
+
+    def __init__(self, disk: Disk, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise StorageError("buffer pool capacity must be >= 1")
+        self.disk = disk
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+
+    # -- demand path -------------------------------------------------------
+    def fetch(self, page_id: int) -> Page:
+        """Fetch a page on the critical path; misses add stall time."""
+        self.stats.demand_fetches += 1
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self.stats.demand_hits += 1
+            self.stats.stall_time_ms += self.disk.params.hit_latency_ms
+            if frame.prefetched:
+                frame.prefetched = False
+                self.stats.prefetch_used += 1
+            return frame.page
+        self.stats.demand_misses += 1
+        page, latency = self.disk.read(page_id)
+        self.stats.stall_time_ms += latency
+        self._admit(page_id, _Frame(page, prefetched=False))
+        return page
+
+    # -- speculative path ----------------------------------------------------
+    def prefetch(self, page_id: int) -> bool:
+        """Bring a page in off the critical path.
+
+        Returns ``True`` if a disk read was issued, ``False`` if the page was
+        already resident (prefetching something cached is free and not
+        counted as an issued prefetch).
+        """
+        if page_id in self._frames:
+            return False
+        page, latency = self.disk.read(page_id)
+        self.stats.prefetch_issued += 1
+        self.stats.prefetch_io_ms += latency
+        self._admit(page_id, _Frame(page, prefetched=True))
+        return True
+
+    # -- management ---------------------------------------------------------
+    def _admit(self, page_id: int, frame: _Frame) -> None:
+        if len(self._frames) >= self.capacity:
+            self._frames.popitem(last=False)
+            self.stats.evictions += 1
+        self._frames[page_id] = frame
+
+    def resident(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    def resident_page_ids(self) -> list[int]:
+        return list(self._frames)
+
+    @property
+    def num_resident(self) -> int:
+        return len(self._frames)
+
+    def clear(self) -> None:
+        """Drop all frames (cold-cache experiments); stats are preserved."""
+        self._frames.clear()
+
+    def reset(self) -> None:
+        """Drop frames and zero the counters (fresh experiment)."""
+        self._frames.clear()
+        self.stats = BufferStats()

@@ -1,0 +1,42 @@
+"""Disk pages.
+
+A page holds a fixed number of spatial objects (or one index node) and knows
+the MBR of its contents, so page-level reasoning (FLAT partitions, prefetch
+decisions) never has to touch the objects themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.aabb import AABB
+
+__all__ = ["Page", "DEFAULT_PAGE_BYTES", "OBJECT_BYTES"]
+
+#: Simulated page size; 8 KiB is the classic DBMS default.
+DEFAULT_PAGE_BYTES = 8192
+
+#: Modelled on-disk footprint of one capsule segment:
+#: uid (8) + 2 endpoints (2*3*8) + radius (8) + provenance (3*4) + slack.
+OBJECT_BYTES = 96
+
+
+@dataclass(frozen=True, slots=True)
+class Page:
+    """An immutable snapshot of a disk page.
+
+    ``object_uids`` are the object ids stored on the page; ``mbr`` bounds
+    their geometry.  ``byte_size`` is the modelled physical footprint.
+    """
+
+    page_id: int
+    object_uids: tuple[int, ...]
+    mbr: AABB
+    byte_size: int = field(default=DEFAULT_PAGE_BYTES)
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.object_uids)
+
+    def __contains__(self, uid: int) -> bool:
+        return uid in self.object_uids

@@ -1,0 +1,76 @@
+"""Plain-text table rendering shared by benchmarks, examples and experiments.
+
+The demo screens of the paper display live statistics; we reproduce them as
+aligned text tables so every experiment prints the same rows the paper's demo
+stations showed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_float", "format_int"]
+
+
+def format_int(value: int | float) -> str:
+    """Format an integer with thousands separators (``12_345`` -> ``12,345``)."""
+    return f"{int(value):,}"
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float with a fixed number of significant decimals."""
+    return f"{value:.{digits}f}"
+
+
+class Table:
+    """A minimal aligned text table.
+
+    >>> t = Table(["algo", "time (ms)"])
+    >>> t.add_row(["TOUCH", 1.25])
+    >>> print(t.render())   # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.columns = [str(c) for c in columns]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, values: Iterable[Any]) -> None:
+        row = [self._format_cell(v) for v in values]
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _format_cell(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, int):
+            return format_int(value)
+        if isinstance(value, float):
+            if value != 0 and (abs(value) < 0.001 or abs(value) >= 1e6):
+                return f"{value:.3e}"
+            return format_float(value)
+        return str(value)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_line(self.columns))
+        lines.append("  ".join("-" * w for w in widths))
+        lines.extend(fmt_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,63 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, TypeVar
+
+__all__ = ["Stopwatch", "time_call"]
+
+T = TypeVar("T")
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    Usage::
+
+        sw = Stopwatch()
+        with sw:
+            do_work()
+        print(sw.elapsed)   # seconds spent inside all ``with`` blocks
+
+    The stopwatch may be entered repeatedly; elapsed time accumulates.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def time_call(func: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

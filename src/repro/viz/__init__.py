@@ -1,0 +1,15 @@
+"""Text-mode visualization of the demo's figures.
+
+The SIGMOD demo is interactive 3-D graphics; this package reproduces the
+*information* of those figures in the terminal: density projections of the
+model (Figures 1/2), FLAT's crawl order colouring (Figure 4), and
+walkthrough paths with their query windows (Figure 6).
+"""
+
+from repro.viz.ascii import (
+    render_crawl,
+    render_density,
+    render_walk,
+)
+
+__all__ = ["render_crawl", "render_density", "render_walk"]

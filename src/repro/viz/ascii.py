@@ -1,0 +1,196 @@
+"""ASCII projections of circuits, crawls and walkthroughs.
+
+Everything renders onto a character grid by orthogonal projection of 3-D
+geometry onto one of the axis planes.  Density uses a shade ramp; discrete
+overlays (crawl order, query windows, paths) use explicit glyphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.geometry.aabb import AABB
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+
+__all__ = ["render_density", "render_crawl", "render_walk"]
+
+_SHADES = " .:-=+*#%@"
+
+_PLANES = {
+    "xy": (0, 1),
+    "xz": (0, 2),
+    "zy": (2, 1),
+}
+
+
+class _Canvas:
+    """A character grid addressed in world coordinates."""
+
+    def __init__(self, world: AABB, plane: str, width: int, height: int) -> None:
+        if plane not in _PLANES:
+            raise ReproError(f"unknown projection plane {plane!r}; use one of {sorted(_PLANES)}")
+        if width < 2 or height < 2:
+            raise ReproError("canvas needs at least 2x2 characters")
+        self.world = world
+        self.plane = plane
+        self.width = width
+        self.height = height
+        self.axes = _PLANES[plane]
+        bounds = world.bounds()
+        self._lo = (bounds[self.axes[0]], bounds[self.axes[1]])
+        self._hi = (bounds[self.axes[0] + 3], bounds[self.axes[1] + 3])
+        self.cells: list[list[str]] = [[" "] * width for _ in range(height)]
+        self.counts: list[list[int]] = [[0] * width for _ in range(height)]
+
+    def locate(self, point: Vec3 | Sequence[float]) -> tuple[int, int] | None:
+        u = float(point[self.axes[0]])
+        v = float(point[self.axes[1]])
+        if not (self._lo[0] <= u <= self._hi[0] and self._lo[1] <= v <= self._hi[1]):
+            return None
+        span_u = self._hi[0] - self._lo[0] or 1.0
+        span_v = self._hi[1] - self._lo[1] or 1.0
+        col = min(self.width - 1, int((u - self._lo[0]) / span_u * self.width))
+        # Rows grow downward; world v grows upward.
+        row = min(self.height - 1, int((self._hi[1] - v) / span_v * self.height))
+        return row, col
+
+    def bump(self, point: Vec3 | Sequence[float]) -> None:
+        cell = self.locate(point)
+        if cell is not None:
+            self.counts[cell[0]][cell[1]] += 1
+
+    def put(self, point: Vec3 | Sequence[float], glyph: str) -> None:
+        cell = self.locate(point)
+        if cell is not None:
+            self.cells[cell[0]][cell[1]] = glyph
+
+    def shade_from_counts(self) -> None:
+        peak = max((c for row in self.counts for c in row), default=0)
+        if peak == 0:
+            return
+        for r in range(self.height):
+            for c in range(self.width):
+                count = self.counts[r][c]
+                if count == 0 or self.cells[r][c] != " ":
+                    continue
+                level = int(count / peak * (len(_SHADES) - 1) + 0.5)
+                self.cells[r][c] = _SHADES[max(1, level)]
+
+    def frame(self, caption: str = "") -> str:
+        top = "+" + "-" * self.width + "+"
+        body = ["|" + "".join(row) + "|" for row in self.cells]
+        lines = [top, *body, top]
+        if caption:
+            lines.append(caption)
+        return "\n".join(lines)
+
+
+def _sample_segment(segment: Segment, step: float) -> Iterable[Vec3]:
+    samples = max(1, int(segment.length / max(step, 1e-9)))
+    for i in range(samples + 1):
+        yield segment.point_at(i / samples if samples else 0.0)
+
+
+def render_density(
+    segments: Sequence[Segment],
+    plane: str = "xy",
+    width: int = 72,
+    height: int = 28,
+    world: AABB | None = None,
+) -> str:
+    """Density projection of a segment set (the model views of Figs 1/2)."""
+    if not segments:
+        raise ReproError("nothing to render")
+    box = world if world is not None else AABB.union_all(s.aabb for s in segments)
+    canvas = _Canvas(box, plane, width, height)
+    sizes = box.sizes
+    step = max(sizes) / max(width, height)
+    for segment in segments:
+        for point in _sample_segment(segment, step):
+            canvas.bump(point)
+    canvas.shade_from_counts()
+    return canvas.frame(
+        f"{len(segments):,} segments, {plane} projection "
+        f"({sizes[0]:.0f} x {sizes[1]:.0f} x {sizes[2]:.0f} um)"
+    )
+
+
+def render_crawl(
+    index,
+    crawl_order: Sequence[int],
+    query: AABB,
+    plane: str = "xy",
+    width: int = 72,
+    height: int = 28,
+) -> str:
+    """Figure 4: the order FLAT loads partitions, as a letter sequence.
+
+    Partitions are marked at their MBR centres with ``a``–``z`` (cycling)
+    in visit order; the query window is drawn with ``#`` corners/edges.
+    """
+    canvas = _Canvas(index.world, plane, width, height)
+    for segment_uid_holder in index.partitions:
+        if segment_uid_holder.num_objects:
+            canvas.bump(segment_uid_holder.mbr.center())
+    canvas.shade_from_counts()
+    # Grey background of all partitions, then the crawl on top.
+    _draw_box(canvas, query, "#")
+    for position, pid in enumerate(crawl_order):
+        glyph = chr(ord("a") + position % 26)
+        canvas.put(index.partitions[pid].mbr.center(), glyph)
+    return canvas.frame(
+        f"crawl of {len(crawl_order)} partitions (a->z in visit order), '#' = query window"
+    )
+
+
+def render_walk(
+    segments: Sequence[Segment],
+    path: Sequence[Vec3],
+    windows: Sequence[AABB] = (),
+    plane: str = "xy",
+    width: int = 72,
+    height: int = 28,
+) -> str:
+    """Figure 6: a walkthrough path over the model, windows included."""
+    if not segments:
+        raise ReproError("nothing to render")
+    box = AABB.union_all(s.aabb for s in segments)
+    canvas = _Canvas(box, plane, width, height)
+    sizes = box.sizes
+    step = max(sizes) / max(width, height)
+    for segment in segments:
+        for point in _sample_segment(segment, step):
+            canvas.bump(point)
+    canvas.shade_from_counts()
+    for window in windows:
+        _draw_box(canvas, window, "+")
+    for position, point in enumerate(path):
+        glyph = "O" if position == 0 else ("X" if position == len(path) - 1 else "o")
+        canvas.put(point, glyph)
+    return canvas.frame(
+        f"walkthrough: O start, o steps, X end, '+' = query windows ({len(path)} steps)"
+    )
+
+
+def _draw_box(canvas: _Canvas, box: AABB, glyph: str) -> None:
+    """Trace a box outline in the projection plane."""
+    a0, a1 = canvas.axes
+    bounds = box.bounds()
+    lo = (bounds[a0], bounds[a1])
+    hi = (bounds[a0 + 3], bounds[a1 + 3])
+    steps = max(canvas.width, canvas.height)
+    for i in range(steps + 1):
+        t = i / steps
+        u = lo[0] + (hi[0] - lo[0]) * t
+        v = lo[1] + (hi[1] - lo[1]) * t
+        for point_uv in ((u, lo[1]), (u, hi[1]), (lo[0], v), (hi[0], v)):
+            coords = [0.0, 0.0, 0.0]
+            coords[a0] = point_uv[0]
+            coords[a1] = point_uv[1]
+            # The third axis is centred so the point stays inside the world.
+            third = ({0, 1, 2} - {a0, a1}).pop()
+            world_bounds = canvas.world.bounds()
+            coords[third] = (world_bounds[third] + world_bounds[third + 3]) / 2.0
+            canvas.put(coords, glyph)

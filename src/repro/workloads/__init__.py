@@ -1,0 +1,24 @@
+"""Workload generators: the scripted stand-in for the demo's audience.
+
+Range-query workloads (dense/sparse/uniform), branch-following walkthroughs
+(SCOUT) and join dataset pairs (TOUCH) — all seeded and reproducible.
+"""
+
+from repro.workloads.joins import JoinWorkload, clustered_boxes, uniform_boxes
+from repro.workloads.ranges import (
+    density_stratified_queries,
+    grid_queries,
+    uniform_queries,
+)
+from repro.workloads.walks import BranchWalk, branch_walk, random_walk
+
+__all__ = [
+    "BranchWalk",
+    "JoinWorkload",
+    "branch_walk",
+    "clustered_boxes",
+    "density_stratified_queries",
+    "grid_queries",
+    "random_walk",
+    "uniform_boxes",
+]

@@ -1,0 +1,109 @@
+"""Join workloads: dataset pairs for the TOUCH experiments.
+
+The domain pair is axonal vs dendritic segments of a circuit (synapse
+discovery, §4); synthetic uniform and clustered box pairs cover the
+algorithmic corner cases (selectivity extremes, skew) in tests and
+ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.neuro.circuit import Circuit
+from repro.objects import BoxObject
+from repro.utils.rng import make_rng
+
+__all__ = ["JoinWorkload", "uniform_boxes", "clustered_boxes"]
+
+
+@dataclass(frozen=True)
+class JoinWorkload:
+    """A named pair of datasets plus the join tolerance."""
+
+    name: str
+    objects_a: list
+    objects_b: list
+    eps: float
+
+    @staticmethod
+    def synapse_discovery(circuit: Circuit, eps: float = 3.0) -> "JoinWorkload":
+        """Axon segments joined against dendrite segments of ``circuit``."""
+        return JoinWorkload(
+            name="synapse-discovery",
+            objects_a=circuit.axon_segments(),
+            objects_b=circuit.dendrite_segments(),
+            eps=eps,
+        )
+
+
+def uniform_boxes(
+    count: int,
+    world: AABB,
+    extent_mean: float,
+    extent_sd: float = 0.0,
+    seed: int | np.random.Generator = 0,
+    uid_offset: int = 0,
+) -> list[BoxObject]:
+    """``count`` axis-aligned boxes with centres uniform in ``world``."""
+    if count < 0:
+        raise WorkloadError("count must be >= 0")
+    rng = make_rng(seed)
+    boxes = []
+    for i in range(count):
+        center = Vec3(
+            float(rng.uniform(world.min_x, world.max_x)),
+            float(rng.uniform(world.min_y, world.max_y)),
+            float(rng.uniform(world.min_z, world.max_z)),
+        )
+        extent = max(1e-6, float(rng.normal(extent_mean, extent_sd)))
+        boxes.append(BoxObject(uid=uid_offset + i, box=AABB.from_center_extent(center, extent)))
+    return boxes
+
+
+def clustered_boxes(
+    count: int,
+    world: AABB,
+    extent_mean: float,
+    num_clusters: int = 8,
+    cluster_sigma_fraction: float = 0.05,
+    seed: int | np.random.Generator = 0,
+    uid_offset: int = 0,
+) -> list[BoxObject]:
+    """Boxes drawn around ``num_clusters`` Gaussian hot spots (skewed data)."""
+    if count < 0:
+        raise WorkloadError("count must be >= 0")
+    if num_clusters < 1:
+        raise WorkloadError("num_clusters must be >= 1")
+    rng = make_rng(seed)
+    sx, sy, sz = world.sizes
+    sigma = (
+        sx * cluster_sigma_fraction,
+        sy * cluster_sigma_fraction,
+        sz * cluster_sigma_fraction,
+    )
+    cluster_centers = [
+        (
+            float(rng.uniform(world.min_x, world.max_x)),
+            float(rng.uniform(world.min_y, world.max_y)),
+            float(rng.uniform(world.min_z, world.max_z)),
+        )
+        for _ in range(num_clusters)
+    ]
+    boxes = []
+    for i in range(count):
+        cx, cy, cz = cluster_centers[int(rng.integers(0, num_clusters))]
+        center = Vec3(
+            min(max(float(rng.normal(cx, sigma[0])), world.min_x), world.max_x),
+            min(max(float(rng.normal(cy, sigma[1])), world.min_y), world.max_y),
+            min(max(float(rng.normal(cz, sigma[2])), world.min_z), world.max_z),
+        )
+        boxes.append(
+            BoxObject(uid=uid_offset + i, box=AABB.from_center_extent(center, extent_mean))
+        )
+    return boxes

@@ -1,0 +1,115 @@
+"""Range-query workloads.
+
+The FLAT demo lets the audience "test how FLAT and the R-Tree behave when
+executing queries in dense and sparse regions" (§2.2); these generators
+script that behaviour: uniform windows, density-stratified windows (centres
+drawn where data is dense or sparse) and exhaustive grids (the tissue-
+statistics use case E8).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.objects import SpatialObject
+from repro.utils.rng import make_rng
+
+__all__ = ["uniform_queries", "density_stratified_queries", "grid_queries"]
+
+
+def uniform_queries(
+    world: AABB,
+    count: int,
+    extent: float | tuple[float, float, float],
+    seed: int | np.random.Generator = 0,
+) -> list[AABB]:
+    """``count`` query boxes with centres uniform in ``world``."""
+    if count < 0:
+        raise WorkloadError("count must be >= 0")
+    rng = make_rng(seed)
+    boxes = []
+    for _ in range(count):
+        center = Vec3(
+            float(rng.uniform(world.min_x, world.max_x)),
+            float(rng.uniform(world.min_y, world.max_y)),
+            float(rng.uniform(world.min_z, world.max_z)),
+        )
+        boxes.append(AABB.from_center_extent(center, extent))
+    return boxes
+
+
+def density_stratified_queries(
+    objects: Sequence[SpatialObject],
+    count: int,
+    extent: float | tuple[float, float, float],
+    dense: bool,
+    seed: int | np.random.Generator = 0,
+    sample_candidates: int = 64,
+) -> list[AABB]:
+    """Query boxes centred in dense (or sparse) regions of ``objects``.
+
+    Each query draws ``sample_candidates`` candidate centres at object
+    positions (dense) or uniformly in the world box (sparse), estimates the
+    local population with a cheap count of object centres inside the
+    candidate window, and keeps the densest (or sparsest) candidate.
+    """
+    if not objects:
+        raise WorkloadError("need objects to stratify by density")
+    rng = make_rng(seed)
+    centers = np.array(
+        [[(o.aabb.min_x + o.aabb.max_x) / 2,
+          (o.aabb.min_y + o.aabb.max_y) / 2,
+          (o.aabb.min_z + o.aabb.max_z) / 2] for o in objects]
+    )
+    world_lo = centers.min(axis=0)
+    world_hi = centers.max(axis=0)
+    if isinstance(extent, (int, float)):
+        half = np.array([extent, extent, extent]) / 2.0
+    else:
+        half = np.array(extent) / 2.0
+
+    queries = []
+    for _ in range(count):
+        if dense:
+            picks = centers[rng.integers(0, len(centers), size=sample_candidates)]
+        else:
+            picks = rng.uniform(world_lo, world_hi, size=(sample_candidates, 3))
+        # Population inside each candidate window.
+        counts = np.array(
+            [
+                int(np.sum(np.all(np.abs(centers - p) <= half, axis=1)))
+                for p in picks
+            ]
+        )
+        best = int(np.argmax(counts) if dense else np.argmin(counts))
+        center = Vec3(*(float(v) for v in picks[best]))
+        queries.append(AABB.from_center_extent(center, extent))
+    return queries
+
+
+def grid_queries(world: AABB, cells_per_axis: int) -> list[AABB]:
+    """Tile ``world`` with adjacent query boxes (tissue-statistics scans)."""
+    if cells_per_axis < 1:
+        raise WorkloadError("cells_per_axis must be >= 1")
+    sx, sy, sz = world.sizes
+    step = (sx / cells_per_axis, sy / cells_per_axis, sz / cells_per_axis)
+    queries = []
+    for ix in range(cells_per_axis):
+        for iy in range(cells_per_axis):
+            for iz in range(cells_per_axis):
+                queries.append(
+                    AABB(
+                        world.min_x + ix * step[0],
+                        world.min_y + iy * step[1],
+                        world.min_z + iz * step[2],
+                        world.min_x + (ix + 1) * step[0],
+                        world.min_y + (iy + 1) * step[1],
+                        world.min_z + (iz + 1) * step[2],
+                    )
+                )
+    return queries

@@ -1,0 +1,60 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.geometry.aabb import AABB
+from repro.neuro.circuit import Circuit, generate_circuit
+from repro.objects import BoxObject
+
+# Keep property tests fast and deterministic in CI.
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def small_circuit() -> Circuit:
+    """A tiny circuit shared by read-only tests (never mutate it)."""
+    return generate_circuit(n_neurons=8, seed=101)
+
+
+@pytest.fixture(scope="session")
+def medium_circuit() -> Circuit:
+    """A mid-size circuit for index/join integration tests (read-only)."""
+    return generate_circuit(n_neurons=20, seed=202)
+
+
+@pytest.fixture()
+def unit_box() -> AABB:
+    return AABB(0.0, 0.0, 0.0, 1.0, 1.0, 1.0)
+
+
+def grid_boxes(n: int, spacing: float = 2.0, size: float = 1.0) -> list[BoxObject]:
+    """n^3 disjoint unit boxes on a regular grid (deterministic test data)."""
+    out = []
+    uid = 0
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                lo = (i * spacing, j * spacing, k * spacing)
+                out.append(
+                    BoxObject(
+                        uid=uid,
+                        box=AABB(lo[0], lo[1], lo[2], lo[0] + size, lo[1] + size, lo[2] + size),
+                    )
+                )
+                uid += 1
+    return out
+
+
+@pytest.fixture()
+def grid27() -> list[BoxObject]:
+    return grid_boxes(3)

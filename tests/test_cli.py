@@ -1,0 +1,77 @@
+"""Tests for the terminal demo runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_demo_stations(self):
+        parser = build_parser()
+        for station in ("flat", "scout", "touch", "all"):
+            args = parser.parse_args(["demo", station])
+            assert args.station == station
+
+    def test_unknown_station_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "bogus"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_circuit_defaults(self):
+        args = build_parser().parse_args(["circuit"])
+        assert args.neurons == 20
+        assert args.out is None
+
+    def test_report_options(self):
+        args = build_parser().parse_args(["report", "--full", "--out", "r.txt"])
+        assert args.full and args.out == "r.txt"
+
+
+class TestCircuitCommand:
+    def test_prints_morphometry(self, capsys):
+        code = main(["circuit", "--neurons", "3", "--seed", "5", "--no-figures"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "circuit morphometry" in out
+        assert "neurons" in out
+
+    def test_figures_rendered(self, capsys):
+        code = main(["circuit", "--neurons", "3", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "projection" in out
+        assert "+--" in out  # canvas frame
+
+    def test_export(self, capsys, tmp_path):
+        code = main(
+            ["circuit", "--neurons", "3", "--seed", "5", "--no-figures",
+             "--out", str(tmp_path / "model")]
+        )
+        assert code == 0
+        assert (tmp_path / "model" / "circuit.json").exists()
+        assert (tmp_path / "model" / "neuron_0.swc").exists()
+        out = capsys.readouterr().out
+        assert "exported" in out
+
+
+class TestDemoCommand:
+    def test_scout_station_quick(self, capsys):
+        code = main(["demo", "scout", "--quick", "--no-figures"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E4 candidate pruning" in out
+        assert "E5 walkthrough" in out
+        assert "SCOUT" in out
+
+    def test_touch_station_quick(self, capsys):
+        code = main(["demo", "touch", "--quick", "--no-figures"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E6 spatial join" in out
+        assert "E7 join scaling" in out
+        assert "TOUCH" in out

@@ -1,0 +1,115 @@
+"""Unit and integration tests for connectome analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.vec import Vec3
+from repro.neuro.connectome import (
+    build_connectome,
+    connection_probability_by_distance,
+    summarize_connectome,
+)
+from repro.neuro.synapses import Synapse
+
+
+def synapse(pre: int, post: int) -> Synapse:
+    return Synapse(
+        pre_uid=0,
+        post_uid=1,
+        pre_neuron=pre,
+        post_neuron=post,
+        position=Vec3(0, 0, 0),
+        gap=0.0,
+    )
+
+
+class TestGraph:
+    def test_edge_weights_count_touches(self):
+        graph = build_connectome([synapse(1, 2), synapse(1, 2), synapse(2, 3)])
+        assert graph[1][2]["weight"] == 2
+        assert graph[2][3]["weight"] == 1
+        assert graph.number_of_edges() == 2
+
+    def test_directedness(self):
+        graph = build_connectome([synapse(1, 2)])
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(2, 1)
+
+    def test_empty(self):
+        graph = build_connectome([])
+        assert graph.number_of_nodes() == 0
+
+
+class TestSummary:
+    def test_counts(self):
+        synapses = [synapse(1, 2), synapse(1, 2), synapse(2, 1), synapse(1, 3)]
+        summary = summarize_connectome(synapses)
+        assert summary.num_neurons == 3
+        assert summary.num_connections == 3  # 1->2, 2->1, 1->3
+        assert summary.num_synapses == 4
+        assert summary.mean_synapses_per_connection == pytest.approx(4 / 3)
+        assert summary.max_out_degree == 2  # neuron 1
+
+    def test_reciprocity(self):
+        mutual = summarize_connectome([synapse(1, 2), synapse(2, 1)])
+        assert mutual.reciprocity == pytest.approx(1.0)
+        one_way = summarize_connectome([synapse(1, 2), synapse(1, 3)])
+        assert one_way.reciprocity == 0.0
+
+    def test_empty(self):
+        summary = summarize_connectome([])
+        assert summary.num_connections == 0
+        assert summary.mean_synapses_per_connection == 0.0
+        assert "connectome" in summary.render()
+
+
+class TestDistanceProfile:
+    def test_probability_bins(self, small_circuit):
+        # Connect the two nearest somas; the hit lands in an early bin.
+        gids = sorted(n.gid for n in small_circuit.neurons)
+        positions = {n.gid: n.soma_position for n in small_circuit.neurons}
+        pre, post = min(
+            ((a, b) for a in gids for b in gids if a != b),
+            key=lambda pair: positions[pair[0]].distance_to(positions[pair[1]]),
+        )
+        rows = connection_probability_by_distance(
+            small_circuit, [synapse(pre, post)], bin_width=100.0
+        )
+        total_pairs = sum(total for _, _, total, _ in rows)
+        assert total_pairs == len(gids) * (len(gids) - 1)
+        assert sum(hits for _, hits, _, _ in rows) == 1
+        for _, hits, total, probability in rows:
+            if total:
+                assert probability == pytest.approx(hits / total)
+
+    def test_bin_width_validation(self, small_circuit):
+        with pytest.raises(ValueError):
+            connection_probability_by_distance(small_circuit, [], bin_width=0.0)
+
+
+class TestEndToEnd:
+    def test_join_to_connectome(self, medium_circuit):
+        from repro.core.touch.join import touch_join
+        from repro.geometry.distance import segments_touch
+        from repro.neuro.synapses import refine_touch
+
+        axons = medium_circuit.axon_segments()[:600]
+        dendrites = medium_circuit.dendrite_segments()[:600]
+        join = touch_join(
+            axons,
+            dendrites,
+            eps=5.0,
+            refine=lambda a, b: a.neuron_id != b.neuron_id and segments_touch(a, b, eps=5.0),
+        )
+        by_uid = {s.uid: s for s in axons + dendrites}
+        synapses = [
+            s
+            for pre, post in join.pairs
+            if (s := refine_touch(by_uid[pre], by_uid[post], tolerance=5.0)) is not None
+        ]
+        summary = summarize_connectome(synapses)
+        assert summary.num_synapses == len(synapses)
+        # No autapses survive refinement.
+        graph = build_connectome(synapses)
+        assert all(u != v for u, v in graph.edges)

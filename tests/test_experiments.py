@@ -1,0 +1,167 @@
+"""Smoke/integration tests for the experiment harness (small parameters).
+
+The benchmarks run the full-size experiments; these tests verify the
+harness logic itself — table rendering, result invariants, cross-system
+agreement — at sizes that keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    a1_flat_verification,
+    a2_flat_page_capacity,
+    a5_touch_filtering,
+    a6_touch_fanout,
+)
+from repro.experiments.datasets import (
+    circuit_dataset,
+    dense_join_workload,
+    flat_index_for,
+    rtree_baseline_for,
+)
+from repro.experiments.fig_flat import (
+    crawl_trace_experiment,
+    density_sweep_experiment,
+    flat_vs_rtree_experiment,
+    tissue_statistics_experiment,
+)
+from repro.experiments.fig_scout import pruning_experiment, walkthrough_experiment
+from repro.experiments.fig_touch import (
+    join_comparison_experiment,
+    join_scaling_experiment,
+)
+
+SMALL = dict(n_neurons=12, seed=99)
+
+
+class TestDatasets:
+    def test_circuit_memoised(self):
+        assert circuit_dataset(**SMALL) is circuit_dataset(**SMALL)
+
+    def test_index_matches_circuit(self):
+        circuit = circuit_dataset(**SMALL)
+        index = flat_index_for(page_capacity=32, **SMALL)
+        assert index.num_objects == circuit.num_segments
+
+    def test_rtree_baseline_methods(self):
+        inserted = rtree_baseline_for(method="insert", **SMALL)
+        packed = rtree_baseline_for(method="str", **SMALL)
+        assert len(inserted) == len(packed)
+        inserted.validate()
+        packed.validate()
+        # Both must answer queries identically (overlap quality differs).
+        circuit = circuit_dataset(**SMALL)
+        from repro.geometry.aabb import AABB
+
+        box = AABB.from_center_extent(circuit.bounding_box().center(), 150.0)
+        assert sorted(inserted.range_query(box)) == sorted(packed.range_query(box))
+        with pytest.raises(ValueError):
+            rtree_baseline_for(method="bogus", **SMALL)
+
+    def test_dense_join_workload_shapes(self):
+        a, b = dense_join_workload(200, seed=5, n_neurons=30)
+        assert len(a) == 200 and len(b) == 200
+        assert len({s.uid for s in a} & {s.uid for s in b}) == 0
+
+
+class TestFlatExperiments:
+    def test_e1_result_consistency(self):
+        result = flat_vs_rtree_experiment(
+            region="dense", num_queries=3, extent=100.0, **SMALL
+        )
+        assert result.flat.mean_results == result.rtree.mean_results
+        assert result.flat.mean_data_pages > 0
+        assert "E1" in result.render()
+
+    def test_e1_sparse_region(self):
+        result = flat_vs_rtree_experiment(
+            region="sparse", num_queries=3, extent=60.0, **SMALL
+        )
+        assert result.flat.mean_results <= 50
+
+    def test_e2_rows_and_growth(self):
+        sweep = density_sweep_experiment(
+            density_factors=(1, 2), base_neurons=6, num_queries=3, seed=99
+        )
+        assert len(sweep.rows) == 2
+        assert sweep.flat_growth() > 0
+        assert "density" in sweep.render()
+
+    def test_e3_trace_contiguous(self):
+        trace = crawl_trace_experiment(extent=120.0, **SMALL)
+        assert 0.0 <= trace.contiguous_fraction <= 1.0
+        assert trace.data_pages == len(trace.crawl_order)
+
+    def test_e8_density_grid(self):
+        result = tissue_statistics_experiment(cells_per_axis=2, **SMALL)
+        assert len(result.densities) == 8
+        assert result.flat_total_pages > 0
+
+
+class TestScoutExperiments:
+    def test_e4_history_nonempty(self):
+        result = pruning_experiment(walk_seed=3, **SMALL)
+        assert result.candidate_history
+        assert all(c >= 0 for c in result.candidate_history)
+
+    def test_e5_rows_complete(self):
+        result = walkthrough_experiment(
+            num_walks=1, methods=("none", "SCOUT"), **SMALL
+        )
+        assert {row.method for row in result.rows} == {"none", "SCOUT"}
+        scout = result.row("SCOUT")
+        none = result.row("none")
+        assert scout.total_stall_ms <= none.total_stall_ms
+        assert none.speedup == 1.0
+        with pytest.raises(KeyError):
+            result.row("bogus")
+
+
+class TestTouchExperiments:
+    def test_e6_all_algorithms_agree(self):
+        result = join_comparison_experiment(n_per_side=300, seed=99)
+        pair_counts = {row.pairs for row in result.rows}
+        assert len(pair_counts) == 1  # identical result sets
+        assert result.row("TOUCH").filtered >= 0
+        assert "E6" in result.render()
+
+    def test_e6_without_refinement(self):
+        refined = join_comparison_experiment(n_per_side=300, seed=99, refine=True)
+        raw = join_comparison_experiment(n_per_side=300, seed=99, refine=False)
+        assert raw.synapses >= refined.synapses
+
+    def test_e7_slowdowns_relative_to_touch(self):
+        result = join_scaling_experiment(sizes=(300,), seed=99, nested_loop_max=300)
+        touch_rows = [r for r in result.rows if r.algorithm == "TOUCH"]
+        assert all(r.slowdown_vs_touch == 1.0 for r in touch_rows)
+        nested = result.slowdown("nested-loop", 300)
+        assert nested > 1.0
+
+    def test_e7_nested_loop_capped(self):
+        result = join_scaling_experiment(sizes=(300, 400), seed=99, nested_loop_max=300)
+        nested_sizes = {r.n_per_side for r in result.rows if r.algorithm == "nested-loop"}
+        assert nested_sizes == {300}
+
+
+class TestAblations:
+    def test_a1_full_recall_both_modes(self):
+        result = a1_flat_verification(n_neurons=12, num_queries=4, seed=99)
+        for row in result.rows:
+            assert row["recall"] == pytest.approx(1.0)
+
+    def test_a2_monotone_pages(self):
+        result = a2_flat_page_capacity(
+            capacities=(16, 64), n_neurons=12, num_queries=4, seed=99
+        )
+        assert result.rows[0]["pages"] >= result.rows[-1]["pages"]
+
+    def test_a5_results_invariant(self):
+        result = a5_touch_filtering(n_per_side=300, seed=99)
+        on, off = result.rows
+        assert on["pairs"] == off["pairs"]
+
+    def test_a6_results_invariant(self):
+        result = a6_touch_fanout(fanouts=(4, 16), n_per_side=300, seed=99)
+        assert len(result.rows) == 2

@@ -1,0 +1,128 @@
+"""Failure injection: storage faults and resource pressure.
+
+The library must degrade predictably: I/O errors surface as exceptions
+without corrupting index state, and undersized buffer pools cost latency,
+never correctness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flat.index import FLATIndex
+from repro.core.scout.prefetcher import ScoutPrefetcher
+from repro.core.scout.session import ExplorationSession
+from repro.errors import PageNotFoundError, StorageError
+from repro.geometry.aabb import AABB
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import Disk
+from repro.storage.page import Page
+from tests.conftest import grid_boxes
+
+
+class FlakyDisk(Disk):
+    """A disk that fails every read after the first ``budget`` ones."""
+
+    def __init__(self, budget: int) -> None:
+        super().__init__()
+        self.budget = budget
+
+    def read(self, page_id: int) -> tuple[Page, float]:
+        if self.budget <= 0:
+            raise PageNotFoundError(page_id)
+        self.budget -= 1
+        return super().read(page_id)
+
+
+def flaky_index(budget: int) -> FLATIndex:
+    index = FLATIndex(grid_boxes(4), page_capacity=4)
+    flaky = FlakyDisk(budget)
+    for pid in index.disk.page_ids():
+        flaky.store(index.disk.peek(pid))
+    index.disk = flaky
+    return index
+
+
+class TestDiskFaults:
+    def test_query_propagates_read_failure(self):
+        index = flaky_index(budget=2)
+        big = AABB(-10, -10, -10, 50, 50, 50)
+        with pytest.raises(PageNotFoundError):
+            index.query(big)
+
+    def test_index_survives_failed_query(self):
+        index = flaky_index(budget=2)
+        big = AABB(-10, -10, -10, 50, 50, 50)
+        with pytest.raises(PageNotFoundError):
+            index.query(big)
+        # Repair the disk and retry: results are exact, state untouched.
+        index.disk.budget = 10_000
+        result = index.query(big)
+        assert sorted(result.uids) == [o.uid for o in grid_boxes(4)]
+        index.validate()
+
+    def test_session_propagates_failures_cleanly(self, medium_circuit):
+        index = FLATIndex(medium_circuit.segments(), page_capacity=16)
+        flaky = FlakyDisk(budget=3)
+        for pid in index.disk.page_ids():
+            flaky.store(index.disk.peek(pid))
+        index.disk = flaky
+        pool = BufferPool(index.disk, capacity=64)
+        session = ExplorationSession(index, pool, ScoutPrefetcher(index, pool))
+        from repro.workloads.walks import branch_walk
+
+        walk = branch_walk(medium_circuit, window_extent=80.0, seed=5)
+        with pytest.raises(PageNotFoundError):
+            session.run(walk.queries)
+
+    def test_missing_page_error_carries_id(self):
+        disk = Disk()
+        with pytest.raises(PageNotFoundError) as excinfo:
+            disk.read(42)
+        assert excinfo.value.page_id == 42
+        assert isinstance(excinfo.value, StorageError)
+
+
+class TestResourcePressure:
+    def test_tiny_pool_is_correct_but_slow(self, medium_circuit):
+        index = FLATIndex(medium_circuit.segments(), page_capacity=16)
+        box = AABB.from_center_extent(medium_circuit.bounding_box().center(), 150.0)
+        expected = sorted(index.query(box).uids)
+
+        tiny = BufferPool(index.disk, capacity=1)
+        roomy = BufferPool(index.disk, capacity=512)
+        tiny_result = index.query(box, pool=tiny)
+        roomy_first = index.query(box, pool=roomy)
+        roomy_second = index.query(box, pool=roomy)
+        assert sorted(tiny_result.uids) == expected
+        assert sorted(roomy_second.uids) == expected
+        # With one frame every repeat fetch misses; with room it hits.
+        repeat_tiny = index.query(box, pool=tiny)
+        assert repeat_tiny.stats.stall_time_ms > roomy_second.stats.stall_time_ms
+        assert roomy_first.stats.stall_time_ms > roomy_second.stats.stall_time_ms
+
+    def test_pool_thrash_counts_evictions(self, medium_circuit):
+        index = FLATIndex(medium_circuit.segments(), page_capacity=16)
+        pool = BufferPool(index.disk, capacity=2)
+        box = AABB.from_center_extent(medium_circuit.bounding_box().center(), 200.0)
+        index.query(box, pool=pool)
+        assert pool.stats.evictions > 0
+        assert pool.num_resident <= 2
+
+    def test_prefetch_under_pressure_never_breaks_results(self, medium_circuit):
+        from repro.workloads.walks import branch_walk
+
+        index = FLATIndex(medium_circuit.segments(), page_capacity=16)
+        walk = branch_walk(medium_circuit, window_extent=80.0, seed=5)
+        # Pool far smaller than a window's footprint: prefetches evict each
+        # other, results must still be exact at every step.
+        pool = BufferPool(index.disk, capacity=3)
+        session = ExplorationSession(index, pool, ScoutPrefetcher(index, pool))
+        metrics = session.run(walk.queries)
+        baseline_pool = BufferPool(index.disk, capacity=512)
+        baseline = ExplorationSession(
+            index, baseline_pool, ScoutPrefetcher(index, baseline_pool)
+        ).run(walk.queries)
+        assert [s.result_size for s in metrics.steps] == [
+            s.result_size for s in baseline.steps
+        ]

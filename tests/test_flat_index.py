@@ -1,0 +1,171 @@
+"""Unit and integration tests for the FLAT index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flat.index import FLATIndex
+from repro.errors import IndexError_
+from repro.geometry.aabb import AABB
+from repro.objects import BoxObject
+from repro.storage.buffer_pool import BufferPool
+from repro.utils.rng import make_rng
+from repro.workloads.ranges import uniform_queries
+from tests.conftest import grid_boxes
+
+
+@pytest.fixture(scope="module")
+def circuit_index(medium_circuit_module):
+    return FLATIndex(medium_circuit_module.segments(), page_capacity=32)
+
+
+@pytest.fixture(scope="module")
+def medium_circuit_module():
+    from repro.neuro.circuit import generate_circuit
+
+    return generate_circuit(n_neurons=20, seed=202)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(IndexError_):
+            FLATIndex([])
+
+    def test_rejects_duplicate_uids(self):
+        box = AABB(0, 0, 0, 1, 1, 1)
+        with pytest.raises(IndexError_):
+            FLATIndex([BoxObject(1, box), BoxObject(1, box)])
+
+    def test_partition_pages_on_disk(self):
+        index = FLATIndex(grid_boxes(4), page_capacity=8)
+        assert index.disk.num_pages == index.num_partitions
+        for partition in index.partitions:
+            page = index.disk.peek(partition.partition_id)
+            assert page.object_uids == partition.object_uids
+
+    def test_index_bytes_positive(self):
+        index = FLATIndex(grid_boxes(3), page_capacity=4)
+        assert index.index_bytes() > 0
+
+    def test_world_covers_all(self):
+        index = FLATIndex(grid_boxes(3), page_capacity=4)
+        for obj in index.objects():
+            assert index.world.contains_box(obj.aabb)
+
+
+class TestQueriesOnSyntheticGrid:
+    def setup_method(self):
+        self.objects = grid_boxes(5, spacing=2.0)
+        self.index = FLATIndex(self.objects, page_capacity=6)
+
+    def brute(self, box: AABB) -> list[int]:
+        return sorted(o.uid for o in self.objects if o.aabb.intersects(box))
+
+    def test_exact_on_windows(self):
+        for box in (
+            AABB(0, 0, 0, 3, 3, 3),
+            AABB(2, 2, 2, 9, 9, 9),
+            AABB(-5, -5, -5, 20, 20, 20),  # everything
+            AABB(100, 100, 100, 110, 110, 110),  # nothing
+        ):
+            result = self.index.query(box)
+            assert sorted(result.uids) == self.brute(box)
+
+    def test_single_seed_mode_matches_on_contiguous_ranges(self):
+        box = AABB(1, 1, 1, 7, 7, 7)
+        fast = self.index.query(box, verify=False)
+        assert sorted(fast.uids) == self.brute(box)
+        assert fast.stats.seed_attempts == 1
+
+    def test_verified_mode_issues_final_check(self):
+        box = AABB(1, 1, 1, 7, 7, 7)
+        checked = self.index.query(box, verify=True)
+        assert checked.stats.seed_attempts >= 2  # initial + terminating probe
+        assert sorted(checked.uids) == self.brute(box)
+
+    def test_empty_result_stats(self):
+        result = self.index.query(AABB(50, 50, 50, 60, 60, 60))
+        assert result.uids == []
+        assert result.stats.partitions_fetched == 0
+        assert result.stats.seed_attempts == 1
+
+    def test_crawl_order_matches_fetch_count(self):
+        box = AABB(0, 0, 0, 8, 8, 8)
+        result = self.index.query(box)
+        assert len(result.stats.crawl_order) == result.stats.partitions_fetched
+        assert len(set(result.stats.crawl_order)) == len(result.stats.crawl_order)
+
+    def test_verify_recovers_disconnected_range(self):
+        # Two far-apart clusters, one query box spanning both: the crawl
+        # cannot bridge the gap (no neighbour links across it), so only
+        # verification finds the second cluster.
+        cluster_a = grid_boxes(2, spacing=2.0)
+        cluster_b = [
+            BoxObject(uid=100 + o.uid, box=o.box.translated_by_x(1000.0))
+            for o in []
+        ]
+        # Build the distant cluster explicitly (no helper for offset boxes).
+        cluster_b = [
+            BoxObject(uid=100 + i, box=AABB(1000 + 2 * i, 0, 0, 1001 + 2 * i, 1, 1))
+            for i in range(8)
+        ]
+        index = FLATIndex(cluster_a + cluster_b, page_capacity=4, neighbor_eps=0.5)
+        box = AABB(-10, -10, -10, 2000, 50, 50)
+        exact = index.query(box, verify=True)
+        assert sorted(exact.uids) == sorted(o.uid for o in cluster_a + cluster_b)
+        assert exact.stats.reseeds >= 1
+        fast = index.query(box, verify=False)
+        # Single-seed mode misses the far cluster here - the documented
+        # trade-off that A1 quantifies.
+        assert len(fast.uids) < len(exact.uids)
+
+
+class TestQueriesOnCircuit:
+    def test_exact_against_brute_force(self, circuit_index, medium_circuit_module):
+        segments = medium_circuit_module.segments()
+        world = medium_circuit_module.bounding_box()
+        rng = make_rng(17)
+        for extent in (30.0, 120.0, 400.0):
+            for box in uniform_queries(world, 5, extent, seed=rng):
+                result = circuit_index.query(box)
+                expected = sorted(s.uid for s in segments if s.aabb.intersects(box))
+                assert sorted(result.uids) == expected
+
+    def test_single_seed_mode_exact_on_circuit(self, circuit_index, medium_circuit_module):
+        segments = medium_circuit_module.segments()
+        world = medium_circuit_module.bounding_box()
+        for box in uniform_queries(world, 10, 150.0, seed=23):
+            result = circuit_index.query(box, verify=False)
+            expected = sorted(s.uid for s in segments if s.aabb.intersects(box))
+            assert sorted(result.uids) == expected
+
+    def test_seed_cost_tracks_height_not_result(self, circuit_index, medium_circuit_module):
+        world = medium_circuit_module.bounding_box()
+        big = AABB.from_center_extent(world.center(), 500.0)
+        result = circuit_index.query(big, verify=False)
+        assert result.stats.seed_nodes_visited <= circuit_index.seed_tree.height + 2
+        assert result.stats.partitions_fetched > 10
+
+    def test_query_through_buffer_pool_counts_stall(self, circuit_index, medium_circuit_module):
+        world = medium_circuit_module.bounding_box()
+        box = AABB.from_center_extent(world.center(), 150.0)
+        pool = BufferPool(circuit_index.disk, capacity=64)
+        cold = circuit_index.query(box, pool=pool)
+        warm = circuit_index.query(box, pool=pool)
+        assert sorted(cold.uids) == sorted(warm.uids)
+        assert warm.stats.stall_time_ms < cold.stats.stall_time_ms
+
+    def test_partitions_intersecting_is_pure_index_work(self, circuit_index, medium_circuit_module):
+        world = medium_circuit_module.bounding_box()
+        box = AABB.from_center_extent(world.center(), 100.0)
+        reads_before = circuit_index.disk.stats.page_reads
+        pids = circuit_index.partitions_intersecting(box)
+        assert circuit_index.disk.stats.page_reads == reads_before
+        expected = sorted(
+            p.partition_id for p in circuit_index.partitions if p.mbr.intersects(box)
+        )
+        assert sorted(pids) == expected
+
+    def test_unknown_uid_raises(self, circuit_index):
+        with pytest.raises(IndexError_):
+            circuit_index.object(10**9)

@@ -1,0 +1,100 @@
+"""Unit tests for FLAT's partitioning and neighborhood construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flat.neighborhood import build_neighbor_links, default_neighbor_eps
+from repro.core.flat.partitions import build_partitions
+from repro.errors import IndexError_
+from tests.conftest import grid_boxes
+
+
+class TestPartitions:
+    def test_every_object_in_exactly_one_partition(self):
+        objects = grid_boxes(4)
+        partitions = build_partitions(objects, page_capacity=8)
+        seen: list[int] = []
+        for p in partitions:
+            seen.extend(p.object_uids)
+        assert sorted(seen) == [o.uid for o in objects]
+
+    def test_capacity_respected(self):
+        partitions = build_partitions(grid_boxes(4), page_capacity=7)
+        assert all(p.num_objects <= 7 for p in partitions)
+
+    def test_partition_ids_sequential(self):
+        partitions = build_partitions(grid_boxes(3), page_capacity=5)
+        assert [p.partition_id for p in partitions] == list(range(len(partitions)))
+
+    def test_mbr_covers_members(self):
+        objects = grid_boxes(4)
+        by_uid = {o.uid: o for o in objects}
+        for p in build_partitions(objects, page_capacity=6):
+            for uid in p.object_uids:
+                assert p.mbr.contains_box(by_uid[uid].aabb)
+
+    def test_partitions_spatially_tight(self):
+        # STR tiling on a regular grid: partition MBR volume stays near the
+        # sum of its members' volumes (low dead space).
+        objects = grid_boxes(4, spacing=2.0, size=1.0)
+        for p in build_partitions(objects, page_capacity=8):
+            assert p.mbr.volume() <= 8 * 27.0  # 8 cells of (2+1)^3 worst case
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(IndexError_):
+            build_partitions([], page_capacity=4)
+
+    def test_bad_capacity_raises(self):
+        with pytest.raises(IndexError_):
+            build_partitions(grid_boxes(2), page_capacity=0)
+
+
+class TestNeighborhood:
+    def test_links_symmetric(self):
+        partitions = build_partitions(grid_boxes(4), page_capacity=4)
+        eps = default_neighbor_eps(partitions)
+        neighbors = build_neighbor_links(partitions, eps)
+        for pid, adjacency in enumerate(neighbors):
+            for other in adjacency:
+                assert pid in neighbors[other]
+
+    def test_no_self_links(self):
+        partitions = build_partitions(grid_boxes(3), page_capacity=4)
+        neighbors = build_neighbor_links(partitions, 1.0)
+        for pid, adjacency in enumerate(neighbors):
+            assert pid not in adjacency
+
+    def test_links_match_brute_force(self):
+        partitions = build_partitions(grid_boxes(4), page_capacity=4)
+        eps = 1.5
+        neighbors = build_neighbor_links(partitions, eps)
+        for i, a in enumerate(partitions):
+            expected = sorted(
+                j
+                for j, b in enumerate(partitions)
+                if j != i and a.mbr.intersects_expanded(b.mbr, eps)
+            )
+            assert neighbors[i] == expected
+
+    def test_zero_eps_links_only_overlapping(self):
+        # Grid partitions of disjoint boxes: with eps=0 only partitions with
+        # actually intersecting MBRs are linked.
+        partitions = build_partitions(grid_boxes(4, spacing=3.0), page_capacity=4)
+        neighbors = build_neighbor_links(partitions, 0.0)
+        for i, adjacency in enumerate(neighbors):
+            for j in adjacency:
+                assert partitions[i].mbr.intersects(partitions[j].mbr)
+
+    def test_default_eps_positive(self):
+        partitions = build_partitions(grid_boxes(3), page_capacity=4)
+        assert default_neighbor_eps(partitions) > 0.0
+
+    def test_default_eps_empty(self):
+        assert default_neighbor_eps([]) == 0.0
+
+    def test_larger_eps_more_links(self):
+        partitions = build_partitions(grid_boxes(4), page_capacity=4)
+        few = sum(len(a) for a in build_neighbor_links(partitions, 0.1))
+        many = sum(len(a) for a in build_neighbor_links(partitions, 5.0))
+        assert many >= few

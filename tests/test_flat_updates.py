@@ -1,0 +1,157 @@
+"""Tests for FLAT dynamic maintenance (insert/delete) and k-NN."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.flat.index import FLATIndex
+from repro.errors import IndexError_
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.objects import BoxObject
+from repro.utils.rng import make_rng
+from tests.conftest import grid_boxes
+
+
+def random_object(uid: int, rng, world: float = 30.0) -> BoxObject:
+    x, y, z = (float(v) for v in rng.uniform(0, world, size=3))
+    return BoxObject(uid=uid, box=AABB(x, y, z, x + 1.0, y + 1.0, z + 1.0))
+
+
+def brute(objects: dict[int, BoxObject], box: AABB) -> list[int]:
+    return sorted(uid for uid, o in objects.items() if o.aabb.intersects(box))
+
+
+class TestInsert:
+    def test_insert_visible_to_queries(self):
+        index = FLATIndex(grid_boxes(3), page_capacity=6)
+        new = BoxObject(uid=999, box=AABB(1.5, 1.5, 1.5, 2.5, 2.5, 2.5))
+        index.insert(new)
+        index.validate()
+        result = index.query(AABB(1, 1, 1, 3, 3, 3))
+        assert 999 in result.uids
+
+    def test_insert_duplicate_uid_rejected(self):
+        index = FLATIndex(grid_boxes(2), page_capacity=6)
+        with pytest.raises(IndexError_):
+            index.insert(BoxObject(uid=0, box=AABB(0, 0, 0, 1, 1, 1)))
+
+    def test_overflow_splits_partition(self):
+        index = FLATIndex(grid_boxes(2), page_capacity=4)
+        before = sum(1 for p in index.partitions if p.num_objects > 0)
+        rng = make_rng(3)
+        for uid in range(100, 120):
+            index.insert(random_object(uid, rng, world=5.0))
+        index.validate()
+        after = sum(1 for p in index.partitions if p.num_objects > 0)
+        assert after > before
+        assert all(p.num_objects <= 4 for p in index.partitions)
+
+    def test_insert_far_away_extends_world(self):
+        index = FLATIndex(grid_boxes(2), page_capacity=4)
+        far = BoxObject(uid=500, box=AABB(100, 100, 100, 101, 101, 101))
+        index.insert(far)
+        index.validate()
+        assert index.world.contains_box(far.aabb)
+        assert index.query(AABB(99, 99, 99, 102, 102, 102)).uids == [500]
+
+
+class TestDelete:
+    def test_delete_removes_from_queries(self):
+        index = FLATIndex(grid_boxes(3), page_capacity=6)
+        index.delete(0)
+        index.validate()
+        everything = index.query(AABB(-10, -10, -10, 50, 50, 50))
+        assert 0 not in everything.uids
+        assert len(everything.uids) == 26
+
+    def test_delete_unknown_raises(self):
+        index = FLATIndex(grid_boxes(2), page_capacity=4)
+        with pytest.raises(IndexError_):
+            index.delete(12345)
+
+    def test_delete_all_then_reinsert(self):
+        objects = grid_boxes(2)
+        index = FLATIndex(objects, page_capacity=4)
+        for o in objects:
+            index.delete(o.uid)
+        index.validate()
+        assert index.query(AABB(-10, -10, -10, 50, 50, 50)).uids == []
+        index.insert(BoxObject(uid=77, box=AABB(0, 0, 0, 1, 1, 1)))
+        index.validate()
+        assert index.query(AABB(-1, -1, -1, 2, 2, 2)).uids == [77]
+
+    def test_dissolved_partition_not_crawled(self):
+        objects = grid_boxes(2, spacing=10.0)
+        index = FLATIndex(objects, page_capacity=2)
+        # Empty out one partition entirely.
+        victim = index.partitions[0]
+        for uid in list(victim.object_uids):
+            index.delete(uid)
+        index.validate()
+        result = index.query(AABB(-50, -50, -50, 100, 100, 100))
+        assert victim.partition_id not in result.stats.crawl_order
+
+
+class TestMixedWorkload:
+    @given(st.data())
+    def test_random_ops_stay_exact(self, data):
+        rng = make_rng(11)
+        alive: dict[int, BoxObject] = {o.uid: o for o in grid_boxes(2)}
+        index = FLATIndex(list(alive.values()), page_capacity=4)
+        next_uid = 1000
+        ops = data.draw(
+            st.lists(st.sampled_from(["insert", "delete", "query"]), max_size=25)
+        )
+        for op in ops:
+            if op == "insert":
+                obj = random_object(next_uid, rng)
+                next_uid += 1
+                index.insert(obj)
+                alive[obj.uid] = obj
+            elif op == "delete" and alive:
+                victim = sorted(alive)[int(rng.integers(0, len(alive)))]
+                index.delete(victim)
+                del alive[victim]
+            else:
+                center = [float(v) for v in rng.uniform(0, 30, size=3)]
+                box = AABB.from_center_extent(center, float(rng.uniform(2, 20)))
+                assert sorted(index.query(box).uids) == brute(alive, box)
+        index.validate()
+        world = AABB(-100, -100, -100, 200, 200, 200)
+        assert sorted(index.query(world).uids) == sorted(alive)
+
+
+class TestKnn:
+    def test_matches_brute_force(self, medium_circuit):
+        segments = medium_circuit.segments()
+        index = FLATIndex(segments, page_capacity=32)
+        point = medium_circuit.bounding_box().center()
+        got, stats = index.knn(point, 7)
+        expected = sorted(
+            ((s.uid, s.aabb.min_distance_to_point(point)) for s in segments),
+            key=lambda t: (t[1], t[0]),
+        )[:7]
+        assert [d for _, d in got] == pytest.approx([d for _, d in expected])
+        assert stats.num_results == 7
+
+    def test_prunes_far_partitions(self, medium_circuit):
+        segments = medium_circuit.segments()
+        index = FLATIndex(segments, page_capacity=32)
+        point = medium_circuit.bounding_box().center()
+        _, stats = index.knn(point, 3)
+        assert stats.partitions_fetched < index.num_partitions / 2
+
+    def test_k_zero_and_oversized(self):
+        index = FLATIndex(grid_boxes(2), page_capacity=4)
+        results, _ = index.knn(Vec3(0, 0, 0), 0)
+        assert results == []
+        results, _ = index.knn(Vec3(0, 0, 0), 100)
+        assert len(results) == 8
+
+    def test_nearest_is_containing_object(self):
+        index = FLATIndex(grid_boxes(3), page_capacity=6)
+        results, _ = index.knn(Vec3(0.5, 0.5, 0.5), 1)
+        assert results[0] == (0, 0.0)

@@ -1,0 +1,163 @@
+"""Unit and property tests for axis-aligned bounding boxes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+
+coord = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+@st.composite
+def aabbs(draw) -> AABB:
+    x0, y0, z0 = draw(coord), draw(coord), draw(coord)
+    dx = draw(st.floats(min_value=0.0, max_value=100.0))
+    dy = draw(st.floats(min_value=0.0, max_value=100.0))
+    dz = draw(st.floats(min_value=0.0, max_value=100.0))
+    return AABB(x0, y0, z0, x0 + dx, y0 + dy, z0 + dz)
+
+
+class TestConstruction:
+    def test_from_points(self):
+        box = AABB.from_points([Vec3(1, 5, 2), Vec3(-1, 0, 4), Vec3(0, 2, 3)])
+        assert box.bounds() == (-1, 0, 2, 1, 5, 4)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            AABB.from_points([])
+
+    def test_from_center_extent_scalar(self):
+        box = AABB.from_center_extent(Vec3(0, 0, 0), 2.0)
+        assert box.bounds() == (-1, -1, -1, 1, 1, 1)
+
+    def test_from_center_extent_per_axis(self):
+        box = AABB.from_center_extent(Vec3(0, 0, 0), (2.0, 4.0, 6.0))
+        assert box.bounds() == (-1, -2, -3, 1, 2, 3)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            AABB(1, 0, 0, 0, 1, 1)
+
+    def test_nan_raises(self):
+        with pytest.raises(GeometryError):
+            AABB(float("nan"), 0, 0, 1, 1, 1)
+
+    def test_union_all(self):
+        boxes = [AABB(0, 0, 0, 1, 1, 1), AABB(2, -1, 0, 3, 0.5, 4)]
+        assert AABB.union_all(boxes).bounds() == (0, -1, 0, 3, 1, 4)
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(GeometryError):
+            AABB.union_all([])
+
+
+class TestPredicates:
+    def test_touching_boxes_intersect(self):
+        a = AABB(0, 0, 0, 1, 1, 1)
+        b = AABB(1, 0, 0, 2, 1, 1)  # shares a face
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_disjoint_boxes(self):
+        a = AABB(0, 0, 0, 1, 1, 1)
+        b = AABB(1.1, 0, 0, 2, 1, 1)
+        assert not a.intersects(b)
+        assert a.intersects_expanded(b, 0.1)  # closed: gap exactly bridged
+        assert not a.intersects_expanded(b, 0.05)
+
+    def test_contains_point_boundary(self, unit_box):
+        assert unit_box.contains_point(Vec3(0, 0, 0))
+        assert unit_box.contains_point(Vec3(1, 1, 1))
+        assert not unit_box.contains_point(Vec3(1.0001, 0.5, 0.5))
+
+    def test_contains_box(self, unit_box):
+        assert unit_box.contains_box(AABB(0.2, 0.2, 0.2, 0.8, 0.8, 0.8))
+        assert unit_box.contains_box(unit_box)
+        assert not unit_box.contains_box(AABB(0.5, 0.5, 0.5, 1.5, 1, 1))
+
+    @given(aabbs(), aabbs())
+    def test_intersects_symmetric(self, a: AABB, b: AABB):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(aabbs(), aabbs(), st.floats(min_value=0.0, max_value=10.0))
+    def test_expanded_matches_allocation_free_form(self, a: AABB, b: AABB, eps: float):
+        assert a.intersects_expanded(b, eps) == a.expanded(eps).intersects(b)
+
+
+class TestDerivedBoxes:
+    def test_expanded(self, unit_box):
+        grown = unit_box.expanded(0.5)
+        assert grown.bounds() == (-0.5, -0.5, -0.5, 1.5, 1.5, 1.5)
+
+    def test_intersection_overlap(self):
+        a = AABB(0, 0, 0, 2, 2, 2)
+        b = AABB(1, 1, 1, 3, 3, 3)
+        inter = a.intersection(b)
+        assert inter is not None and inter.bounds() == (1, 1, 1, 2, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert AABB(0, 0, 0, 1, 1, 1).intersection(AABB(2, 2, 2, 3, 3, 3)) is None
+
+    def test_translated(self, unit_box):
+        moved = unit_box.translated(Vec3(1, 2, 3))
+        assert moved.bounds() == (1, 2, 3, 2, 3, 4)
+
+    @given(aabbs(), aabbs())
+    def test_union_contains_both(self, a: AABB, b: AABB):
+        u = a.union(b)
+        assert u.contains_box(a) and u.contains_box(b)
+
+    @given(aabbs(), aabbs())
+    def test_intersection_within_both(self, a: AABB, b: AABB):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_box(inter) and b.contains_box(inter)
+
+
+class TestMeasures:
+    def test_volume_and_margin(self):
+        box = AABB(0, 0, 0, 2, 3, 4)
+        assert box.volume() == 24.0
+        assert box.margin() == 9.0
+
+    def test_center(self):
+        assert AABB(0, 0, 0, 2, 4, 6).center() == Vec3(1, 2, 3)
+
+    def test_enlargement_zero_for_contained(self, unit_box):
+        inner = AABB(0.25, 0.25, 0.25, 0.75, 0.75, 0.75)
+        assert unit_box.enlargement(inner) == 0.0
+        assert unit_box.enlargement(AABB(0, 0, 0, 2, 1, 1)) == pytest.approx(1.0)
+
+    def test_overlap_volume(self):
+        a = AABB(0, 0, 0, 2, 2, 2)
+        b = AABB(1, 1, 1, 3, 3, 3)
+        assert a.overlap_volume(b) == pytest.approx(1.0)
+        assert a.overlap_volume(AABB(5, 5, 5, 6, 6, 6)) == 0.0
+
+    def test_min_distance_to_point(self, unit_box):
+        assert unit_box.min_distance_to_point(Vec3(0.5, 0.5, 0.5)) == 0.0
+        assert unit_box.min_distance_to_point(Vec3(2, 1, 1)) == pytest.approx(1.0)
+        assert unit_box.min_distance_to_point(Vec3(2, 2, 1)) == pytest.approx(2**0.5)
+
+    def test_min_distance_to_box(self):
+        a = AABB(0, 0, 0, 1, 1, 1)
+        b = AABB(2, 0, 0, 3, 1, 1)
+        assert a.min_distance_to_box(b) == pytest.approx(1.0)
+        assert a.min_distance_to_box(AABB(0.5, 0.5, 0.5, 4, 4, 4)) == 0.0
+
+    @given(aabbs(), aabbs())
+    def test_distance_zero_iff_intersecting(self, a: AABB, b: AABB):
+        if a.intersects(b):
+            assert a.min_distance_to_box(b) == 0.0
+        else:
+            assert a.min_distance_to_box(b) > 0.0
+
+    def test_corners_count(self, unit_box):
+        corners = list(unit_box.corners())
+        assert len(corners) == 8
+        assert len(set(corners)) == 8
+        assert all(unit_box.contains_point(c) for c in corners)

@@ -1,0 +1,80 @@
+"""Property tests: bulk NumPy geometry agrees with the scalar AABB API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.aabb import AABB
+from repro.geometry.bulk import (
+    boxes_to_array,
+    centers_of,
+    contained_mask,
+    count_intersecting,
+    intersects_mask,
+    objects_to_array,
+)
+from repro.objects import BoxObject
+
+coord = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+extent = st.floats(min_value=0.0, max_value=40.0, allow_nan=False)
+
+
+@st.composite
+def aabbs(draw) -> AABB:
+    x, y, z = draw(coord), draw(coord), draw(coord)
+    dx, dy, dz = draw(extent), draw(extent), draw(extent)
+    return AABB(x, y, z, x + dx, y + dy, z + dz)
+
+
+box_lists = st.lists(aabbs(), max_size=30)
+
+
+class TestPacking:
+    def test_roundtrip_columns(self):
+        box = AABB(1, 2, 3, 4, 5, 6)
+        arr = boxes_to_array([box])
+        assert arr.shape == (1, 6)
+        assert tuple(arr[0]) == box.bounds()
+
+    def test_empty(self):
+        assert boxes_to_array([]).shape == (0, 6)
+        assert objects_to_array([]).shape == (0, 6)
+
+    def test_objects_match_boxes(self):
+        boxes = [AABB(0, 0, 0, 1, 1, 1), AABB(2, 2, 2, 3, 3, 3)]
+        objects = [BoxObject(uid=i, box=b) for i, b in enumerate(boxes)]
+        assert np.array_equal(objects_to_array(objects), boxes_to_array(boxes))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GeometryError):
+            intersects_mask(np.zeros((3, 5)), AABB(0, 0, 0, 1, 1, 1))
+
+
+class TestAgreementWithScalar:
+    @given(box_lists, aabbs(), st.floats(min_value=0.0, max_value=10.0))
+    def test_intersects_mask(self, boxes, query, eps):
+        mask = intersects_mask(boxes_to_array(boxes), query, eps=eps)
+        expected = [b.intersects_expanded(query, eps) for b in boxes]
+        assert mask.tolist() == expected
+
+    @given(box_lists, aabbs())
+    def test_contained_mask(self, boxes, query):
+        mask = contained_mask(boxes_to_array(boxes), query)
+        expected = [query.contains_box(b) for b in boxes]
+        assert mask.tolist() == expected
+
+    @given(box_lists)
+    def test_centers(self, boxes):
+        centers = centers_of(boxes_to_array(boxes))
+        for row, box in zip(centers, boxes):
+            c = box.center()
+            assert row == pytest.approx([c.x, c.y, c.z])
+
+    @given(box_lists, aabbs())
+    def test_count(self, boxes, query):
+        count = count_intersecting(boxes_to_array(boxes), query)
+        assert count == sum(1 for b in boxes if b.intersects(query))

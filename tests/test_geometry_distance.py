@@ -1,0 +1,135 @@
+"""Unit and property tests for exact distance computations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.distance import (
+    brute_force_closest_pair,
+    point_aabb_distance,
+    point_segment_distance,
+    segment_segment_closest,
+    segment_segment_distance,
+    segments_touch,
+)
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+
+coord = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+points = st.builds(Vec3, coord, coord, coord)
+
+
+class TestPointSegment:
+    def test_closest_at_interior(self):
+        d = point_segment_distance(Vec3(1, 1, 0), Vec3(0, 0, 0), Vec3(2, 0, 0))
+        assert d == pytest.approx(1.0)
+
+    def test_clamped_to_endpoint(self):
+        d = point_segment_distance(Vec3(-1, 1, 0), Vec3(0, 0, 0), Vec3(2, 0, 0))
+        assert d == pytest.approx(2**0.5)
+
+    def test_degenerate_segment(self):
+        d = point_segment_distance(Vec3(1, 0, 0), Vec3(0, 0, 0), Vec3(0, 0, 0))
+        assert d == pytest.approx(1.0)
+
+    @given(points, points, points)
+    def test_never_exceeds_endpoint_distance(self, p: Vec3, a: Vec3, b: Vec3):
+        d = point_segment_distance(p, a, b)
+        assert d <= p.distance_to(a) + 1e-9
+        assert d <= p.distance_to(b) + 1e-9
+
+
+class TestSegmentSegment:
+    def test_crossing_segments(self):
+        d = segment_segment_distance(
+            Vec3(-1, 0, 0), Vec3(1, 0, 0), Vec3(0, -1, 1), Vec3(0, 1, 1)
+        )
+        assert d == pytest.approx(1.0)
+
+    def test_parallel_segments(self):
+        d = segment_segment_distance(
+            Vec3(0, 0, 0), Vec3(2, 0, 0), Vec3(0, 3, 0), Vec3(2, 3, 0)
+        )
+        assert d == pytest.approx(3.0)
+
+    def test_collinear_disjoint(self):
+        d = segment_segment_distance(
+            Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(3, 0, 0), Vec3(5, 0, 0)
+        )
+        assert d == pytest.approx(2.0)
+
+    def test_both_degenerate(self):
+        d = segment_segment_distance(
+            Vec3(0, 0, 0), Vec3(0, 0, 0), Vec3(0, 4, 3), Vec3(0, 4, 3)
+        )
+        assert d == pytest.approx(5.0)
+
+    def test_one_degenerate(self):
+        d = segment_segment_distance(
+            Vec3(0, 1, 0), Vec3(0, 1, 0), Vec3(-1, 0, 0), Vec3(1, 0, 0)
+        )
+        assert d == pytest.approx(1.0)
+
+    def test_closest_returns_valid_parameters(self):
+        s, t, d = segment_segment_closest(
+            Vec3(0, 0, 0), Vec3(2, 0, 0), Vec3(1, 1, 0), Vec3(1, 3, 0)
+        )
+        assert 0.0 <= s <= 1.0 and 0.0 <= t <= 1.0
+        assert s == pytest.approx(0.5)
+        assert t == 0.0
+        assert d == pytest.approx(1.0)
+
+    @given(points, points, points, points)
+    def test_symmetry(self, p0, p1, q0, q1):
+        d1 = segment_segment_distance(p0, p1, q0, q1)
+        d2 = segment_segment_distance(q0, q1, p0, p1)
+        assert d1 == pytest.approx(d2, abs=1e-6)
+
+    @given(points, points, points, points)
+    def test_closest_points_realize_distance(self, p0, p1, q0, q1):
+        s, t, d = segment_segment_closest(p0, p1, q0, q1)
+        realized = p0.lerp(p1, s).distance_to(q0.lerp(q1, t))
+        assert realized == pytest.approx(d, abs=1e-6)
+
+    @given(points, points, points, points)
+    def test_lower_bounds_sampled_distances(self, p0, p1, q0, q1):
+        d = segment_segment_distance(p0, p1, q0, q1)
+        # Any sampled pair of points is at least the reported minimum.
+        for i in range(4):
+            for j in range(4):
+                a = p0.lerp(p1, i / 3.0)
+                b = q0.lerp(q1, j / 3.0)
+                assert a.distance_to(b) >= d - 1e-6
+
+
+class TestTouchRule:
+    def test_touching_capsules(self):
+        a = Segment(uid=1, p0=Vec3(0, 0, 0), p1=Vec3(2, 0, 0), radius=0.5)
+        b = Segment(uid=2, p0=Vec3(0, 1.0, 0), p1=Vec3(2, 1.0, 0), radius=0.5)
+        assert segments_touch(a, b)  # surfaces exactly touch (0.5 + 0.5 = 1)
+
+    def test_separated_capsules(self):
+        a = Segment(uid=1, p0=Vec3(0, 0, 0), p1=Vec3(2, 0, 0), radius=0.3)
+        b = Segment(uid=2, p0=Vec3(0, 1.0, 0), p1=Vec3(2, 1.0, 0), radius=0.3)
+        assert not segments_touch(a, b)
+        assert segments_touch(a, b, eps=0.5)
+
+
+class TestHelpers:
+    def test_point_aabb_distance(self):
+        box = AABB(0, 0, 0, 1, 1, 1)
+        assert point_aabb_distance(Vec3(0.5, 0.5, 0.5), box) == 0.0
+        assert point_aabb_distance(Vec3(2.0, 0.5, 0.5), box) == pytest.approx(1.0)
+
+    def test_brute_force_closest_pair(self):
+        pts = [Vec3(0, 0, 0), Vec3(10, 0, 0), Vec3(10.5, 0, 0)]
+        i, j, d = brute_force_closest_pair(pts)
+        assert (i, j) == (1, 2)
+        assert d == pytest.approx(0.5)
+
+    def test_brute_force_requires_two_points(self):
+        with pytest.raises(ValueError):
+            brute_force_closest_pair([Vec3(0, 0, 0)])

@@ -1,0 +1,89 @@
+"""Unit tests for triangle meshes and tube generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.mesh import TriangleMesh, tube_mesh
+from repro.geometry.vec import Vec3
+
+
+def single_triangle() -> TriangleMesh:
+    return TriangleMesh(
+        vertices=np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0]], dtype=float),
+        faces=np.array([[0, 1, 2]]),
+    )
+
+
+class TestTriangleMesh:
+    def test_counts(self):
+        mesh = single_triangle()
+        assert mesh.num_vertices == 3
+        assert mesh.num_faces == 1
+
+    def test_surface_area(self):
+        assert single_triangle().surface_area() == pytest.approx(0.5)
+
+    def test_aabb(self):
+        assert single_triangle().aabb().bounds() == (0, 0, 0, 1, 1, 0)
+
+    def test_bad_face_index_raises(self):
+        with pytest.raises(GeometryError):
+            TriangleMesh(
+                vertices=np.zeros((3, 3)),
+                faces=np.array([[0, 1, 5]]),
+            )
+
+    def test_bad_shapes_raise(self):
+        with pytest.raises(GeometryError):
+            TriangleMesh(vertices=np.zeros((3, 2)), faces=np.zeros((1, 3), dtype=int))
+        with pytest.raises(GeometryError):
+            TriangleMesh(vertices=np.zeros((3, 3)), faces=np.zeros((1, 4), dtype=int))
+
+    def test_merged_with_reindexes_faces(self):
+        merged = single_triangle().merged_with(single_triangle())
+        assert merged.num_vertices == 6
+        assert merged.num_faces == 2
+        assert merged.faces[1].tolist() == [3, 4, 5]
+        assert merged.surface_area() == pytest.approx(1.0)
+
+    def test_triangle_centroids(self):
+        centroid = single_triangle().triangle_centroids()[0]
+        assert centroid == pytest.approx([1 / 3, 1 / 3, 0.0])
+
+
+class TestTubeMesh:
+    def test_straight_tube_shape(self):
+        path = [Vec3(0, 0, 0), Vec3(0, 0, 5), Vec3(0, 0, 10)]
+        mesh = tube_mesh(path, [1.0, 1.0, 1.0], sides=8)
+        assert mesh.num_vertices == 3 * 8
+        assert mesh.num_faces == 2 * 8 * 2  # two ring gaps, 2 triangles/side
+        # Lateral area of a radius-1, length-10 cylinder is 2*pi*10 ~ 62.8;
+        # an octagonal prism approximates it from below.
+        assert 55.0 < mesh.surface_area() < 63.0
+
+    def test_tube_respects_radii(self):
+        path = [Vec3(0, 0, 0), Vec3(0, 0, 10)]
+        thin = tube_mesh(path, [0.5, 0.5], sides=6)
+        thick = tube_mesh(path, [2.0, 2.0], sides=6)
+        assert thick.surface_area() > thin.surface_area() * 3.5
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(GeometryError):
+            tube_mesh([Vec3(0, 0, 0), Vec3(1, 0, 0)], [1.0])
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(GeometryError):
+            tube_mesh([Vec3(0, 0, 0)], [1.0])
+
+    def test_too_few_sides_raise(self):
+        with pytest.raises(GeometryError):
+            tube_mesh([Vec3(0, 0, 0), Vec3(1, 0, 0)], [1.0, 1.0], sides=2)
+
+    def test_jagged_path_stays_finite(self):
+        path = [Vec3(0, 0, 0), Vec3(1, 1, 0), Vec3(2, 0, 1), Vec3(3, 1, 1)]
+        mesh = tube_mesh(path, [0.5, 0.4, 0.3, 0.2], sides=5)
+        assert np.isfinite(mesh.vertices).all()
+        assert mesh.surface_area() > 0.0

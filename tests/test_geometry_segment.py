@@ -1,0 +1,66 @@
+"""Unit tests for capsule segments."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+
+
+def make_segment(radius: float = 0.5) -> Segment:
+    return Segment(uid=1, p0=Vec3(0, 0, 0), p1=Vec3(2, 0, 0), radius=radius)
+
+
+class TestConstruction:
+    def test_aabb_inflated_by_radius(self):
+        seg = make_segment(radius=0.5)
+        assert seg.aabb.bounds() == (-0.5, -0.5, -0.5, 2.5, 0.5, 0.5)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(GeometryError):
+            Segment(uid=1, p0=Vec3(0, 0, 0), p1=Vec3(1, 0, 0), radius=-0.1)
+
+    def test_nonfinite_endpoint_raises(self):
+        with pytest.raises(GeometryError):
+            Segment(uid=1, p0=Vec3(math.nan, 0, 0), p1=Vec3(1, 0, 0), radius=0.1)
+
+    def test_provenance_defaults(self):
+        seg = make_segment()
+        assert seg.neuron_id == -1 and seg.branch_id == -1 and seg.order == -1
+
+    def test_immutable(self):
+        seg = make_segment()
+        with pytest.raises(AttributeError):
+            seg.radius = 2.0  # type: ignore[misc]
+
+
+class TestGeometry:
+    def test_length(self):
+        assert make_segment().length == pytest.approx(2.0)
+
+    def test_direction_unit(self):
+        assert make_segment().direction == Vec3(1.0, 0.0, 0.0)
+
+    def test_degenerate_direction_is_zero(self):
+        seg = Segment(uid=1, p0=Vec3(1, 1, 1), p1=Vec3(1, 1, 1), radius=0.1)
+        assert seg.direction == Vec3(0, 0, 0)
+        assert seg.length == 0.0
+
+    def test_midpoint_and_point_at(self):
+        seg = make_segment()
+        assert seg.midpoint() == Vec3(1, 0, 0)
+        assert seg.point_at(0.25) == Vec3(0.5, 0, 0)
+
+    def test_volume(self):
+        seg = make_segment(radius=1.0)
+        assert seg.volume() == pytest.approx(math.pi * 2.0)
+
+    def test_aabb_contains_both_endpoints(self):
+        seg = Segment(uid=3, p0=Vec3(-1, 2, 5), p1=Vec3(4, -3, 1), radius=0.25)
+        assert seg.aabb.contains_point(seg.p0)
+        assert seg.aabb.contains_point(seg.p1)
+        assert seg.aabb.contains_point(seg.midpoint())

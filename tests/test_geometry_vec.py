@@ -1,0 +1,104 @@
+"""Unit tests for the 3-D vector."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.vec import Vec3
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+vectors = st.builds(Vec3, finite, finite, finite)
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self):
+        a = Vec3(1.0, 2.0, 3.0)
+        b = Vec3(-4.0, 0.5, 2.0)
+        assert (a + b) - b == a
+
+    def test_scalar_multiplication_both_sides(self):
+        v = Vec3(1.0, -2.0, 3.0)
+        assert 2.0 * v == v * 2.0 == Vec3(2.0, -4.0, 6.0)
+
+    def test_division(self):
+        assert Vec3(2.0, 4.0, 6.0) / 2.0 == Vec3(1.0, 2.0, 3.0)
+
+    def test_negation(self):
+        assert -Vec3(1.0, -2.0, 3.0) == Vec3(-1.0, 2.0, -3.0)
+
+    def test_unpacking(self):
+        x, y, z = Vec3(1.0, 2.0, 3.0)
+        assert (x, y, z) == (1.0, 2.0, 3.0)
+
+
+class TestProducts:
+    def test_dot_orthogonal(self):
+        assert Vec3(1, 0, 0).dot(Vec3(0, 1, 0)) == 0.0
+
+    def test_cross_right_handed(self):
+        assert Vec3(1, 0, 0).cross(Vec3(0, 1, 0)) == Vec3(0, 0, 1)
+
+    def test_cross_anticommutative(self):
+        a = Vec3(1.0, 2.0, 3.0)
+        b = Vec3(-1.0, 0.5, 2.0)
+        assert a.cross(b) == -b.cross(a)
+
+    def test_norm(self):
+        assert Vec3(3.0, 4.0, 0.0).norm() == pytest.approx(5.0)
+
+    def test_norm_squared_matches_norm(self):
+        v = Vec3(1.5, -2.5, 3.5)
+        assert v.norm_squared() == pytest.approx(v.norm() ** 2)
+
+
+class TestNormalization:
+    def test_normalized_has_unit_length(self):
+        v = Vec3(2.0, -3.0, 6.0).normalized()
+        assert v.norm() == pytest.approx(1.0)
+
+    def test_zero_vector_normalizes_to_itself(self):
+        assert Vec3.zero().normalized() == Vec3.zero()
+
+    @given(vectors)
+    def test_normalized_preserves_direction(self, v: Vec3):
+        n = v.normalized()
+        if v.norm() > 1e-9:
+            # Cross product of parallel vectors is ~zero.
+            assert v.cross(n).norm() == pytest.approx(0.0, abs=1e-3 * v.norm())
+
+
+class TestUtilities:
+    def test_lerp_endpoints(self):
+        a = Vec3(0.0, 0.0, 0.0)
+        b = Vec3(2.0, 4.0, 6.0)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec3(1.0, 2.0, 3.0)
+
+    def test_distance_symmetry(self):
+        a = Vec3(1.0, 2.0, 3.0)
+        b = Vec3(4.0, 6.0, 3.0)
+        assert a.distance_to(b) == b.distance_to(a) == pytest.approx(5.0)
+
+    def test_is_finite(self):
+        assert Vec3(1.0, 2.0, 3.0).is_finite()
+        assert not Vec3(math.nan, 0.0, 0.0).is_finite()
+        assert not Vec3(math.inf, 0.0, 0.0).is_finite()
+
+    def test_components_iteration(self):
+        assert list(Vec3(1.0, 2.0, 3.0).components()) == [1.0, 2.0, 3.0]
+
+    def test_hashable(self):
+        assert len({Vec3(1, 2, 3), Vec3(1, 2, 3), Vec3(0, 0, 0)}) == 2
+
+    @given(vectors, vectors, st.floats(min_value=0.0, max_value=1.0))
+    def test_lerp_stays_on_segment(self, a: Vec3, b: Vec3, t: float):
+        p = a.lerp(b, t)
+        # The interpolated point never lies outside the segment's box.
+        for axis in range(3):
+            lo, hi = min(a[axis], b[axis]), max(a[axis], b[axis])
+            assert lo - 1e-6 <= p[axis] <= hi + 1e-6

@@ -1,0 +1,110 @@
+"""Unit and property tests for the Hilbert curve."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.hilbert.curve import HilbertEncoder3D, hilbert_decode, hilbert_encode
+
+
+class TestEncodeDecode:
+    def test_order1_3d_visits_all_cells(self):
+        cells = [hilbert_decode(k, 3, 1) for k in range(8)]
+        assert len(set(cells)) == 8
+
+    def test_roundtrip_exhaustive_order2_3d(self):
+        for key in range(64):  # 2^(order*dims) = 2^6
+            assert hilbert_encode(hilbert_decode(key, 3, 2), 2) == key
+
+    def test_roundtrip_exhaustive_order3_3d(self):
+        for key in range(512):  # 2^(3*3)
+            assert hilbert_encode(hilbert_decode(key, 3, 3), 3) == key
+
+    def test_roundtrip_exhaustive_order3_2d(self):
+        for key in range(64):
+            assert hilbert_encode(hilbert_decode(key, 2, 3), 3) == key
+
+    def test_one_dimension_is_identity(self):
+        assert hilbert_encode([5], 3) == 5
+        assert hilbert_decode(5, 1, 3) == (5,)
+
+    def test_curve_is_continuous(self):
+        # Consecutive keys map to grid cells exactly one step apart.
+        for key in range(511):
+            a = hilbert_decode(key, 3, 3)
+            b = hilbert_decode(key + 1, 3, 3)
+            manhattan = sum(abs(x - y) for x, y in zip(a, b))
+            assert manhattan == 1, (key, a, b)
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1))
+    def test_roundtrip_order4(self, key: int):
+        assert hilbert_encode(hilbert_decode(key, 3, 4), 4) == key
+
+    def test_out_of_range_coordinate_raises(self):
+        with pytest.raises(GeometryError):
+            hilbert_encode([8, 0, 0], 3)
+        with pytest.raises(GeometryError):
+            hilbert_encode([-1, 0, 0], 3)
+
+    def test_out_of_range_key_raises(self):
+        with pytest.raises(GeometryError):
+            hilbert_decode(512, 3, 2)
+
+    def test_bad_order_raises(self):
+        with pytest.raises(GeometryError):
+            hilbert_encode([0, 0, 0], 0)
+        with pytest.raises(GeometryError):
+            hilbert_decode(0, 3, 0)
+
+    def test_empty_coords_raise(self):
+        with pytest.raises(GeometryError):
+            hilbert_encode([], 3)
+
+
+class TestEncoder3D:
+    def setup_method(self):
+        self.world = AABB(0, 0, 0, 100, 100, 100)
+        self.encoder = HilbertEncoder3D(self.world, order=6)
+
+    def test_corner_points_distinct(self):
+        k0 = self.encoder.key(Vec3(0, 0, 0))
+        k1 = self.encoder.key(Vec3(100, 100, 100))
+        assert k0 != k1
+
+    def test_points_clamped_to_world(self):
+        inside = self.encoder.key(Vec3(100, 100, 100))
+        outside = self.encoder.key(Vec3(150, 150, 150))
+        assert inside == outside
+
+    def test_locality(self):
+        # Near points should have nearer keys than far points, on average.
+        near = abs(self.encoder.key(Vec3(10, 10, 10)) - self.encoder.key(Vec3(11, 10, 10)))
+        far = abs(self.encoder.key(Vec3(10, 10, 10)) - self.encoder.key(Vec3(90, 90, 90)))
+        assert near < far
+
+    def test_key_of_box_uses_center(self):
+        box = AABB(10, 10, 10, 20, 20, 20)
+        assert self.encoder.key_of_box(box) == self.encoder.key(Vec3(15, 15, 15))
+
+    def test_cell_center_roundtrip(self):
+        point = Vec3(42.0, 77.0, 13.0)
+        key = self.encoder.key(point)
+        center = self.encoder.cell_center(key)
+        cell_size = 100.0 / (1 << 6)
+        assert center.distance_to(point) <= cell_size * (3**0.5)
+
+    def test_degenerate_axis_handled(self):
+        flat_world = AABB(0, 0, 0, 100, 0, 100)  # zero-height slab
+        encoder = HilbertEncoder3D(flat_world, order=4)
+        assert encoder.key(Vec3(50, 0, 50)) >= 0
+
+    def test_bad_order_raises(self):
+        with pytest.raises(GeometryError):
+            HilbertEncoder3D(self.world, order=0)
+        with pytest.raises(GeometryError):
+            HilbertEncoder3D(self.world, order=21)

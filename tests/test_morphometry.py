@@ -1,0 +1,112 @@
+"""Unit tests for morphometry statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.vec import Vec3
+from repro.neuro.morphology import Morphology, Section, SectionType
+from repro.neuro.morphometry import (
+    branch_order_histogram,
+    cable_length_by_type,
+    circuit_morphometry,
+    nearest_neurite_distance,
+    sholl_analysis,
+)
+
+
+def two_type_morphology() -> Morphology:
+    m = Morphology(soma_position=Vec3(0, 0, 0), soma_radius=5.0)
+    m.add_section(
+        Section(0, SectionType.AXON, -1, [Vec3(0, -5, 0), Vec3(0, -105, 0)], [1.0, 1.0])
+    )
+    m.add_section(
+        Section(
+            1,
+            SectionType.BASAL_DENDRITE,
+            -1,
+            [Vec3(5, 0, 0), Vec3(55, 0, 0), Vec3(105, 0, 0)],
+            [1.0, 1.0, 1.0],
+        )
+    )
+    m.add_section(
+        Section(
+            2,
+            SectionType.BASAL_DENDRITE,
+            1,
+            [Vec3(105, 0, 0), Vec3(155, 0, 0)],
+            [1.0, 1.0],
+        )
+    )
+    return m
+
+
+class TestCableLength:
+    def test_totals_by_type(self):
+        cables = cable_length_by_type(two_type_morphology())
+        assert cables[SectionType.AXON] == pytest.approx(100.0)
+        assert cables[SectionType.BASAL_DENDRITE] == pytest.approx(150.0)
+
+    def test_empty_morphology(self):
+        empty = Morphology(soma_position=Vec3(0, 0, 0), soma_radius=5.0)
+        assert cable_length_by_type(empty) == {}
+
+
+class TestBranchOrders:
+    def test_histogram(self):
+        hist = branch_order_histogram(two_type_morphology())
+        assert hist == {0: 2, 1: 1}
+
+    def test_generated_morphology_orders_contiguous(self, small_circuit):
+        hist = branch_order_histogram(small_circuit.neurons[0].morphology)
+        orders = sorted(hist)
+        assert orders == list(range(len(orders)))
+
+
+class TestSholl:
+    def test_crossings_on_synthetic(self):
+        # Axon reaches 105 um down, dendrite 155 um out with a child.
+        crossings = dict(sholl_analysis(two_type_morphology(), step=50.0))
+        assert crossings[50.0] == 2  # axon + first dendrite section
+        assert crossings[100.0] == 2
+        assert crossings[150.0] == 1  # only the distal dendrite child
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            sholl_analysis(two_type_morphology(), step=0.0)
+
+    def test_empty(self):
+        empty = Morphology(soma_position=Vec3(0, 0, 0), soma_radius=5.0)
+        assert sholl_analysis(empty) == []
+
+    def test_max_radius_truncates(self):
+        full = sholl_analysis(two_type_morphology(), step=25.0)
+        short = sholl_analysis(two_type_morphology(), step=25.0, max_radius=60.0)
+        assert len(short) < len(full)
+
+
+class TestCircuitReport:
+    def test_report_consistency(self, small_circuit):
+        report = circuit_morphometry(small_circuit)
+        assert report.num_neurons == small_circuit.num_neurons
+        assert report.num_segments == small_circuit.num_segments
+        assert report.total_cable_um == pytest.approx(
+            sum(report.cable_by_type.values())
+        )
+        assert sum(report.neurons_per_layer.values()) == report.num_neurons
+        assert report.segment_density_per_um3 == pytest.approx(
+            small_circuit.segment_density()
+        )
+        text = report.render()
+        assert "neurons" in text and "cable" in text
+
+    def test_mean_segment_length_positive(self, small_circuit):
+        report = circuit_morphometry(small_circuit)
+        assert report.mean_segment_length > 0
+
+
+class TestNearestNeurite:
+    def test_distance_to_axis(self):
+        m = two_type_morphology()
+        assert nearest_neurite_distance(m, Vec3(30.0, 1.0, 0.0)) == pytest.approx(1.0)
+        assert nearest_neurite_distance(m, Vec3(0.0, -50.0, 0.0)) == pytest.approx(0.0)

@@ -1,0 +1,111 @@
+"""Unit tests for circuit generation and flattening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MorphologyError
+from repro.neuro.circuit import CircuitConfig, generate_circuit
+from repro.neuro.morphology import SectionType
+
+
+class TestGeneration:
+    def test_requested_neuron_count(self, small_circuit):
+        assert small_circuit.num_neurons == 8
+        assert len({n.gid for n in small_circuit.neurons}) == 8
+
+    def test_deterministic(self):
+        a = generate_circuit(n_neurons=5, seed=9)
+        b = generate_circuit(n_neurons=5, seed=9)
+        assert a.num_segments == b.num_segments
+        assert [n.soma_position for n in a.neurons] == [n.soma_position for n in b.neurons]
+
+    def test_different_seed_changes_placement(self):
+        a = generate_circuit(n_neurons=5, seed=1)
+        b = generate_circuit(n_neurons=5, seed=2)
+        assert [n.soma_position for n in a.neurons] != [n.soma_position for n in b.neurons]
+
+    def test_somas_inside_column(self, small_circuit):
+        r = small_circuit.config.column_radius
+        h = small_circuit.config.column_height
+        for neuron in small_circuit.neurons:
+            assert neuron.soma_position.x**2 + neuron.soma_position.z**2 <= r**2 + 1e-6
+            assert 0.0 <= neuron.soma_position.y <= h
+
+    def test_layers_assigned(self, small_circuit):
+        names = {n.layer for n in small_circuit.neurons}
+        assert names <= {"L1", "L2/3", "L4", "L5", "L6"}
+
+    def test_config_validation(self):
+        with pytest.raises(MorphologyError):
+            CircuitConfig(n_neurons=0)
+        with pytest.raises(MorphologyError):
+            CircuitConfig(n_morphology_templates=0)
+        with pytest.raises(MorphologyError):
+            CircuitConfig(column_radius=-1.0)
+
+    def test_config_and_overrides_mutually_exclusive(self):
+        with pytest.raises(TypeError):
+            generate_circuit(CircuitConfig(n_neurons=3), n_neurons=5)
+
+
+class TestFlattening:
+    def test_uids_sequential_and_unique(self, small_circuit):
+        segments = small_circuit.segments()
+        assert [s.uid for s in segments] == list(range(len(segments)))
+
+    def test_segments_cached(self, small_circuit):
+        assert small_circuit.segments() is small_circuit.segments()
+
+    def test_provenance_tags(self, small_circuit):
+        gids = {n.gid for n in small_circuit.neurons}
+        for segment in small_circuit.segments():
+            assert segment.neuron_id in gids
+            assert segment.branch_id >= 0
+            assert segment.order >= 0
+
+    def test_branch_ids_globally_unique_across_neurons(self, small_circuit):
+        owner: dict[int, int] = {}
+        for segment in small_circuit.segments():
+            if segment.branch_id in owner:
+                assert owner[segment.branch_id] == segment.neuron_id
+            owner[segment.branch_id] = segment.neuron_id
+
+    def test_segment_count_matches_morphologies(self, small_circuit):
+        expected = sum(n.morphology.num_segments for n in small_circuit.neurons)
+        assert small_circuit.num_segments == expected
+
+    def test_axon_dendrite_partition(self, small_circuit):
+        axons = {s.uid for s in small_circuit.axon_segments()}
+        dendrites = {s.uid for s in small_circuit.dendrite_segments()}
+        assert axons and dendrites
+        assert not (axons & dendrites)
+        assert len(axons) + len(dendrites) == small_circuit.num_segments
+
+    def test_segments_of_type_soma_empty(self, small_circuit):
+        assert small_circuit.segments_of_type(SectionType.SOMA) == []
+
+    def test_branch_segments_ordered(self, small_circuit):
+        for branch_id in small_circuit.branch_ids()[:20]:
+            orders = [s.order for s in small_circuit.branch_segments(branch_id)]
+            assert orders == sorted(orders)
+            assert orders == list(range(len(orders)))
+
+    def test_branch_polyline_connected(self, small_circuit):
+        for branch_id in small_circuit.branch_ids()[:20]:
+            segments = small_circuit.branch_segments(branch_id)
+            for a, b in zip(segments, segments[1:]):
+                assert a.p1.distance_to(b.p0) < 1e-9
+
+    def test_bounding_box_covers_everything(self, small_circuit):
+        box = small_circuit.bounding_box()
+        for segment in small_circuit.segments():
+            assert box.contains_box(segment.aabb)
+
+    def test_density_positive(self, small_circuit):
+        assert small_circuit.segment_density() > 0.0
+
+    def test_density_grows_with_neurons(self):
+        sparse = generate_circuit(n_neurons=4, seed=3)
+        dense = generate_circuit(n_neurons=16, seed=3)
+        assert dense.segment_density() > sparse.segment_density()

@@ -1,0 +1,113 @@
+"""Unit tests for the synthetic morphology generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MorphologyError
+from repro.neuro.generator import MorphologyConfig, MorphologyGenerator
+from repro.neuro.morphology import SectionType
+
+
+class TestGrowth:
+    def test_deterministic_for_same_seed(self):
+        gen = MorphologyGenerator()
+        a = gen.grow(seed=5)
+        b = gen.grow(seed=5)
+        assert a.num_sections == b.num_sections
+        assert a.total_length() == pytest.approx(b.total_length())
+        sec_a = a.sections[0]
+        sec_b = b.sections[0]
+        assert sec_a.points == sec_b.points
+
+    def test_different_seeds_differ(self):
+        gen = MorphologyGenerator()
+        a = gen.grow(seed=1)
+        b = gen.grow(seed=2)
+        assert (
+            a.num_sections != b.num_sections
+            or a.total_length() != pytest.approx(b.total_length())
+        )
+
+    def test_connected_tree(self):
+        morphology = MorphologyGenerator().grow(seed=3)
+        morphology.validate()
+
+    def test_contains_all_neurite_types(self):
+        morphology = MorphologyGenerator().grow(seed=4)
+        types = {s.section_type for s in morphology.sections.values()}
+        assert SectionType.AXON in types
+        assert SectionType.BASAL_DENDRITE in types
+        assert SectionType.APICAL_DENDRITE in types
+
+    def test_parent_ids_precede_children(self):
+        morphology = MorphologyGenerator().grow(seed=5)
+        for section in morphology.sections.values():
+            if section.parent_id != -1:
+                assert section.parent_id < section.section_id
+
+    def test_branch_order_bounded(self):
+        config = MorphologyConfig(max_branch_order=2, branch_prob=1.0)
+        morphology = MorphologyGenerator(config).grow(seed=6)
+        assert morphology.max_branch_order() <= 2
+
+    def test_no_branching_when_prob_zero(self):
+        config = MorphologyConfig(branch_prob=0.0)
+        morphology = MorphologyGenerator(config).grow(seed=7)
+        # Only trunk sections: every section is a root.
+        assert all(s.parent_id == -1 for s in morphology.sections.values())
+
+    def test_radii_taper_and_respect_floor(self):
+        config = MorphologyConfig(min_radius=0.3)
+        morphology = MorphologyGenerator(config).grow(seed=8)
+        for section in morphology.sections.values():
+            assert all(r >= 0.3 - 1e-9 for r in section.radii)
+            assert section.radii[0] >= section.radii[-1]
+
+    def test_apical_grows_upward(self):
+        morphology = MorphologyGenerator().grow(seed=9)
+        apicals = [
+            s for s in morphology.sections.values()
+            if s.section_type is SectionType.APICAL_DENDRITE and s.parent_id == -1
+        ]
+        assert apicals
+        for section in apicals:
+            assert section.points[-1].y > section.points[0].y
+
+    def test_axon_grows_downward(self):
+        morphology = MorphologyGenerator().grow(seed=10)
+        axons = [
+            s for s in morphology.sections.values()
+            if s.section_type is SectionType.AXON and s.parent_id == -1
+        ]
+        assert axons
+        for section in axons:
+            assert section.points[-1].y < section.points[0].y
+
+    def test_tortuosity_produces_jagged_paths(self):
+        # The straight-line distance must be noticeably shorter than the
+        # cable length for tortuous growth (the property SCOUT leans on).
+        config = MorphologyConfig(tortuosity_deg=25.0, branch_prob=0.0)
+        morphology = MorphologyGenerator(config).grow(seed=11)
+        for section in morphology.sections.values():
+            cable = section.length()
+            chord = section.points[0].distance_to(section.points[-1])
+            assert chord < cable + 1e-9
+
+
+class TestConfigValidation:
+    def test_bad_basal_range(self):
+        with pytest.raises(MorphologyError):
+            MorphologyConfig(num_basal_range=(3, 2))
+
+    def test_bad_points_per_section(self):
+        with pytest.raises(MorphologyError):
+            MorphologyConfig(points_per_section_range=(1, 5))
+
+    def test_bad_branch_prob(self):
+        with pytest.raises(MorphologyError):
+            MorphologyConfig(branch_prob=1.5)
+
+    def test_bad_branch_order(self):
+        with pytest.raises(MorphologyError):
+            MorphologyConfig(max_branch_order=-1)

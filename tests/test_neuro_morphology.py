@@ -1,0 +1,143 @@
+"""Unit tests for the morphology model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import MorphologyError
+from repro.geometry.vec import Vec3
+from repro.neuro.morphology import Morphology, Section, SectionType
+
+
+def straight_section(section_id: int = 0, parent_id: int = -1, offset: Vec3 = Vec3(0, 0, 0)):
+    points = [offset, offset + Vec3(10, 0, 0), offset + Vec3(20, 0, 0)]
+    return Section(
+        section_id=section_id,
+        section_type=SectionType.AXON,
+        parent_id=parent_id,
+        points=points,
+        radii=[1.0, 0.9, 0.8],
+    )
+
+
+def simple_morphology() -> Morphology:
+    m = Morphology(soma_position=Vec3(0, 0, 0), soma_radius=5.0)
+    root = straight_section(0)
+    m.add_section(root)
+    child = Section(
+        section_id=1,
+        section_type=SectionType.AXON,
+        parent_id=0,
+        points=[root.points[-1], root.points[-1] + Vec3(0, 10, 0)],
+        radii=[0.8, 0.7],
+    )
+    m.add_section(child)
+    return m
+
+
+class TestSection:
+    def test_length(self):
+        assert straight_section().length() == pytest.approx(20.0)
+
+    def test_num_segments(self):
+        assert straight_section().num_segments == 2
+
+    def test_arc_points_monotone(self):
+        arcs = [a for a, _ in straight_section().arc_points()]
+        assert arcs == sorted(arcs)
+        assert arcs[-1] == pytest.approx(20.0)
+
+    def test_mismatched_radii_raise(self):
+        with pytest.raises(MorphologyError):
+            Section(0, SectionType.AXON, -1, [Vec3(0, 0, 0), Vec3(1, 0, 0)], [1.0])
+
+    def test_single_point_raises(self):
+        with pytest.raises(MorphologyError):
+            Section(0, SectionType.AXON, -1, [Vec3(0, 0, 0)], [1.0])
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(MorphologyError):
+            Section(0, SectionType.AXON, -1, [Vec3(0, 0, 0), Vec3(1, 0, 0)], [1.0, -0.5])
+
+
+class TestMorphology:
+    def test_structure_counts(self):
+        m = simple_morphology()
+        assert m.num_sections == 2
+        assert m.num_segments == 3
+        assert m.total_length() == pytest.approx(30.0)
+
+    def test_children_and_roots(self):
+        m = simple_morphology()
+        assert [s.section_id for s in m.root_sections()] == [0]
+        assert [s.section_id for s in m.children_of(0)] == [1]
+        assert m.children_of(1) == []
+
+    def test_max_branch_order(self):
+        m = simple_morphology()
+        assert m.max_branch_order() == 1
+
+    def test_duplicate_section_rejected(self):
+        m = simple_morphology()
+        with pytest.raises(MorphologyError):
+            m.add_section(straight_section(0))
+
+    def test_unknown_parent_rejected(self):
+        m = Morphology(soma_position=Vec3(0, 0, 0), soma_radius=5.0)
+        with pytest.raises(MorphologyError):
+            m.add_section(straight_section(0, parent_id=42))
+
+    def test_validate_accepts_connected(self):
+        simple_morphology().validate()
+
+    def test_validate_rejects_detached_child(self):
+        m = Morphology(soma_position=Vec3(0, 0, 0), soma_radius=5.0)
+        m.add_section(straight_section(0))
+        detached = Section(
+            section_id=1,
+            section_type=SectionType.AXON,
+            parent_id=0,
+            points=[Vec3(100, 100, 100), Vec3(110, 100, 100)],
+            radii=[1.0, 1.0],
+        )
+        m.add_section(detached)
+        with pytest.raises(MorphologyError):
+            m.validate()
+
+    def test_iter_segments_radius_averaging(self):
+        m = simple_morphology()
+        radii = [r for _, _, _, _, r in m.iter_segments()]
+        assert radii == pytest.approx([0.95, 0.85, 0.75])
+
+    def test_bounding_box_covers_soma_and_sections(self):
+        m = simple_morphology()
+        box = m.bounding_box()
+        assert box.contains_point(Vec3(0, 0, 0))
+        assert box.contains_point(Vec3(20, 10, 0))
+        assert box.min_x <= -5.0  # soma radius
+
+    def test_transformed_translation(self):
+        m = simple_morphology()
+        moved = m.transformed(Vec3(100, 0, 0))
+        assert moved.soma_position == Vec3(100, 0, 0)
+        assert moved.num_segments == m.num_segments
+        assert moved.total_length() == pytest.approx(m.total_length())
+        moved.validate()
+
+    def test_transformed_rotation_preserves_length_and_height(self):
+        m = simple_morphology()
+        rotated = m.transformed(Vec3(0, 0, 0), rotation_y=math.pi / 2)
+        assert rotated.total_length() == pytest.approx(m.total_length())
+        # Rotation about y: x extent becomes z extent.
+        section = rotated.sections[0]
+        assert section.points[-1].z == pytest.approx(-20.0)
+        assert section.points[-1].x == pytest.approx(0.0, abs=1e-9)
+        rotated.validate()
+
+    def test_transform_does_not_mutate_original(self):
+        m = simple_morphology()
+        before = m.sections[0].points[-1]
+        m.transformed(Vec3(5, 5, 5), rotation_y=1.0)
+        assert m.sections[0].points[-1] == before

@@ -1,0 +1,57 @@
+"""Unit tests for neuron/circuit surface meshing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import MorphologyError
+from repro.geometry.vec import Vec3
+from repro.neuro.morphology import Morphology
+from repro.neuro.surface import circuit_surface_mesh, neuron_surface_mesh
+
+
+class TestNeuronMesh:
+    def test_mesh_covers_all_sections(self, small_circuit):
+        morphology = small_circuit.neurons[0].morphology
+        mesh = neuron_surface_mesh(morphology, sides=5)
+        # Every section of p points contributes p rings of 5 vertices.
+        expected_vertices = sum(
+            len(s.points) * 5 for s in morphology.sections.values()
+        )
+        assert mesh.num_vertices == expected_vertices
+        assert mesh.num_faces > 0
+        assert np.isfinite(mesh.vertices).all()
+
+    def test_mesh_bbox_close_to_morphology_bbox(self, small_circuit):
+        morphology = small_circuit.neurons[0].morphology
+        mesh = neuron_surface_mesh(morphology)
+        mesh_box = mesh.aabb()
+        morph_box = morphology.bounding_box()
+        # The tube mesh stays within the capsule-based bounding box grown a
+        # little (soma sphere is not meshed).
+        assert morph_box.expanded(1.0).contains_box(mesh_box)
+
+    def test_empty_morphology_raises(self):
+        empty = Morphology(soma_position=Vec3(0, 0, 0), soma_radius=5.0)
+        with pytest.raises(MorphologyError):
+            neuron_surface_mesh(empty)
+
+    def test_more_sides_more_area(self, small_circuit):
+        morphology = small_circuit.neurons[0].morphology
+        coarse = neuron_surface_mesh(morphology, sides=3)
+        fine = neuron_surface_mesh(morphology, sides=12)
+        # Inscribed polygons: area increases with the number of sides.
+        assert fine.surface_area() > coarse.surface_area()
+
+
+class TestCircuitMesh:
+    def test_max_neurons_limits_size(self, small_circuit):
+        one = circuit_surface_mesh(small_circuit, max_neurons=1)
+        two = circuit_surface_mesh(small_circuit, max_neurons=2)
+        assert two.num_vertices > one.num_vertices
+
+    def test_all_neurons_by_default(self, small_circuit):
+        full = circuit_surface_mesh(small_circuit)
+        partial = circuit_surface_mesh(small_circuit, max_neurons=3)
+        assert full.num_vertices >= partial.num_vertices

@@ -1,0 +1,119 @@
+"""Unit tests for SWC read/write."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import MorphologyError
+from repro.geometry.vec import Vec3
+from repro.neuro.generator import MorphologyGenerator
+from repro.neuro.morphology import Morphology, Section, SectionType
+from repro.neuro.swc import dumps_swc, loads_swc, read_swc, write_swc
+
+
+def branched_morphology() -> Morphology:
+    m = Morphology(soma_position=Vec3(1, 2, 3), soma_radius=6.0)
+    m.add_section(
+        Section(0, SectionType.AXON, -1, [Vec3(1, 8, 3), Vec3(1, 18, 3)], [1.0, 0.9])
+    )
+    m.add_section(
+        Section(
+            1,
+            SectionType.AXON,
+            0,
+            [Vec3(1, 18, 3), Vec3(5, 22, 3), Vec3(9, 25, 3)],
+            [0.9, 0.8, 0.7],
+        )
+    )
+    m.add_section(
+        Section(2, SectionType.AXON, 0, [Vec3(1, 18, 3), Vec3(-3, 22, 3)], [0.9, 0.75])
+    )
+    return m
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip_preserves_structure(self):
+        m = branched_morphology()
+        m2 = loads_swc(dumps_swc(m))
+        assert m2.num_sections == m.num_sections
+        assert m2.num_segments == m.num_segments
+        assert m2.soma_position == m.soma_position
+        assert m2.soma_radius == pytest.approx(m.soma_radius)
+        assert m2.total_length() == pytest.approx(m.total_length())
+        m2.validate()
+
+    def test_generated_morphology_roundtrip(self):
+        m = MorphologyGenerator().grow(seed=12)
+        m2 = loads_swc(dumps_swc(m))
+        assert m2.num_sections == m.num_sections
+        assert m2.num_segments == m.num_segments
+        assert m2.total_length() == pytest.approx(m.total_length(), rel=1e-5)
+        types = sorted(s.section_type for s in m.sections.values())
+        types2 = sorted(s.section_type for s in m2.sections.values())
+        assert types == types2
+
+    def test_file_roundtrip(self, tmp_path):
+        m = branched_morphology()
+        path = tmp_path / "n.swc"
+        write_swc(m, path)
+        m2 = read_swc(path)
+        assert m2.num_segments == m.num_segments
+
+    def test_stream_roundtrip(self):
+        m = branched_morphology()
+        buffer = io.StringIO()
+        write_swc(m, buffer)
+        buffer.seek(0)
+        m2 = read_swc(buffer)
+        assert m2.num_segments == m.num_segments
+
+
+class TestFormat:
+    def test_header_comment_present(self):
+        text = dumps_swc(branched_morphology())
+        assert text.startswith("#")
+
+    def test_soma_first_sample(self):
+        text = dumps_swc(branched_morphology())
+        first_data = next(l for l in text.splitlines() if not l.startswith("#"))
+        fields = first_data.split()
+        assert fields[0] == "1"
+        assert fields[1] == str(int(SectionType.SOMA))
+        assert fields[6] == "-1"
+
+    def test_parent_references_valid(self):
+        text = dumps_swc(branched_morphology())
+        seen = set()
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            fields = line.split()
+            index, parent = int(fields[0]), int(fields[6])
+            assert parent == -1 or parent in seen
+            seen.add(index)
+
+
+class TestErrors:
+    def test_bad_field_count(self):
+        with pytest.raises(MorphologyError):
+            loads_swc("1 1 0 0 0 1\n")
+
+    def test_duplicate_index(self):
+        text = "1 1 0 0 0 5 -1\n1 2 0 5 0 1 1\n"
+        with pytest.raises(MorphologyError):
+            loads_swc(text)
+
+    def test_missing_soma(self):
+        text = "1 2 0 0 0 1 -1\n2 2 0 5 0 1 1\n"
+        with pytest.raises(MorphologyError):
+            loads_swc(text)
+
+    def test_comments_and_blank_lines_ignored(self):
+        # Two axon samples chained off the soma: one 2-point section.
+        text = "# comment\n\n1 1 0 0 0 5 -1\n2 2 0 5 0 1 1\n3 2 0 9 0 1 2\n"
+        m = loads_swc(text)
+        assert m.num_sections == 1
+        assert m.num_segments == 1
+        assert m.sections[0].points[-1] == Vec3(0.0, 9.0, 0.0)

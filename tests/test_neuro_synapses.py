@@ -1,0 +1,91 @@
+"""Unit tests for the synapse touch rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+from repro.neuro.synapses import find_touches_brute_force, refine_touch
+
+
+def seg(uid: int, y: float, radius: float = 0.5, neuron: int = -1) -> Segment:
+    return Segment(
+        uid=uid, p0=Vec3(0, y, 0), p1=Vec3(10, y, 0), radius=radius, neuron_id=neuron
+    )
+
+
+class TestRefineTouch:
+    def test_touching_pair_forms_synapse(self):
+        synapse = refine_touch(seg(1, 0.0, neuron=1), seg(2, 1.0, neuron=2))
+        assert synapse is not None
+        assert synapse.pre_uid == 1 and synapse.post_uid == 2
+        assert synapse.pre_neuron == 1 and synapse.post_neuron == 2
+        assert synapse.gap == pytest.approx(0.0)
+
+    def test_separated_pair_none(self):
+        assert refine_touch(seg(1, 0.0, neuron=1), seg(2, 2.0, neuron=2)) is None
+
+    def test_tolerance_extends_reach(self):
+        pre, post = seg(1, 0.0, neuron=1), seg(2, 2.0, neuron=2)
+        assert refine_touch(pre, post) is None
+        assert refine_touch(pre, post, tolerance=1.0) is not None
+
+    def test_no_autapses(self):
+        assert refine_touch(seg(1, 0.0, neuron=5), seg(2, 0.5, neuron=5)) is None
+
+    def test_unknown_neuron_ids_allowed(self):
+        # neuron_id -1 means "no provenance": the autapse rule is skipped.
+        assert refine_touch(seg(1, 0.0), seg(2, 0.5)) is not None
+
+    def test_position_between_segments(self):
+        synapse = refine_touch(seg(1, 0.0, neuron=1), seg(2, 1.0, neuron=2))
+        assert synapse is not None
+        assert synapse.position.y == pytest.approx(0.5)
+        assert 0.0 <= synapse.position.x <= 10.0
+
+    def test_gap_sign_for_interpenetrating_capsules(self):
+        synapse = refine_touch(
+            seg(1, 0.0, radius=1.0, neuron=1), seg(2, 1.0, radius=1.5, neuron=2)
+        )
+        assert synapse is not None
+        assert synapse.gap < 0.0
+
+    def test_larger_radii_touch_at_greater_distance(self):
+        thin = refine_touch(seg(1, 0.0, radius=0.2, neuron=1), seg(2, 1.5, radius=0.2, neuron=2))
+        thick = refine_touch(seg(1, 0.0, radius=0.8, neuron=1), seg(2, 1.5, radius=0.8, neuron=2))
+        assert thin is None
+        assert thick is not None
+
+
+class TestBruteForce:
+    def test_finds_exactly_pairs_within_reach(self):
+        # Parallel segments at y = 0, 1, 2 vs y = 0.8, 1.8, 2.8 with
+        # radius 0.5: a pair touches iff the axis gap |dy| <= 1.0.
+        pre = [seg(i, float(i), neuron=1) for i in range(3)]
+        post = [seg(10 + j, float(j) + 0.8, neuron=2) for j in range(3)]
+        synapses = find_touches_brute_force(pre, post)
+        got = {(s.pre_uid, s.post_uid) for s in synapses}
+        expected = {
+            (i, 10 + j)
+            for i in range(3)
+            for j in range(3)
+            if abs(i - (j + 0.8)) <= 1.0 + 1e-9
+        }
+        assert got == expected
+
+    def test_respects_tolerance(self):
+        pre = [seg(0, 0.0, neuron=1)]
+        post = [seg(1, 2.0, neuron=2)]
+        assert find_touches_brute_force(pre, post) == []
+        assert len(find_touches_brute_force(pre, post, tolerance=1.0)) == 1
+
+    def test_empty_inputs(self):
+        assert find_touches_brute_force([], []) == []
+        assert find_touches_brute_force([seg(1, 0.0)], []) == []
+
+    def test_excludes_same_neuron_pairs(self):
+        pre = [seg(0, 0.0, neuron=7)]
+        post = [seg(1, 0.5, neuron=7), seg(2, 0.5, neuron=8)]
+        synapses = find_touches_brute_force(pre, post)
+        assert [(s.pre_uid, s.post_uid) for s in synapses] == [(0, 2)]

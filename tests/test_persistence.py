@@ -1,0 +1,68 @@
+"""Unit tests for circuit save/load."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import MorphologyError
+from repro.neuro.circuit import generate_circuit
+from repro.neuro.persistence import load_circuit, save_circuit
+
+
+class TestRoundTrip:
+    def test_segment_datasets_identical(self, tmp_path):
+        circuit = generate_circuit(n_neurons=4, seed=31)
+        save_circuit(circuit, tmp_path / "model")
+        loaded = load_circuit(tmp_path / "model")
+
+        assert loaded.num_neurons == circuit.num_neurons
+        original = circuit.segments()
+        restored = loaded.segments()
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a.p0.distance_to(b.p0) < 1e-4
+            assert a.p1.distance_to(b.p1) < 1e-4
+            assert a.radius == pytest.approx(b.radius, abs=1e-5)
+            assert a.neuron_id == b.neuron_id
+
+    def test_queries_agree_after_roundtrip(self, tmp_path):
+        from repro.core.flat.index import FLATIndex
+        from repro.geometry.aabb import AABB
+
+        circuit = generate_circuit(n_neurons=4, seed=31)
+        save_circuit(circuit, tmp_path / "model")
+        loaded = load_circuit(tmp_path / "model")
+        box = AABB.from_center_extent(circuit.bounding_box().center(), 200.0)
+        a = FLATIndex(circuit.segments(), page_capacity=32).query(box)
+        b = FLATIndex(loaded.segments(), page_capacity=32).query(box)
+        assert sorted(a.uids) == sorted(b.uids)
+
+    def test_metadata_preserved(self, tmp_path):
+        circuit = generate_circuit(n_neurons=3, seed=8)
+        save_circuit(circuit, tmp_path / "model")
+        loaded = load_circuit(tmp_path / "model")
+        assert loaded.config.seed == circuit.config.seed
+        assert [n.layer for n in loaded.neurons] == [n.layer for n in circuit.neurons]
+        assert [n.gid for n in loaded.neurons] == [n.gid for n in circuit.neurons]
+
+    def test_manifest_contents(self, tmp_path):
+        circuit = generate_circuit(n_neurons=3, seed=8)
+        manifest_path = save_circuit(circuit, tmp_path / "model")
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["format"] == "repro-circuit/1"
+        assert len(manifest["neurons"]) == 3
+        for record in manifest["neurons"]:
+            assert (tmp_path / "model" / record["file"]).exists()
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(MorphologyError):
+            load_circuit(tmp_path)
+
+    def test_unknown_format(self, tmp_path):
+        (tmp_path / "circuit.json").write_text(json.dumps({"format": "other/9"}))
+        with pytest.raises(MorphologyError):
+            load_circuit(tmp_path)

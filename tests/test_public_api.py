@@ -1,0 +1,83 @@
+"""The public API surface: everything advertised must exist and work."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_errors_share_base(self):
+        from repro import errors
+
+        for name in errors.__dict__:
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+
+class TestEndToEnd:
+    """The README quickstart, executed."""
+
+    def test_readme_flow(self):
+        circuit = repro.generate_circuit(n_neurons=6, seed=42)
+        segments = circuit.segments()
+        assert segments
+
+        index = repro.FLATIndex(segments, page_capacity=48)
+        window = repro.AABB.from_center_extent(circuit.bounding_box().center(), 120.0)
+        result = index.query(window)
+        expected = sorted(s.uid for s in segments if s.aabb.intersects(window))
+        assert sorted(result.uids) == expected
+
+        walk = repro.branch_walk(circuit, window_extent=90.0, seed=7)
+        pool = repro.BufferPool(index.disk, capacity=256)
+        session = repro.ExplorationSession(
+            index, pool, repro.ScoutPrefetcher(index, pool)
+        )
+        metrics = session.run(walk.queries)
+        assert metrics.num_steps == len(walk.queries)
+
+        join = repro.touch_join(
+            circuit.axon_segments(), circuit.dendrite_segments(), eps=3.0
+        )
+        oracle = repro.nested_loop_join(
+            circuit.axon_segments(), circuit.dendrite_segments(), eps=3.0
+        )
+        assert join.sorted_pairs() == oracle.sorted_pairs()
+
+    def test_swc_roundtrip_via_public_api(self, tmp_path):
+        circuit = repro.generate_circuit(n_neurons=2, seed=1)
+        path = tmp_path / "n.swc"
+        repro.write_swc(circuit.neurons[0].morphology, path)
+        morphology = repro.read_swc(path)
+        assert morphology.num_segments == circuit.neurons[0].morphology.num_segments
+
+    def test_rtree_via_public_api(self):
+        items = [
+            (i, repro.AABB.from_center_extent((float(i), 0.0, 0.0), 1.0))
+            for i in range(64)
+        ]
+        tree = repro.str_bulk_load(items, max_entries=8)
+        assert len(tree.range_query(repro.AABB(0, -1, -1, 10, 1, 1))) > 0
+        tree2 = repro.hilbert_bulk_load(items, max_entries=8)
+        assert sorted(tree2.range_query(repro.AABB(-10, -10, -10, 100, 10, 10))) == [
+            i for i, _ in items
+        ]
+
+    def test_box_object_protocol(self):
+        box = repro.BoxObject(uid=1, box=repro.AABB(0, 0, 0, 1, 1, 1))
+        assert isinstance(box, repro.SpatialObject)
+
+    def test_errors_raised_through_api(self):
+        with pytest.raises(repro.ReproError):
+            repro.FLATIndex([])

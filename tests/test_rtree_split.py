@@ -1,0 +1,71 @@
+"""Unit tests for node splitting policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.geometry.aabb import AABB
+from repro.rtree.node import Entry
+from repro.rtree.split import linear_split, quadratic_split
+
+
+def entries_at(positions: list[tuple[float, float, float]], size: float = 1.0) -> list[Entry]:
+    return [
+        Entry(
+            mbr=AABB(x, y, z, x + size, y + size, z + size),
+            uid=i,
+        )
+        for i, (x, y, z) in enumerate(positions)
+    ]
+
+
+@pytest.mark.parametrize("split", [quadratic_split, linear_split])
+class TestSplitContracts:
+    def test_partition_preserves_entries(self, split):
+        entries = entries_at([(0, 0, 0), (10, 0, 0), (0.5, 0, 0), (10.5, 0, 0), (5, 5, 5)])
+        a, b = split(entries, min_entries=2)
+        uids = sorted(e.uid for e in a) + sorted(e.uid for e in b)
+        assert sorted(uids) == [0, 1, 2, 3, 4]
+
+    def test_minimum_fill_respected(self, split):
+        entries = entries_at([(i, 0, 0) for i in range(10)])
+        a, b = split(entries, min_entries=4)
+        assert len(a) >= 4 and len(b) >= 4
+
+    def test_two_entries(self, split):
+        entries = entries_at([(0, 0, 0), (10, 10, 10)])
+        a, b = split(entries, min_entries=1)
+        assert len(a) == 1 and len(b) == 1
+
+    def test_too_few_entries_raise(self, split):
+        with pytest.raises(IndexError_):
+            split(entries_at([(0, 0, 0)]), min_entries=1)
+
+    def test_unsatisfiable_min_fill_raises(self, split):
+        entries = entries_at([(0, 0, 0), (1, 0, 0), (2, 0, 0)])
+        with pytest.raises(IndexError_):
+            split(entries, min_entries=2)
+
+    def test_identical_boxes_split_evenly_enough(self, split):
+        entries = entries_at([(0, 0, 0)] * 6)
+        a, b = split(entries, min_entries=2)
+        assert len(a) + len(b) == 6
+        assert min(len(a), len(b)) >= 2
+
+
+class TestQuadraticQuality:
+    def test_separates_two_distant_clusters(self):
+        cluster_a = [(0, 0, 0), (1, 0, 0), (0, 1, 0)]
+        cluster_b = [(100, 100, 100), (101, 100, 100), (100, 101, 100)]
+        entries = entries_at(cluster_a + cluster_b)
+        a, b = quadratic_split(entries, min_entries=2)
+        group_of = {}
+        for e in a:
+            group_of[e.uid] = "a"
+        for e in b:
+            group_of[e.uid] = "b"
+        # All of cluster A in one group, all of cluster B in the other.
+        assert len({group_of[i] for i in (0, 1, 2)}) == 1
+        assert len({group_of[i] for i in (3, 4, 5)}) == 1
+        assert group_of[0] != group_of[3]

@@ -1,0 +1,212 @@
+"""Unit tests for R-tree dynamic operations and queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IndexError_, InvariantViolation
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.rtree.node import Entry
+from repro.rtree.tree import RTree
+from repro.utils.rng import make_rng
+
+
+def random_items(n: int, seed: int = 0, world: float = 100.0) -> list[tuple[int, AABB]]:
+    rng = make_rng(seed)
+    items = []
+    for uid in range(n):
+        x, y, z = (float(v) for v in rng.uniform(0, world, size=3))
+        sx, sy, sz = (float(v) for v in rng.uniform(0.5, 3.0, size=3))
+        items.append((uid, AABB(x, y, z, x + sx, y + sy, z + sz)))
+    return items
+
+
+def brute_range(items: list[tuple[int, AABB]], box: AABB) -> list[int]:
+    return sorted(uid for uid, mbr in items if mbr.intersects(box))
+
+
+class TestInsert:
+    def test_empty_tree(self):
+        tree = RTree(max_entries=4)
+        assert len(tree) == 0
+        assert tree.range_query(AABB(0, 0, 0, 1, 1, 1)) == []
+        tree.validate()
+
+    def test_insert_and_query_exact(self):
+        items = random_items(300, seed=1)
+        tree = RTree(max_entries=8)
+        for uid, mbr in items:
+            tree.insert(uid, mbr)
+        tree.validate()
+        for box in (AABB(0, 0, 0, 20, 20, 20), AABB(40, 40, 40, 70, 70, 70)):
+            assert sorted(tree.range_query(box)) == brute_range(items, box)
+
+    def test_height_grows(self):
+        tree = RTree(max_entries=4)
+        for uid, mbr in random_items(100, seed=2):
+            tree.insert(uid, mbr)
+        assert tree.height >= 3
+        tree.validate()
+
+    def test_duplicate_boxes_allowed(self):
+        tree = RTree(max_entries=4)
+        box = AABB(0, 0, 0, 1, 1, 1)
+        for uid in range(20):
+            tree.insert(uid, box)
+        tree.validate()
+        assert sorted(tree.range_query(box)) == list(range(20))
+
+    def test_configuration_validation(self):
+        with pytest.raises(IndexError_):
+            RTree(max_entries=1)
+        with pytest.raises(IndexError_):
+            RTree(max_entries=8, min_entries=5)  # > max/2
+        with pytest.raises(IndexError_):
+            RTree(max_entries=8, min_entries=0)
+
+
+class TestDelete:
+    def test_delete_removes_only_target(self):
+        items = random_items(120, seed=3)
+        tree = RTree(max_entries=6)
+        for uid, mbr in items:
+            tree.insert(uid, mbr)
+        tree.delete(17, dict(items)[17])
+        tree.validate()
+        assert len(tree) == 119
+        box = AABB(0, 0, 0, 100, 100, 100)
+        assert 17 not in tree.range_query(box)
+        assert sorted(tree.range_query(box)) == [u for u in range(120) if u != 17]
+
+    def test_delete_everything(self):
+        items = random_items(60, seed=4)
+        tree = RTree(max_entries=5)
+        for uid, mbr in items:
+            tree.insert(uid, mbr)
+        for uid, mbr in items:
+            tree.delete(uid, mbr)
+            tree.validate()
+        assert len(tree) == 0
+        assert tree.range_query(AABB(0, 0, 0, 100, 100, 100)) == []
+
+    def test_delete_unknown_raises(self):
+        tree = RTree(max_entries=4)
+        tree.insert(1, AABB(0, 0, 0, 1, 1, 1))
+        with pytest.raises(KeyError):
+            tree.delete(99)
+
+    def test_delete_without_hint_mbr(self):
+        tree = RTree(max_entries=4)
+        for uid, mbr in random_items(30, seed=5):
+            tree.insert(uid, mbr)
+        tree.delete(7)  # full scan path
+        assert len(tree) == 29
+        tree.validate()
+
+    def test_interleaved_insert_delete(self):
+        items = random_items(200, seed=6)
+        tree = RTree(max_entries=6)
+        alive: dict[int, AABB] = {}
+        for i, (uid, mbr) in enumerate(items):
+            tree.insert(uid, mbr)
+            alive[uid] = mbr
+            if i % 3 == 2:
+                victim = next(iter(alive))
+                tree.delete(victim, alive.pop(victim))
+        tree.validate()
+        box = AABB(0, 0, 0, 100, 100, 100)
+        assert sorted(tree.range_query(box)) == sorted(alive)
+
+
+class TestQueries:
+    def setup_method(self):
+        self.items = random_items(400, seed=7)
+        self.tree = RTree(max_entries=8)
+        for uid, mbr in self.items:
+            self.tree.insert(uid, mbr)
+
+    def test_stats_count_levels(self):
+        box = AABB(10, 10, 10, 60, 60, 60)
+        uids, stats = self.tree.range_query_with_stats(box)
+        assert stats.num_results == len(uids)
+        assert stats.nodes_visited == sum(stats.nodes_per_level.values())
+        assert stats.nodes_per_level[self.tree.root.level] == 1
+        assert stats.pages_read == stats.nodes_visited
+        assert stats.leaf_nodes_visited + stats.internal_nodes_visited == stats.nodes_visited
+
+    def test_find_any_returns_member_of_range(self):
+        box = AABB(20, 20, 20, 50, 50, 50)
+        uid, stats = self.tree.find_any_in_range(box)
+        expected = brute_range(self.items, box)
+        assert uid in expected
+        assert stats.found
+
+    def test_find_any_respects_exclusion(self):
+        box = AABB(20, 20, 20, 50, 50, 50)
+        expected = set(brute_range(self.items, box))
+        excluded: set[int] = set()
+        while True:
+            uid, _ = self.tree.find_any_in_range(box, exclude=excluded)
+            if uid is None:
+                break
+            assert uid in expected
+            assert uid not in excluded
+            excluded.add(uid)
+        assert excluded == expected
+
+    def test_find_any_empty_region(self):
+        uid, stats = self.tree.find_any_in_range(AABB(500, 500, 500, 600, 600, 600))
+        assert uid is None
+        assert not stats.found
+
+    def test_find_any_cheaper_than_full_query(self):
+        box = AABB(0, 0, 0, 90, 90, 90)  # almost everything
+        _, seed_stats = self.tree.find_any_in_range(box)
+        _, full_stats = self.tree.range_query_with_stats(box)
+        assert seed_stats.nodes_visited <= self.tree.height
+        assert seed_stats.nodes_visited < full_stats.nodes_visited
+
+    def test_knn_matches_brute_force(self):
+        point = Vec3(50, 50, 50)
+        got = self.tree.knn(point, 5)
+        brute = sorted(
+            ((uid, mbr.min_distance_to_point(point)) for uid, mbr in self.items),
+            key=lambda t: t[1],
+        )[:5]
+        assert [d for _, d in got] == pytest.approx([d for _, d in brute])
+
+    def test_knn_k_larger_than_size(self):
+        small = RTree(max_entries=4)
+        small.insert(1, AABB(0, 0, 0, 1, 1, 1))
+        result = small.knn(Vec3(0, 0, 0), 10)
+        assert len(result) == 1
+
+    def test_knn_empty_tree(self):
+        assert RTree(max_entries=4).knn(Vec3(0, 0, 0), 3) == []
+
+
+class TestValidation:
+    def test_validate_catches_corruption(self):
+        tree = RTree(max_entries=4)
+        for uid, mbr in random_items(50, seed=8):
+            tree.insert(uid, mbr)
+        # Corrupt: shrink an internal entry MBR so it no longer covers its child.
+        node = tree.root
+        assert not node.is_leaf
+        node.entries[0] = Entry(mbr=AABB(0, 0, 0, 0.1, 0.1, 0.1), child=node.entries[0].child)
+        with pytest.raises(InvariantViolation):
+            tree.validate()
+
+    def test_overlap_factor_nonnegative(self):
+        tree = RTree(max_entries=4)
+        for uid, mbr in random_items(80, seed=9):
+            tree.insert(uid, mbr)
+        assert tree.overlap_factor() >= 0.0
+
+    def test_byte_size_positive_and_grows(self):
+        tree = RTree(max_entries=4)
+        empty_size = tree.byte_size()
+        for uid, mbr in random_items(64, seed=10):
+            tree.insert(uid, mbr)
+        assert tree.byte_size() > empty_size

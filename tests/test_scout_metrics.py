@@ -1,0 +1,85 @@
+"""Unit tests for SCOUT session metrics (the Figure 6 arithmetic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scout.metrics import SessionMetrics, StepMetrics
+
+
+def step(i: int, stall: float, needed: int = 4, misses: int = 2, issued: int = 3) -> StepMetrics:
+    return StepMetrics(
+        step=i,
+        result_size=10,
+        pages_needed=needed,
+        cache_hits=needed - misses,
+        cache_misses=misses,
+        stall_ms=stall,
+        prefetch_issued=issued,
+    )
+
+
+def session(stalls: list[float], prefetched=9, used=6, misses=6) -> SessionMetrics:
+    metrics = SessionMetrics(prefetcher="test")
+    metrics.steps = [step(i, s) for i, s in enumerate(stalls)]
+    metrics.total_prefetched = prefetched
+    metrics.prefetch_used = used
+    metrics.demand_misses = misses
+    metrics.total_stall_ms = sum(stalls)
+    return metrics
+
+
+class TestDerivedMeasures:
+    def test_accuracy(self):
+        assert session([1.0]).prefetch_accuracy == pytest.approx(6 / 9)
+        assert session([1.0], prefetched=0, used=0).prefetch_accuracy == 0.0
+
+    def test_coverage(self):
+        metrics = session([1.0, 1.0], misses=2)
+        # 2 steps x 4 needed = 8 demanded, 2 missed -> 75% covered.
+        assert metrics.coverage == pytest.approx(0.75)
+
+    def test_coverage_empty(self):
+        empty = SessionMetrics(prefetcher="x")
+        assert empty.coverage == 0.0
+        assert empty.mean_stall_ms == 0.0
+
+    def test_wasted(self):
+        assert session([1.0]).wasted_prefetches == 3
+
+    def test_mean_stall(self):
+        assert session([2.0, 4.0]).mean_stall_ms == pytest.approx(3.0)
+
+    def test_steady_state_excludes_first_step(self):
+        metrics = session([100.0, 1.0, 2.0])
+        assert metrics.steady_state_stall_ms == pytest.approx(3.0)
+        assert metrics.total_stall_ms == pytest.approx(103.0)
+
+    def test_steady_state_single_step(self):
+        assert session([5.0]).steady_state_stall_ms == 0.0
+
+
+class TestSpeedups:
+    def test_speedup_over(self):
+        fast = session([10.0])
+        slow = session([40.0])
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+        assert slow.speedup_over(fast) == pytest.approx(0.25)
+
+    def test_zero_stall_infinite_speedup(self):
+        zero = session([0.0])
+        base = session([10.0])
+        assert zero.speedup_over(base) == float("inf")
+
+    def test_steady_state_speedup(self):
+        scout = session([50.0, 1.0, 1.0])
+        none = session([50.0, 20.0, 20.0])
+        # Aggregate speedup is diluted by the shared cold start...
+        assert scout.speedup_over(none) == pytest.approx(90.0 / 52.0)
+        # ...steady state isolates the prefetching effect.
+        assert scout.steady_state_speedup_over(none) == pytest.approx(20.0)
+
+    def test_steady_state_speedup_zero_denominator(self):
+        scout = session([50.0])
+        none = session([50.0, 20.0])
+        assert scout.steady_state_speedup_over(none) == float("inf")

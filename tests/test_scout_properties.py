@@ -1,0 +1,100 @@
+"""Property-based tests for SCOUT's skeleton and session invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.scout.skeleton import Skeleton
+from repro.geometry.aabb import AABB
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+
+coord = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+@st.composite
+def random_chains(draw) -> list[Segment]:
+    """A handful of independent polyline chains with unique segment uids."""
+    segments: list[Segment] = []
+    uid = 0
+    for _ in range(draw(st.integers(min_value=0, max_value=4))):
+        length = draw(st.integers(min_value=1, max_value=6))
+        # Anchor far enough apart that chains never accidentally touch.
+        anchor = Vec3(
+            draw(coord) + 1000.0 * len(segments),
+            draw(coord),
+            draw(coord),
+        )
+        point = anchor
+        for _ in range(length):
+            step = Vec3(
+                draw(st.floats(min_value=0.5, max_value=10.0)),
+                draw(st.floats(min_value=-5.0, max_value=5.0)),
+                draw(st.floats(min_value=-5.0, max_value=5.0)),
+            )
+            nxt = point + step
+            segments.append(Segment(uid=uid, p0=point, p1=nxt, radius=0.2))
+            uid += 1
+            point = nxt
+    return segments
+
+
+@given(random_chains())
+def test_structures_partition_segments(segments):
+    skeleton = Skeleton(segments)
+    seen: set[int] = set()
+    for structure in skeleton.structures():
+        assert not (structure.segment_uids & seen)
+        seen |= structure.segment_uids
+    assert seen == {s.uid for s in segments}
+
+
+@given(random_chains())
+def test_chain_segments_share_structures(segments):
+    skeleton = Skeleton(segments)
+    # Consecutive segments of a chain share an endpoint, hence a structure.
+    for a, b in zip(segments, segments[1:]):
+        if a.p1.distance_to(b.p0) < 1e-9:
+            assert skeleton.structure_of(a.uid) == skeleton.structure_of(b.uid)
+
+
+@given(random_chains(), coord, coord, coord, st.floats(min_value=5.0, max_value=60.0))
+def test_exits_are_boundary_points_with_unit_directions(segments, cx, cy, cz, extent):
+    if not segments:
+        return
+    box = AABB.from_center_extent(Vec3(cx, cy, cz), extent)
+    skeleton = Skeleton(segments)
+    for edge in skeleton.find_exits(box):
+        # The exit point lies on (or numerically at) the box boundary.
+        assert box.expanded(1e-6).contains_point(edge.exit_point)
+        on_face = any(
+            abs(edge.exit_point[axis] - bound) < 1e-6
+            for axis, bounds in enumerate(
+                ((box.min_x, box.max_x), (box.min_y, box.max_y), (box.min_z, box.max_z))
+            )
+            for bound in bounds
+        )
+        # Either a true boundary crossing or a degenerate clip at t=1.
+        crossing_segment = next(s for s in segments if s.uid == edge.segment_uid)
+        assert on_face or not box.contains_point(crossing_segment.p1)
+        assert edge.direction.norm() == pytest.approx(1.0, abs=1e-6)
+        assert edge.structure_id == skeleton.structure_of(edge.segment_uid)
+
+
+@given(random_chains())
+def test_exit_count_bounded_by_crossing_segments(segments):
+    if not segments:
+        return
+    box = AABB.union_all(s.aabb for s in segments)
+    # Shrink the box so something can cross it.
+    shrunk = AABB.from_center_extent(box.center(), tuple(s * 0.5 + 1.0 for s in box.sizes))
+    skeleton = Skeleton(segments)
+    exits = skeleton.find_exits(shrunk)
+    crossing = [
+        s
+        for s in segments
+        if shrunk.contains_point(s.p0) != shrunk.contains_point(s.p1)
+    ]
+    assert len(exits) == len(crossing)

@@ -1,0 +1,167 @@
+"""Integration tests: exploration sessions, prefetchers, Figure 6 counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flat.index import FLATIndex
+from repro.core.scout.baselines import (
+    ExtrapolationPrefetcher,
+    HilbertPrefetcher,
+    MarkovPrefetcher,
+    NoPrefetcher,
+)
+from repro.core.scout.prefetcher import ScoutPrefetcher
+from repro.core.scout.session import ExplorationSession
+from repro.errors import PrefetchError
+from repro.neuro.circuit import generate_circuit
+from repro.storage.buffer_pool import BufferPool
+from repro.workloads.walks import branch_walk
+
+
+@pytest.fixture(scope="module")
+def walk_setup():
+    circuit = generate_circuit(n_neurons=15, seed=77)
+    index = FLATIndex(circuit.segments(), page_capacity=16)
+    walk = branch_walk(circuit, window_extent=80.0, seed=5)
+    return circuit, index, walk
+
+
+def run_session(index, walk, make_prefetcher, pool_capacity=256):
+    pool = BufferPool(index.disk, capacity=pool_capacity)
+    prefetcher = make_prefetcher(index, pool)
+    session = ExplorationSession(index, pool, prefetcher)
+    return session.run(walk.queries, cold_cache=True)
+
+
+class TestSessionAccounting:
+    def test_counters_are_consistent(self, walk_setup):
+        _, index, walk = walk_setup
+        metrics = run_session(index, walk, lambda i, p: ScoutPrefetcher(i, p))
+        assert metrics.num_steps == len(walk.queries)
+        assert metrics.prefetch_used <= metrics.total_prefetched
+        assert metrics.demand_misses <= sum(s.pages_needed for s in metrics.steps)
+        assert metrics.total_stall_ms == pytest.approx(
+            sum(s.stall_ms for s in metrics.steps)
+        )
+        assert 0.0 <= metrics.prefetch_accuracy <= 1.0
+        assert 0.0 <= metrics.coverage <= 1.0
+        assert metrics.wasted_prefetches == metrics.total_prefetched - metrics.prefetch_used
+
+    def test_results_identical_regardless_of_prefetcher(self, walk_setup):
+        _, index, walk = walk_setup
+        # Prefetching must never change query results - re-run the walk
+        # with and without prefetching and compare result sizes per step.
+        with_scout = run_session(index, walk, lambda i, p: ScoutPrefetcher(i, p))
+        without = run_session(index, walk, lambda i, p: NoPrefetcher())
+        assert [s.result_size for s in with_scout.steps] == [
+            s.result_size for s in without.steps
+        ]
+
+    def test_no_prefetcher_issues_nothing(self, walk_setup):
+        _, index, walk = walk_setup
+        metrics = run_session(index, walk, lambda i, p: NoPrefetcher())
+        assert metrics.total_prefetched == 0
+        assert metrics.prefetch_used == 0
+
+    def test_scout_reduces_stall_on_branch_walk(self, walk_setup):
+        _, index, walk = walk_setup
+        scout = run_session(index, walk, lambda i, p: ScoutPrefetcher(i, p))
+        none = run_session(index, walk, lambda i, p: NoPrefetcher())
+        assert scout.total_stall_ms < none.total_stall_ms
+        assert scout.speedup_over(none) > 1.0
+
+    def test_scout_beats_location_only_baselines(self, walk_setup):
+        _, index, walk = walk_setup
+        scout = run_session(index, walk, lambda i, p: ScoutPrefetcher(i, p))
+        hilbert = run_session(index, walk, lambda i, p: HilbertPrefetcher(i, p))
+        assert scout.total_stall_ms <= hilbert.total_stall_ms
+
+    def test_warm_cache_run_faster_than_cold(self, walk_setup):
+        _, index, walk = walk_setup
+        pool = BufferPool(index.disk, capacity=512)
+        session = ExplorationSession(index, pool, NoPrefetcher())
+        cold = session.run(walk.queries, cold_cache=True)
+        warm = session.run(walk.queries, cold_cache=False)
+        assert warm.total_stall_ms < cold.total_stall_ms
+
+    def test_speedup_over_handles_zero_stall(self, walk_setup):
+        _, index, walk = walk_setup
+        metrics = run_session(index, walk, lambda i, p: NoPrefetcher())
+        zero = run_session(index, walk, lambda i, p: NoPrefetcher())
+        zero.total_stall_ms = 0.0
+        assert zero.speedup_over(metrics) == float("inf")
+
+
+class TestPrefetcherConfiguration:
+    def test_budget_validation(self, walk_setup):
+        _, index, _ = walk_setup
+        pool = BufferPool(index.disk, capacity=16)
+        with pytest.raises(PrefetchError):
+            ScoutPrefetcher(index, pool, budget_pages=-1)
+        with pytest.raises(PrefetchError):
+            HilbertPrefetcher(index, pool, budget_pages=-1)
+        with pytest.raises(PrefetchError):
+            ScoutPrefetcher(index, pool, inflation=0.0)
+        with pytest.raises(PrefetchError):
+            MarkovPrefetcher(index, pool, cell_size=0.0)
+
+    def test_budget_zero_prefetches_nothing(self, walk_setup):
+        _, index, walk = walk_setup
+        metrics = run_session(index, walk, lambda i, p: ScoutPrefetcher(i, p, budget_pages=0))
+        assert metrics.total_prefetched == 0
+
+    def test_budget_caps_prefetches_per_step(self, walk_setup):
+        _, index, walk = walk_setup
+        metrics = run_session(index, walk, lambda i, p: ScoutPrefetcher(i, p, budget_pages=3))
+        assert all(s.prefetch_issued <= 3 for s in metrics.steps)
+
+    def test_reset_clears_tracker(self, walk_setup):
+        _, index, walk = walk_setup
+        pool = BufferPool(index.disk, capacity=256)
+        prefetcher = ScoutPrefetcher(index, pool)
+        ExplorationSession(index, pool, prefetcher).run(walk.queries)
+        assert prefetcher.tracker.history
+        prefetcher.reset()
+        assert prefetcher.tracker.history == []
+
+
+class TestMarkovPrefetcher:
+    def test_untrained_markov_is_inert(self, walk_setup):
+        _, index, walk = walk_setup
+        metrics = run_session(index, walk, lambda i, p: MarkovPrefetcher(i, p))
+        assert metrics.total_prefetched == 0
+
+    def test_markov_trained_on_same_walk_prefetches(self, walk_setup):
+        _, index, walk = walk_setup
+
+        def make(i, p):
+            prefetcher = MarkovPrefetcher(i, p, cell_size=50.0)
+            prefetcher.train([walk.path])  # the same "user" replays a path
+            return prefetcher
+
+        metrics = run_session(index, walk, make)
+        assert metrics.total_prefetched > 0
+        assert metrics.prefetch_used > 0
+
+    def test_markov_trained_on_other_walks_rarely_helps(self, walk_setup):
+        circuit, index, walk = walk_setup
+        other = branch_walk(circuit, window_extent=80.0, seed=99)
+
+        def make(i, p):
+            prefetcher = MarkovPrefetcher(i, p, cell_size=50.0)
+            prefetcher.train([other.path])
+            return prefetcher
+
+        trained_elsewhere = run_session(index, walk, make)
+        # The paper's point: other users' paths rarely transfer.
+        assert trained_elsewhere.prefetch_used <= trained_elsewhere.total_prefetched
+        assert trained_elsewhere.prefetch_accuracy <= 0.5
+
+
+class TestExtrapolationPrefetcher:
+    def test_waits_for_two_centers(self, walk_setup):
+        _, index, walk = walk_setup
+        metrics = run_session(index, walk, lambda i, p: ExtrapolationPrefetcher(i, p))
+        assert metrics.steps[0].prefetch_issued == 0
+        assert metrics.total_prefetched > 0

@@ -1,0 +1,132 @@
+"""Unit tests for SCOUT's skeleton reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scout.skeleton import Skeleton
+from repro.geometry.aabb import AABB
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+
+
+def chain(uids: list[int], start: Vec3, step: Vec3, radius: float = 0.5) -> list[Segment]:
+    """A polyline chain of connected segments."""
+    segments = []
+    p = start
+    for uid in uids:
+        q = p + step
+        segments.append(Segment(uid=uid, p0=p, p1=q, radius=radius))
+        p = q
+    return segments
+
+
+class TestStructures:
+    def test_single_chain_single_structure(self):
+        segments = chain([1, 2, 3], Vec3(0, 0, 0), Vec3(10, 0, 0))
+        skeleton = Skeleton(segments)
+        structures = skeleton.structures()
+        assert len(structures) == 1
+        assert structures[0].segment_uids == {1, 2, 3}
+
+    def test_disjoint_chains_separate_structures(self):
+        a = chain([1, 2], Vec3(0, 0, 0), Vec3(10, 0, 0))
+        b = chain([3, 4], Vec3(0, 100, 0), Vec3(10, 0, 0))
+        skeleton = Skeleton(a + b)
+        structures = skeleton.structures()
+        assert len(structures) == 2
+        families = sorted(tuple(sorted(s.segment_uids)) for s in structures)
+        assert families == [(1, 2), (3, 4)]
+
+    def test_branching_chain_is_one_structure(self):
+        trunk = chain([1, 2], Vec3(0, 0, 0), Vec3(10, 0, 0))
+        fork_up = chain([3], Vec3(20, 0, 0), Vec3(10, 10, 0))
+        fork_down = chain([4], Vec3(20, 0, 0), Vec3(10, -10, 0))
+        skeleton = Skeleton(trunk + fork_up + fork_down)
+        assert len(skeleton.structures()) == 1
+
+    def test_snap_tolerance_bridges_float_noise(self):
+        a = Segment(uid=1, p0=Vec3(0, 0, 0), p1=Vec3(10, 0, 0), radius=0.5)
+        b = Segment(uid=2, p0=Vec3(10.00000001, 0, 0), p1=Vec3(20, 0, 0), radius=0.5)
+        skeleton = Skeleton([a, b], snap_tolerance=1e-3)
+        assert len(skeleton.structures()) == 1
+
+    def test_structure_of_lookup(self):
+        segments = chain([5, 6], Vec3(0, 0, 0), Vec3(1, 0, 0))
+        skeleton = Skeleton(segments)
+        assert skeleton.structure_of(5) == skeleton.structure_of(6)
+
+    def test_empty_input(self):
+        skeleton = Skeleton([])
+        assert skeleton.structures() == []
+        assert skeleton.num_nodes == 0
+
+
+class TestExitDetection:
+    def test_exit_found_for_crossing_segment(self):
+        box = AABB(0, 0, 0, 10, 10, 10)
+        inside = Segment(uid=1, p0=Vec3(2, 5, 5), p1=Vec3(8, 5, 5), radius=0.1)
+        crossing = Segment(uid=2, p0=Vec3(8, 5, 5), p1=Vec3(14, 5, 5), radius=0.1)
+        skeleton = Skeleton([inside, crossing])
+        exits = skeleton.find_exits(box)
+        assert len(exits) == 1
+        edge = exits[0]
+        assert edge.segment_uid == 2
+        assert edge.exit_point.x == pytest.approx(10.0)
+        assert edge.direction.x > 0.9
+
+    def test_no_exit_when_fully_inside(self):
+        box = AABB(0, 0, 0, 100, 100, 100)
+        segments = chain([1, 2, 3], Vec3(10, 10, 10), Vec3(5, 0, 0))
+        skeleton = Skeleton(segments)
+        assert skeleton.find_exits(box) == []
+
+    def test_exit_attached_to_structure(self):
+        box = AABB(0, 0, 0, 10, 10, 10)
+        crossing = Segment(uid=7, p0=Vec3(5, 5, 5), p1=Vec3(15, 5, 5), radius=0.1)
+        skeleton = Skeleton([crossing])
+        skeleton.find_exits(box)
+        structure = skeleton.structures()[0]
+        assert structure.is_exiting
+        assert structure.exit_edges[0].segment_uid == 7
+
+    def test_two_sided_exit(self):
+        box = AABB(0, 0, 0, 10, 10, 10)
+        left = Segment(uid=1, p0=Vec3(5, 5, 5), p1=Vec3(-5, 5, 5), radius=0.1)
+        right = Segment(uid=2, p0=Vec3(5, 5, 5), p1=Vec3(15, 5, 5), radius=0.1)
+        skeleton = Skeleton([left, right])
+        exits = skeleton.find_exits(box)
+        assert len(exits) == 2
+        directions = sorted(e.direction.x for e in exits)
+        assert directions[0] < 0 < directions[1]
+
+    def test_smoothed_direction_follows_chain_trend(self):
+        # A zig-zag chain with an overall +x trend: the smoothed exit
+        # direction should point mostly along +x even though the final
+        # segment tilts up.
+        box = AABB(0, -10, -10, 40, 10, 10)
+        points = [
+            Vec3(0, 0, 0),
+            Vec3(10, 3, 0),
+            Vec3(20, -3, 0),
+            Vec3(30, 3, 0),
+            Vec3(45, 9, 0),  # exits through x = 40
+        ]
+        segments = [
+            Segment(uid=i, p0=points[i], p1=points[i + 1], radius=0.1)
+            for i in range(len(points) - 1)
+        ]
+        skeleton = Skeleton(segments)
+        exits = skeleton.find_exits(box, smooth_steps=4)
+        assert len(exits) == 1
+        direction = exits[0].direction
+        assert direction.x > abs(direction.y) * 2
+
+    def test_exits_recomputed_per_box(self):
+        crossing = Segment(uid=1, p0=Vec3(5, 5, 5), p1=Vec3(15, 5, 5), radius=0.1)
+        skeleton = Skeleton([crossing])
+        first = skeleton.find_exits(AABB(0, 0, 0, 10, 10, 10))
+        second = skeleton.find_exits(AABB(0, 0, 0, 20, 20, 20))
+        assert len(first) == 1
+        assert second == []
+        assert skeleton.structures()[0].exit_edges == []

@@ -1,0 +1,90 @@
+"""Unit tests for SCOUT's candidate tracking (Figure 5 pruning)."""
+
+from __future__ import annotations
+
+from repro.core.scout.skeleton import ExitEdge, Structure
+from repro.core.scout.structures import CandidateTracker
+from repro.geometry.vec import Vec3
+
+
+def structure(sid: int, uids: set[int], exiting_uids: set[int] | None = None) -> Structure:
+    s = Structure(structure_id=sid, segment_uids=set(uids))
+    for uid in exiting_uids or set():
+        s.exit_edges.append(
+            ExitEdge(
+                segment_uid=uid,
+                exit_point=Vec3(0, 0, 0),
+                direction=Vec3(1, 0, 0),
+                structure_id=sid,
+            )
+        )
+    return s
+
+
+class TestCandidateTracker:
+    def test_first_update_keeps_all_exiting(self):
+        tracker = CandidateTracker()
+        candidates = tracker.update(
+            [
+                structure(0, {1, 2}, {2}),
+                structure(1, {3, 4}, {4}),
+                structure(2, {5, 6}),  # not exiting: cannot be followed out
+            ]
+        )
+        assert {c.structure_id for c in candidates} == {0, 1}
+        assert tracker.history == [2]
+
+    def test_pruning_by_exit_continuity(self):
+        tracker = CandidateTracker()
+        tracker.update(
+            [structure(0, {1, 2}, {2}), structure(1, {3, 4}, {4})]
+        )
+        # Next query: one structure continues through segment 2; the other
+        # shares nothing with the previous exits.
+        candidates = tracker.update(
+            [structure(0, {2, 7}, {7}), structure(1, {9, 10}, {10})]
+        )
+        assert [c.structure_id for c in candidates] == [0]
+        assert tracker.history == [2, 1]
+        assert tracker.converged
+
+    def test_recovery_when_intersection_empty(self):
+        tracker = CandidateTracker()
+        tracker.update([structure(0, {1}, {1})])
+        # Teleport: nothing shares the previous exit; tracker restarts from
+        # the exiting set instead of going blind.
+        candidates = tracker.update(
+            [structure(0, {50}, {50}), structure(1, {60}, {60})]
+        )
+        assert len(candidates) == 2
+
+    def test_monotone_shrink_on_nested_sets(self):
+        tracker = CandidateTracker()
+        tracker.update(
+            [
+                structure(0, {1}, {1}),
+                structure(1, {2}, {2}),
+                structure(2, {3}, {3}),
+            ]
+        )
+        tracker.update(
+            [structure(0, {1, 10}, {10}), structure(1, {2, 20}, {20})]
+        )
+        tracker.update([structure(0, {10, 100}, {100})])
+        assert tracker.history == [3, 2, 1]
+
+    def test_reset(self):
+        tracker = CandidateTracker()
+        tracker.update([structure(0, {1}, {1})])
+        tracker.reset()
+        assert tracker.history == []
+        candidates = tracker.update(
+            [structure(0, {7}, {7}), structure(1, {8}, {8})]
+        )
+        assert len(candidates) == 2
+
+    def test_converged_property(self):
+        tracker = CandidateTracker()
+        assert not tracker.converged
+        tracker.update([structure(0, {1}, {1})])
+        assert tracker.converged

@@ -1,0 +1,219 @@
+"""Unit tests for the paged-storage substrate: disk, buffer pool, store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PageNotFoundError, StorageError
+from repro.geometry.aabb import AABB
+from repro.objects import BoxObject
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import Disk, DiskParameters
+from repro.storage.object_store import ObjectStore
+from repro.storage.page import Page
+
+
+def make_page(page_id: int) -> Page:
+    return Page(page_id=page_id, object_uids=(page_id * 10,), mbr=AABB(0, 0, 0, 1, 1, 1))
+
+
+def make_disk(num_pages: int = 8, **params) -> Disk:
+    disk = Disk(params=DiskParameters(**params)) if params else Disk()
+    for pid in range(num_pages):
+        disk.store(make_page(pid))
+    return disk
+
+
+class TestDisk:
+    def test_read_counts_and_latency(self):
+        disk = make_disk()
+        _, latency = disk.read(3)
+        assert latency == disk.params.read_latency_ms
+        assert disk.stats.page_reads == 1
+        assert disk.stats.io_time_ms == latency
+
+    def test_sequential_read_discount(self):
+        disk = make_disk()
+        disk.read(3)
+        _, latency = disk.read(4)  # next physical page: no seek
+        assert latency == disk.params.sequential_latency_ms
+        assert disk.stats.sequential_reads == 1
+
+    def test_non_sequential_pays_seek(self):
+        disk = make_disk()
+        disk.read(3)
+        _, latency = disk.read(6)
+        assert latency == disk.params.read_latency_ms
+
+    def test_missing_page_raises(self):
+        disk = make_disk(2)
+        with pytest.raises(PageNotFoundError):
+            disk.read(99)
+
+    def test_peek_does_not_count(self):
+        disk = make_disk()
+        disk.peek(0)
+        assert disk.stats.page_reads == 0
+
+    def test_reset_stats(self):
+        disk = make_disk()
+        disk.read(0)
+        disk.reset_stats()
+        assert disk.stats.page_reads == 0
+        assert disk.stats.io_time_ms == 0.0
+
+    def test_stats_delta(self):
+        disk = make_disk()
+        disk.read(0)
+        before = disk.stats.snapshot()
+        disk.read(5)
+        delta = disk.stats.delta_since(before)
+        assert delta.page_reads == 1
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            DiskParameters(read_latency_ms=-1.0)
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(make_disk(), capacity=4)
+        pool.fetch(0)
+        pool.fetch(0)
+        assert pool.stats.demand_misses == 1
+        assert pool.stats.demand_hits == 1
+        assert pool.stats.hit_ratio == 0.5
+
+    def test_miss_stall_exceeds_hit_stall(self):
+        pool = BufferPool(make_disk(), capacity=4)
+        pool.fetch(0)
+        stall_after_miss = pool.stats.stall_time_ms
+        pool.fetch(0)
+        stall_after_hit = pool.stats.stall_time_ms - stall_after_miss
+        assert stall_after_miss > stall_after_hit
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(make_disk(), capacity=2)
+        pool.fetch(0)
+        pool.fetch(1)
+        pool.fetch(0)  # refresh 0; 1 is now least recent
+        pool.fetch(2)  # evicts 1
+        assert pool.resident(0)
+        assert not pool.resident(1)
+        assert pool.resident(2)
+        assert pool.stats.evictions == 1
+
+    def test_prefetch_not_counted_as_stall(self):
+        pool = BufferPool(make_disk(), capacity=4)
+        issued = pool.prefetch(3)
+        assert issued
+        assert pool.stats.stall_time_ms == 0.0
+        assert pool.stats.prefetch_issued == 1
+        assert pool.stats.prefetch_io_ms > 0.0
+
+    def test_prefetch_of_resident_page_is_free(self):
+        pool = BufferPool(make_disk(), capacity=4)
+        pool.fetch(1)
+        assert pool.prefetch(1) is False
+        assert pool.stats.prefetch_issued == 0
+
+    def test_prefetch_used_accounting(self):
+        pool = BufferPool(make_disk(), capacity=4)
+        pool.prefetch(2)
+        pool.fetch(2)  # first demand -> counted as used
+        pool.fetch(2)  # later hits don't double-count
+        assert pool.stats.prefetch_used == 1
+        assert pool.stats.demand_hits == 2
+
+    def test_clear_keeps_stats(self):
+        pool = BufferPool(make_disk(), capacity=4)
+        pool.fetch(0)
+        pool.clear()
+        assert not pool.resident(0)
+        assert pool.stats.demand_fetches == 1
+
+    def test_reset_zeroes_stats(self):
+        pool = BufferPool(make_disk(), capacity=4)
+        pool.fetch(0)
+        pool.reset()
+        assert pool.stats.demand_fetches == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(StorageError):
+            BufferPool(make_disk(), capacity=0)
+
+    def test_stats_delta(self):
+        pool = BufferPool(make_disk(), capacity=4)
+        pool.fetch(0)
+        before = pool.stats.snapshot()
+        pool.fetch(1)
+        pool.prefetch(2)
+        delta = pool.stats.delta_since(before)
+        assert delta.demand_fetches == 1
+        assert delta.prefetch_issued == 1
+
+
+class TestObjectStore:
+    def make_objects(self, n: int = 40) -> list[BoxObject]:
+        return [
+            BoxObject(uid=i, box=AABB(i, 0, 0, i + 1, 1, 1))
+            for i in range(n)
+        ]
+
+    def test_pages_respect_capacity(self):
+        store = ObjectStore(self.make_objects(40), page_capacity=8)
+        assert store.num_pages == 5
+        assert all(p.num_objects <= 8 for p in store.pages())
+
+    def test_every_object_on_exactly_one_page(self):
+        store = ObjectStore(self.make_objects(25), page_capacity=8)
+        seen: set[int] = set()
+        for page in store.pages():
+            for uid in page.object_uids:
+                assert uid not in seen
+                seen.add(uid)
+        assert seen == {o.uid for o in self.make_objects(25)}
+
+    def test_page_mbr_covers_objects(self):
+        store = ObjectStore(self.make_objects(30), page_capacity=7)
+        for page in store.pages():
+            for obj in store.objects_on_page(page.page_id):
+                assert page.mbr.contains_box(obj.aabb)
+
+    def test_pages_for_uids_dedup(self):
+        store = ObjectStore(self.make_objects(16), page_capacity=8)
+        uids = [0, 1, 2, 3]
+        pages = store.pages_for_uids(uids)
+        assert pages == sorted(set(pages))
+        for uid in uids:
+            assert store.page_of(uid) in pages
+
+    def test_hilbert_clustering_groups_nearby_objects(self):
+        # Objects on a line: page membership should be contiguous runs.
+        store = ObjectStore(self.make_objects(32), page_capacity=8)
+        for page in store.pages():
+            uids = sorted(page.object_uids)
+            assert uids[-1] - uids[0] == len(uids) - 1
+
+    def test_duplicate_uid_rejected(self):
+        objs = self.make_objects(4) + [BoxObject(uid=0, box=AABB(0, 0, 0, 1, 1, 1))]
+        with pytest.raises(StorageError):
+            ObjectStore(objs)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(StorageError):
+            ObjectStore([])
+
+    def test_unknown_lookups_raise(self):
+        store = ObjectStore(self.make_objects(4))
+        with pytest.raises(StorageError):
+            store.object(999)
+        with pytest.raises(StorageError):
+            store.page_of(999)
+        with pytest.raises(StorageError):
+            store.page(999)
+
+    def test_disk_contains_all_pages(self):
+        store = ObjectStore(self.make_objects(20), page_capacity=4)
+        assert store.disk.num_pages == store.num_pages
+        assert store.total_bytes() == store.num_pages * store.page(0).byte_size

@@ -1,0 +1,99 @@
+"""Property-based tests: the buffer pool against a reference LRU model."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import Disk
+from repro.storage.page import Page
+
+NUM_PAGES = 12
+
+
+def make_pool(capacity: int) -> BufferPool:
+    disk = Disk()
+    for pid in range(NUM_PAGES):
+        disk.store(Page(page_id=pid, object_uids=(pid,), mbr=AABB(0, 0, 0, 1, 1, 1)))
+    return BufferPool(disk, capacity=capacity)
+
+
+class ReferenceLRU:
+    """Textbook LRU over page ids; the behavioural oracle."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: OrderedDict[int, None] = OrderedDict()
+
+    def touch(self, pid: int) -> bool:
+        """Access a page; returns True on hit."""
+        if pid in self.entries:
+            self.entries.move_to_end(pid)
+            return True
+        if len(self.entries) >= self.capacity:
+            self.entries.popitem(last=False)
+        self.entries[pid] = None
+        return False
+
+    def admit_cold(self, pid: int) -> bool:
+        """Prefetch-like admission without the recency bump on hit."""
+        if pid in self.entries:
+            return False
+        if len(self.entries) >= self.capacity:
+            self.entries.popitem(last=False)
+        self.entries[pid] = None
+        return True
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["fetch", "prefetch"]),
+        st.integers(min_value=0, max_value=NUM_PAGES - 1),
+    ),
+    max_size=60,
+)
+
+
+@given(operations, st.integers(min_value=1, max_value=6))
+def test_pool_matches_reference_lru(ops, capacity):
+    pool = make_pool(capacity)
+    model = ReferenceLRU(capacity)
+    hits = misses = 0
+    for op, pid in ops:
+        if op == "fetch":
+            model_hit = model.touch(pid)
+            pool_hit_before = pool.resident(pid)
+            pool.fetch(pid)
+            assert pool_hit_before == model_hit
+            if model_hit:
+                hits += 1
+            else:
+                misses += 1
+        else:
+            model_issued = model.admit_cold(pid)
+            pool_issued = pool.prefetch(pid)
+            assert pool_issued == model_issued
+        assert set(pool.resident_page_ids()) == set(model.entries)
+        assert pool.num_resident <= capacity
+    assert pool.stats.demand_hits == hits
+    assert pool.stats.demand_misses == misses
+
+
+@given(operations)
+def test_prefetch_accounting_invariants(ops):
+    pool = make_pool(capacity=4)
+    for op, pid in ops:
+        if op == "fetch":
+            pool.fetch(pid)
+        else:
+            pool.prefetch(pid)
+    stats = pool.stats
+    assert stats.prefetch_used <= stats.prefetch_issued
+    assert stats.demand_hits + stats.demand_misses == stats.demand_fetches
+    assert 0.0 <= stats.hit_ratio <= 1.0
+    # Every miss and every issued prefetch read the disk exactly once.
+    assert pool.disk.stats.page_reads == stats.demand_misses + stats.prefetch_issued

@@ -1,0 +1,221 @@
+"""Unit, integration and property tests for all spatial-join algorithms.
+
+The central invariant: every algorithm returns exactly the nested-loop
+oracle's pair set, on any input.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.touch.join import touch_join
+from repro.core.touch.nested_loop import nested_loop_join
+from repro.core.touch.pbsm import pbsm_join
+from repro.core.touch.plane_sweep import plane_sweep_join
+from repro.core.touch.s3 import s3_join
+from repro.core.touch.tree import build_touch_tree
+from repro.errors import JoinError
+from repro.geometry.aabb import AABB
+from repro.objects import BoxObject
+from repro.workloads.joins import clustered_boxes, uniform_boxes
+
+ALL_JOINS = [touch_join, pbsm_join, s3_join, plane_sweep_join, nested_loop_join]
+WORLD = AABB(0, 0, 0, 100, 100, 100)
+
+
+def make_pair(n: int = 150, seed: int = 0):
+    a = uniform_boxes(n, WORLD, extent_mean=4.0, extent_sd=1.0, seed=seed)
+    b = uniform_boxes(n, WORLD, extent_mean=4.0, extent_sd=1.0, seed=seed + 1, uid_offset=10_000)
+    return a, b
+
+
+@pytest.mark.parametrize("join", ALL_JOINS, ids=lambda f: f.__name__)
+class TestAgreementWithOracle:
+    def test_uniform_data(self, join):
+        a, b = make_pair(seed=1)
+        expected = nested_loop_join(a, b, eps=0.0).sorted_pairs()
+        assert join(a, b, eps=0.0).sorted_pairs() == expected
+
+    def test_distance_join_eps(self, join):
+        a, b = make_pair(seed=2)
+        expected = nested_loop_join(a, b, eps=3.0).sorted_pairs()
+        assert join(a, b, eps=3.0).sorted_pairs() == expected
+
+    def test_clustered_data(self, join):
+        a = clustered_boxes(150, WORLD, extent_mean=3.0, seed=3)
+        b = clustered_boxes(150, WORLD, extent_mean=3.0, seed=4, uid_offset=10_000)
+        expected = nested_loop_join(a, b, eps=1.0).sorted_pairs()
+        assert join(a, b, eps=1.0).sorted_pairs() == expected
+
+    def test_empty_sides(self, join):
+        a, b = make_pair(seed=5)
+        assert join([], b, eps=1.0).pairs == []
+        assert join(a, [], eps=1.0).pairs == []
+        assert join([], [], eps=1.0).pairs == []
+
+    def test_identical_datasets_self_join(self, join):
+        a, _ = make_pair(seed=6)
+        b = [BoxObject(uid=o.uid + 50_000, box=o.box) for o in a]
+        result = join(a, b, eps=0.0)
+        # Every object intersects its own copy.
+        assert len(result.pairs) >= len(a)
+        expected = nested_loop_join(a, b, eps=0.0).sorted_pairs()
+        assert result.sorted_pairs() == expected
+
+    def test_refinement_filters_pairs(self, join):
+        a, b = make_pair(seed=7)
+        unrefined = join(a, b, eps=2.0)
+        refined = join(a, b, eps=2.0, refine=lambda x, y: x.uid % 2 == 0)
+        assert set(refined.pairs) <= set(unrefined.pairs)
+        assert all(ua % 2 == 0 for ua, _ in refined.pairs)
+        assert refined.stats.results == len(refined.pairs)
+        assert refined.stats.candidates == unrefined.stats.candidates
+
+    def test_no_duplicate_pairs(self, join):
+        a, b = make_pair(seed=8)
+        pairs = join(a, b, eps=2.0).pairs
+        assert len(pairs) == len(set(pairs))
+
+    def test_segments_from_circuit(self, join, small_circuit):
+        axons = small_circuit.axon_segments()[:120]
+        dendrites = small_circuit.dendrite_segments()[:120]
+        expected = nested_loop_join(axons, dendrites, eps=2.0).sorted_pairs()
+        assert join(axons, dendrites, eps=2.0).sorted_pairs() == expected
+
+
+class TestStatsContracts:
+    def test_nested_loop_comparisons_exact(self):
+        a, b = make_pair(n=30, seed=9)
+        stats = nested_loop_join(a, b).stats
+        assert stats.comparisons == 30 * 30
+        assert stats.memory_bytes == 0
+
+    def test_smart_joins_compare_less_than_nested_loop(self):
+        a, b = make_pair(n=300, seed=10)
+        nested = nested_loop_join(a, b, eps=1.0).stats.comparisons
+        for join in (touch_join, pbsm_join, s3_join, plane_sweep_join):
+            assert join(a, b, eps=1.0).stats.comparisons < nested
+
+    def test_pbsm_counts_replication(self):
+        a, b = make_pair(n=200, seed=11)
+        stats = pbsm_join(a, b, eps=1.0, cells_per_axis=4).stats
+        assert stats.replicated > 0  # boxes straddle cell boundaries
+
+    def test_pbsm_dedup_suppresses_duplicates(self):
+        a, b = make_pair(n=200, seed=12)
+        result = pbsm_join(a, b, eps=1.0, cells_per_axis=4)
+        assert result.stats.dedup_skipped > 0
+        assert len(result.pairs) == len(set(result.pairs))
+
+    def test_pbsm_grid_validation(self):
+        a, b = make_pair(n=10, seed=13)
+        with pytest.raises(JoinError):
+            pbsm_join(a, b, cells_per_axis=0)
+
+    def test_touch_filters_empty_space(self):
+        # B objects far outside A's extent are filtered, never compared.
+        a = uniform_boxes(50, AABB(0, 0, 0, 10, 10, 10), extent_mean=1.0, seed=14)
+        b_far = uniform_boxes(
+            50, AABB(500, 500, 500, 600, 600, 600), extent_mean=1.0, seed=15, uid_offset=1000
+        )
+        result = touch_join(a, b_far, eps=1.0)
+        assert result.pairs == []
+        assert result.stats.filtered == 50
+
+    def test_touch_filtering_off_same_results(self):
+        a, b = make_pair(seed=16)
+        on = touch_join(a, b, eps=1.0, filtering=True)
+        off = touch_join(a, b, eps=1.0, filtering=False)
+        assert on.sorted_pairs() == off.sorted_pairs()
+        assert off.stats.filtered == 0
+        assert off.stats.comparisons >= on.stats.comparisons
+
+    def test_touch_memory_grows_with_input(self):
+        a_small, b_small = make_pair(n=50, seed=17)
+        a_big, b_big = make_pair(n=400, seed=17)
+        small = touch_join(a_small, b_small, eps=1.0).stats.memory_bytes
+        big = touch_join(a_big, b_big, eps=1.0).stats.memory_bytes
+        assert big > small
+
+    def test_s3_memory_includes_both_trees(self):
+        a, b = make_pair(n=200, seed=18)
+        s3_mem = s3_join(a, b, eps=1.0).stats.memory_bytes
+        touch_mem = touch_join(a, b, eps=1.0).stats.memory_bytes
+        assert s3_mem > touch_mem  # two full indexes vs one hierarchy
+
+    def test_selectivity_property(self):
+        a, b = make_pair(n=50, seed=19)
+        stats = nested_loop_join(a, b, eps=1.0).stats
+        assert 0.0 <= stats.selectivity <= 1.0
+
+
+class TestTouchTree:
+    def test_leaf_capacity_respected(self):
+        a, _ = make_pair(n=100, seed=20)
+        root = build_touch_tree(a, leaf_capacity=8, fanout=4)
+        for node in root.iter_nodes():
+            if node.is_leaf:
+                assert len(node.objects) <= 8
+            else:
+                assert len(node.children) <= 4
+
+    def test_all_objects_in_leaves(self):
+        a, _ = make_pair(n=100, seed=21)
+        root = build_touch_tree(a, leaf_capacity=8, fanout=4)
+        assert root.subtree_object_count() == 100
+
+    def test_node_mbrs_cover_children(self):
+        a, _ = make_pair(n=100, seed=22)
+        root = build_touch_tree(a, leaf_capacity=8, fanout=4)
+        for node in root.iter_nodes():
+            for child in node.children:
+                assert node.mbr.contains_box(child.mbr)
+            for obj in node.objects:
+                assert node.mbr.contains_box(obj.aabb)
+
+    def test_levels_decrease_downward(self):
+        a, _ = make_pair(n=200, seed=23)
+        root = build_touch_tree(a, leaf_capacity=8, fanout=4)
+        for node in root.iter_nodes():
+            for child in node.children:
+                assert child.level == node.level - 1
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(JoinError):
+            build_touch_tree([])
+
+    def test_bad_parameters_raise(self):
+        a, _ = make_pair(n=10, seed=24)
+        with pytest.raises(JoinError):
+            build_touch_tree(a, leaf_capacity=0)
+        with pytest.raises(JoinError):
+            build_touch_tree(a, fanout=1)
+
+
+# -- property-based agreement ---------------------------------------------
+coord = st.floats(min_value=-30.0, max_value=30.0, allow_nan=False)
+extent = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def box_objects(draw, uid_offset: int = 0) -> list[BoxObject]:
+    n = draw(st.integers(min_value=0, max_value=25))
+    out = []
+    for i in range(n):
+        x, y, z = draw(coord), draw(coord), draw(coord)
+        dx, dy, dz = draw(extent), draw(extent), draw(extent)
+        out.append(BoxObject(uid=uid_offset + i, box=AABB(x, y, z, x + dx, y + dy, z + dz)))
+    return out
+
+
+@given(
+    box_objects(),
+    box_objects(uid_offset=1000),
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+)
+def test_all_algorithms_agree_on_any_input(a, b, eps):
+    expected = nested_loop_join(a, b, eps=eps).sorted_pairs()
+    for join in (touch_join, pbsm_join, s3_join, plane_sweep_join):
+        assert join(a, b, eps=eps).sorted_pairs() == expected, join.__name__

@@ -1,0 +1,79 @@
+"""Unit tests for the ASCII visualization layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flat.index import FLATIndex
+from repro.errors import ReproError
+from repro.geometry.aabb import AABB
+from repro.geometry.segment import Segment
+from repro.geometry.vec import Vec3
+from repro.viz.ascii import render_crawl, render_density, render_walk
+
+
+def cross_segments() -> list[Segment]:
+    return [
+        Segment(uid=1, p0=Vec3(0, 50, 50), p1=Vec3(100, 50, 50), radius=1.0),
+        Segment(uid=2, p0=Vec3(50, 0, 50), p1=Vec3(50, 100, 50), radius=1.0),
+    ]
+
+
+class TestDensity:
+    def test_dimensions(self):
+        text = render_density(cross_segments(), width=40, height=12)
+        lines = text.splitlines()
+        assert lines[0] == "+" + "-" * 40 + "+"
+        assert len(lines) == 12 + 3  # frame top/bottom + caption
+        assert all(len(line) == 42 for line in lines[:-1])
+
+    def test_cross_shape_visible(self):
+        text = render_density(cross_segments(), width=21, height=21)
+        body = text.splitlines()[1:-2]
+        middle_row = body[10]
+        # The horizontal bar fills the middle row.
+        assert sum(1 for ch in middle_row[1:-1] if ch != " ") >= 15
+        # The vertical bar fills the middle column.
+        column = [row[11] for row in body]
+        assert sum(1 for ch in column if ch != " ") >= 15
+
+    def test_empty_raises(self):
+        with pytest.raises(ReproError):
+            render_density([])
+
+    def test_plane_validation(self):
+        with pytest.raises(ReproError):
+            render_density(cross_segments(), plane="qq")
+
+    def test_size_validation(self):
+        with pytest.raises(ReproError):
+            render_density(cross_segments(), width=1)
+
+    @pytest.mark.parametrize("plane", ["xy", "xz", "zy"])
+    def test_all_planes_render(self, plane):
+        text = render_density(cross_segments(), plane=plane, width=20, height=10)
+        assert plane in text
+
+
+class TestCrawl:
+    def test_crawl_letters_in_order(self, medium_circuit):
+        index = FLATIndex(medium_circuit.segments(), page_capacity=32)
+        box = AABB.from_center_extent(medium_circuit.bounding_box().center(), 150.0)
+        result = index.query(box)
+        text = render_crawl(index, result.stats.crawl_order, box, width=50, height=18)
+        assert "a" in text  # the seed partition is always marked
+        assert "#" in text  # the query window outline
+        assert "crawl of" in text
+
+
+class TestWalk:
+    def test_walk_markers(self, medium_circuit):
+        from repro.workloads.walks import branch_walk
+
+        walk = branch_walk(medium_circuit, window_extent=80.0, seed=4)
+        text = render_walk(
+            medium_circuit.segments(), walk.path, walk.queries[:2], width=50, height=18
+        )
+        assert "X" in text  # end marker survives overdraw
+        assert "+" in text  # window outline
+        assert "walkthrough" in text

@@ -1,0 +1,150 @@
+"""Unit tests for workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.geometry.aabb import AABB
+from repro.workloads.joins import JoinWorkload, clustered_boxes, uniform_boxes
+from repro.workloads.ranges import (
+    density_stratified_queries,
+    grid_queries,
+    uniform_queries,
+)
+from repro.workloads.walks import branch_walk, random_walk
+
+
+class TestRangeWorkloads:
+    def test_uniform_queries_inside_world_and_sized(self):
+        world = AABB(0, 0, 0, 100, 100, 100)
+        queries = uniform_queries(world, 20, extent=10.0, seed=1)
+        assert len(queries) == 20
+        for q in queries:
+            assert q.sizes == pytest.approx((10.0, 10.0, 10.0))
+            assert world.expanded(5.0).contains_box(q)
+
+    def test_uniform_queries_deterministic(self):
+        world = AABB(0, 0, 0, 10, 10, 10)
+        assert uniform_queries(world, 5, 1.0, seed=3) == uniform_queries(world, 5, 1.0, seed=3)
+
+    def test_uniform_queries_negative_count(self):
+        with pytest.raises(WorkloadError):
+            uniform_queries(AABB(0, 0, 0, 1, 1, 1), -1, 1.0)
+
+    def test_density_stratified_dense_beats_sparse(self, medium_circuit):
+        segments = medium_circuit.segments()
+        dense = density_stratified_queries(segments, 5, 60.0, dense=True, seed=4)
+        sparse = density_stratified_queries(segments, 5, 60.0, dense=False, seed=4)
+
+        def population(queries):
+            return sum(
+                sum(1 for s in segments if s.aabb.intersects(q)) for q in queries
+            )
+
+        assert population(dense) > population(sparse)
+
+    def test_density_stratified_requires_objects(self):
+        with pytest.raises(WorkloadError):
+            density_stratified_queries([], 3, 10.0, dense=True)
+
+    def test_grid_queries_tile_world_exactly(self):
+        world = AABB(0, 0, 0, 10, 10, 10)
+        queries = grid_queries(world, 2)
+        assert len(queries) == 8
+        total_volume = sum(q.volume() for q in queries)
+        assert total_volume == pytest.approx(world.volume())
+
+    def test_grid_queries_bad_cells(self):
+        with pytest.raises(WorkloadError):
+            grid_queries(AABB(0, 0, 0, 1, 1, 1), 0)
+
+
+class TestWalkWorkloads:
+    def test_branch_walk_produces_overlapping_windows(self, medium_circuit):
+        walk = branch_walk(medium_circuit, window_extent=80.0, seed=5)
+        assert len(walk.queries) >= 2
+        for a, b in zip(walk.queries, walk.queries[1:]):
+            assert a.intersects(b)  # consecutive windows overlap
+
+    def test_branch_walk_step_length(self, medium_circuit):
+        walk = branch_walk(medium_circuit, window_extent=80.0, step_fraction=0.5, seed=5)
+        for a, b in zip(walk.path, walk.path[1:]):
+            assert a.distance_to(b) == pytest.approx(40.0, rel=0.05)
+
+    def test_branch_walk_follows_real_branch(self, medium_circuit):
+        walk = branch_walk(medium_circuit, window_extent=80.0, seed=6)
+        assert walk.followed_branch in medium_circuit.branch_ids()
+        # The first window contains part of the followed branch.
+        first = walk.queries[0]
+        branch = medium_circuit.branch_segments(walk.followed_branch)
+        assert any(first.intersects(s.aabb) for s in branch)
+
+    def test_branch_walk_explicit_branch(self, medium_circuit):
+        branch_id = medium_circuit.branch_ids()[0]
+        walk = branch_walk(medium_circuit, window_extent=80.0, branch_id=branch_id, seed=7)
+        assert walk.followed_branch == branch_id
+
+    def test_branch_walk_deterministic(self, medium_circuit):
+        a = branch_walk(medium_circuit, window_extent=80.0, seed=8)
+        b = branch_walk(medium_circuit, window_extent=80.0, seed=8)
+        assert a.queries == b.queries
+
+    def test_branch_walk_validation(self, medium_circuit):
+        with pytest.raises(WorkloadError):
+            branch_walk(medium_circuit, window_extent=0.0)
+        with pytest.raises(WorkloadError):
+            branch_walk(medium_circuit, window_extent=50.0, step_fraction=0.0)
+
+    def test_random_walk_shape(self, medium_circuit):
+        walk = random_walk(medium_circuit, window_extent=50.0, steps=7, seed=9)
+        assert len(walk.queries) == 7
+        assert walk.followed_branch == -1
+        world = medium_circuit.bounding_box()
+        for center in walk.path:
+            assert world.contains_point(center)
+
+    def test_random_walk_validation(self, medium_circuit):
+        with pytest.raises(WorkloadError):
+            random_walk(medium_circuit, window_extent=50.0, steps=0)
+
+
+class TestJoinWorkloads:
+    def test_uniform_boxes_count_and_uids(self):
+        world = AABB(0, 0, 0, 100, 100, 100)
+        boxes = uniform_boxes(50, world, extent_mean=2.0, seed=1, uid_offset=1000)
+        assert len(boxes) == 50
+        assert [b.uid for b in boxes] == list(range(1000, 1050))
+
+    def test_clustered_boxes_are_clustered(self):
+        world = AABB(0, 0, 0, 1000, 1000, 1000)
+        clustered = clustered_boxes(200, world, extent_mean=2.0, num_clusters=3, seed=2)
+        uniform = uniform_boxes(200, world, extent_mean=2.0, seed=2)
+
+        def mean_pairwise_x_spread(boxes):
+            xs = sorted(b.aabb.center().x for b in boxes)
+            return xs[-1] - xs[0]
+
+        # Clustered data occupies a few hot spots; its hull is usually
+        # narrower than a 200-point uniform sample's.  Compare populations
+        # near cluster centres instead of hulls for robustness.
+        from statistics import pstdev
+
+        assert pstdev(b.aabb.center().x for b in clustered) < pstdev(
+            b.aabb.center().x for b in uniform
+        ) * 1.1
+
+    def test_synapse_discovery_workload(self, medium_circuit):
+        workload = JoinWorkload.synapse_discovery(medium_circuit, eps=2.0)
+        assert workload.eps == 2.0
+        assert workload.objects_a and workload.objects_b
+        uids_a = {s.uid for s in workload.objects_a}
+        uids_b = {s.uid for s in workload.objects_b}
+        assert not (uids_a & uids_b)
+
+    def test_validation(self):
+        world = AABB(0, 0, 0, 1, 1, 1)
+        with pytest.raises(WorkloadError):
+            uniform_boxes(-1, world, 1.0)
+        with pytest.raises(WorkloadError):
+            clustered_boxes(10, world, 1.0, num_clusters=0)
