@@ -1,0 +1,146 @@
+"""Engine planner benchmarks: planner-chosen vs forced strategies.
+
+Times the planner's own overhead (``explain``) and compares planned
+execution against forced-strategy overrides on a dense and a sparse range
+window plus a tiny and a large join, so future PRs can see whether the
+planner keeps picking the cheaper side and what its decision costs.  The
+saved table carries the per-query engine stats for both choices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.experiments.datasets import circuit_dataset
+from repro.utils.tables import Table
+from repro.workloads.ranges import density_stratified_queries
+
+N_NEURONS = 40
+PAGE_CAPACITY = 48
+EXTENT = 80.0
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return circuit_dataset(n_neurons=N_NEURONS)
+
+
+@pytest.fixture(scope="module")
+def engine(circuit):
+    return repro.SpatialEngine.from_circuit(circuit, page_capacity=PAGE_CAPACITY)
+
+
+@pytest.fixture(scope="module")
+def dense_window(circuit):
+    return density_stratified_queries(circuit.segments(), 1, EXTENT, dense=True, seed=2013)[0]
+
+
+@pytest.fixture(scope="module")
+def sparse_window(circuit):
+    return density_stratified_queries(circuit.segments(), 1, EXTENT, dense=False, seed=2013)[0]
+
+
+def _fresh_engine(circuit):
+    """A cold engine per measurement so buffer-pool state stays comparable."""
+    return repro.SpatialEngine.from_circuit(circuit, page_capacity=PAGE_CAPACITY)
+
+
+def test_planner_overhead_range(benchmark, engine, dense_window):
+    """The cost of one plan decision — must stay microseconds."""
+    plan = benchmark(lambda: engine.explain(repro.RangeQuery(dense_window)))
+    assert plan.strategy == "flat"
+
+
+def test_planned_dense_range(benchmark, engine, dense_window):
+    """Planner-chosen execution on the dense window (expected: FLAT)."""
+    result = benchmark(lambda: engine.execute(repro.RangeQuery(dense_window)))
+    assert result.plan.strategy == "flat"
+    assert result.num_results > 0
+
+
+def test_forced_rtree_dense_range(benchmark, engine, dense_window):
+    """The override the planner rejects on dense data."""
+    query = repro.RangeQuery(dense_window, strategy="rtree")
+    result = benchmark(lambda: engine.execute(query))
+    assert result.plan.overridden
+    assert result.num_results > 0
+
+
+def test_planned_sparse_range(benchmark, engine, sparse_window):
+    """Planner-chosen execution on the sparse window (expected: R-tree)."""
+    result = benchmark(lambda: engine.execute(repro.RangeQuery(sparse_window)))
+    assert result.plan.strategy == "rtree"
+
+
+def test_forced_flat_sparse_range(benchmark, engine, sparse_window):
+    query = repro.RangeQuery(sparse_window, strategy="flat")
+    result = benchmark(lambda: engine.execute(query))
+    assert result.plan.overridden
+
+
+def test_planner_vs_forced_table(benchmark, circuit, dense_window, sparse_window, save_result):
+    """Cold-engine comparison table; the planner must match the cheaper side."""
+
+    def run():
+        rows = []
+        outcome: dict[tuple[str, str], repro.EngineStats] = {}
+        for label, window in (("dense", dense_window), ("sparse", sparse_window)):
+            for strategy in (None, "flat", "rtree"):
+                fresh = _fresh_engine(circuit)
+                result = fresh.execute(repro.RangeQuery(window, strategy=strategy))
+                name = "planned" if strategy is None else f"forced {strategy}"
+                outcome[(label, name)] = result.stats
+                rows.append((label, name, result.plan.strategy, result.stats))
+        return rows, outcome
+
+    rows, outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        ["window", "mode", "ran via", "results", "pages", "io ms", "comparisons"],
+        title=f"planner vs forced strategies ({N_NEURONS} neurons, extent {EXTENT:g} um)",
+    )
+    for label, name, ran_via, stats in rows:
+        table.add_row(
+            [label, name, ran_via, stats.num_results, stats.pages_read,
+             stats.io_time_ms, stats.comparisons]
+        )
+    save_result("ENGINE_planner_vs_forced", table.render())
+
+    # The planner's pick must read no more pages than the worse forced option.
+    for label in ("dense", "sparse"):
+        planned = outcome[(label, "planned")]
+        worst = max(
+            outcome[(label, "forced flat")].pages_read,
+            outcome[(label, "forced rtree")].pages_read,
+        )
+        assert planned.pages_read <= worst
+
+
+def test_join_planner_tiny_vs_large(benchmark, circuit, save_result):
+    """Tiny joins run the sweep, large joins TOUCH; results always agree."""
+
+    def run():
+        engine = _fresh_engine(circuit)
+        axons = tuple(circuit.axon_segments()[:120])
+        dendrites = tuple(circuit.dendrite_segments()[:120])
+        tiny = engine.execute(repro.SpatialJoin(eps=3.0, side_a=axons, side_b=dendrites))
+        tiny_forced = engine.execute(
+            repro.SpatialJoin(eps=3.0, side_a=axons, side_b=dendrites, strategy="touch")
+        )
+        large = engine.explain(repro.SpatialJoin(eps=3.0))
+        return tiny, tiny_forced, large
+
+    tiny, tiny_forced, large = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert tiny.plan.strategy == "plane-sweep"
+    assert sorted(tiny.payload) == sorted(tiny_forced.payload)
+    assert large.strategy == "touch"
+    table = Table(
+        ["join", "ran via", "pairs", "comparisons"],
+        title="join planning (tiny forced vs planned)",
+    )
+    table.add_row(["tiny planned", tiny.plan.strategy, tiny.num_results, tiny.stats.comparisons])
+    table.add_row(
+        ["tiny forced", tiny_forced.plan.strategy, tiny_forced.num_results,
+         tiny_forced.stats.comparisons]
+    )
+    save_result("ENGINE_join_planning", table.render())

@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
-"""Quickstart: one tour through all three systems on a small circuit.
+"""Quickstart: one tour through all three systems via the SpatialEngine.
 
-Generates a synthetic cortical microcircuit, runs a FLAT range query (with
-the live statistics the demo displays), walks along a branch with SCOUT
-prefetching, and places synapses with the TOUCH join.
+Generates a synthetic cortical microcircuit, binds a :class:`SpatialEngine`
+to it, and asks declarative questions: a range window, the nearest
+segments to a point, a SCOUT-prefetched walkthrough, and synapse placement
+as a spatial join.  The engine's planner picks the execution strategy per
+query (``explain`` shows the decision); the same low-level constructors
+remain available for hand-wired pipelines (see the kernel section at the
+end).
 
 Run:  python examples/quickstart.py
 """
@@ -16,57 +20,67 @@ import repro
 def main() -> None:
     # ------------------------------------------------------------------ data
     circuit = repro.generate_circuit(n_neurons=25, seed=42)
-    segments = circuit.segments()
-    print(f"circuit: {circuit.num_neurons} neurons, {len(segments):,} segments")
-    print(f"column: {circuit.config.column_radius:g} um radius x "
-          f"{circuit.config.column_height:g} um height\n")
+    engine = repro.SpatialEngine.from_circuit(circuit, page_capacity=48)
+    print(engine.describe())
+    print()
 
-    # ------------------------------------------------------- FLAT range query
-    index = repro.FLATIndex(segments, page_capacity=48)
+    # ------------------------------------------------------------ range query
     window = repro.AABB.from_center_extent(circuit.bounding_box().center(), 120.0)
-    result = index.query(window)
-    stats = result.stats
-    print("FLAT range query")
-    print(f"  results: {stats.num_results}   data pages: {stats.partitions_fetched}   "
-          f"seed-index visits: {stats.seed_nodes_visited}")
-    print(f"  crawl visits the result contiguously: {stats.crawl_order[:10]} ...\n")
+    query = repro.RangeQuery(window)
+    print(engine.explain(query).render())
+    hits = engine.execute(query)
+    print(f"  -> {hits.num_results} segments, {hits.stats.pages_read} pages, "
+          f"{hits.stats.io_time_ms:.1f} ms simulated I/O\n")
+
+    # A sparse window flips the planner to the R-tree.
+    corner = repro.AABB.from_center_extent(
+        (circuit.bounding_box().max_x, circuit.bounding_box().max_y,
+         circuit.bounding_box().max_z), 40.0)
+    print(engine.explain(repro.RangeQuery(corner)).render())
+    print()
+
+    # ------------------------------------------------------ nearest neighbours
+    nearest = engine.execute(repro.KNNQuery(window.center(), k=5))
+    print(f"5 nearest segments to the column centre ({nearest.plan.describe()}):")
+    for uid, distance in nearest.payload:
+        print(f"  segment {uid} at {distance:.2f} um")
+    print()
 
     # ----------------------------------------------------- SCOUT walkthrough
     walk = repro.branch_walk(circuit, window_extent=90.0, seed=7)
-    pool = repro.BufferPool(index.disk, capacity=256)
-    scout = repro.ScoutPrefetcher(index, pool)
-    session = repro.ExplorationSession(index, pool, scout)
-    metrics = session.run(walk.queries)
-
-    pool_cold = repro.BufferPool(index.disk, capacity=256)
-    baseline = repro.ExplorationSession(index, pool_cold, repro.NoPrefetcher())
-    baseline_metrics = baseline.run(walk.queries)
-
-    print(f"SCOUT walkthrough ({len(walk.queries)} steps following branch "
-          f"{walk.followed_branch})")
+    tour = repro.Walkthrough(tuple(walk.queries))
+    result = engine.execute(tour)
+    baseline = engine.execute(repro.Walkthrough(tuple(walk.queries), strategy="none"))
+    metrics, cold = result.payload, baseline.payload
+    print(f"walkthrough of {metrics.num_steps} windows ({result.plan.describe()}):")
     print(f"  prefetched: {metrics.total_prefetched} pages   "
           f"correctly prefetched: {metrics.prefetch_used}   "
           f"retrieved additionally: {metrics.demand_misses}")
     print(f"  stall: {metrics.total_stall_ms:.1f} ms vs "
-          f"{baseline_metrics.total_stall_ms:.1f} ms without prefetching "
-          f"({metrics.speedup_over(baseline_metrics):.1f}x faster)\n")
+          f"{cold.total_stall_ms:.1f} ms without prefetching "
+          f"({metrics.speedup_over(cold):.1f}x faster)\n")
 
     # ------------------------------------------------------------ TOUCH join
-    join = repro.touch_join(
+    join = engine.execute(repro.SpatialJoin(eps=3.0))
+    print(f"synapse discovery ({join.plan.describe()}):")
+    print(f"  candidate synapse sites: {join.num_results}   "
+          f"comparisons: {join.stats.comparisons:,}")
+    oracle = repro.nested_loop_join(
         circuit.axon_segments(), circuit.dendrite_segments(), eps=3.0
     )
-    print("TOUCH synapse discovery (axon x dendrite distance join)")
-    print(f"  candidate synapse sites: {join.num_pairs}")
-    print(f"  comparisons: {join.stats.comparisons:,}   "
-          f"filtered into empty space: {join.stats.filtered:,}   "
-          f"memory: {join.stats.memory_bytes:,} B")
-    nested = repro.nested_loop_join(
-        circuit.axon_segments(), circuit.dendrite_segments(), eps=3.0
-    )
-    print(f"  nested loop needs {nested.stats.comparisons:,} comparisons "
-          f"({nested.stats.comparisons / max(join.stats.comparisons, 1):.0f}x more)")
-    assert sorted(join.pairs) == sorted(nested.pairs), "join results must agree"
-    print("  verified: TOUCH output identical to nested-loop oracle")
+    assert sorted(join.payload) == oracle.sorted_pairs(), "join results must agree"
+    print("  verified: engine join identical to nested-loop oracle\n")
+
+    # ------------------------------------------------------- engine telemetry
+    print(engine.telemetry.render())
+    print()
+
+    # ------------------------------------------------ kernel layer, hand-wired
+    # The engine composes the same public primitives you can drive directly:
+    index = repro.FLATIndex(circuit.segments(), page_capacity=48)
+    result = index.query(window)
+    print(f"kernel layer: FLATIndex.query -> {result.stats.num_results} results in "
+          f"{result.stats.partitions_fetched} pages (same systems, no planner)")
 
 
 if __name__ == "__main__":

@@ -17,15 +17,26 @@ curves, an R-tree with STR/Hilbert bulk loading, a paged-storage simulator
 with an LRU buffer pool, and a synthetic neural-circuit generator standing
 in for the proprietary Blue Brain datasets.
 
+The primary entry point is the :class:`SpatialEngine` facade: bind it to a
+dataset once and hand it declarative queries; a planner lazily builds the
+structures above and picks the execution strategy per query.  The low-level
+constructors remain public as the kernel layer.
+
 Quickstart
 ----------
 >>> import repro
 >>> circuit = repro.generate_circuit(n_neurons=20, seed=7)
->>> index = repro.FLATIndex(circuit.segments())
+>>> engine = repro.SpatialEngine.from_circuit(circuit)
 >>> window = repro.AABB.from_center_extent(circuit.bounding_box().center(), 100.0)
->>> result = index.query(window)
->>> synapses = repro.touch_join(circuit.axon_segments(),
-...                             circuit.dendrite_segments(), eps=3.0)
+>>> hits = engine.execute(repro.RangeQuery(window))
+>>> nearest = engine.execute(repro.KNNQuery(window.center(), k=8))
+>>> synapses = engine.execute(repro.SpatialJoin(eps=3.0))
+>>> engine.explain(repro.RangeQuery(window)).strategy in ("flat", "rtree")
+True
+
+Each call returns an :class:`EngineResult` (payload + uniform
+:class:`EngineStats`), and ``engine.telemetry`` aggregates them over the
+engine's lifetime.
 """
 
 from repro.core.flat import FLATIndex, FLATQueryResult, FLATQueryStats
@@ -48,7 +59,18 @@ from repro.core.touch import (
     s3_join,
     touch_join,
 )
-from repro.errors import ReproError
+from repro.engine import (
+    EngineResult,
+    EngineStats,
+    EngineTelemetry,
+    KNNQuery,
+    QueryPlan,
+    RangeQuery,
+    SpatialEngine,
+    SpatialJoin,
+    Walkthrough,
+)
+from repro.errors import EngineError, ReproError
 from repro.geometry import AABB, Segment, TriangleMesh, Vec3
 from repro.neuro import (
     Circuit,
@@ -68,7 +90,7 @@ from repro.storage import BufferPool, Disk, DiskParameters, ObjectStore
 from repro.viz import render_crawl, render_density, render_walk
 from repro.workloads import branch_walk, random_walk, uniform_queries
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AABB",
@@ -78,6 +100,10 @@ __all__ = [
     "CircuitConfig",
     "Disk",
     "DiskParameters",
+    "EngineError",
+    "EngineResult",
+    "EngineStats",
+    "EngineTelemetry",
     "ExplorationSession",
     "ExtrapolationPrefetcher",
     "FLATIndex",
@@ -86,21 +112,27 @@ __all__ = [
     "HilbertPrefetcher",
     "JoinResult",
     "JoinStats",
+    "KNNQuery",
     "MarkovPrefetcher",
     "Morphology",
     "MorphologyConfig",
     "MorphologyGenerator",
     "NoPrefetcher",
     "ObjectStore",
+    "QueryPlan",
     "RTree",
+    "RangeQuery",
     "ReproError",
     "ScoutPrefetcher",
     "Segment",
     "SessionMetrics",
     "Skeleton",
+    "SpatialEngine",
+    "SpatialJoin",
     "SpatialObject",
     "TriangleMesh",
     "Vec3",
+    "Walkthrough",
     "__version__",
     "branch_walk",
     "circuit_morphometry",

@@ -12,7 +12,10 @@ screens displayed, plus an ASCII rendering of the figure:
 * ``demo all``   — all three in sequence;
 * ``claims``     — the headline claims C1-C5, measured;
 * ``circuit``    — generate a circuit, print its morphometry, optionally
-  export it (SWC + manifest) with ``--out``.
+  export it (SWC + manifest) with ``--out``;
+* ``query``      — one declarative query through the :class:`SpatialEngine`
+  facade (range, knn, join or walk), with the planner's ``explain`` output
+  and the engine telemetry.
 """
 
 from __future__ import annotations
@@ -48,6 +51,30 @@ def build_parser() -> argparse.ArgumentParser:
     circuit.add_argument("--seed", type=int, default=0)
     circuit.add_argument("--out", type=str, default=None, help="export directory (SWC + manifest)")
     circuit.add_argument("--no-figures", action="store_true")
+
+    query = sub.add_parser("query", help="run one declarative query on the engine")
+    query.add_argument("kind", choices=["range", "knn", "join", "walk"])
+    query.add_argument("--neurons", type=int, default=20, help="generated circuit size")
+    query.add_argument("--seed", type=int, default=0)
+    query.add_argument(
+        "--circuit", type=str, default=None,
+        help="open a saved circuit directory instead of generating one",
+    )
+    query.add_argument(
+        "--strategy", type=str, default=None,
+        help="pin the execution strategy instead of letting the planner pick",
+    )
+    query.add_argument(
+        "--explain", action="store_true", help="print the plan only; execute nothing"
+    )
+    query.add_argument("--extent", type=float, default=120.0, help="window edge length (um)")
+    query.add_argument(
+        "--center", type=str, default=None,
+        help="query centre as x,y,z (default: dataset centre)",
+    )
+    query.add_argument("--k", type=int, default=8, help="knn: neighbours to return")
+    query.add_argument("--eps", type=float, default=3.0, help="join: distance threshold (um)")
+    query.add_argument("--steps", type=int, default=8, help="walk: minimum window count")
     return parser
 
 
@@ -102,10 +129,29 @@ def _demo_touch(quick: bool, figures: bool) -> None:
         join_scaling_experiment,
     )
 
-    print(join_comparison_experiment(n_per_side=800 if quick else 2500).render())
+    n_per_side = 800 if quick else 2500
+    comparison = join_comparison_experiment(n_per_side=n_per_side)
+    print(comparison.render())
     print()
     sizes = (500, 1000) if quick else (1000, 2000, 4000)
     print(join_scaling_experiment(sizes=sizes, nested_loop_max=min(sizes[-1], 2000)).render())
+    if figures:
+        from repro.experiments.datasets import dense_join_workload
+        from repro.viz import render_density
+
+        # Same (cached) workload and the pair set the table above agreed on;
+        # the canvas spans the full join input so synapse placement reads in
+        # tissue context.
+        from repro.geometry.aabb import AABB
+
+        axons, dendrites = dense_join_workload(n_per_side)
+        matched = {a for a, _ in comparison.pairs} | {b for _, b in comparison.pairs}
+        touching = [s for s in (*axons, *dendrites) if s.uid in matched]
+        if touching:
+            world = AABB.union_all(s.aabb for s in (*axons, *dendrites))
+            print()
+            print("segments participating in candidate synapses:")
+            print(render_density(touching, world=world))
 
 
 def _run_demo(args: argparse.Namespace) -> int:
@@ -151,6 +197,77 @@ def _run_circuit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_query(args: argparse.Namespace, engine):
+    """Translate CLI flags into one declarative query object."""
+    from repro.engine import KNNQuery, RangeQuery, SpatialJoin, Walkthrough
+    from repro.geometry.aabb import AABB
+    from repro.geometry.vec import Vec3
+
+    if args.center is not None:
+        parts = [float(v) for v in args.center.split(",")]
+        if len(parts) != 3:
+            raise ValueError("--center must be x,y,z")
+        center = Vec3(*parts)
+    else:
+        center = engine.profile.world.center()
+
+    if args.kind == "range":
+        return RangeQuery(AABB.from_center_extent(center, args.extent), strategy=args.strategy)
+    if args.kind == "knn":
+        return KNNQuery(center, args.k, strategy=args.strategy)
+    if args.kind == "join":
+        return SpatialJoin(eps=args.eps, strategy=args.strategy)
+    if args.kind == "walk":
+        from repro.workloads.walks import branch_walk
+
+        walk = branch_walk(
+            engine.circuit,
+            window_extent=args.extent,
+            min_steps=args.steps,
+            seed=args.seed,
+        )
+        return Walkthrough(tuple(walk.queries), strategy=args.strategy)
+    raise AssertionError(f"unhandled query kind {args.kind!r}")
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    from repro.engine import SpatialEngine
+    from repro.errors import ReproError
+
+    try:
+        if args.circuit is not None:
+            engine = SpatialEngine.open(args.circuit)
+        else:
+            engine = SpatialEngine.generate(n_neurons=args.neurons, seed=args.seed)
+        print(engine.describe())
+        print()
+
+        query = _build_query(args, engine)
+        plan = engine.explain(query)
+        print(plan.render())
+        if args.explain:
+            return 0
+        result = engine.execute(query)
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}")
+        return 2
+
+    print()
+    print(result.render())
+    if args.kind == "walk":
+        metrics = result.payload
+        print()
+        print(
+            f"walkthrough via {metrics.prefetcher}: {metrics.num_steps} steps, "
+            f"{metrics.total_prefetched} prefetched, {metrics.prefetch_used} used, "
+            f"{metrics.demand_misses} demand misses, "
+            f"stall {metrics.total_stall_ms:.1f} ms"
+        )
+    print()
+    print(engine.telemetry.render())
+    return 0
+
+
 def _run_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -177,6 +294,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_circuit(args)
     if args.command == "report":
         return _run_report(args)
+    if args.command == "query":
+        return _run_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -13,7 +13,7 @@ from repro.core.touch.parallel import ShardedJoinResult, sharded_touch_join
 from repro.core.touch.pbsm import pbsm_join
 from repro.core.touch.plane_sweep import plane_sweep_join
 from repro.core.touch.s3 import s3_join
-from repro.core.touch.stats import JoinResult, JoinStats
+from repro.core.touch.stats import JoinResult, JoinStats, segment_touch_refine
 from repro.core.touch.tree import TouchNode, build_touch_tree
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "pbsm_join",
     "plane_sweep_join",
     "s3_join",
+    "segment_touch_refine",
     "sharded_touch_join",
     "touch_join",
 ]

@@ -5,9 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.geometry.distance import segments_touch
+from repro.geometry.segment import Segment
 from repro.objects import SpatialObject
 
-__all__ = ["JoinStats", "JoinResult", "RefineFunc"]
+__all__ = ["JoinStats", "JoinResult", "RefineFunc", "segment_touch_refine"]
 
 #: Exact-geometry refinement predicate applied to candidate pairs.
 RefineFunc = Callable[[SpatialObject, SpatialObject], bool]
@@ -67,6 +69,19 @@ class JoinResult:
     @property
     def num_pairs(self) -> int:
         return len(self.pairs)
+
+
+def segment_touch_refine(a: SpatialObject, b: SpatialObject) -> bool:
+    """Exact touch-rule refinement for segment pairs (identity otherwise).
+
+    The standard synapse-placement predicate shared by the experiments and
+    the engine: no autapses, surfaces within touching distance.
+    """
+    if isinstance(a, Segment) and isinstance(b, Segment):
+        if a.neuron_id == b.neuron_id and a.neuron_id != -1:
+            return False
+        return segments_touch(a, b)
+    return True
 
 
 def apply_predicate(

@@ -1,0 +1,52 @@
+"""The engine layer: one declarative query API over FLAT, SCOUT and TOUCH.
+
+:class:`SpatialEngine` binds a dataset once and executes declarative query
+objects (:class:`RangeQuery`, :class:`KNNQuery`, :class:`SpatialJoin`,
+:class:`Walkthrough`) through a small planner that lazily builds and caches
+the underlying structures and picks the execution strategy per query.
+Every execution returns an :class:`EngineResult` envelope with uniform
+:class:`EngineStats`, aggregated into engine-lifetime
+:class:`EngineTelemetry`.
+
+The subsystem modules:
+
+* :mod:`repro.engine.queries` — the declarative query values,
+* :mod:`repro.engine.planner` — dataset profiling and strategy selection,
+* :mod:`repro.engine.executors` — one executor per strategy, uniform counters,
+* :mod:`repro.engine.stats` — result envelopes and telemetry,
+* :mod:`repro.engine.engine` — the facade that ties them together.
+"""
+
+from repro.engine.engine import SpatialEngine
+from repro.engine.planner import DatasetProfile, Planner, QueryPlan
+from repro.engine.queries import (
+    JOIN_STRATEGIES,
+    KNN_STRATEGIES,
+    RANGE_STRATEGIES,
+    WALK_STRATEGIES,
+    KNNQuery,
+    Query,
+    RangeQuery,
+    SpatialJoin,
+    Walkthrough,
+)
+from repro.engine.stats import EngineResult, EngineStats, EngineTelemetry
+
+__all__ = [
+    "SpatialEngine",
+    "RangeQuery",
+    "KNNQuery",
+    "SpatialJoin",
+    "Walkthrough",
+    "Query",
+    "QueryPlan",
+    "Planner",
+    "DatasetProfile",
+    "EngineResult",
+    "EngineStats",
+    "EngineTelemetry",
+    "RANGE_STRATEGIES",
+    "KNN_STRATEGIES",
+    "JOIN_STRATEGIES",
+    "WALK_STRATEGIES",
+]

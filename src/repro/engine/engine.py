@@ -1,0 +1,267 @@
+"""The :class:`SpatialEngine` facade — one declarative API over the systems.
+
+The paper demos FLAT, SCOUT and TOUCH as three stations of *one* data
+management system; this facade is that system's service surface.  An engine
+is bound to a dataset once (a circuit, a plain object list, or a saved
+circuit directory) and then answers declarative queries:
+
+>>> engine = SpatialEngine.from_circuit(circuit)
+>>> hits = engine.execute(RangeQuery(window))
+>>> sites = engine.execute(SpatialJoin(eps=3.0))
+
+Indexes are built lazily, cached for the engine's lifetime, and shared by
+every query — a batch via :meth:`query_many` reuses the warm buffer pool
+and the already-built structures.  The planner picks the execution
+strategy per query (:meth:`explain` shows the decision without running
+anything); per-query :class:`EngineStats` aggregate into lifetime
+:class:`EngineTelemetry`.
+
+The low-level constructors (:class:`FLATIndex`, :func:`touch_join`,
+:class:`ExplorationSession`, ...) remain public as the kernel layer; the
+engine only composes them.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.flat.index import FLATIndex
+from repro.engine.executors import (
+    run_join,
+    run_knn_flat,
+    run_knn_rtree,
+    run_range_flat,
+    run_range_rtree,
+    run_walk,
+    timed,
+)
+from repro.engine.planner import DatasetProfile, Planner, QueryPlan
+from repro.engine.queries import KNNQuery, Query, RangeQuery, SpatialJoin, Walkthrough
+from repro.engine.stats import EngineResult, EngineTelemetry
+from repro.errors import EngineError
+from repro.neuro.circuit import Circuit, generate_circuit
+from repro.neuro.persistence import load_circuit, save_circuit
+from repro.objects import SpatialObject
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.tree import RTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskParameters
+from repro.storage.page import DEFAULT_PAGE_BYTES, OBJECT_BYTES
+
+__all__ = ["SpatialEngine"]
+
+
+class SpatialEngine:
+    """A declarative spatial query engine bound to one dataset.
+
+    Parameters
+    ----------
+    objects:
+        The dataset every query runs against.
+    circuit:
+        Optional source circuit; enables the default synapse-discovery
+        sides of :class:`SpatialJoin` and :meth:`save`.
+    page_capacity:
+        Objects per partition/page for the paged structures.
+    pool_capacity:
+        Buffer-pool size in pages (shared by all paged queries).
+    disk_params:
+        Latency constants of the simulated disk.
+    planner:
+        Custom planner; by default one is built over the dataset profile.
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[SpatialObject],
+        circuit: Circuit | None = None,
+        page_capacity: int | None = None,
+        pool_capacity: int = 256,
+        disk_params: DiskParameters | None = None,
+        planner: Planner | None = None,
+        seed_fanout: int = 16,
+    ) -> None:
+        if not objects:
+            raise EngineError("SpatialEngine needs a non-empty dataset")
+        self.objects: list[SpatialObject] = list(objects)
+        self.circuit = circuit
+        self.page_capacity = (
+            page_capacity if page_capacity is not None else DEFAULT_PAGE_BYTES // OBJECT_BYTES
+        )
+        self.pool_capacity = pool_capacity
+        self.disk_params = disk_params if disk_params is not None else DiskParameters()
+        self.seed_fanout = seed_fanout
+        self.profile = DatasetProfile.from_objects(self.objects, self.page_capacity)
+        self.planner = planner if planner is not None else Planner(self.profile)
+        self.telemetry = EngineTelemetry()
+        self._flat_index: FLATIndex | None = None
+        self._object_rtree: RTree | None = None
+        self._pool: BufferPool | None = None
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_circuit(cls, circuit: Circuit, **kwargs) -> "SpatialEngine":
+        """Bind an engine to a circuit's flattened segment dataset."""
+        return cls(circuit.segments(), circuit=circuit, **kwargs)
+
+    @classmethod
+    def from_objects(cls, objects: Sequence[SpatialObject], **kwargs) -> "SpatialEngine":
+        """Bind an engine to an arbitrary set of spatial objects."""
+        return cls(objects, **kwargs)
+
+    @classmethod
+    def generate(cls, n_neurons: int = 40, seed: int = 0, **kwargs) -> "SpatialEngine":
+        """Generate a synthetic circuit and bind an engine to it."""
+        return cls.from_circuit(generate_circuit(n_neurons=n_neurons, seed=seed), **kwargs)
+
+    @classmethod
+    def open(cls, path: str | Path, **kwargs) -> "SpatialEngine":
+        """Open a circuit saved with :func:`repro.save_circuit` / :meth:`save`."""
+        return cls.from_circuit(load_circuit(path), **kwargs)
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the bound circuit so ``SpatialEngine.open(path)`` restores it."""
+        if self.circuit is None:
+            raise EngineError("engine is not bound to a circuit; nothing to save")
+        return save_circuit(self.circuit, path)
+
+    # -- lazily built, cached structures --------------------------------------
+    def flat_index(self) -> FLATIndex:
+        """The FLAT index over the dataset (built on first use, then cached)."""
+        if self._flat_index is None:
+            self._flat_index = FLATIndex(
+                self.objects,
+                page_capacity=self.page_capacity,
+                seed_fanout=self.seed_fanout,
+                disk_params=self.disk_params,
+            )
+        return self._flat_index
+
+    def object_rtree(self) -> RTree:
+        """A bulk-loaded R-tree over the objects (built on first use)."""
+        if self._object_rtree is None:
+            self._object_rtree = str_bulk_load(
+                [(o.uid, o.aabb) for o in self.objects],
+                max_entries=self.seed_fanout,
+                leaf_capacity=self.page_capacity,
+            )
+        return self._object_rtree
+
+    def buffer_pool(self) -> BufferPool:
+        """The shared buffer pool over the FLAT index's simulated disk."""
+        if self._pool is None:
+            self._pool = BufferPool(self.flat_index().disk, capacity=self.pool_capacity)
+        return self._pool
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def indexes_built(self) -> dict[str, bool]:
+        """Which cached structures exist (planner/benchmark introspection)."""
+        return {
+            "flat": self._flat_index is not None,
+            "rtree": self._object_rtree is not None,
+            "pool": self._pool is not None,
+        }
+
+    # -- planning --------------------------------------------------------------
+    def explain(self, query: Query) -> QueryPlan:
+        """The plan the engine would execute for ``query`` — nothing runs."""
+        join_sizes = None
+        if isinstance(query, SpatialJoin):
+            side_a, side_b = self._join_sides(query)
+            join_sizes = (len(side_a), len(side_b))
+        return self.planner.plan(query, join_sizes=join_sizes)
+
+    def _join_sides(
+        self, query: SpatialJoin
+    ) -> tuple[Sequence[SpatialObject], Sequence[SpatialObject]]:
+        if query.side_a is not None and query.side_b is not None:
+            return query.side_a, query.side_b
+        if (query.side_a is None) != (query.side_b is None):
+            raise EngineError("SpatialJoin needs both sides or neither")
+        if self.circuit is None:
+            raise EngineError(
+                "SpatialJoin without explicit sides needs an engine bound to a "
+                "circuit (axon x dendrite default)"
+            )
+        return self.circuit.axon_segments(), self.circuit.dendrite_segments()
+
+    # -- execution -------------------------------------------------------------
+    def execute(self, query: Query) -> EngineResult:
+        """Plan and run one query, returning the uniform result envelope."""
+        plan_start = time.perf_counter()
+        if isinstance(query, SpatialJoin):
+            side_a, side_b = self._join_sides(query)
+            plan = self.planner.plan(query, join_sizes=(len(side_a), len(side_b)))
+        else:
+            plan = self.planner.plan(query)
+        planning_ms = (time.perf_counter() - plan_start) * 1000.0
+
+        if isinstance(query, RangeQuery):
+            payload, stats, raw = self._execute_range(query, plan)
+        elif isinstance(query, KNNQuery):
+            payload, stats, raw = self._execute_knn(query, plan)
+        elif isinstance(query, SpatialJoin):
+            payload, stats, raw = timed(lambda: run_join(plan.strategy, side_a, side_b, query))
+        elif isinstance(query, Walkthrough):
+            # A cold walkthrough runs on a private pool so its cache drop
+            # cannot evict the warm pages other queries in a batch rely on;
+            # a warm walkthrough continues on the shared pool.
+            if query.cold_cache:
+                walk_pool = BufferPool(self.flat_index().disk, capacity=self.pool_capacity)
+            else:
+                walk_pool = self.buffer_pool()
+            payload, stats, raw = timed(
+                lambda: run_walk(self.flat_index(), walk_pool, plan.strategy, query)
+            )
+        else:
+            raise EngineError(f"cannot execute query of type {type(query).__name__}")
+
+        stats.planning_ms = planning_ms
+        self.telemetry.record(stats)
+        return EngineResult(payload=payload, stats=stats, plan=plan, raw=raw)
+
+    def _execute_range(self, query: RangeQuery, plan: QueryPlan):
+        if plan.strategy == "flat":
+            return timed(
+                lambda: run_range_flat(self.flat_index(), query.box, self.buffer_pool())
+            )
+        return timed(lambda: run_range_rtree(self.object_rtree(), query.box, self.disk_params))
+
+    def _execute_knn(self, query: KNNQuery, plan: QueryPlan):
+        if plan.strategy == "flat":
+            return timed(
+                lambda: run_knn_flat(
+                    self.flat_index(), query.point, query.k, self.buffer_pool()
+                )
+            )
+        return timed(
+            lambda: run_knn_rtree(self.object_rtree(), query.point, query.k, self.disk_params)
+        )
+
+    def query_many(self, queries: Sequence[Query]) -> list[EngineResult]:
+        """Execute a batch sequentially over the shared warm structures.
+
+        Indexes are built at most once for the whole batch and the buffer
+        pool stays warm between queries, so a batch of overlapping windows
+        pays the cold-read cost only on its first query.  Walkthroughs that
+        request ``cold_cache`` start cold on a private pool, leaving the
+        batch's warm pages untouched.
+        """
+        return [self.execute(query) for query in queries]
+
+    # -- reporting -------------------------------------------------------------
+    def describe(self) -> str:
+        """Dataset + structure summary (the CLI's header block)."""
+        bound = f"circuit ({self.circuit.num_neurons} neurons)" if self.circuit else "objects"
+        built = ", ".join(name for name, up in self.indexes_built.items() if up) or "none"
+        return (
+            f"SpatialEngine over {self.num_objects:,} objects from {bound}; "
+            f"page capacity {self.page_capacity}, pool {self.pool_capacity} pages; "
+            f"structures built: {built}"
+        )

@@ -1,0 +1,248 @@
+"""Strategy executors: run one planned strategy, report uniform counters.
+
+Each executor returns ``(payload, EngineStats, raw)`` where ``raw`` is the
+subsystem-native result object.  I/O accounting follows the experiments'
+uniform model (see :mod:`repro.experiments.fig_flat`): every page access —
+data page or index node — is one simulated disk read, so FLAT and R-tree
+strategies stay comparable.  FLAT data pages go through the simulated
+disk/buffer pool (their stall time reflects caching and sequential reads);
+in-memory index node visits are charged one ``read_latency_ms`` each on
+both sides.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Any, Callable, Sequence
+
+from repro.core.flat.index import FLATIndex, FLATQueryResult
+from repro.core.flat.stats import FLATQueryStats
+from repro.core.scout.baselines import (
+    ExtrapolationPrefetcher,
+    HilbertPrefetcher,
+    NoPrefetcher,
+)
+from repro.core.scout.metrics import SessionMetrics
+from repro.core.scout.prefetcher import Prefetcher, ScoutPrefetcher
+from repro.core.scout.session import ExplorationSession
+from repro.core.touch.join import touch_join
+from repro.core.touch.nested_loop import nested_loop_join
+from repro.core.touch.pbsm import pbsm_join
+from repro.core.touch.plane_sweep import plane_sweep_join
+from repro.core.touch.stats import JoinResult, RefineFunc, segment_touch_refine
+from repro.engine.queries import SpatialJoin, Walkthrough
+from repro.engine.stats import EngineStats
+from repro.errors import EngineError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.objects import SpatialObject
+from repro.rtree.tree import RTree
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import DiskParameters
+
+__all__ = [
+    "run_range_flat",
+    "run_range_rtree",
+    "run_knn_flat",
+    "run_knn_rtree",
+    "run_join",
+    "run_walk",
+    "JOIN_EXECUTORS",
+]
+
+
+# -- range ---------------------------------------------------------------------
+def run_range_flat(
+    index: FLATIndex, box: AABB, pool: BufferPool | None
+) -> tuple[list[int], EngineStats, FLATQueryResult]:
+    result = index.query(box, pool=pool)
+    s = result.stats
+    stats = EngineStats(
+        kind="range",
+        strategy="flat",
+        pages_read=s.pages_read,
+        io_time_ms=s.stall_time_ms
+        + s.seed_nodes_visited * index.disk.params.read_latency_ms,
+        comparisons=s.seed_entries_tested + s.neighbor_tests + s.objects_scanned,
+        num_results=s.num_results,
+    )
+    return result.uids, stats, result
+
+
+def run_range_rtree(
+    rtree: RTree, box: AABB, disk_params: DiskParameters
+) -> tuple[list[int], EngineStats, Any]:
+    uids, s = rtree.range_query_with_stats(box)
+    stats = EngineStats(
+        kind="range",
+        strategy="rtree",
+        pages_read=s.pages_read,
+        io_time_ms=s.pages_read * disk_params.read_latency_ms,
+        comparisons=s.entries_tested,
+        num_results=s.num_results,
+    )
+    return uids, stats, s
+
+
+# -- k-nearest-neighbours ------------------------------------------------------
+def run_knn_flat(
+    index: FLATIndex, point: Vec3, k: int, pool: BufferPool | None = None
+) -> tuple[list[tuple[int, float]], EngineStats, FLATQueryStats]:
+    """Best-first descent of FLAT's *seed R-tree*, paging partitions in.
+
+    Unlike :meth:`FLATIndex.knn` (which ranks every partition MBR up
+    front), this walks the seed tree itself, so index work is logarithmic
+    in the partition count and only partitions that can still contain one
+    of the ``k`` answers are fetched from disk.  Data pages go through
+    ``pool`` when given, so batched queries reuse warm pages.
+    """
+    raw = FLATQueryStats()
+    counter = itertools.count()
+    # Heap items: (lower-bound distance, tiebreak, node, partition_id).
+    heap: list[tuple[float, int, Any, int | None]] = [
+        (0.0, next(counter), index.seed_tree.root, None)
+    ]
+    best: list[tuple[float, int]] = []  # max-heap via negated distance
+
+    def kth_best() -> float:
+        return -best[0][0]
+
+    while heap:
+        distance, _, node, pid = heapq.heappop(heap)
+        if len(best) == k and distance > kth_best():
+            break
+        if node is None:
+            assert pid is not None
+            if pool is not None:
+                before = pool.stats.stall_time_ms
+                page = pool.fetch(pid)
+                raw.stall_time_ms += pool.stats.stall_time_ms - before
+            else:
+                page, latency = index.disk.read(pid)
+                raw.stall_time_ms += latency
+            raw.partitions_fetched += 1
+            raw.crawl_order.append(pid)
+            for uid in page.object_uids:
+                raw.objects_scanned += 1
+                d = index.object(uid).aabb.min_distance_to_point(point)
+                if len(best) < k:
+                    heapq.heappush(best, (-d, uid))
+                elif d < kth_best():
+                    heapq.heapreplace(best, (-d, uid))
+            continue
+        raw.seed_nodes_visited += 1
+        for entry in node.entries:
+            raw.seed_entries_tested += 1
+            d = entry.mbr.min_distance_to_point(point)
+            if len(best) == k and d > kth_best():
+                continue
+            if node.is_leaf:
+                heapq.heappush(heap, (d, next(counter), None, entry.uid))
+            else:
+                heapq.heappush(heap, (d, next(counter), entry.child, None))
+
+    results = sorted(((uid, -neg) for neg, uid in best), key=lambda t: (t[1], t[0]))
+    raw.num_results = len(results)
+    stats = EngineStats(
+        kind="knn",
+        strategy="flat",
+        pages_read=raw.pages_read,
+        io_time_ms=raw.stall_time_ms
+        + raw.seed_nodes_visited * index.disk.params.read_latency_ms,
+        comparisons=raw.seed_entries_tested + raw.objects_scanned,
+        num_results=len(results),
+    )
+    return results, stats, raw
+
+
+def run_knn_rtree(
+    rtree: RTree, point: Vec3, k: int, disk_params: DiskParameters
+) -> tuple[list[tuple[int, float]], EngineStats, Any]:
+    """Counted best-first search over the object R-tree (leaves = objects)."""
+    results, raw = rtree.knn_with_stats(point, k)
+    stats = EngineStats(
+        kind="knn",
+        strategy="rtree",
+        pages_read=raw.nodes_visited,
+        io_time_ms=raw.nodes_visited * disk_params.read_latency_ms,
+        comparisons=raw.entries_tested,
+        num_results=len(results),
+    )
+    return results, stats, raw
+
+
+# -- joins ---------------------------------------------------------------------
+JOIN_EXECUTORS: dict[str, Callable[..., JoinResult]] = {
+    "touch": touch_join,
+    "plane-sweep": plane_sweep_join,
+    "pbsm": pbsm_join,
+    "nested-loop": nested_loop_join,
+}
+
+
+def run_join(
+    strategy: str,
+    side_a: Sequence[SpatialObject],
+    side_b: Sequence[SpatialObject],
+    query: SpatialJoin,
+) -> tuple[list[tuple[int, int]], EngineStats, JoinResult]:
+    try:
+        executor = JOIN_EXECUTORS[strategy]
+    except KeyError:
+        raise EngineError(f"no join executor for strategy {strategy!r}") from None
+    refine: RefineFunc | None = segment_touch_refine if query.refine else None
+    result = executor(side_a, side_b, eps=query.eps, refine=refine)
+    stats = EngineStats(
+        kind="join",
+        strategy=strategy,
+        pages_read=0,  # all join competitors are in-memory algorithms
+        io_time_ms=0.0,
+        comparisons=result.stats.comparisons,
+        num_results=result.num_pairs,
+    )
+    return result.pairs, stats, result
+
+
+# -- walkthroughs --------------------------------------------------------------
+def _make_prefetcher(
+    strategy: str, index: FLATIndex, pool: BufferPool, budget_pages: int
+) -> Prefetcher:
+    if strategy == "scout":
+        return ScoutPrefetcher(index, pool, budget_pages=budget_pages)
+    if strategy == "hilbert":
+        return HilbertPrefetcher(index, pool, budget_pages=budget_pages)
+    if strategy == "extrapolation":
+        return ExtrapolationPrefetcher(index, pool, budget_pages=budget_pages)
+    if strategy == "none":
+        return NoPrefetcher()
+    raise EngineError(f"no prefetcher for strategy {strategy!r}")
+
+
+def run_walk(
+    index: FLATIndex,
+    pool: BufferPool,
+    strategy: str,
+    query: Walkthrough,
+) -> tuple[SessionMetrics, EngineStats, SessionMetrics]:
+    prefetcher = _make_prefetcher(strategy, index, pool, query.budget_pages)
+    session = ExplorationSession(index, pool, prefetcher)
+    metrics = session.run(list(query.queries), cold_cache=query.cold_cache)
+    stats = EngineStats(
+        kind="walk",
+        strategy=strategy,
+        pages_read=metrics.demand_misses + metrics.total_prefetched,
+        io_time_ms=metrics.total_stall_ms + metrics.prefetch_io_ms,
+        comparisons=0,
+        num_results=sum(step.result_size for step in metrics.steps),
+    )
+    return metrics, stats, metrics
+
+
+def timed(fn: Callable[[], tuple[Any, EngineStats, Any]]) -> tuple[Any, EngineStats, Any]:
+    """Run an executor thunk, stamping wall-clock time into its stats."""
+    start = time.perf_counter()
+    payload, stats, raw = fn()
+    stats.elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return payload, stats, raw

@@ -1,0 +1,129 @@
+"""Declarative query objects — what the engine executes.
+
+A query describes *what* to compute (a range window, a ``k``-nearest
+lookup, a distance join, a walkthrough sequence); the engine's planner
+decides *how* (FLAT crawl vs R-tree descent, TOUCH vs plane sweep, which
+prefetcher).  Every query carries an optional ``strategy`` override that
+pins the execution strategy and bypasses the planner's choice.
+
+Queries are immutable values: they can be built once, stored, shipped in
+batches through :meth:`SpatialEngine.query_many`, and explained without
+being executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import EngineError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.objects import SpatialObject
+
+__all__ = [
+    "RangeQuery",
+    "KNNQuery",
+    "SpatialJoin",
+    "Walkthrough",
+    "Query",
+    "RANGE_STRATEGIES",
+    "KNN_STRATEGIES",
+    "JOIN_STRATEGIES",
+    "WALK_STRATEGIES",
+]
+
+#: Legal ``strategy`` overrides per query kind.
+RANGE_STRATEGIES = ("flat", "rtree")
+KNN_STRATEGIES = ("flat", "rtree")
+JOIN_STRATEGIES = ("touch", "plane-sweep", "pbsm", "nested-loop")
+WALK_STRATEGIES = ("scout", "hilbert", "extrapolation", "none")
+
+
+def _check_strategy(strategy: str | None, legal: Sequence[str], kind: str) -> None:
+    if strategy is not None and strategy not in legal:
+        raise EngineError(
+            f"unknown {kind} strategy {strategy!r}; expected one of {', '.join(legal)}"
+        )
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """All objects whose AABB intersects ``box``."""
+
+    box: AABB
+    strategy: str | None = None  # "flat" | "rtree"
+
+    def __post_init__(self) -> None:
+        _check_strategy(self.strategy, RANGE_STRATEGIES, "range")
+
+    kind = "range"
+
+
+@dataclass(frozen=True)
+class KNNQuery:
+    """The ``k`` objects nearest to ``point`` (AABB distance)."""
+
+    point: Vec3
+    k: int
+    strategy: str | None = None  # "flat" | "rtree"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise EngineError("KNNQuery needs k >= 1")
+        _check_strategy(self.strategy, KNN_STRATEGIES, "knn")
+
+    kind = "knn"
+
+
+@dataclass(frozen=True)
+class SpatialJoin:
+    """Distance join of two object sets within ``eps``.
+
+    When the engine is bound to a circuit and no sides are given, the join
+    defaults to the paper's synapse-discovery workload: axon segments
+    against dendrite segments.  Explicit sides join arbitrary datasets.
+    """
+
+    eps: float = 0.0
+    side_a: tuple[SpatialObject, ...] | None = None
+    side_b: tuple[SpatialObject, ...] | None = None
+    strategy: str | None = None  # "touch" | "plane-sweep" | "pbsm" | "nested-loop"
+    refine: bool = False  # exact segment-geometry refinement of AABB candidates
+
+    def __post_init__(self) -> None:
+        if self.eps < 0:
+            raise EngineError("SpatialJoin needs eps >= 0")
+        _check_strategy(self.strategy, JOIN_STRATEGIES, "join")
+        # Normalise sides to tuples so the query stays hashable/immutable.
+        for name in ("side_a", "side_b"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    kind = "join"
+
+
+@dataclass(frozen=True)
+class Walkthrough:
+    """A sequence of range windows explored interactively with prefetching."""
+
+    queries: tuple[AABB, ...]
+    strategy: str | None = None  # prefetcher: "scout" | "hilbert" | "extrapolation" | "none"
+    cold_cache: bool = True
+    budget_pages: int = 24
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.queries, tuple):
+            object.__setattr__(self, "queries", tuple(self.queries))
+        if not self.queries:
+            raise EngineError("Walkthrough needs at least one query window")
+        if self.budget_pages < 0:
+            raise EngineError("Walkthrough needs budget_pages >= 0")
+        _check_strategy(self.strategy, WALK_STRATEGIES, "walkthrough")
+
+    kind = "walk"
+
+
+#: Anything the engine executes.
+Query = RangeQuery | KNNQuery | SpatialJoin | Walkthrough

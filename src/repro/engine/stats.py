@@ -1,0 +1,120 @@
+"""Uniform result envelopes and engine-lifetime telemetry.
+
+Every executor in this package reports its work through the same three
+counters — pages read, I/O time, pairwise comparisons — regardless of which
+subsystem (FLAT, R-tree, TOUCH, SCOUT) did the work.  That uniformity is
+what lets one telemetry object aggregate a mixed batch and one ``render``
+path serve the CLI for all four query kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.utils.tables import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.planner import QueryPlan
+
+__all__ = ["EngineStats", "EngineResult", "EngineTelemetry"]
+
+
+@dataclass
+class EngineStats:
+    """The uniform per-query counters of one engine execution."""
+
+    kind: str  # "range" | "knn" | "join" | "walk"
+    strategy: str  # what actually ran (post-planning)
+    pages_read: int = 0  # index node pages + data pages (0 for in-memory paths)
+    io_time_ms: float = 0.0  # simulated-disk stall + prefetch I/O
+    comparisons: int = 0  # MBR/entry tests performed
+    num_results: int = 0
+    elapsed_ms: float = 0.0  # wall-clock execution time
+    planning_ms: float = 0.0  # wall-clock planner time
+
+    def as_row(self) -> list[Any]:
+        return [
+            self.kind,
+            self.strategy,
+            self.num_results,
+            self.pages_read,
+            self.io_time_ms,
+            self.comparisons,
+            self.elapsed_ms,
+        ]
+
+
+@dataclass
+class EngineResult:
+    """What every :meth:`SpatialEngine.execute` call returns.
+
+    ``payload`` depends on the query kind:
+
+    * range — ``list[int]`` of matching uids,
+    * knn — ``list[tuple[int, float]]`` of ``(uid, distance)`` pairs,
+    * join — ``list[tuple[int, int]]`` of ``(uid_a, uid_b)`` pairs,
+    * walk — :class:`repro.core.scout.SessionMetrics`.
+
+    ``raw`` carries the subsystem-native result object (e.g. the
+    :class:`FLATQueryResult` or :class:`JoinResult`) for callers that need
+    the full low-level counters.
+    """
+
+    payload: Any
+    stats: EngineStats
+    plan: "QueryPlan"
+    raw: Any = None
+
+    @property
+    def num_results(self) -> int:
+        return self.stats.num_results
+
+    def render(self) -> str:
+        table = Table(
+            ["kind", "strategy", "results", "pages", "io ms", "comparisons", "exec ms"],
+            title=f"engine result ({self.plan.describe()})",
+        )
+        table.add_row(self.stats.as_row())
+        return table.render()
+
+
+@dataclass
+class EngineTelemetry:
+    """Engine-lifetime aggregate of every executed query's counters."""
+
+    queries_executed: int = 0
+    pages_read: int = 0
+    io_time_ms: float = 0.0
+    comparisons: int = 0
+    results_returned: int = 0
+    elapsed_ms: float = 0.0
+    planning_ms: float = 0.0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    by_strategy: dict[str, int] = field(default_factory=dict)
+
+    def record(self, stats: EngineStats) -> None:
+        self.queries_executed += 1
+        self.pages_read += stats.pages_read
+        self.io_time_ms += stats.io_time_ms
+        self.comparisons += stats.comparisons
+        self.results_returned += stats.num_results
+        self.elapsed_ms += stats.elapsed_ms
+        self.planning_ms += stats.planning_ms
+        self.by_kind[stats.kind] = self.by_kind.get(stats.kind, 0) + 1
+        self.by_strategy[stats.strategy] = self.by_strategy.get(stats.strategy, 0) + 1
+
+    def render(self) -> str:
+        table = Table(["metric", "value"], title="engine telemetry")
+        table.add_row(["queries executed", self.queries_executed])
+        table.add_row(["results returned", self.results_returned])
+        table.add_row(["pages read", self.pages_read])
+        table.add_row(["simulated I/O (ms)", self.io_time_ms])
+        table.add_row(["comparisons", self.comparisons])
+        table.add_row(["execution wall (ms)", self.elapsed_ms])
+        table.add_row(["planning wall (ms)", self.planning_ms])
+        for kind in sorted(self.by_kind):
+            table.add_row([f"  {kind} queries", self.by_kind[kind]])
+        for strategy in sorted(self.by_strategy):
+            table.add_row([f"  via {strategy}", self.by_strategy[strategy]])
+        return table.render()

@@ -51,3 +51,8 @@ class PrefetchError(ReproError):
 
 class MorphologyError(ReproError):
     """Raised by the neuron morphology model (bad SWC data, empty trees)."""
+
+
+class EngineError(ReproError):
+    """Raised by the :class:`~repro.engine.SpatialEngine` facade (bad queries,
+    unknown strategies, datasets the query cannot be bound to)."""

@@ -10,7 +10,7 @@ of §4.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.core.touch.join import touch_join
@@ -18,11 +18,8 @@ from repro.core.touch.nested_loop import nested_loop_join
 from repro.core.touch.pbsm import pbsm_join
 from repro.core.touch.plane_sweep import plane_sweep_join
 from repro.core.touch.s3 import s3_join
-from repro.core.touch.stats import JoinResult
+from repro.core.touch.stats import JoinResult, segment_touch_refine
 from repro.experiments.datasets import DEFAULT_SEED, dense_join_workload
-from repro.geometry.distance import segments_touch
-from repro.geometry.segment import Segment
-from repro.objects import SpatialObject
 from repro.utils.tables import Table
 
 __all__ = [
@@ -45,13 +42,8 @@ JOIN_ALGORITHMS: dict[str, JoinFunc] = {
 }
 
 
-def _touch_refine(a: SpatialObject, b: SpatialObject) -> bool:
-    """Exact touch-rule refinement for segment pairs (identity otherwise)."""
-    if isinstance(a, Segment) and isinstance(b, Segment):
-        if a.neuron_id == b.neuron_id and a.neuron_id != -1:
-            return False  # no autapses
-        return segments_touch(a, b)
-    return True
+#: The experiments' refinement predicate is the shared touch rule.
+_touch_refine = segment_touch_refine
 
 
 @dataclass
@@ -76,6 +68,7 @@ class JoinComparisonResult:
     eps: float
     synapses: int
     rows: list[JoinRow]
+    pairs: list[tuple[int, int]] = field(default_factory=list)  # the agreed pair set
 
     def render(self) -> str:
         table = Table(
@@ -156,7 +149,12 @@ def join_comparison_experiment(
             )
         )
     return JoinComparisonResult(
-        n_a=len(objects_a), n_b=len(objects_b), eps=eps, synapses=synapses, rows=rows
+        n_a=len(objects_a),
+        n_b=len(objects_b),
+        eps=eps,
+        synapses=synapses,
+        rows=rows,
+        pairs=reference if reference is not None else [],
     )
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["RangeQueryStats", "SeedSearchStats"]
+__all__ = ["RangeQueryStats", "SeedSearchStats", "KNNQueryStats"]
 
 
 @dataclass
@@ -37,6 +37,15 @@ class RangeQueryStats:
     def pages_read(self) -> int:
         """One node occupies one page in the modelled layout."""
         return self.nodes_visited
+
+
+@dataclass
+class KNNQueryStats:
+    """Counters for one best-first k-nearest-neighbour search."""
+
+    nodes_visited: int = 0
+    entries_tested: int = 0
+    num_results: int = 0
 
 
 @dataclass

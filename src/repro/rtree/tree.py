@@ -22,7 +22,7 @@ from repro.geometry.aabb import AABB
 from repro.geometry.vec import Vec3
 from repro.rtree.node import Entry, Node
 from repro.rtree.split import quadratic_split
-from repro.rtree.stats import RangeQueryStats, SeedSearchStats
+from repro.rtree.stats import KNNQueryStats, RangeQueryStats, SeedSearchStats
 
 __all__ = ["RTree"]
 
@@ -328,8 +328,16 @@ class RTree:
         Best-first traversal with a priority queue on MBR distance, which is
         optimal in node accesses for the given tree.
         """
+        results, _ = self.knn_with_stats(point, k)
+        return results
+
+    def knn_with_stats(
+        self, point: Vec3, k: int
+    ) -> tuple[list[tuple[int, float]], KNNQueryStats]:
+        """k-nearest-neighbour search plus node/entry access counters."""
+        stats = KNNQueryStats()
         if k < 1 or self._size == 0:
-            return []
+            return [], stats
         counter = itertools.count()
         heap: list[tuple[float, int, Node | None, int | None]] = [
             (0.0, next(counter), self.root, None)
@@ -341,13 +349,16 @@ class RTree:
                 assert uid is not None
                 results.append((uid, dist))
                 continue
+            stats.nodes_visited += 1
             for entry in node.entries:
+                stats.entries_tested += 1
                 entry_dist = entry.mbr.min_distance_to_point(point)
                 if node.is_leaf:
                     heapq.heappush(heap, (entry_dist, next(counter), None, entry.uid))
                 else:
                     heapq.heappush(heap, (entry_dist, next(counter), entry.child, None))
-        return results
+        stats.num_results = len(results)
+        return results, stats
 
     # -- invariants ------------------------------------------------------------------------
     def validate(self) -> None:

@@ -31,6 +31,25 @@ class TestParser:
         args = build_parser().parse_args(["report", "--full", "--out", "r.txt"])
         assert args.full and args.out == "r.txt"
 
+    def test_query_kinds(self):
+        parser = build_parser()
+        for kind in ("range", "knn", "join", "walk"):
+            args = parser.parse_args(["query", kind])
+            assert args.kind == kind
+            assert args.strategy is None and not args.explain
+
+    def test_query_options(self):
+        args = build_parser().parse_args(
+            ["query", "range", "--strategy", "flat", "--explain",
+             "--extent", "90", "--center", "1,2,3"]
+        )
+        assert args.strategy == "flat" and args.explain
+        assert args.extent == 90.0 and args.center == "1,2,3"
+
+    def test_unknown_query_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "scan"])
+
 
 class TestCircuitCommand:
     def test_prints_morphometry(self, capsys):
@@ -75,3 +94,64 @@ class TestDemoCommand:
         assert "E6 spatial join" in out
         assert "E7 join scaling" in out
         assert "TOUCH" in out
+        assert "candidate synapses" not in out  # figure suppressed
+
+    def test_touch_station_renders_figure(self, capsys):
+        code = main(["demo", "touch", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "segments participating in candidate synapses" in out
+        assert "+--" in out  # canvas frame
+
+
+class TestQueryCommand:
+    def test_range_query_runs_engine(self, capsys):
+        code = main(["query", "range", "--neurons", "6", "--seed", "3", "--extent", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SpatialEngine over" in out
+        assert "plan: range via" in out
+        assert "engine result" in out
+        assert "engine telemetry" in out
+
+    def test_explain_executes_nothing(self, capsys):
+        code = main(["query", "join", "--neurons", "6", "--seed", "3", "--explain"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: join via" in out
+        assert "engine result" not in out
+
+    def test_forced_strategy_is_reported(self, capsys):
+        code = main(
+            ["query", "knn", "--neurons", "6", "--seed", "3", "--k", "4",
+             "--strategy", "rtree"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "knn via rtree" in out
+
+    def test_walk_prints_session_summary(self, capsys):
+        code = main(["query", "walk", "--neurons", "6", "--seed", "3", "--steps", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan: walk via" in out
+        assert "walkthrough via" in out
+
+    def test_unknown_strategy_fails_cleanly(self, capsys):
+        code = main(["query", "range", "--neurons", "6", "--strategy", "bogus"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_saved_circuit_round_trip(self, capsys, tmp_path):
+        assert main(
+            ["circuit", "--neurons", "4", "--seed", "9", "--no-figures",
+             "--out", str(tmp_path / "model")]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["query", "range", "--circuit", str(tmp_path / "model"), "--extent", "120"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SpatialEngine over" in out
+        assert "engine result" in out

@@ -1,0 +1,341 @@
+"""The SpatialEngine facade: planning, execution, telemetry, persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.engine import (
+    DatasetProfile,
+    KNNQuery,
+    Planner,
+    RangeQuery,
+    SpatialEngine,
+    SpatialJoin,
+    Walkthrough,
+)
+from repro.errors import EngineError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.workloads.ranges import density_stratified_queries
+
+PAGE_CAPACITY = 48
+
+
+@pytest.fixture(scope="module")
+def engine(medium_circuit) -> SpatialEngine:
+    """One engine per module; tests must not depend on cold structures."""
+    return SpatialEngine.from_circuit(medium_circuit, page_capacity=PAGE_CAPACITY)
+
+
+@pytest.fixture(scope="module")
+def dense_window(medium_circuit) -> AABB:
+    return density_stratified_queries(
+        medium_circuit.segments(), 1, 90.0, dense=True, seed=7
+    )[0]
+
+
+@pytest.fixture(scope="module")
+def sparse_window(medium_circuit) -> AABB:
+    world = medium_circuit.bounding_box()
+    # A small window hugging the world's far corner: guaranteed sparse.
+    return AABB.from_center_extent((world.max_x, world.max_y, world.max_z), 20.0)
+
+
+def overlapping_walk(center: Vec3, steps: int = 6, extent: float = 90.0) -> tuple[AABB, ...]:
+    return tuple(
+        AABB.from_center_extent(center + Vec3(extent * 0.3 * i, 0.0, 0.0), extent)
+        for i in range(steps)
+    )
+
+
+class TestPlanSelection:
+    def test_dense_range_plans_flat(self, engine, dense_window):
+        plan = engine.explain(RangeQuery(dense_window))
+        assert plan.strategy == "flat"
+        assert not plan.overridden
+        assert plan.estimates["result_objects"] >= PAGE_CAPACITY
+
+    def test_sparse_range_plans_rtree(self, engine, sparse_window):
+        plan = engine.explain(RangeQuery(sparse_window))
+        assert plan.strategy == "rtree"
+
+    def test_tiny_join_plans_plane_sweep(self, engine, medium_circuit):
+        sides = medium_circuit.segments()[:60]
+        plan = engine.explain(
+            SpatialJoin(eps=1.0, side_a=tuple(sides), side_b=tuple(sides[:30]))
+        )
+        assert plan.strategy == "plane-sweep"
+
+    def test_large_join_plans_touch(self, engine):
+        plan = engine.explain(SpatialJoin(eps=3.0))
+        assert plan.strategy == "touch"
+        assert plan.estimates["candidate_pairs"] > 250_000
+
+    def test_knn_large_dataset_plans_flat(self, engine):
+        plan = engine.explain(KNNQuery(Vec3(0.0, 500.0, 0.0), k=5))
+        assert plan.strategy == "flat"
+
+    def test_knn_tiny_dataset_plans_rtree(self, grid27):
+        tiny = SpatialEngine.from_objects(grid27, page_capacity=PAGE_CAPACITY)
+        plan = tiny.explain(KNNQuery(Vec3(0.0, 0.0, 0.0), k=3))
+        assert plan.strategy == "rtree"
+
+    def test_overlapping_walk_plans_scout(self, engine, medium_circuit):
+        walk = overlapping_walk(medium_circuit.bounding_box().center())
+        plan = engine.explain(Walkthrough(walk))
+        assert plan.strategy == "scout"
+        assert plan.estimates["jump_ratio"] < 1.0
+
+    def test_jumpy_walk_plans_hilbert(self, engine, medium_circuit):
+        center = medium_circuit.bounding_box().center()
+        jumpy = tuple(
+            AABB.from_center_extent(center + Vec3(200.0 * i, 0.0, 0.0), 50.0)
+            for i in range(5)
+        )
+        plan = engine.explain(Walkthrough(jumpy))
+        assert plan.strategy == "hilbert"
+
+    def test_short_walk_plans_none(self, engine, medium_circuit):
+        walk = overlapping_walk(medium_circuit.bounding_box().center(), steps=2)
+        plan = engine.explain(Walkthrough(walk))
+        assert plan.strategy == "none"
+
+    def test_override_is_honoured_and_flagged(self, engine, dense_window):
+        plan = engine.explain(RangeQuery(dense_window, strategy="rtree"))
+        assert plan.strategy == "rtree"
+        assert plan.overridden
+        assert "flat" in plan.reason  # records what the planner would pick
+
+    def test_explain_builds_nothing(self, medium_circuit, dense_window):
+        fresh = SpatialEngine.from_circuit(medium_circuit, page_capacity=PAGE_CAPACITY)
+        fresh.explain(RangeQuery(dense_window))
+        fresh.explain(SpatialJoin(eps=3.0))
+        fresh.explain(KNNQuery(dense_window.center(), k=4))
+        assert fresh.indexes_built == {"flat": False, "rtree": False, "pool": False}
+        assert fresh.telemetry.queries_executed == 0
+
+    def test_explain_render_names_strategy_and_reason(self, engine, dense_window):
+        text = engine.explain(RangeQuery(dense_window)).render()
+        assert "range via flat" in text
+        assert "reason:" in text
+        assert "estimate" in text
+
+
+class TestExecution:
+    def test_range_strategies_agree_with_brute_force(self, engine, medium_circuit, dense_window):
+        expected = sorted(
+            s.uid for s in medium_circuit.segments() if s.aabb.intersects(dense_window)
+        )
+        via_flat = engine.execute(RangeQuery(dense_window, strategy="flat"))
+        via_rtree = engine.execute(RangeQuery(dense_window, strategy="rtree"))
+        assert sorted(via_flat.payload) == expected
+        assert sorted(via_rtree.payload) == expected
+        assert via_flat.stats.strategy == "flat"
+        assert via_rtree.stats.strategy == "rtree"
+
+    def test_knn_strategies_agree(self, engine, medium_circuit):
+        point = medium_circuit.bounding_box().center()
+        via_flat = engine.execute(KNNQuery(point, k=7, strategy="flat"))
+        via_rtree = engine.execute(KNNQuery(point, k=7, strategy="rtree"))
+        assert len(via_flat.payload) == 7
+        flat_uids = [uid for uid, _ in via_flat.payload]
+        rtree_uids = [uid for uid, _ in via_rtree.payload]
+        assert flat_uids == rtree_uids
+        for (_, d1), (_, d2) in zip(via_flat.payload, via_rtree.payload):
+            assert d1 == pytest.approx(d2)
+
+    def test_knn_matches_kernel_index(self, engine, medium_circuit):
+        point = medium_circuit.bounding_box().center()
+        kernel, _ = engine.flat_index().knn(point, 5)
+        via_engine = engine.execute(KNNQuery(point, k=5, strategy="flat"))
+        assert via_engine.payload == kernel
+
+    def test_join_matches_nested_loop_oracle(self, small_circuit):
+        eng = SpatialEngine.from_circuit(small_circuit, page_capacity=PAGE_CAPACITY)
+        result = eng.execute(SpatialJoin(eps=3.0))
+        oracle = repro.nested_loop_join(
+            small_circuit.axon_segments(), small_circuit.dendrite_segments(), eps=3.0
+        )
+        assert sorted(result.payload) == oracle.sorted_pairs()
+
+    def test_join_strategies_agree(self, engine, medium_circuit):
+        axons = tuple(medium_circuit.axon_segments()[:80])
+        dendrites = tuple(medium_circuit.dendrite_segments()[:80])
+        pairs = {
+            strategy: sorted(
+                engine.execute(
+                    SpatialJoin(eps=2.0, side_a=axons, side_b=dendrites, strategy=strategy)
+                ).payload
+            )
+            for strategy in ("touch", "plane-sweep", "pbsm", "nested-loop")
+        }
+        reference = pairs["nested-loop"]
+        for strategy, got in pairs.items():
+            assert got == reference, strategy
+
+    def test_walkthrough_runs_all_steps(self, engine, medium_circuit):
+        walk = overlapping_walk(medium_circuit.bounding_box().center())
+        result = engine.execute(Walkthrough(walk))
+        assert result.payload.num_steps == len(walk)
+        assert result.stats.kind == "walk"
+        assert result.stats.strategy == "scout"
+
+    def test_result_render_names_plan(self, engine, dense_window):
+        result = engine.execute(RangeQuery(dense_window))
+        text = result.render()
+        assert "range via" in text
+        assert str(result.num_results) in text
+
+
+class TestStatsAndTelemetry:
+    def test_query_many_aggregates_stats(self, medium_circuit, dense_window, sparse_window):
+        eng = SpatialEngine.from_circuit(medium_circuit, page_capacity=PAGE_CAPACITY)
+        batch = [
+            RangeQuery(dense_window),
+            RangeQuery(sparse_window),
+            KNNQuery(dense_window.center(), k=3),
+        ]
+        results = eng.query_many(batch)
+        assert len(results) == 3
+        telemetry = eng.telemetry
+        assert telemetry.queries_executed == 3
+        assert telemetry.pages_read == sum(r.stats.pages_read for r in results)
+        assert telemetry.comparisons == sum(r.stats.comparisons for r in results)
+        assert telemetry.io_time_ms == pytest.approx(
+            sum(r.stats.io_time_ms for r in results)
+        )
+        assert telemetry.by_kind == {"range": 2, "knn": 1}
+        assert sum(telemetry.by_strategy.values()) == 3
+
+    def test_knn_reuses_warm_pool(self, medium_circuit, dense_window):
+        eng = SpatialEngine.from_circuit(medium_circuit, page_capacity=PAGE_CAPACITY)
+        query = KNNQuery(dense_window.center(), k=10, strategy="flat")
+        first, second = eng.query_many([query, query])
+        assert first.payload == second.payload
+        assert second.stats.io_time_ms < first.stats.io_time_ms
+
+    def test_cold_walkthrough_preserves_shared_pool(self, medium_circuit, dense_window):
+        eng = SpatialEngine.from_circuit(medium_circuit, page_capacity=PAGE_CAPACITY)
+        warmup = eng.execute(RangeQuery(dense_window, strategy="flat"))
+        resident_before = eng.buffer_pool().num_resident
+        walk = overlapping_walk(medium_circuit.bounding_box().center())
+        eng.execute(Walkthrough(walk))  # cold_cache=True runs on a private pool
+        assert eng.buffer_pool().num_resident == resident_before
+        rerun = eng.execute(RangeQuery(dense_window, strategy="flat"))
+        assert rerun.stats.io_time_ms < warmup.stats.io_time_ms
+
+    def test_flat_and_rtree_io_models_are_comparable(self, engine, dense_window):
+        """Both strategies charge index node visits, not just data pages."""
+        via_flat = engine.execute(RangeQuery(dense_window, strategy="flat"))
+        read_ms = engine.disk_params.read_latency_ms
+        assert via_flat.raw.stats.seed_nodes_visited > 0
+        assert via_flat.stats.io_time_ms >= (
+            via_flat.raw.stats.seed_nodes_visited * read_ms
+        )
+
+    def test_query_many_reuses_warm_pool(self, medium_circuit, dense_window):
+        eng = SpatialEngine.from_circuit(medium_circuit, page_capacity=PAGE_CAPACITY)
+        first, second = eng.query_many(
+            [RangeQuery(dense_window, strategy="flat"), RangeQuery(dense_window, strategy="flat")]
+        )
+        assert sorted(first.payload) == sorted(second.payload)
+        # The second run hits the warm buffer pool: strictly cheaper I/O.
+        assert second.stats.io_time_ms < first.stats.io_time_ms
+        assert eng.indexes_built["flat"] and eng.indexes_built["pool"]
+
+    def test_telemetry_render_mentions_kinds(self, engine, dense_window):
+        engine.execute(RangeQuery(dense_window))
+        text = engine.telemetry.render()
+        assert "queries executed" in text
+        assert "range queries" in text
+
+    def test_planning_time_recorded(self, engine, dense_window):
+        result = engine.execute(RangeQuery(dense_window))
+        assert result.stats.planning_ms >= 0.0
+        assert result.stats.elapsed_ms > 0.0
+
+
+class TestPersistence:
+    def test_open_round_trips_saved_circuit(self, tmp_path, small_circuit):
+        eng = SpatialEngine.from_circuit(small_circuit, page_capacity=PAGE_CAPACITY)
+        eng.save(tmp_path / "model")
+        reopened = SpatialEngine.open(tmp_path / "model", page_capacity=PAGE_CAPACITY)
+        window = AABB.from_center_extent(small_circuit.bounding_box().center(), 100.0)
+        original = eng.execute(RangeQuery(window, strategy="flat"))
+        restored = reopened.execute(RangeQuery(window, strategy="flat"))
+        assert sorted(original.payload) == sorted(restored.payload)
+        assert reopened.circuit is not None
+        assert reopened.circuit.num_neurons == small_circuit.num_neurons
+
+    def test_save_requires_circuit(self, grid27, tmp_path):
+        eng = SpatialEngine.from_objects(grid27)
+        with pytest.raises(EngineError):
+            eng.save(tmp_path / "nope")
+
+
+class TestValidation:
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(EngineError):
+            SpatialEngine.from_objects([])
+
+    def test_unknown_strategy_rejected(self, unit_box):
+        with pytest.raises(EngineError):
+            RangeQuery(unit_box, strategy="bogus")
+        with pytest.raises(EngineError):
+            SpatialJoin(eps=1.0, strategy="hash-join")
+        with pytest.raises(EngineError):
+            Walkthrough((unit_box,), strategy="psychic")
+
+    def test_bad_query_values_rejected(self, unit_box):
+        with pytest.raises(EngineError):
+            KNNQuery(Vec3(0, 0, 0), k=0)
+        with pytest.raises(EngineError):
+            SpatialJoin(eps=-0.5)
+        with pytest.raises(EngineError):
+            Walkthrough(())
+
+    def test_join_without_circuit_needs_sides(self, grid27):
+        eng = SpatialEngine.from_objects(grid27)
+        with pytest.raises(EngineError):
+            eng.execute(SpatialJoin(eps=1.0))
+
+    def test_join_with_one_side_rejected(self, engine, grid27):
+        with pytest.raises(EngineError):
+            engine.explain(SpatialJoin(eps=1.0, side_a=tuple(grid27)))
+
+    def test_bare_planner_rejects_unresolved_join(self, engine):
+        with pytest.raises(EngineError):
+            engine.planner.plan(SpatialJoin(eps=1.0))
+
+    def test_profile_sample_spans_dataset_tail(self):
+        """Selectivity estimates must see the whole spatial extent (the
+        stride sample once truncated to a prefix, blinding the planner to
+        dense windows near the world's far end)."""
+        from repro.objects import BoxObject
+
+        boxes = [
+            BoxObject(uid=i, box=AABB(float(i), 0.0, 0.0, float(i) + 1.0, 1.0, 1.0))
+            for i in range(4000)
+        ]
+        profile = DatasetProfile.from_objects(boxes, page_capacity=48)
+        tail_window = AABB(3600.0, -1.0, -1.0, 4000.0, 2.0, 2.0)
+        estimate = profile.estimate_range_results(tail_window)
+        assert estimate > 200  # ~400 objects live there
+
+
+class TestFromObjects:
+    def test_box_objects_end_to_end(self, grid27):
+        eng = SpatialEngine.from_objects(grid27, page_capacity=8)
+        window = AABB(-0.5, -0.5, -0.5, 2.5, 2.5, 2.5)
+        result = eng.execute(RangeQuery(window))
+        expected = sorted(o.uid for o in grid27 if o.aabb.intersects(window))
+        assert sorted(result.payload) == expected
+        nearest = eng.execute(KNNQuery(Vec3(0.0, 0.0, 0.0), k=1))
+        assert nearest.payload[0][0] == 0
+
+    def test_planner_knobs_are_tunable(self, grid27):
+        profile = DatasetProfile.from_objects(grid27, page_capacity=8)
+        greedy = Planner(profile, tiny_join_pairs=0)
+        plan = greedy.plan(SpatialJoin(eps=1.0, side_a=tuple(grid27), side_b=tuple(grid27)))
+        assert plan.strategy == "touch"

@@ -25,8 +25,67 @@ class TestSurface:
                     assert issubclass(obj, errors.ReproError), name
 
 
+class TestEngineSurface:
+    """The engine layer is the primary public API."""
+
+    ENGINE_NAMES = (
+        "SpatialEngine",
+        "RangeQuery",
+        "KNNQuery",
+        "SpatialJoin",
+        "Walkthrough",
+        "EngineResult",
+        "EngineStats",
+        "EngineTelemetry",
+        "QueryPlan",
+        "EngineError",
+    )
+
+    def test_engine_names_exported(self):
+        for name in self.ENGINE_NAMES:
+            assert name in repro.__all__, name
+            assert hasattr(repro, name), name
+
+    def test_engine_quickstart_flow(self):
+        """The package-docstring quickstart, executed on the engine."""
+        circuit = repro.generate_circuit(n_neurons=6, seed=42)
+        engine = repro.SpatialEngine.from_circuit(circuit, page_capacity=48)
+        window = repro.AABB.from_center_extent(circuit.bounding_box().center(), 100.0)
+
+        hits = engine.execute(repro.RangeQuery(window))
+        expected = sorted(
+            s.uid for s in circuit.segments() if s.aabb.intersects(window)
+        )
+        assert sorted(hits.payload) == expected
+
+        nearest = engine.execute(repro.KNNQuery(window.center(), k=3))
+        assert len(nearest.payload) == 3
+
+        synapses = engine.execute(repro.SpatialJoin(eps=3.0))
+        oracle = repro.nested_loop_join(
+            circuit.axon_segments(), circuit.dendrite_segments(), eps=3.0
+        )
+        assert sorted(synapses.payload) == oracle.sorted_pairs()
+
+        plan = engine.explain(repro.RangeQuery(window))
+        assert plan.strategy in ("flat", "rtree")
+        assert engine.telemetry.queries_executed == 3
+
+    def test_kernel_layer_still_public(self):
+        """The documented low-level constructors remain importable."""
+        for name in (
+            "FLATIndex",
+            "RTree",
+            "touch_join",
+            "ExplorationSession",
+            "ScoutPrefetcher",
+            "BufferPool",
+        ):
+            assert name in repro.__all__, name
+
+
 class TestEndToEnd:
-    """The README quickstart, executed."""
+    """The kernel-layer quickstart, executed."""
 
     def test_readme_flow(self):
         circuit = repro.generate_circuit(n_neurons=6, seed=42)
