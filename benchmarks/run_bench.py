@@ -1,0 +1,31 @@
+#!/usr/bin/env python
+"""Unified benchmark runner — thin wrapper over :mod:`repro.bench`.
+
+Runs a curated subset of the workloads behind the interactive
+``benchmarks/bench_*.py`` scripts (FLAT range/knn, R-tree range, the three
+join competitors) plus the batch-kernel microbenches, under every available
+kernel backend, and writes the schema-versioned ``BENCH_PR2.json`` report.
+
+Usage (from the repo root; no install needed):
+
+    python benchmarks/run_bench.py --smoke --json BENCH_PR2.json \
+        --baseline benchmarks/baseline.json
+
+Exits non-zero when any workload regresses more than ``--max-regression``
+(default 30%) against the baseline.  Equivalent to ``repro bench`` from the
+installed package.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    from repro.bench import main
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.bench import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -15,7 +15,10 @@ screens displayed, plus an ASCII rendering of the figure:
   export it (SWC + manifest) with ``--out``;
 * ``query``      — one declarative query through the :class:`SpatialEngine`
   facade (range, knn, join or walk), with the planner's ``explain`` output
-  and the engine telemetry.
+  and the engine telemetry;
+* ``bench``      — the unified benchmark suite (:mod:`repro.bench`): emits
+  the schema-versioned BENCH JSON and exits non-zero on regression against
+  a baseline.
 """
 
 from __future__ import annotations
@@ -75,6 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--k", type=int, default=8, help="knn: neighbours to return")
     query.add_argument("--eps", type=float, default=3.0, help="join: distance threshold (um)")
     query.add_argument("--steps", type=int, default=8, help="walk: minimum window count")
+
+    bench = sub.add_parser("bench", help="run the benchmark suite, emit BENCH JSON")
+    bench.add_argument("--smoke", action="store_true", help="small CI-sized workloads")
+    bench.add_argument(
+        "--json", type=str, default="BENCH_PR2.json", metavar="PATH",
+        help="where to write the JSON report",
+    )
+    bench.add_argument(
+        "--baseline", type=str, default=None, metavar="PATH",
+        help="baseline JSON to compare against; exit non-zero on regression",
+    )
+    bench.add_argument(
+        "--max-regression", type=float, default=0.30, metavar="FRACTION",
+        help="allowed slowdown vs the baseline (default 0.30)",
+    )
+    bench.add_argument(
+        "--modes", type=str, default=None, metavar="CSV",
+        help="kernel backends to measure (default: all available)",
+    )
     return parser
 
 
@@ -283,6 +305,19 @@ def _run_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    argv = ["--json", args.json, "--max-regression", str(args.max_regression)]
+    if args.smoke:
+        argv.append("--smoke")
+    if args.baseline is not None:
+        argv.extend(["--baseline", args.baseline])
+    if args.modes is not None:
+        argv.extend(["--modes", args.modes])
+    return bench.main(argv)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -296,6 +331,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_report(args)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "bench":
+        return _run_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

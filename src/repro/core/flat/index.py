@@ -15,6 +15,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import kernels
 from repro.core.flat import updates as _updates
 from repro.core.flat.neighborhood import build_neighbor_links, default_neighbor_eps
 from repro.core.flat.partitions import Partition, build_partitions
@@ -90,6 +91,9 @@ class FLATIndex:
             max_entries=seed_fanout,
         )
         self.disk = Disk(params=disk_params if disk_params is not None else DiskParameters())
+        # Batch-kernel cache: packed object bounds per partition, keyed by
+        # the kernel backend that built them (packs are backend-specific).
+        self._page_packs: dict[int, tuple[str, object]] = {}
         self._partition_of_uid: dict[int, int] = {}
         for partition in self.partitions:
             self.disk.store(
@@ -133,6 +137,24 @@ class FLATIndex:
         """
         return self.seed_tree.range_query(box)
 
+    def packed_page_bounds(self, page: Page) -> object:
+        """Packed object AABBs of one data page (cached per backend).
+
+        The pack is what the crawl and KNN scans hand to the batch kernels;
+        it is rebuilt lazily after maintenance touches the partition or the
+        active kernel backend changes.
+        """
+        token = kernels.pack_token()
+        cached = self._page_packs.get(page.page_id)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        packed = kernels.pack_boxes([self._objects[uid].aabb for uid in page.object_uids])
+        self._page_packs[page.page_id] = (token, packed)
+        return packed
+
+    def _invalidate_page_pack(self, pid: int) -> None:
+        self._page_packs.pop(pid, None)
+
     def index_bytes(self) -> int:
         """Modelled memory footprint of the index structures (not the data)."""
         link_bytes = 8 * sum(len(adj) for adj in self.neighbors)
@@ -168,10 +190,13 @@ class FLATIndex:
         results: list[tuple[int, float]] = []
         if k < 1:
             return results, stats
+        live = [p for p in self.partitions if p.num_objects > 0]
+        frontier_distances = kernels.point_box_distance(
+            kernels.pack_boxes([p.mbr for p in live]), point
+        )
         frontier = [
-            (p.mbr.min_distance_to_point(point), p.partition_id)
-            for p in self.partitions
-            if p.num_objects > 0
+            (float(distance), p.partition_id)
+            for distance, p in zip(frontier_distances, live)
         ]
         heapq.heapify(frontier)
         best: list[tuple[float, int]] = []  # max-heap via negated distance
@@ -183,9 +208,10 @@ class FLATIndex:
             stats.partitions_fetched += 1
             stats.crawl_order.append(pid)
             stats.stall_time_ms += latency
-            for uid in page.object_uids:
-                stats.objects_scanned += 1
-                distance = self._objects[uid].aabb.min_distance_to_point(point)
+            distances = kernels.point_box_distance(self.packed_page_bounds(page), point)
+            stats.objects_scanned += len(page.object_uids)
+            for uid, raw_distance in zip(page.object_uids, distances):
+                distance = float(raw_distance)
                 if len(best) < k:
                     heapq.heappush(best, (-distance, uid))
                 elif distance < -best[0][0]:
@@ -251,10 +277,11 @@ class FLATIndex:
             page = self._fetch_page(pid, stats, pool)
             stats.partitions_fetched += 1
             stats.crawl_order.append(pid)
-            for uid in page.object_uids:
-                stats.objects_scanned += 1
-                if self._objects[uid].aabb.intersects(box):
-                    results.append(uid)
+            uids = page.object_uids
+            stats.objects_scanned += len(uids)
+            mask = kernels.box_intersects(self.packed_page_bounds(page), box)
+            for i in kernels.nonzero(mask):
+                results.append(uids[i])
             for neighbor_pid in self.neighbors[pid]:
                 stats.neighbor_tests += 1
                 if neighbor_pid in visited:

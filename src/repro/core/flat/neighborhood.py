@@ -5,7 +5,9 @@ Two partitions are neighbours when their MBRs, expanded by ``eps``, overlap.
 the *objects*, so neighbouring tiles do not touch exactly); the crawl then
 reaches every partition of a contiguous region from a single seed.  The
 links are computed with a forward sweep over x-sorted MBRs — an O(n·k)
-self-join, run once at indexing time.
+self-join, run once at indexing time.  Each sweep step tests its whole
+x-window with one batch kernel call (:mod:`repro.kernels`) instead of a
+per-partition Python loop.
 
 Correctness never depends on ``eps``: the query loop re-seeds until the seed
 index proves no unvisited partition intersects the range (A1 ablates this).
@@ -13,8 +15,10 @@ index proves no unvisited partition intersects the range (A1 ablates this).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Sequence
 
+from repro import kernels
 from repro.core.flat.partitions import Partition
 
 __all__ = ["build_neighbor_links", "default_neighbor_eps"]
@@ -42,16 +46,22 @@ def build_neighbor_links(
     n = len(partitions)
     neighbors: list[list[int]] = [[] for _ in range(n)]
     order = sorted(range(n), key=lambda i: partitions[i].mbr.min_x)
+    ordered_boxes = [partitions[i].mbr for i in order]
+    packed = kernels.pack_boxes(ordered_boxes)
+    min_xs = [box.min_x for box in ordered_boxes]
     for idx, i in enumerate(order):
-        box_i = partitions[i].mbr
-        limit = box_i.max_x + eps
-        for j in order[idx + 1 :]:
-            box_j = partitions[j].mbr
-            if box_j.min_x > limit:
-                break
-            if box_i.intersects_expanded(box_j, eps):
-                neighbors[i].append(j)
-                neighbors[j].append(i)
+        box_i = ordered_boxes[idx]
+        # The x-window [idx+1, end) holds every candidate the scalar sweep
+        # would visit before its break; test it in one batch call.
+        end = bisect_right(min_xs, box_i.max_x + eps, lo=idx + 1)
+        if end <= idx + 1:
+            continue
+        window = kernels.slice_packed(packed, idx + 1, end)
+        mask = kernels.box_intersects(window, box_i, eps)
+        for offset in kernels.nonzero(mask):
+            j = order[idx + 1 + offset]
+            neighbors[i].append(j)
+            neighbors[j].append(i)
     for adjacency in neighbors:
         adjacency.sort()
     return neighbors

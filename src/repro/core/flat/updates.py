@@ -117,6 +117,7 @@ def _replace_partition(index: "FLATIndex", pid: int, uids: tuple[int, ...]) -> N
     mbr = _partition_mbr(index, uids)
     index.partitions[pid] = Partition(partition_id=pid, mbr=mbr, object_uids=uids)
     index.disk.store(Page(page_id=pid, object_uids=uids, mbr=mbr))
+    index._invalidate_page_pack(pid)
     for uid in uids:
         index._partition_of_uid[uid] = pid
     # Seed tree: refresh the entry (MBR may have changed).
@@ -131,6 +132,7 @@ def _create_partition(index: "FLATIndex", uids: tuple[int, ...], mbr: AABB) -> N
     index.partitions.append(Partition(partition_id=pid, mbr=mbr, object_uids=uids))
     index.neighbors.append([])
     index.disk.store(Page(page_id=pid, object_uids=uids, mbr=mbr))
+    index._invalidate_page_pack(pid)
     for uid in uids:
         index._partition_of_uid[uid] = pid
     index.seed_tree.insert(pid, mbr)
@@ -151,6 +153,7 @@ def _dissolve_partition(index: "FLATIndex", pid: int) -> None:
     empty_box = AABB.from_center_extent(old.mbr.center(), 0.0)
     index.partitions[pid] = Partition(partition_id=pid, mbr=empty_box, object_uids=())
     index.disk.store(Page(page_id=pid, object_uids=(), mbr=empty_box))
+    index._invalidate_page_pack(pid)
 
 
 def _relink_neighbors(index: "FLATIndex", pid: int) -> None:

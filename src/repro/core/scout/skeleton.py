@@ -13,7 +13,7 @@ unused — they serve only as ground truth in the evaluation harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.geometry.aabb import AABB
 from repro.geometry.segment import Segment

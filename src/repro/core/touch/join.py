@@ -16,12 +16,13 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from repro import kernels
 from repro.core.touch.stats import (
     REF_BYTES,
+    CandidateBatch,
     JoinResult,
     JoinStats,
     RefineFunc,
-    apply_predicate,
 )
 from repro.core.touch.tree import TouchNode, build_touch_tree
 from repro.objects import SpatialObject
@@ -72,9 +73,11 @@ def touch_join(
 
     start = time.perf_counter()
     pairs: list[tuple[int, int]] = []
+    candidates = CandidateBatch(refine, stats, pairs)
     for node in root.iter_nodes():
         for b in node.bucket:
-            _probe(node, b, eps, refine, stats, pairs)
+            _probe(node, b, eps, stats, candidates)
+    candidates.flush()
     stats.probe_ms = assign_ms + (time.perf_counter() - start) * 1000.0
     return JoinResult(pairs=pairs, stats=stats)
 
@@ -126,34 +129,24 @@ def _probe(
     node: TouchNode,
     b: SpatialObject,
     eps: float,
-    refine: RefineFunc | None,
     stats: JoinStats,
-    pairs: list[tuple[int, int]],
+    candidates: CandidateBatch,
 ) -> None:
-    """Phase 3: join ``b`` against all A objects beneath ``node``."""
+    """Phase 3: join ``b`` against all A objects beneath ``node``.
+
+    Each reached leaf is filtered with one batch kernel call over its
+    packed object bounds; survivors are buffered for batch refinement.
+    """
     box_b = b.aabb
-    b_min_x = box_b.min_x - eps
-    b_min_y = box_b.min_y - eps
-    b_min_z = box_b.min_z - eps
-    b_max_x = box_b.max_x + eps
-    b_max_y = box_b.max_y + eps
-    b_max_z = box_b.max_z + eps
     stack = [node]
     while stack:
         current = stack.pop()
         if current.is_leaf:
-            for a in current.objects:
-                box_a = a.aabb
-                stats.comparisons += 1
-                if (
-                    b_min_x <= box_a.max_x
-                    and box_a.min_x <= b_max_x
-                    and b_min_y <= box_a.max_y
-                    and box_a.min_y <= b_max_y
-                    and b_min_z <= box_a.max_z
-                    and box_a.min_z <= b_max_z
-                ):
-                    apply_predicate(a, b, refine, stats, pairs)
+            objects = current.objects
+            stats.comparisons += len(objects)
+            mask = kernels.box_intersects(current.packed_object_bounds(), box_b, eps)
+            for i in kernels.nonzero(mask):
+                candidates.add(objects[i], b)
         else:
             for child in current.children:
                 stats.comparisons += 1

@@ -16,11 +16,11 @@ the parallel wall-clock) is reported alongside the total work.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.touch.join import _assign, _probe
-from repro.core.touch.stats import REF_BYTES, JoinStats, RefineFunc
+from repro.core.touch.stats import REF_BYTES, CandidateBatch, JoinStats, RefineFunc
 from repro.core.touch.tree import build_touch_tree
 from repro.errors import JoinError
 from repro.objects import SpatialObject
@@ -113,10 +113,12 @@ def sharded_touch_join(
             _assign(root, b, eps, shard_counter, filtering=True)
         # Probe and then clear the buckets so the shared tree is clean for
         # the next worker (models private bucket memory per worker).
+        candidates = CandidateBatch(refine, shard_counter, pairs)
         for node in bucket_nodes:
             for b in node.bucket:
-                _probe(node, b, eps, refine, shard_counter, pairs)
+                _probe(node, b, eps, shard_counter, candidates)
             node.bucket.clear()
+        candidates.flush()
         elapsed_ms = (time.perf_counter() - shard_start) * 1000.0
         shard_stats.append(
             ShardStats(

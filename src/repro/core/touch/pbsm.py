@@ -14,12 +14,13 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from repro import kernels
 from repro.core.touch.stats import (
     REF_BYTES,
+    CandidateBatch,
     JoinResult,
     JoinStats,
     RefineFunc,
-    apply_predicate,
 )
 from repro.errors import JoinError
 from repro.geometry.aabb import AABB
@@ -69,30 +70,23 @@ def pbsm_join(
 
     start = time.perf_counter()
     pairs: list[tuple[int, int]] = []
+    candidates = CandidateBatch(refine, stats, pairs)
     for cell_id, bucket_a in cells_a.items():
         bucket_b = cells_b.get(cell_id)
         if not bucket_b:
             continue
+        # One pack per cell, one batch filter call per (a, cell) pair.
+        packed_b = kernels.pack_objects(bucket_b)
         for a in bucket_a:
             box_a = a.aabb
             a_min_x = box_a.min_x - eps
             a_min_y = box_a.min_y - eps
             a_min_z = box_a.min_z - eps
-            a_max_x = box_a.max_x + eps
-            a_max_y = box_a.max_y + eps
-            a_max_z = box_a.max_z + eps
-            for b in bucket_b:
+            stats.comparisons += len(bucket_b)
+            mask = kernels.box_intersects(packed_b, box_a, eps)
+            for i in kernels.nonzero(mask):
+                b = bucket_b[i]
                 box_b = b.aabb
-                stats.comparisons += 1
-                if not (
-                    a_min_x <= box_b.max_x
-                    and box_b.min_x <= a_max_x
-                    and a_min_y <= box_b.max_y
-                    and box_b.min_y <= a_max_y
-                    and a_min_z <= box_b.max_z
-                    and box_b.min_z <= a_max_z
-                ):
-                    continue
                 # Reference-point dedup: report only in the cell containing
                 # the low corner of the (expanded-a, b) overlap region.
                 ref = (
@@ -103,7 +97,8 @@ def pbsm_join(
                 if grid.cell_of_point(ref) != cell_id:
                     stats.dedup_skipped += 1
                     continue
-                apply_predicate(a, b, refine, stats, pairs)
+                candidates.add(a, b)
+    candidates.flush()
     stats.probe_ms = (time.perf_counter() - start) * 1000.0
     return JoinResult(pairs=pairs, stats=stats)
 

@@ -6,6 +6,13 @@ sweep line approach can become inefficient if too many elements are on the
 sweep line (likely in case of dense data/detailed models)" (paper §4) —
 with elongated, overlapping neuron segments the active window stays large,
 which E6/E7 make visible.
+
+The filter phase runs as one batch kernel call:
+:func:`repro.kernels.xsorted_overlap_pairs` enumerates every sweep window
+with two vectorised binary searches per side and filters y/z overlap over
+the flattened windows, reporting the same candidate set, comparison count
+and pair orientation as the scalar merge sweep.  Surviving candidates are
+refined in batch (:class:`CandidateBatch`).
 """
 
 from __future__ import annotations
@@ -13,12 +20,13 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
+from repro import kernels
 from repro.core.touch.stats import (
     REF_BYTES,
+    CandidateBatch,
     JoinResult,
     JoinStats,
     RefineFunc,
-    apply_predicate,
 )
 from repro.objects import SpatialObject
 
@@ -38,54 +46,17 @@ def plane_sweep_join(
     start = time.perf_counter()
     sorted_a = sorted(objects_a, key=lambda o: o.aabb.min_x)
     sorted_b = sorted(objects_b, key=lambda o: o.aabb.min_x)
+    packed_a = kernels.pack_objects(sorted_a)
+    packed_b = kernels.pack_objects(sorted_b)
     stats.build_ms = (time.perf_counter() - start) * 1000.0
     stats.memory_bytes = (len(sorted_a) + len(sorted_b)) * REF_BYTES
 
     start = time.perf_counter()
-    i = j = 0
-    while i < len(sorted_a) and j < len(sorted_b):
-        a = sorted_a[i]
-        b = sorted_b[j]
-        if a.aabb.min_x - eps <= b.aabb.min_x:
-            _scan(a, sorted_b, j, eps, refine, stats, pairs, a_side=True)
-            i += 1
-        else:
-            _scan(b, sorted_a, i, eps, refine, stats, pairs, a_side=False)
-            j += 1
+    indices_a, indices_b, tested = kernels.xsorted_overlap_pairs(packed_a, packed_b, eps)
+    stats.comparisons += tested
+    candidates = CandidateBatch(refine, stats, pairs)
+    for i, j in zip(indices_a, indices_b):
+        candidates.add(sorted_a[i], sorted_b[j])
+    candidates.flush()
     stats.probe_ms = (time.perf_counter() - start) * 1000.0
     return JoinResult(pairs=pairs, stats=stats)
-
-
-def _scan(
-    pivot: SpatialObject,
-    others: Sequence[SpatialObject],
-    start_index: int,
-    eps: float,
-    refine: RefineFunc | None,
-    stats: JoinStats,
-    pairs: list[tuple[int, int]],
-    a_side: bool,
-) -> None:
-    """Test ``pivot`` against opposite-side objects overlapping it in x."""
-    box_p = pivot.aabb
-    limit = box_p.max_x + eps
-    min_y = box_p.min_y - eps
-    max_y = box_p.max_y + eps
-    min_z = box_p.min_z - eps
-    max_z = box_p.max_z + eps
-    for k in range(start_index, len(others)):
-        other = others[k]
-        box_o = other.aabb
-        if box_o.min_x > limit:
-            break
-        stats.comparisons += 1
-        if (
-            min_y <= box_o.max_y
-            and box_o.min_y <= max_y
-            and min_z <= box_o.max_z
-            and box_o.min_z <= max_z
-        ):
-            if a_side:
-                apply_predicate(pivot, other, refine, stats, pairs)
-            else:
-                apply_predicate(other, pivot, refine, stats, pairs)

@@ -2,14 +2,21 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
+from repro import kernels
 from repro.geometry.distance import segments_touch
 from repro.geometry.segment import Segment
 from repro.objects import SpatialObject
 
-__all__ = ["JoinStats", "JoinResult", "RefineFunc", "segment_touch_refine"]
+__all__ = [
+    "JoinStats",
+    "JoinResult",
+    "RefineFunc",
+    "segment_touch_refine",
+    "CandidateBatch",
+]
 
 #: Exact-geometry refinement predicate applied to candidate pairs.
 RefineFunc = Callable[[SpatialObject, SpatialObject], bool]
@@ -96,3 +103,79 @@ def apply_predicate(
     if refine is None or refine(a, b):
         pairs.append((a.uid, b.uid))
         stats.results += 1
+
+
+class CandidateBatch:
+    """Deferred, batch-refined candidate pairs for the join filter phases.
+
+    The join algorithms used to call :func:`apply_predicate` once per
+    AABB-candidate; this buffer collects the candidates instead and refines
+    the standard touch rule with one capsule-pair kernel call per
+    :meth:`flush`.  Semantics match the scalar path exactly: candidate and
+    result counts, pair orientation ``(uid_a, uid_b)`` and insertion order
+    are all preserved.  Custom (non-touch-rule) predicates and mixed
+    object types fall back to the per-pair loop.  The buffer self-flushes
+    at ``max_pending`` candidates, so peak auxiliary memory stays bounded
+    on high-selectivity joins.
+    """
+
+    def __init__(
+        self,
+        refine: RefineFunc | None,
+        stats: JoinStats,
+        pairs: list[tuple[int, int]],
+        max_pending: int = 1 << 15,
+    ) -> None:
+        self._refine = refine
+        self._stats = stats
+        self._pairs = pairs
+        self._max_pending = max_pending
+        self._side_a: list[SpatialObject] = []
+        self._side_b: list[SpatialObject] = []
+
+    def add(self, a: SpatialObject, b: SpatialObject) -> None:
+        """Buffer one AABB-candidate pair (A-side object first)."""
+        self._side_a.append(a)
+        self._side_b.append(b)
+        if len(self._side_a) >= self._max_pending:
+            self.flush()
+
+    def __len__(self) -> int:
+        return len(self._side_a)
+
+    def flush(self) -> None:
+        """Refine and record every buffered candidate, then clear the buffer."""
+        side_a, side_b = self._side_a, self._side_b
+        if not side_a:
+            return
+        self._side_a, self._side_b = [], []
+        stats, pairs, refine = self._stats, self._pairs, self._refine
+        stats.candidates += len(side_a)
+        if refine is None:
+            pairs.extend((a.uid, b.uid) for a, b in zip(side_a, side_b))
+            stats.results += len(side_a)
+            return
+        if refine is segment_touch_refine and all(
+            isinstance(o, Segment) for o in side_a
+        ) and all(isinstance(o, Segment) for o in side_b):
+            # Touch-rule fast path: drop autapses, then one batch capsule test.
+            alive = [
+                i
+                for i, (a, b) in enumerate(zip(side_a, side_b))
+                if not (a.neuron_id == b.neuron_id and a.neuron_id != -1)
+            ]
+            if not alive:
+                return
+            touching = kernels.capsule_pairs_touch(
+                kernels.pack_segments([side_a[i] for i in alive]),
+                kernels.pack_segments([side_b[i] for i in alive]),
+            )
+            for i, hit in zip(alive, touching):
+                if hit:
+                    pairs.append((side_a[i].uid, side_b[i].uid))
+                    stats.results += 1
+            return
+        for a, b in zip(side_a, side_b):
+            if refine(a, b):
+                pairs.append((a.uid, b.uid))
+                stats.results += 1

@@ -9,8 +9,9 @@ a B object falling entirely into it provably has no join partner.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
+from repro import kernels
 from repro.core.touch.stats import BOX_BYTES, REF_BYTES
 from repro.errors import JoinError
 from repro.geometry.aabb import AABB
@@ -34,10 +35,24 @@ class TouchNode:
     children: list["TouchNode"] = field(default_factory=list)
     objects: list[SpatialObject] = field(default_factory=list)
     bucket: list[SpatialObject] = field(default_factory=list)
+    _pack: Any = field(default=None, repr=False, compare=False)
+    _pack_token: str = field(default="", repr=False, compare=False)
 
     @property
     def is_leaf(self) -> bool:
         return not self.children
+
+    def packed_object_bounds(self) -> Any:
+        """This leaf's A-object AABBs packed for :mod:`repro.kernels`.
+
+        The hierarchy is immutable after :func:`build_touch_tree`, so the
+        pack is built once per kernel backend and reused by every probe.
+        """
+        token = kernels.pack_token()
+        if self._pack is None or self._pack_token != token:
+            self._pack = kernels.pack_objects(self.objects)
+            self._pack_token = token
+        return self._pack
 
     def iter_nodes(self) -> Iterator["TouchNode"]:
         stack = [self]

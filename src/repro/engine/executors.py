@@ -17,6 +17,7 @@ import itertools
 import time
 from typing import Any, Callable, Sequence
 
+from repro import kernels
 from repro.core.flat.index import FLATIndex, FLATQueryResult
 from repro.core.flat.stats import FLATQueryStats
 from repro.core.scout.baselines import (
@@ -124,18 +125,22 @@ def run_knn_flat(
                 raw.stall_time_ms += latency
             raw.partitions_fetched += 1
             raw.crawl_order.append(pid)
-            for uid in page.object_uids:
-                raw.objects_scanned += 1
-                d = index.object(uid).aabb.min_distance_to_point(point)
+            raw.objects_scanned += len(page.object_uids)
+            object_distances = kernels.point_box_distance(
+                index.packed_page_bounds(page), point
+            )
+            for uid, raw_d in zip(page.object_uids, object_distances):
+                d = float(raw_d)
                 if len(best) < k:
                     heapq.heappush(best, (-d, uid))
                 elif d < kth_best():
                     heapq.heapreplace(best, (-d, uid))
             continue
         raw.seed_nodes_visited += 1
-        for entry in node.entries:
-            raw.seed_entries_tested += 1
-            d = entry.mbr.min_distance_to_point(point)
+        raw.seed_entries_tested += len(node.entries)
+        entry_distances = kernels.point_box_distance(node.packed_entry_bounds(), point)
+        for entry, raw_d in zip(node.entries, entry_distances):
+            d = float(raw_d)
             if len(best) == k and d > kth_best():
                 continue
             if node.is_leaf:
@@ -241,8 +246,12 @@ def run_walk(
 
 
 def timed(fn: Callable[[], tuple[Any, EngineStats, Any]]) -> tuple[Any, EngineStats, Any]:
-    """Run an executor thunk, stamping wall-clock time into its stats."""
+    """Run an executor thunk, stamping wall-clock time and kernel-batch
+    counts (the delta of the process-wide kernel counters) into its stats."""
     start = time.perf_counter()
+    batches_before = kernels.counters.batches
     payload, stats, raw = fn()
     stats.elapsed_ms = (time.perf_counter() - start) * 1000.0
+    stats.kernel_batches = kernels.counters.batches - batches_before
+    stats.kernel_backend = kernels.active_backend()
     return payload, stats, raw

@@ -32,6 +32,8 @@ class EngineStats:
     num_results: int = 0
     elapsed_ms: float = 0.0  # wall-clock execution time
     planning_ms: float = 0.0  # wall-clock planner time
+    kernel_batches: int = 0  # batch kernel calls issued during execution
+    kernel_backend: str = ""  # kernel backend that served them
 
     def as_row(self) -> list[Any]:
         return [
@@ -41,6 +43,7 @@ class EngineStats:
             self.pages_read,
             self.io_time_ms,
             self.comparisons,
+            self.kernel_batches,
             self.elapsed_ms,
         ]
 
@@ -72,7 +75,7 @@ class EngineResult:
 
     def render(self) -> str:
         table = Table(
-            ["kind", "strategy", "results", "pages", "io ms", "comparisons", "exec ms"],
+            ["kind", "strategy", "results", "pages", "io ms", "comparisons", "batches", "exec ms"],
             title=f"engine result ({self.plan.describe()})",
         )
         table.add_row(self.stats.as_row())
@@ -90,8 +93,10 @@ class EngineTelemetry:
     results_returned: int = 0
     elapsed_ms: float = 0.0
     planning_ms: float = 0.0
+    kernel_batches: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
     by_strategy: dict[str, int] = field(default_factory=dict)
+    by_kernel_backend: dict[str, int] = field(default_factory=dict)
 
     def record(self, stats: EngineStats) -> None:
         self.queries_executed += 1
@@ -101,8 +106,13 @@ class EngineTelemetry:
         self.results_returned += stats.num_results
         self.elapsed_ms += stats.elapsed_ms
         self.planning_ms += stats.planning_ms
+        self.kernel_batches += stats.kernel_batches
         self.by_kind[stats.kind] = self.by_kind.get(stats.kind, 0) + 1
         self.by_strategy[stats.strategy] = self.by_strategy.get(stats.strategy, 0) + 1
+        if stats.kernel_backend:
+            self.by_kernel_backend[stats.kernel_backend] = (
+                self.by_kernel_backend.get(stats.kernel_backend, 0) + 1
+            )
 
     def render(self) -> str:
         table = Table(["metric", "value"], title="engine telemetry")
@@ -111,6 +121,9 @@ class EngineTelemetry:
         table.add_row(["pages read", self.pages_read])
         table.add_row(["simulated I/O (ms)", self.io_time_ms])
         table.add_row(["comparisons", self.comparisons])
+        table.add_row(["kernel batches", self.kernel_batches])
+        for backend in sorted(self.by_kernel_backend):
+            table.add_row([f"  via {backend} kernels", self.by_kernel_backend[backend]])
         table.add_row(["execution wall (ms)", self.elapsed_ms])
         table.add_row(["planning wall (ms)", self.planning_ms])
         for kind in sorted(self.by_kind):

@@ -64,7 +64,9 @@ class AABB:
         return AABB(min_x, min_y, min_z, max_x, max_y, max_z)
 
     @staticmethod
-    def from_center_extent(center: Vec3 | Sequence[float], extent: float | Sequence[float]) -> "AABB":
+    def from_center_extent(
+        center: Vec3 | Sequence[float], extent: float | Sequence[float]
+    ) -> "AABB":
         """Box centred at ``center`` with total side lengths ``extent``.
 
         ``extent`` may be a scalar (cube) or a per-axis triple.

@@ -56,7 +56,9 @@ class TriangleMesh:
             raise GeometryError("empty mesh has no bounding box")
         lo = self.vertices.min(axis=0)
         hi = self.vertices.max(axis=0)
-        return AABB(float(lo[0]), float(lo[1]), float(lo[2]), float(hi[0]), float(hi[1]), float(hi[2]))
+        return AABB(
+            float(lo[0]), float(lo[1]), float(lo[2]), float(hi[0]), float(hi[1]), float(hi[2])
+        )
 
     def surface_area(self) -> float:
         if self.num_faces == 0:

@@ -178,6 +178,22 @@ class HilbertEncoder3D:
         """Hilbert key of a box's centre — the usual packing key."""
         return self.key(box.center())
 
+    def keys_of(self, points: Sequence[Vec3 | Sequence[float]]) -> list[int]:
+        """Hilbert keys of many points via one batch kernel call.
+
+        Elementwise identical to calling :meth:`key` per point; the Skilling
+        transform (the expensive part) runs vectorised when the NumPy
+        kernel backend is active.
+        """
+        from repro import kernels
+
+        coords = [self.grid_coords(p) for p in points]
+        return [int(k) for k in kernels.hilbert_keys(coords, self.order)]
+
+    def keys_of_boxes(self, boxes: Sequence[AABB]) -> list[int]:
+        """Hilbert keys of many box centres (the batch packing key)."""
+        return self.keys_of([box.center() for box in boxes])
+
     def cell_center(self, key: int) -> Vec3:
         """World-space centre of the grid cell at curve position ``key``."""
         gx, gy, gz = hilbert_decode(key, 3, self.order)

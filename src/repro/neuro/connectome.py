@@ -102,7 +102,7 @@ def connection_probability_by_distance(
     gids = sorted(positions)
 
     pair_distances: list[tuple[float, bool]] = []
-    for i, pre in enumerate(gids):
+    for pre in gids:
         for post in gids:
             if pre == post:
                 continue

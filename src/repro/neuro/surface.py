@@ -28,7 +28,9 @@ def neuron_surface_mesh(morphology: Morphology, sides: int = 6) -> TriangleMesh:
     return merged
 
 
-def circuit_surface_mesh(circuit: Circuit, sides: int = 6, max_neurons: int | None = None) -> TriangleMesh:
+def circuit_surface_mesh(
+    circuit: Circuit, sides: int = 6, max_neurons: int | None = None
+) -> TriangleMesh:
     """Merged surface mesh of (up to ``max_neurons``) neurons of a circuit."""
     neurons = circuit.neurons if max_neurons is None else circuit.neurons[:max_neurons]
     if not neurons:

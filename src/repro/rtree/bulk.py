@@ -126,7 +126,8 @@ def hilbert_bulk_load(
 
     world = AABB.union_all(mbr for _, mbr in items)
     encoder = HilbertEncoder3D(world, order=hilbert_order)
-    ordered = sorted(items, key=lambda it: encoder.key_of_box(it[1]))
+    keys = encoder.keys_of_boxes([mbr for _, mbr in items])
+    ordered = [item for _, _, item in sorted(zip(keys, range(len(keys)), items))]
 
     leaf_entries = [Entry(mbr=mbr, uid=uid) for uid, mbr in ordered]
     leaves = [

@@ -8,7 +8,9 @@ entry (``uid`` set, ``child`` None) and the internal entry (``child`` set).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
+from repro import kernels
 from repro.errors import InvariantViolation
 from repro.geometry.aabb import AABB
 
@@ -44,10 +46,33 @@ class Node:
     level: int
     entries: list[Entry] = field(default_factory=list)
     node_id: int = -1
+    # Batch-kernel cache of the entry MBRs; invalidated whenever the entry
+    # list or an entry MBR changes (see the mutation sites in rtree.tree).
+    _pack: Any = field(default=None, repr=False, compare=False)
+    _pack_token: str = field(default="", repr=False, compare=False)
+    _pack_len: int = field(default=-1, repr=False, compare=False)
 
     @property
     def is_leaf(self) -> bool:
         return self.level == 0
+
+    def packed_entry_bounds(self) -> Any:
+        """Entry MBRs packed for :mod:`repro.kernels` (cached per backend)."""
+        token = kernels.pack_token()
+        if (
+            self._pack is None
+            or self._pack_token != token
+            or self._pack_len != len(self.entries)
+        ):
+            self._pack = kernels.pack_boxes([e.mbr for e in self.entries])
+            self._pack_token = token
+            self._pack_len = len(self.entries)
+        return self._pack
+
+    def invalidate_pack(self) -> None:
+        """Drop the cached pack after a structural or MBR mutation."""
+        self._pack = None
+        self._pack_len = -1
 
     @property
     def num_entries(self) -> int:

@@ -17,6 +17,7 @@ import heapq
 import itertools
 from typing import Callable, Container, Iterator, Sequence
 
+from repro import kernels
 from repro.errors import IndexError_, InvariantViolation
 from repro.geometry.aabb import AABB
 from repro.geometry.vec import Vec3
@@ -170,6 +171,7 @@ class RTree:
             slot.mbr = child.mbr()
             if overflow is not None:
                 node.entries.append(Entry(mbr=overflow.mbr(), child=overflow))
+        node.invalidate_pack()
         if len(node.entries) > self._capacity_of(node):
             return self._split_node(node)
         return None
@@ -192,6 +194,7 @@ class RTree:
     def _split_node(self, node: Node) -> Node:
         group_a, group_b = self._split_func(node.entries, self.min_entries)
         node.entries = group_a
+        node.invalidate_pack()
         return self._new_node(level=node.level, entries=group_b)
 
     # -- deletion -----------------------------------------------------------------
@@ -202,6 +205,7 @@ class RTree:
             raise KeyError(f"uid {uid} not in tree")
         leaf = path[-1]
         leaf.entries = [e for e in leaf.entries if e.uid != uid]
+        leaf.invalidate_pack()
         self._size -= 1
         self._condense(path)
 
@@ -230,6 +234,7 @@ class RTree:
                 orphan_leaf_entries.extend(self._collect_leaf_entries(node))
             else:
                 slot.mbr = node.mbr()
+            parent.invalidate_pack()
         # Shrink the root while it is an internal node with a single child.
         while not self.root.is_leaf and len(self.root.entries) == 1:
             child = self.root.entries[0].child
@@ -259,7 +264,12 @@ class RTree:
         return results
 
     def range_query_with_stats(self, box: AABB) -> tuple[list[int], RangeQueryStats]:
-        """Range query plus the per-level node-access statistics of Figure 3."""
+        """Range query plus the per-level node-access statistics of Figure 3.
+
+        Each node scan is one batch kernel call over the entry MBRs (the
+        packed bounds are cached on the node), so the per-entry work runs
+        vectorised under the NumPy backend.
+        """
         stats = RangeQueryStats()
         results: list[int] = []
         if self._size == 0:
@@ -268,16 +278,19 @@ class RTree:
         while stack:
             node = stack.pop()
             stats.record_node(node.level)
-            for entry in node.entries:
-                stats.entries_tested += 1
-                if not entry.mbr.intersects(box):
-                    continue
-                if node.is_leaf:
-                    assert entry.uid is not None
-                    results.append(entry.uid)
-                else:
-                    assert entry.child is not None
-                    stack.append(entry.child)
+            entries = node.entries
+            stats.entries_tested += len(entries)
+            mask = kernels.box_intersects(node.packed_entry_bounds(), box)
+            if node.is_leaf:
+                for i in kernels.nonzero(mask):
+                    uid = entries[i].uid
+                    assert uid is not None
+                    results.append(uid)
+            else:
+                for i in kernels.nonzero(mask):
+                    child = entries[i].child
+                    assert child is not None
+                    stack.append(child)
         stats.num_results = len(results)
         return results, stats
 
@@ -350,13 +363,15 @@ class RTree:
                 results.append((uid, dist))
                 continue
             stats.nodes_visited += 1
-            for entry in node.entries:
-                stats.entries_tested += 1
-                entry_dist = entry.mbr.min_distance_to_point(point)
-                if node.is_leaf:
-                    heapq.heappush(heap, (entry_dist, next(counter), None, entry.uid))
-                else:
-                    heapq.heappush(heap, (entry_dist, next(counter), entry.child, None))
+            entries = node.entries
+            stats.entries_tested += len(entries)
+            distances = kernels.point_box_distance(node.packed_entry_bounds(), point)
+            if node.is_leaf:
+                for entry, entry_dist in zip(entries, distances):
+                    heapq.heappush(heap, (float(entry_dist), next(counter), None, entry.uid))
+            else:
+                for entry, entry_dist in zip(entries, distances):
+                    heapq.heappush(heap, (float(entry_dist), next(counter), entry.child, None))
         stats.num_results = len(results)
         return results, stats
 

@@ -11,7 +11,7 @@ later hit by a demand fetch) and additionally retrieved (demand misses).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import StorageError
 from repro.storage.disk import Disk

@@ -61,7 +61,8 @@ class ObjectStore:
             self._objects[obj.uid] = obj
 
         encoder = HilbertEncoder3D(self.world, order=hilbert_order)
-        ordered = sorted(objects, key=lambda o: encoder.key_of_box(o.aabb))
+        keys = encoder.keys_of_boxes([o.aabb for o in objects])
+        ordered = [obj for _, _, obj in sorted(zip(keys, range(len(keys)), objects))]
 
         self._page_of_uid: dict[int, int] = {}
         self._pages: list[Page] = []

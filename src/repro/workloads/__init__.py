@@ -21,4 +21,5 @@ __all__ = [
     "grid_queries",
     "random_walk",
     "uniform_boxes",
+    "uniform_queries",
 ]

@@ -1,0 +1,162 @@
+"""The benchmark harness: schema, regression gate and committed artifacts."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import bench, kernels
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def make_report(walls: dict[tuple[str, str], float], calibration: float = 50.0) -> dict:
+    return {
+        "schema_version": bench.SCHEMA_VERSION,
+        "suite": "smoke",
+        "calibration_ms": calibration,
+        "workloads": [
+            {"name": name, "mode": mode, "wall_ms": wall}
+            for (name, mode), wall in walls.items()
+        ],
+    }
+
+
+class TestCompareToBaseline:
+    def test_no_regression_when_identical(self):
+        report = make_report({("flat.range_scan", "numpy"): 10.0})
+        assert bench.compare_to_baseline(report, report) == []
+
+    def test_flags_large_slowdown(self):
+        baseline = make_report({("flat.range_scan", "numpy"): 10.0})
+        current = make_report({("flat.range_scan", "numpy"): 14.0})
+        regressions = bench.compare_to_baseline(current, baseline, max_regression=0.30)
+        assert len(regressions) == 1
+        assert regressions[0].name == "flat.range_scan"
+        assert regressions[0].ratio == pytest.approx(1.4)
+        assert "flat.range_scan" in regressions[0].describe()
+
+    def test_allows_slowdown_within_threshold(self):
+        baseline = make_report({("flat.range_scan", "numpy"): 10.0})
+        current = make_report({("flat.range_scan", "numpy"): 12.5})
+        assert bench.compare_to_baseline(current, baseline, max_regression=0.30) == []
+
+    def test_tiny_absolute_deltas_are_ignored(self):
+        baseline = make_report({("kernel.box_intersects", "numpy"): 1.0})
+        current = make_report({("kernel.box_intersects", "numpy"): 2.0})
+        # 2x relative, but under the MIN_REGRESSION_MS jitter floor.
+        assert bench.compare_to_baseline(current, baseline, max_regression=0.30) == []
+
+    def test_calibration_rescales_machine_speed(self):
+        # Same code on a machine measured 2x slower: no regression.
+        baseline = make_report({("join.filter", "numpy"): 10.0}, calibration=50.0)
+        current = make_report({("join.filter", "numpy"): 20.0}, calibration=100.0)
+        assert bench.compare_to_baseline(current, baseline, max_regression=0.30) == []
+        # A real 2x regression on an equally-fast machine is still caught.
+        current_same_machine = make_report(
+            {("join.filter", "numpy"): 20.0}, calibration=50.0
+        )
+        assert len(bench.compare_to_baseline(current_same_machine, baseline)) == 1
+
+    def test_new_workloads_are_ignored(self):
+        baseline = make_report({("flat.range_scan", "numpy"): 10.0})
+        current = make_report(
+            {("flat.range_scan", "numpy"): 10.0, ("brand.new", "numpy"): 500.0}
+        )
+        assert bench.compare_to_baseline(current, baseline) == []
+
+    def test_schema_or_suite_mismatch_skips_comparison(self):
+        baseline = make_report({("flat.range_scan", "numpy"): 1.0})
+        current = make_report({("flat.range_scan", "numpy"): 1000.0})
+        stale = dict(baseline, schema_version=bench.SCHEMA_VERSION + 1)
+        assert bench.compare_to_baseline(current, stale) == []
+        other_suite = dict(baseline, suite="full")
+        assert bench.compare_to_baseline(current, other_suite) == []
+
+
+class TestHarness:
+    def test_time_workload_produces_sane_result(self):
+        cfg = {"repeats": 2, "micro_boxes": 200, "micro_windows": 2}
+        workload = bench._Workload(
+            name="kernel.box_intersects",
+            unit="box tests",
+            setup=bench._micro_boxes,
+            run=bench._run_box_intersects,
+        )
+        result = bench._time_workload(workload, cfg)
+        assert result.name == "kernel.box_intersects"
+        assert result.mode == kernels.active_backend()
+        assert result.units == 400
+        assert result.wall_ms >= 0.0
+        assert result.units_per_sec > 0.0
+        payload = result.as_json()
+        assert payload["unit"] == "box tests"
+        assert payload["repeats"] == 2
+
+    def test_results_to_json_schema(self):
+        cfg = {"suite": "smoke", "repeats": 1}
+        result = bench.WorkloadResult(
+            name="w", mode="numpy", wall_ms=1.0, units=10, unit="u", repeats=1
+        )
+        report = bench.results_to_json(cfg, [result], calibration_ms=42.0)
+        assert report["schema_version"] == bench.SCHEMA_VERSION
+        assert report["suite"] == "smoke"
+        assert report["calibration_ms"] == 42.0
+        assert report["workloads"][0]["name"] == "w"
+        json.dumps(report)  # must be serialisable
+
+    def test_headline_speedups_extraction(self):
+        report = {
+            "workloads": [
+                {"name": "flat.range_scan", "mode": "numpy", "speedup_vs_fallback": 3.1},
+                {"name": "join.filter", "mode": "numpy", "speedup_vs_fallback": 2.5},
+                {"name": "flat.range_scan", "mode": "python", "speedup_vs_fallback": None},
+            ]
+        }
+        speedups = bench.headline_speedups(report)
+        assert speedups == {"flat.range_scan": 3.1, "join.filter": 2.5}
+
+    def test_parser_flags(self):
+        args = bench.build_parser().parse_args(
+            ["--smoke", "--json", "out.json", "--baseline", "b.json", "--max-regression", "0.5"]
+        )
+        assert args.smoke and args.json == "out.json"
+        assert args.baseline == "b.json"
+        assert args.max_regression == 0.5
+
+    def test_calibration_probe_is_positive(self):
+        assert bench.measure_calibration(repeats=1) > 0.0
+
+
+class TestCommittedArtifacts:
+    """The committed BENCH/baseline JSONs back the PR's headline claim."""
+
+    @pytest.fixture
+    def committed(self) -> list[Path]:
+        paths = [REPO_ROOT / "BENCH_PR2.json", REPO_ROOT / "benchmarks" / "baseline.json"]
+        missing = [p for p in paths if not p.exists()]
+        if missing:
+            pytest.skip(f"committed bench artifacts not present: {missing}")
+        return paths
+
+    def test_artifacts_are_schema_valid(self, committed):
+        for path in committed:
+            report = json.loads(path.read_text(encoding="utf-8"))
+            assert report["schema_version"] == bench.SCHEMA_VERSION
+            assert report["suite"] in ("smoke", "full")
+            assert report["calibration_ms"] > 0
+            names = {w["name"] for w in report["workloads"]}
+            for headline in bench.HEADLINE_WORKLOADS:
+                assert headline in names
+            for entry in report["workloads"]:
+                assert entry["wall_ms"] >= 0.0
+                assert entry["units"] > 0
+
+    def test_vectorized_hot_paths_beat_fallback_2x(self, committed):
+        report = json.loads(committed[0].read_text(encoding="utf-8"))
+        speedups = bench.headline_speedups(report)
+        for name, speedup in speedups.items():
+            assert speedup is not None, f"{name} missing a fallback comparison"
+            assert speedup >= 2.0, f"{name} only {speedup:.2f}x vs scalar fallback"

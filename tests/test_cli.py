@@ -38,6 +38,26 @@ class TestParser:
             assert args.kind == kind
             assert args.strategy is None and not args.explain
 
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert not args.smoke
+        assert args.json == "BENCH_PR2.json"
+        assert args.baseline is None
+        assert args.max_regression == 0.30
+
+    def test_bench_flags(self):
+        args = build_parser().parse_args(
+            [
+                "bench", "--smoke", "--json", "out.json",
+                "--baseline", "benchmarks/baseline.json",
+                "--max-regression", "0.4", "--modes", "python",
+            ]
+        )
+        assert args.smoke and args.json == "out.json"
+        assert args.baseline == "benchmarks/baseline.json"
+        assert args.max_regression == 0.4
+        assert args.modes == "python"
+
     def test_query_options(self):
         args = build_parser().parse_args(
             ["query", "range", "--strategy", "flat", "--explain",
