@@ -70,7 +70,13 @@ from repro.engine import (
     SpatialJoin,
     Walkthrough,
 )
-from repro.errors import EngineError, ReproError
+from repro.errors import (
+    EngineError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceTimeoutError,
+)
 from repro.geometry import AABB, Segment, TriangleMesh, Vec3
 from repro.neuro import (
     Circuit,
@@ -86,6 +92,14 @@ from repro.neuro.morphometry import circuit_morphometry, sholl_analysis
 from repro.neuro.persistence import load_circuit, save_circuit
 from repro.objects import BoxObject, SpatialObject
 from repro.rtree import RTree, hilbert_bulk_load, str_bulk_load
+from repro.service import (
+    AdmissionController,
+    ServiceResult,
+    ServiceStats,
+    ServiceTelemetry,
+    ShardedEngine,
+    hilbert_shards,
+)
 from repro.storage import BufferPool, Disk, DiskParameters, ObjectStore
 from repro.viz import render_crawl, render_density, render_walk
 from repro.workloads import branch_walk, random_walk, uniform_queries
@@ -94,6 +108,7 @@ __version__ = "1.1.0"
 
 __all__ = [
     "AABB",
+    "AdmissionController",
     "BoxObject",
     "BufferPool",
     "Circuit",
@@ -125,7 +140,14 @@ __all__ = [
     "ReproError",
     "ScoutPrefetcher",
     "Segment",
+    "ServiceError",
+    "ServiceOverloadError",
+    "ServiceResult",
+    "ServiceStats",
+    "ServiceTelemetry",
+    "ServiceTimeoutError",
     "SessionMetrics",
+    "ShardedEngine",
     "Skeleton",
     "SpatialEngine",
     "SpatialJoin",
@@ -138,6 +160,7 @@ __all__ = [
     "circuit_morphometry",
     "generate_circuit",
     "hilbert_bulk_load",
+    "hilbert_shards",
     "load_circuit",
     "nested_loop_join",
     "pbsm_join",

@@ -115,6 +115,7 @@ class _Workload:
     # wall-time override: return the measured milliseconds for runs whose
     # interesting phase is a sub-span of the call (e.g. a join's probe phase)
     measured_ms: Callable[[Any, int], float] | None = None
+    teardown: Callable[[Any], None] | None = None  # release state resources
 
 
 def _smoke_config() -> dict[str, Any]:
@@ -131,6 +132,10 @@ def _smoke_config() -> dict[str, Any]:
         "micro_windows": 80,
         "micro_pairs": 8192,
         "micro_points": 8192,
+        "service_shards": 4,
+        "service_neurons": 40,
+        "service_queries": 10,
+        "service_extent": 180.0,
     }
 
 
@@ -148,6 +153,10 @@ def _full_config() -> dict[str, Any]:
         "micro_windows": 40,
         "micro_pairs": 32768,
         "micro_points": 32768,
+        "service_shards": 4,
+        "service_neurons": 60,
+        "service_queries": 16,
+        "service_extent": 220.0,
     }
 
 
@@ -334,6 +343,69 @@ def _run_pbsm(state: Any) -> int:
     return result.stats.comparisons
 
 
+def _service_workload(shards_key: str) -> _Workload:
+    """Sharded range-scan throughput through the :class:`ShardedEngine`.
+
+    The timed quantity is the batch's *modelled* service latency — the
+    busiest shard's summed simulated-I/O time (see
+    :func:`repro.service.stats.batch_makespan_ms`) — the same deterministic
+    cost model every experiment in this repo reports.  With one shard that
+    equals the single-node latency, so ``wall(s1) / wall(sharded)`` is the
+    modelled sharding speedup the PR claims (> 1.5x on the committed smoke
+    baseline).  Real thread-pool wall time still shapes nothing here: on a
+    one-core CI runner it would measure the GIL, not the architecture.
+    """
+    makespan_holder: dict[int, float] = {}
+
+    def setup(cfg: dict[str, Any]) -> Any:
+        from repro.engine.queries import RangeQuery
+        from repro.experiments.datasets import circuit_dataset
+        from repro.service import ShardedEngine
+        from repro.workloads.ranges import density_stratified_queries
+
+        circuit = circuit_dataset(n_neurons=cfg["service_neurons"])
+        segments = circuit.segments()
+        queries = [
+            RangeQuery(box)
+            for box in density_stratified_queries(
+                segments, cfg["service_queries"], cfg["service_extent"], dense=True, seed=2013
+            )
+        ]
+        num_shards = 1 if shards_key == "one" else cfg["service_shards"]
+        service = ShardedEngine.from_circuit(
+            circuit,
+            num_shards=num_shards,
+            page_capacity=cfg["page_capacity"],
+            max_queued=len(queries) + 8,
+        )
+        return service, queries
+
+    def run(state: Any) -> int:
+        from repro.service import batch_makespan_ms
+
+        service, queries = state
+        results = service.query_many(queries)
+        makespan_holder[id(state)] = batch_makespan_ms(results)
+        return sum(r.num_results for r in results)
+
+    def measured(state: Any, _units: int) -> float:
+        return makespan_holder[id(state)]
+
+    def teardown(state: Any) -> None:
+        service, _ = state
+        service.close()
+
+    suffix = "1shard" if shards_key == "one" else "sharded"
+    return _Workload(
+        name=f"service.range_scan_{suffix}",
+        unit="results returned",
+        setup=setup,
+        run=run,
+        measured_ms=measured,
+        teardown=teardown,
+    )
+
+
 def _sweep_probe_workload() -> _Workload:
     """join.filter times only the probe (filter + refine) phase of the sweep:
     sorting and packing are identical build work in both modes."""
@@ -368,6 +440,8 @@ def _workloads() -> list[_Workload]:
         _sweep_probe_workload(),
         _Workload("join.touch", "mbr comparisons", _join_state, _run_touch),
         _Workload("join.pbsm", "mbr comparisons", _join_state, _run_pbsm),
+        _service_workload("one"),
+        _service_workload("sharded"),
     ]
 
 
@@ -423,6 +497,8 @@ def _time_workload(workload: _Workload, cfg: dict[str, Any]) -> WorkloadResult:
     finally:
         if gc_was_enabled:
             gc.enable()
+        if workload.teardown is not None:
+            workload.teardown(state)
     return WorkloadResult(
         name=workload.name,
         mode=kernels.active_backend(),
@@ -466,11 +542,34 @@ def run_suite(
     return cfg, results
 
 
+def sharded_speedup(
+    results: Sequence[WorkloadResult] | Sequence[dict[str, Any]],
+    mode: str | None = None,
+) -> float | None:
+    """Modelled sharded/1-shard range-scan speedup from a result set.
+
+    Accepts live :class:`WorkloadResult` lists or the ``workloads`` array
+    of a report JSON; ``mode`` defaults to the active kernel backend.
+    """
+    mode = mode if mode is not None else kernels.active_backend()
+    walls: dict[str, float] = {}
+    for entry in results:
+        record = entry.as_json() if isinstance(entry, WorkloadResult) else entry
+        if record["mode"] == mode:
+            walls[record["name"]] = float(record["wall_ms"])
+    single = walls.get("service.range_scan_1shard")
+    sharded = walls.get("service.range_scan_sharded")
+    if not single or not sharded or sharded <= 0.0:
+        return None
+    return single / sharded
+
+
 def results_to_json(
     cfg: dict[str, Any],
     results: Sequence[WorkloadResult],
     calibration_ms: float | None = None,
 ) -> dict[str, Any]:
+    speedup = sharded_speedup(results)
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": cfg["suite"],
@@ -480,6 +579,10 @@ def results_to_json(
             round(measure_calibration(), 4) if calibration_ms is None else calibration_ms
         ),
         "config": {k: v for k, v in cfg.items() if k != "suite"},
+        "service": {
+            "shards": cfg.get("service_shards"),
+            "sharded_range_speedup": None if speedup is None else round(speedup, 3),
+        },
         "workloads": [r.as_json() for r in results],
     }
 
@@ -585,6 +688,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     for name, speedup in headline_speedups(report).items():
         if speedup is not None:
             print(f"  {name}: {speedup:.2f}x vs scalar fallback")
+    service_speedup = report.get("service", {}).get("sharded_range_speedup")
+    if service_speedup is not None:
+        shards = report.get("service", {}).get("shards")
+        print(
+            f"  service.range_scan: {service_speedup:.2f}x modelled throughput "
+            f"with {shards} shards vs 1 shard"
+        )
 
     if args.baseline is not None:
         baseline_path = Path(args.baseline)

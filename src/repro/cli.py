@@ -16,6 +16,10 @@ screens displayed, plus an ASCII rendering of the figure:
 * ``query``      — one declarative query through the :class:`SpatialEngine`
   facade (range, knn, join or walk), with the planner's ``explain`` output
   and the engine telemetry;
+* ``serve-bench`` — drive a mixed traffic workload through the
+  :class:`~repro.service.ShardedEngine` query service across a sweep of
+  shard counts, reporting modelled makespan vs total work and the service
+  telemetry;
 * ``bench``      — the unified benchmark suite (:mod:`repro.bench`): emits
   the schema-versioned BENCH JSON and exits non-zero on regression against
   a baseline.
@@ -78,6 +82,37 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--k", type=int, default=8, help="knn: neighbours to return")
     query.add_argument("--eps", type=float, default=3.0, help="join: distance threshold (um)")
     query.add_argument("--steps", type=int, default=8, help="walk: minimum window count")
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive a mixed traffic workload through the sharded query service",
+    )
+    serve.add_argument("--neurons", type=int, default=30, help="generated circuit size")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--circuit", type=str, default=None,
+        help="open a saved circuit directory instead of generating one",
+    )
+    serve.add_argument(
+        "--shards", type=str, default="1,2,4", metavar="CSV",
+        help="shard counts to sweep (default: 1,2,4)",
+    )
+    serve.add_argument("--queries", type=int, default=32, help="traffic queries per sweep point")
+    serve.add_argument("--extent", type=float, default=150.0, help="range window edge (um)")
+    serve.add_argument(
+        "--workers", type=int, default=None, help="pool threads (default: one per shard)"
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=None,
+        help="admission: concurrent queries (default: shard count)",
+    )
+    serve.add_argument("--max-queued", type=int, default=64, help="admission: wait-queue bound")
+    serve.add_argument(
+        "--timeout", type=float, default=None, help="per-query deadline in seconds"
+    )
+    serve.add_argument(
+        "--no-joins", action="store_true", help="serve ranges and knn only"
+    )
 
     bench = sub.add_parser("bench", help="run the benchmark suite, emit BENCH JSON")
     bench.add_argument("--smoke", action="store_true", help="small CI-sized workloads")
@@ -305,6 +340,99 @@ def _run_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.errors import ReproError
+    from repro.service import (
+        ShardedEngine,
+        batch_balance,
+        batch_makespan_ms,
+        batch_total_work_ms,
+    )
+    from repro.utils.tables import Table
+    from repro.workloads.traffic import traffic_workload
+
+    try:
+        shard_counts = sorted({int(v) for v in args.shards.split(",")})
+        if any(count < 1 for count in shard_counts):
+            raise ValueError("shard counts must be >= 1")
+
+        if args.circuit is not None:
+            from repro.neuro.persistence import load_circuit
+
+            circuit = load_circuit(args.circuit)
+        else:
+            from repro.neuro.circuit import generate_circuit
+
+            circuit = generate_circuit(n_neurons=args.neurons, seed=args.seed)
+        queries = traffic_workload(
+            circuit.segments(),
+            args.queries,
+            extent=args.extent,
+            include_joins=not args.no_joins,
+            seed=args.seed,
+        )
+
+        table = Table(
+            [
+                "shards",
+                "queries",
+                "results",
+                "makespan ms",
+                "total work ms",
+                "speedup",
+                "balance",
+                "wall ms",
+            ],
+            title=f"serve-bench: {len(queries)} mixed queries "
+            f"({circuit.num_neurons} neurons)",
+        )
+        single_node_ms: float | None = None
+        summary: tuple[str, str] | None = None
+        for count in shard_counts:
+            with ShardedEngine.from_circuit(
+                circuit,
+                num_shards=count,
+                max_workers=args.workers,
+                max_in_flight=args.max_in_flight,
+                max_queued=args.max_queued,
+                default_timeout_s=args.timeout,
+            ) as service:
+                start = time.perf_counter()
+                results = service.query_many(queries)
+                wall_ms = (time.perf_counter() - start) * 1000.0
+                summary = (service.describe(), service.telemetry.render())
+            makespan = batch_makespan_ms(results)
+            total_work = batch_total_work_ms(results)
+            if single_node_ms is None:
+                single_node_ms = makespan if count == 1 else total_work
+            table.add_row(
+                [
+                    count,
+                    len(results),
+                    sum(r.num_results for r in results),
+                    round(makespan, 2),
+                    round(total_work, 2),
+                    f"{single_node_ms / makespan:.2f}x" if makespan > 0 else "-",
+                    round(batch_balance(results), 3),
+                    round(wall_ms, 2),
+                ]
+            )
+        print(table.render())
+        print()
+        print("makespan/total work use the repo's deterministic cost model:")
+        print("simulated I/O per shard; the busiest shard bounds the batch.")
+        if summary is not None:
+            print()
+            print(summary[0])
+            print(summary[1])
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}")
+        return 2
+    return 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
@@ -331,6 +459,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_report(args)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
     if args.command == "bench":
         return _run_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

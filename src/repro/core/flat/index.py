@@ -185,6 +185,10 @@ class FLATIndex:
         distance and the scan stops as soon as the next partition cannot
         beat the current ``k``-th best — so the page fetches reported in the
         stats track the answer's locality, not the dataset size.
+
+        The answer is canonical — the ``k`` smallest by ``(distance,
+        uid)``, agreeing with every other KNN entry point under distance
+        ties (see :func:`repro.engine.executors.run_knn_flat`).
         """
         stats = FLATQueryStats()
         results: list[tuple[int, float]] = []
@@ -199,7 +203,7 @@ class FLATIndex:
             for distance, p in zip(frontier_distances, live)
         ]
         heapq.heapify(frontier)
-        best: list[tuple[float, int]] = []  # max-heap via negated distance
+        best: list[tuple[float, int]] = []  # max-heap via negated (distance, uid)
         while frontier:
             partition_distance, pid = heapq.heappop(frontier)
             if len(best) == k and partition_distance > -best[0][0]:
@@ -213,10 +217,12 @@ class FLATIndex:
             for uid, raw_distance in zip(page.object_uids, distances):
                 distance = float(raw_distance)
                 if len(best) < k:
-                    heapq.heappush(best, (-distance, uid))
-                elif distance < -best[0][0]:
-                    heapq.heapreplace(best, (-distance, uid))
-        results = sorted(((uid, -neg) for neg, uid in best), key=lambda t: (t[1], t[0]))
+                    heapq.heappush(best, (-distance, -uid))
+                elif (distance, uid) < (-best[0][0], -best[0][1]):
+                    heapq.heapreplace(best, (-distance, -uid))
+        results = sorted(
+            ((-neg_uid, -neg_d) for neg_d, neg_uid in best), key=lambda t: (t[1], t[0])
+        )
         stats.num_results = len(results)
         return results, stats
 

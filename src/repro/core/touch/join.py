@@ -88,15 +88,29 @@ def _assign(
     eps: float,
     stats: JoinStats,
     filtering: bool,
+    buckets: dict[int, list[SpatialObject]] | None = None,
 ) -> None:
-    """Phase 2: sink ``b`` to the lowest unambiguous node (or filter it)."""
+    """Phase 2: sink ``b`` to the lowest unambiguous node (or filter it).
+
+    When ``buckets`` is given, assignments land in that private overlay
+    (keyed by ``id(node)``) instead of the node's own bucket, leaving the
+    shared hierarchy read-only — this is what lets concurrent workers share
+    one tree (see :mod:`repro.core.touch.parallel`).
+    """
+
+    def drop(node: TouchNode) -> None:
+        if buckets is None:
+            node.bucket.append(b)
+        else:
+            buckets.setdefault(id(node), []).append(b)
+
     stats.comparisons += 1
     if not root.mbr.intersects_expanded(b.aabb, eps):
         # Entirely outside dataset A's extent: no partner can exist.
         if filtering:
             stats.filtered += 1
         else:
-            root.bucket.append(b)
+            drop(root)
         return
     node = root
     while not node.is_leaf:
@@ -112,17 +126,17 @@ def _assign(
                     ambiguous = True
                     break
         if ambiguous:
-            node.bucket.append(b)
+            drop(node)
             return
         if hit is None:
             # b sits in the empty space between the children's MBRs.
             if filtering:
                 stats.filtered += 1
             else:
-                node.bucket.append(b)
+                drop(node)
             return
         node = hit
-    node.bucket.append(b)
+    drop(node)
 
 
 def _probe(

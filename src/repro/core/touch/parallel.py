@@ -8,29 +8,40 @@ and probes its shard independently, and results concatenate without any
 deduplication (each B object still lands in exactly one bucket of its
 worker's view).
 
-This module models that execution deterministically: workers are simulated,
-per-shard costs are measured, and the *makespan* (the slowest shard, i.e.
-the parallel wall-clock) is reported alongside the total work.
+Two execution modes share one worker function:
+
+* **simulated** (default) — workers run sequentially in the caller's
+  thread; per-shard costs are measured and the *makespan* (the slowest
+  shard, i.e. the modelled parallel wall-clock) is reported alongside the
+  total work.  Deterministic, and the mode every committed claim uses.
+* **parallel** (``parallel=True``) — the same workers run on a real
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  Each worker keeps its
+  bucket assignments in a private overlay (``{id(node): [b, ...]}``), so
+  the shared hierarchy is never mutated and no locks are needed.  Results
+  are byte-identical to the simulated mode for any shard count and any
+  thread schedule (property-tested): pairs are concatenated in shard-id
+  order, and each shard's pair order is a pure function of its input.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.touch.join import _assign, _probe
 from repro.core.touch.stats import REF_BYTES, CandidateBatch, JoinStats, RefineFunc
-from repro.core.touch.tree import build_touch_tree
+from repro.core.touch.tree import TouchNode, build_touch_tree
 from repro.errors import JoinError
 from repro.objects import SpatialObject
 
-__all__ = ["sharded_touch_join", "ShardedJoinResult", "ShardStats"]
+__all__ = ["sharded_touch_join", "probe_shard", "ShardedJoinResult", "ShardStats"]
 
 
 @dataclass
 class ShardStats:
-    """Work done by one simulated worker."""
+    """Work done by one worker (simulated or real)."""
 
     shard_id: int
     n_b: int
@@ -71,6 +82,37 @@ class ShardedJoinResult:
         return sorted(self.pairs)
 
 
+def probe_shard(
+    root: TouchNode,
+    bucket_nodes: Sequence[TouchNode],
+    shard_b: Sequence[SpatialObject],
+    n_a: int,
+    eps: float,
+    refine: RefineFunc | None,
+    filtering: bool = True,
+) -> tuple[list[tuple[int, int]], JoinStats, float]:
+    """Run TOUCH phases 2+3 for one B shard against the shared hierarchy.
+
+    The tree is only read: assignments go to a worker-private bucket
+    overlay, so any number of these calls may run concurrently on the same
+    ``root``.  Returns ``(pairs, per-shard stats, elapsed_ms)``; the pair
+    order is deterministic (bucket-node order, then assignment order).
+    """
+    counter = JoinStats(algorithm="shard", n_a=n_a, n_b=len(shard_b))
+    pairs: list[tuple[int, int]] = []
+    start = time.perf_counter()
+    buckets: dict[int, list[SpatialObject]] = {}
+    for b in shard_b:
+        _assign(root, b, eps, counter, filtering, buckets=buckets)
+    candidates = CandidateBatch(refine, counter, pairs)
+    for node in bucket_nodes:
+        for b in buckets.get(id(node), ()):
+            _probe(node, b, eps, counter, candidates)
+    candidates.flush()
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return pairs, counter, elapsed_ms
+
+
 def sharded_touch_join(
     objects_a: Sequence[SpatialObject],
     objects_b: Sequence[SpatialObject],
@@ -79,13 +121,27 @@ def sharded_touch_join(
     refine: RefineFunc | None = None,
     leaf_capacity: int = 32,
     fanout: int = 8,
+    parallel: bool = False,
+    executor: ThreadPoolExecutor | None = None,
+    max_workers: int | None = None,
 ) -> ShardedJoinResult:
-    """TOUCH with dataset B split across ``shards`` simulated workers.
+    """TOUCH with dataset B split across ``shards`` workers.
 
     Results are identical to :func:`repro.core.touch.join.touch_join` for
-    any shard count (property-tested); only the execution breakdown
-    changes.  B is dealt round-robin, the simplest BlueGene-style static
-    partitioning.
+    any shard count and either execution mode (property-tested); only the
+    execution breakdown changes.  B is dealt round-robin, the simplest
+    BlueGene-style static partitioning.
+
+    Parameters
+    ----------
+    parallel:
+        Run the shard workers on a real thread pool instead of simulating
+        them sequentially.  The default stays simulated — deterministic
+        timing for the committed claims.
+    executor:
+        Pool to run on when ``parallel``; a transient pool of
+        ``max_workers`` (default: one thread per shard) is created (and
+        shut down) when omitted.
     """
     if shards < 1:
         raise JoinError("need at least one shard")
@@ -102,39 +158,46 @@ def sharded_touch_join(
     for position, b in enumerate(objects_b):
         shard_inputs[position % shards].append(b)
 
+    bucket_nodes = list(root.iter_nodes())
+    if parallel:
+        # Pre-build every leaf's kernel pack while still single-threaded so
+        # concurrent probes only read the cached packs.
+        for node in bucket_nodes:
+            if node.is_leaf and node.objects:
+                node.packed_object_bounds()
+
+    def run_worker(shard_b: Sequence[SpatialObject]):
+        return probe_shard(root, bucket_nodes, shard_b, len(objects_a), eps, refine)
+
+    if parallel:
+        if executor is not None:
+            outcomes = list(executor.map(run_worker, shard_inputs))
+        else:
+            with ThreadPoolExecutor(max_workers=max_workers or shards) as pool:
+                outcomes = list(pool.map(run_worker, shard_inputs))
+    else:
+        outcomes = [run_worker(shard_b) for shard_b in shard_inputs]
+
     all_pairs: list[tuple[int, int]] = []
     shard_stats: list[ShardStats] = []
-    bucket_nodes = [node for node in root.iter_nodes()]
-    for shard_id, shard_b in enumerate(shard_inputs):
-        shard_counter = JoinStats(algorithm="shard", n_a=len(objects_a), n_b=len(shard_b))
-        pairs: list[tuple[int, int]] = []
-        shard_start = time.perf_counter()
-        for b in shard_b:
-            _assign(root, b, eps, shard_counter, filtering=True)
-        # Probe and then clear the buckets so the shared tree is clean for
-        # the next worker (models private bucket memory per worker).
-        candidates = CandidateBatch(refine, shard_counter, pairs)
-        for node in bucket_nodes:
-            for b in node.bucket:
-                _probe(node, b, eps, shard_counter, candidates)
-            node.bucket.clear()
-        candidates.flush()
-        elapsed_ms = (time.perf_counter() - shard_start) * 1000.0
+    for shard_id, (shard_b, (pairs, counter, elapsed_ms)) in enumerate(
+        zip(shard_inputs, outcomes)
+    ):
         shard_stats.append(
             ShardStats(
                 shard_id=shard_id,
                 n_b=len(shard_b),
-                comparisons=shard_counter.comparisons,
-                results=shard_counter.results,
-                filtered=shard_counter.filtered,
+                comparisons=counter.comparisons,
+                results=counter.results,
+                filtered=counter.filtered,
                 elapsed_ms=elapsed_ms,
             )
         )
         all_pairs.extend(pairs)
-        stats.comparisons += shard_counter.comparisons
-        stats.candidates += shard_counter.candidates
-        stats.results += shard_counter.results
-        stats.filtered += shard_counter.filtered
+        stats.comparisons += counter.comparisons
+        stats.candidates += counter.candidates
+        stats.results += counter.results
+        stats.filtered += counter.filtered
         stats.probe_ms += elapsed_ms
 
     stats.memory_bytes = root.structure_bytes() + len(objects_a) * REF_BYTES

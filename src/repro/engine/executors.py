@@ -98,6 +98,11 @@ def run_knn_flat(
     in the partition count and only partitions that can still contain one
     of the ``k`` answers are fetched from disk.  Data pages go through
     ``pool`` when given, so batched queries reuse warm pages.
+
+    The answer is canonical: the ``k`` smallest by ``(distance, uid)``.
+    Distance ties at the ``k``-th place break by uid, never by visit
+    order, so the result is identical across crawl orders, strategies and
+    shard counts (the differential suite depends on this).
     """
     raw = FLATQueryStats()
     counter = itertools.count()
@@ -105,7 +110,7 @@ def run_knn_flat(
     heap: list[tuple[float, int, Any, int | None]] = [
         (0.0, next(counter), index.seed_tree.root, None)
     ]
-    best: list[tuple[float, int]] = []  # max-heap via negated distance
+    best: list[tuple[float, int]] = []  # max-heap via negated (distance, uid)
 
     def kth_best() -> float:
         return -best[0][0]
@@ -132,9 +137,9 @@ def run_knn_flat(
             for uid, raw_d in zip(page.object_uids, object_distances):
                 d = float(raw_d)
                 if len(best) < k:
-                    heapq.heappush(best, (-d, uid))
-                elif d < kth_best():
-                    heapq.heapreplace(best, (-d, uid))
+                    heapq.heappush(best, (-d, -uid))
+                elif (d, uid) < (-best[0][0], -best[0][1]):
+                    heapq.heapreplace(best, (-d, -uid))
             continue
         raw.seed_nodes_visited += 1
         raw.seed_entries_tested += len(node.entries)
@@ -148,7 +153,7 @@ def run_knn_flat(
             else:
                 heapq.heappush(heap, (d, next(counter), entry.child, None))
 
-    results = sorted(((uid, -neg) for neg, uid in best), key=lambda t: (t[1], t[0]))
+    results = sorted(((-neg_uid, -neg_d) for neg_d, neg_uid in best), key=lambda t: (t[1], t[0]))
     raw.num_results = len(results)
     stats = EngineStats(
         kind="knn",
@@ -247,7 +252,9 @@ def run_walk(
 
 def timed(fn: Callable[[], tuple[Any, EngineStats, Any]]) -> tuple[Any, EngineStats, Any]:
     """Run an executor thunk, stamping wall-clock time and kernel-batch
-    counts (the delta of the process-wide kernel counters) into its stats."""
+    counts into its stats.  The kernel counters are per-thread, so the
+    before/after delta is exact even when other worker threads execute
+    kernel batches concurrently."""
     start = time.perf_counter()
     batches_before = kernels.counters.batches
     payload, stats, raw = fn()

@@ -9,6 +9,7 @@ path serve the CLI for all four query kinds.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -84,7 +85,15 @@ class EngineResult:
 
 @dataclass
 class EngineTelemetry:
-    """Engine-lifetime aggregate of every executed query's counters."""
+    """Engine-lifetime aggregate of every executed query's counters.
+
+    ``record`` is atomic under an internal lock: a telemetry object fed
+    from several worker threads (the :class:`~repro.service.ShardedEngine`
+    service) never loses an increment to a read-modify-write race.  Plain
+    attribute reads remain lock-free — aggregate counters are monotone, so
+    a reader sees a consistent-enough snapshot for reporting; use one
+    quiescent point (no in-flight queries) for exact conservation checks.
+    """
 
     queries_executed: int = 0
     pages_read: int = 0
@@ -97,22 +106,26 @@ class EngineTelemetry:
     by_kind: dict[str, int] = field(default_factory=dict)
     by_strategy: dict[str, int] = field(default_factory=dict)
     by_kernel_backend: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(self, stats: EngineStats) -> None:
-        self.queries_executed += 1
-        self.pages_read += stats.pages_read
-        self.io_time_ms += stats.io_time_ms
-        self.comparisons += stats.comparisons
-        self.results_returned += stats.num_results
-        self.elapsed_ms += stats.elapsed_ms
-        self.planning_ms += stats.planning_ms
-        self.kernel_batches += stats.kernel_batches
-        self.by_kind[stats.kind] = self.by_kind.get(stats.kind, 0) + 1
-        self.by_strategy[stats.strategy] = self.by_strategy.get(stats.strategy, 0) + 1
-        if stats.kernel_backend:
-            self.by_kernel_backend[stats.kernel_backend] = (
-                self.by_kernel_backend.get(stats.kernel_backend, 0) + 1
-            )
+        with self._lock:
+            self.queries_executed += 1
+            self.pages_read += stats.pages_read
+            self.io_time_ms += stats.io_time_ms
+            self.comparisons += stats.comparisons
+            self.results_returned += stats.num_results
+            self.elapsed_ms += stats.elapsed_ms
+            self.planning_ms += stats.planning_ms
+            self.kernel_batches += stats.kernel_batches
+            self.by_kind[stats.kind] = self.by_kind.get(stats.kind, 0) + 1
+            self.by_strategy[stats.strategy] = self.by_strategy.get(stats.strategy, 0) + 1
+            if stats.kernel_backend:
+                self.by_kernel_backend[stats.kernel_backend] = (
+                    self.by_kernel_backend.get(stats.kernel_backend, 0) + 1
+                )
 
     def render(self) -> str:
         table = Table(["metric", "value"], title="engine telemetry")

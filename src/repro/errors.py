@@ -56,3 +56,26 @@ class MorphologyError(ReproError):
 class EngineError(ReproError):
     """Raised by the :class:`~repro.engine.SpatialEngine` facade (bad queries,
     unknown strategies, datasets the query cannot be bound to)."""
+
+
+class ServiceError(EngineError):
+    """Raised by the :class:`~repro.service.ShardedEngine` query service
+    (shard worker failures, bad service configuration).  Deriving from
+    :class:`EngineError` keeps one ``except`` clause sufficient for callers
+    that treat the service as just another engine."""
+
+    def __init__(self, message: str, shard_id: int | None = None) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+
+
+class ServiceOverloadError(ServiceError):
+    """Raised when admission control rejects a query: the service is at its
+    in-flight limit and the bounded wait queue is full (or the queue wait
+    timed out).  Back off and retry — nothing was executed."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """Raised when an admitted query misses its per-query deadline.  Shard
+    subtasks already running are not interrupted (threads cannot be killed);
+    their results are discarded and the worker pool stays reusable."""

@@ -30,8 +30,8 @@ Every batch call is counted in :data:`counters`, which is how
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
-from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
 from repro.errors import GeometryError
@@ -74,22 +74,49 @@ if _numpy_backend is not None:
     _BACKENDS["numpy"] = _numpy_backend
 
 
-@dataclass
 class KernelCounters:
-    """Running totals of batch kernel work (reset with :meth:`reset`)."""
+    """Running totals of batch kernel work, kept **per thread**.
 
-    batches: int = 0
-    elements: int = 0
+    Each thread accumulates (and reads) its own totals, so a
+    before/after delta around a query — :func:`repro.engine.executors.timed`
+    does exactly this — counts only that thread's kernel calls even while
+    the :class:`~repro.service.ShardedEngine` worker pool runs other
+    queries concurrently.  ``reset`` clears the calling thread's slot only.
+    """
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+
+    def _slot(self) -> list[int]:
+        slot = getattr(self._local, "slot", None)
+        if slot is None:
+            slot = self._local.slot = [0, 0]
+        return slot
+
+    @property
+    def batches(self) -> int:
+        return self._slot()[0]
+
+    @property
+    def elements(self) -> int:
+        return self._slot()[1]
+
+    def add(self, n: int) -> None:
+        slot = self._slot()
+        slot[0] += 1
+        slot[1] += n
 
     def reset(self) -> None:
-        self.batches = 0
-        self.elements = 0
+        slot = self._slot()
+        slot[0] = 0
+        slot[1] = 0
 
     def snapshot(self) -> tuple[int, int]:
-        return (self.batches, self.elements)
+        slot = self._slot()
+        return (slot[0], slot[1])
 
 
-#: Process-wide batch counters, surfaced per query by the engine executors.
+#: Per-thread batch counters, surfaced per query by the engine executors.
 counters = KernelCounters()
 
 
@@ -145,8 +172,7 @@ def pack_token() -> str:
 
 
 def _record(n: int) -> None:
-    counters.batches += 1
-    counters.elements += n
+    counters.add(n)
 
 
 # -- packing (uncounted: pure layout, no geometry work) -----------------------

@@ -347,17 +347,25 @@ class RTree:
     def knn_with_stats(
         self, point: Vec3, k: int
     ) -> tuple[list[tuple[int, float]], KNNQueryStats]:
-        """k-nearest-neighbour search plus node/entry access counters."""
+        """k-nearest-neighbour search plus node/entry access counters.
+
+        The answer is canonical — the ``k`` smallest by ``(distance,
+        uid)``.  The frontier orders nodes *before* objects at equal
+        distance (an unexplored equal-distance subtree may hold a
+        smaller-uid tie) and equal-distance objects by uid, so the result
+        never depends on insertion order.
+        """
         stats = KNNQueryStats()
         if k < 1 or self._size == 0:
             return [], stats
         counter = itertools.count()
-        heap: list[tuple[float, int, Node | None, int | None]] = [
-            (0.0, next(counter), self.root, None)
+        # Heap items: (distance, is_object, uid-or-tiebreak, node, uid).
+        heap: list[tuple[float, int, int, Node | None, int | None]] = [
+            (0.0, 0, next(counter), self.root, None)
         ]
         results: list[tuple[int, float]] = []
         while heap and len(results) < k:
-            dist, _, node, uid = heapq.heappop(heap)
+            dist, _, _, node, uid = heapq.heappop(heap)
             if node is None:
                 assert uid is not None
                 results.append((uid, dist))
@@ -368,10 +376,12 @@ class RTree:
             distances = kernels.point_box_distance(node.packed_entry_bounds(), point)
             if node.is_leaf:
                 for entry, entry_dist in zip(entries, distances):
-                    heapq.heappush(heap, (float(entry_dist), next(counter), None, entry.uid))
+                    heapq.heappush(heap, (float(entry_dist), 1, entry.uid, None, entry.uid))
             else:
                 for entry, entry_dist in zip(entries, distances):
-                    heapq.heappush(heap, (float(entry_dist), next(counter), entry.child, None))
+                    heapq.heappush(
+                        heap, (float(entry_dist), 0, next(counter), entry.child, None)
+                    )
         stats.num_results = len(results)
         return results, stats
 

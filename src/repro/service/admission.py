@@ -1,0 +1,136 @@
+"""Admission control: bounded concurrency with backpressure.
+
+A service that accepts every request degrades for everyone at once; one
+that bounds its work degrades only for the overflow.  The controller
+enforces two limits:
+
+* ``max_in_flight`` — queries executing concurrently,
+* ``max_queued`` — admitted-but-waiting queries.
+
+A query beyond both limits is rejected *immediately* with
+:class:`~repro.errors.ServiceOverloadError` — the caller gets a clean
+signal to back off instead of a silently growing queue (and, crucially for
+the stress tests, instead of a deadlock).  Waiting queries are bounded in
+time too: ``queue_timeout_s`` converts an over-long wait into the same
+rejection.
+
+The controller is a plain condition-variable monitor, safe to hammer from
+any number of threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ServiceError, ServiceOverloadError
+
+__all__ = ["AdmissionController", "AdmissionSnapshot"]
+
+
+@dataclass(frozen=True)
+class AdmissionSnapshot:
+    """Point-in-time counters of one :class:`AdmissionController`."""
+
+    in_flight: int
+    queued: int
+    admitted: int
+    rejected: int
+    timed_out_waiting: int
+
+    @property
+    def submitted(self) -> int:
+        return self.admitted + self.rejected + self.timed_out_waiting
+
+
+class AdmissionController:
+    """Gate queries behind an in-flight limit and a bounded wait queue.
+
+    >>> gate = AdmissionController(max_in_flight=2, max_queued=4)
+    >>> wait_ms = gate.admit()   # may raise ServiceOverloadError
+    >>> try:
+    ...     ...                  # execute the query
+    ... finally:
+    ...     gate.release()
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int = 4,
+        max_queued: int = 16,
+        queue_timeout_s: float | None = 30.0,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ServiceError("max_in_flight must be >= 1")
+        if max_queued < 0:
+            raise ServiceError("max_queued must be >= 0")
+        if queue_timeout_s is not None and queue_timeout_s <= 0:
+            raise ServiceError("queue_timeout_s must be positive (or None)")
+        self.max_in_flight = max_in_flight
+        self.max_queued = max_queued
+        self.queue_timeout_s = queue_timeout_s
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self._queued = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._timed_out_waiting = 0
+
+    def admit(self) -> float:
+        """Block until a slot frees up; return the wait in milliseconds.
+
+        Raises :class:`ServiceOverloadError` when the wait queue is already
+        full (immediately) or when the wait exceeds ``queue_timeout_s``.
+        """
+        start = time.perf_counter()
+        with self._cond:
+            if self._in_flight < self.max_in_flight and self._queued == 0:
+                self._in_flight += 1
+                self._admitted += 1
+                return 0.0
+            if self._queued >= self.max_queued:
+                self._rejected += 1
+                raise ServiceOverloadError(
+                    f"service overloaded: {self._in_flight} in flight, "
+                    f"{self._queued} queued (max_queued={self.max_queued})"
+                )
+            self._queued += 1
+            try:
+                while self._in_flight >= self.max_in_flight:
+                    remaining = None
+                    if self.queue_timeout_s is not None:
+                        remaining = self.queue_timeout_s - (time.perf_counter() - start)
+                        if remaining <= 0:
+                            self._timed_out_waiting += 1
+                            # Pass any notification we may have swallowed on
+                            # to the next waiter before giving up.
+                            self._cond.notify()
+                            raise ServiceOverloadError(
+                                f"gave up after {self.queue_timeout_s:.3f}s in the "
+                                "admission queue"
+                            )
+                    self._cond.wait(remaining)
+            finally:
+                self._queued -= 1
+            self._in_flight += 1
+            self._admitted += 1
+        return (time.perf_counter() - start) * 1000.0
+
+    def release(self) -> None:
+        """Return an execution slot; wakes one waiting query."""
+        with self._cond:
+            if self._in_flight <= 0:
+                raise ServiceError("release() without a matching admit()")
+            self._in_flight -= 1
+            self._cond.notify()
+
+    def snapshot(self) -> AdmissionSnapshot:
+        with self._cond:
+            return AdmissionSnapshot(
+                in_flight=self._in_flight,
+                queued=self._queued,
+                admitted=self._admitted,
+                rejected=self._rejected,
+                timed_out_waiting=self._timed_out_waiting,
+            )

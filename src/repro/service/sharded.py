@@ -1,0 +1,517 @@
+"""The :class:`ShardedEngine` — a concurrent query service over engine shards.
+
+One dataset, spatially partitioned into N Hilbert-order shards, one
+:class:`~repro.engine.SpatialEngine` per shard, one real
+:class:`~concurrent.futures.ThreadPoolExecutor` fanning queries across
+them.  The service front adds what a single engine does not have: admission
+control with backpressure, per-query deadlines, and thread-safe telemetry.
+
+Consistency contract
+--------------------
+Every answer is *exactly* the single-engine answer, canonically ordered:
+
+* **range** — every object lives in exactly one shard, so the union of
+  per-shard hits has no duplicates and misses nothing; merged as sorted
+  uids.
+* **knn** — each touched shard returns its own ``k`` best; a global top-k
+  merge over ``(distance, uid)`` keeps the true answer (a shard can only
+  be wrong by *offering too much*, never too little, since its k-th best
+  bounds anything it withheld).
+* **join** — the probe side is split across shards and every chunk joins
+  against the *full* build side, so each qualifying pair is found exactly
+  once, in the shard that owns its B object; no boundary pair is lost, no
+  pair is duplicated.  Merged as sorted pairs.
+* **walk** — each window is answered as a sharded range query; the
+  payload is one sorted uid list per window.
+
+Concurrency contract
+--------------------
+A shard is a single-threaded engine (its lazily built indexes and buffer
+pool are guarded by a per-shard lock); parallelism comes from having many
+shards, exactly like shard-per-core designs.  Client threads may call
+:meth:`execute` / :meth:`query_many` freely — admission control bounds the
+in-flight work and rejects (never deadlocks) beyond the configured queue.
+
+>>> service = ShardedEngine.generate(n_neurons=30, num_shards=4)
+>>> hits = service.execute(RangeQuery(window))
+>>> hits.payload == sorted(hits.payload)   # canonical ordering
+True
+>>> service.telemetry.render()             # thread-safe aggregate
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Lock
+from typing import Any, Callable, Sequence
+
+from repro.core.touch.parallel import build_touch_tree, probe_shard
+from repro.core.touch.stats import segment_touch_refine
+from repro.engine.engine import SpatialEngine
+from repro.engine.executors import run_join, timed
+from repro.engine.planner import DatasetProfile, Planner
+from repro.engine.queries import KNNQuery, Query, RangeQuery, SpatialJoin, Walkthrough
+from repro.engine.stats import EngineStats
+from repro.errors import (
+    EngineError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceTimeoutError,
+)
+from repro.neuro.circuit import Circuit, generate_circuit
+from repro.neuro.persistence import load_circuit
+from repro.objects import SpatialObject
+from repro.service.admission import AdmissionController
+from repro.service.sharding import ShardSpec, hilbert_shards, round_robin_split
+from repro.service.stats import ServiceResult, ServiceStats, ServiceTelemetry, ShardWork
+
+__all__ = ["ShardedEngine"]
+
+
+@dataclass
+class _EngineShard:
+    """One shard: its spec, its engine, and the lock that serialises it."""
+
+    spec: ShardSpec
+    engine: SpatialEngine
+    lock: Lock = field(default_factory=Lock)
+
+    def execute_locked(self, query: Query):
+        with self.lock:
+            return self.engine.execute(query)
+
+
+class ShardedEngine:
+    """A concurrent spatial query service over N engine shards.
+
+    Parameters
+    ----------
+    objects:
+        The dataset, partitioned once into ``num_shards`` Hilbert tiles.
+    circuit:
+        Optional source circuit (enables default synapse-discovery joins).
+    num_shards:
+        Shard count; clamped to the dataset size so no shard is empty.
+    max_workers:
+        Worker threads in the pool (default: one per shard).
+    max_in_flight, max_queued, queue_timeout_s:
+        Admission-control knobs (see
+        :class:`~repro.service.admission.AdmissionController`).
+    default_timeout_s:
+        Per-query deadline applied when :meth:`execute` is not given one;
+        ``None`` disables deadlines.
+    engine_kwargs:
+        Forwarded to every per-shard :class:`SpatialEngine`
+        (``page_capacity``, ``pool_capacity``, ``disk_params``, ...).
+    """
+
+    def __init__(
+        self,
+        objects: Sequence[SpatialObject],
+        circuit: Circuit | None = None,
+        num_shards: int = 4,
+        max_workers: int | None = None,
+        max_in_flight: int | None = None,
+        max_queued: int = 16,
+        queue_timeout_s: float | None = 30.0,
+        default_timeout_s: float | None = None,
+        hilbert_order: int = 10,
+        **engine_kwargs: Any,
+    ) -> None:
+        if not objects:
+            raise ServiceError("ShardedEngine needs a non-empty dataset")
+        self.objects: list[SpatialObject] = list(objects)
+        self.circuit = circuit
+        specs = hilbert_shards(self.objects, num_shards, order=hilbert_order)
+        self.shards: list[_EngineShard] = [
+            _EngineShard(spec=spec, engine=SpatialEngine(spec.objects, **engine_kwargs))
+            for spec in specs
+        ]
+        self.default_timeout_s = default_timeout_s
+        self._engine_kwargs = dict(engine_kwargs)
+        page_capacity = self.shards[0].engine.page_capacity
+        self.profile = DatasetProfile.from_objects(self.objects, page_capacity)
+        self.planner = Planner(self.profile)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers if max_workers is not None else len(self.shards),
+            thread_name_prefix="repro-shard",
+        )
+        self.admission = AdmissionController(
+            max_in_flight=(
+                max_in_flight if max_in_flight is not None else len(self.shards)
+            ),
+            max_queued=max_queued,
+            queue_timeout_s=queue_timeout_s,
+        )
+        self.telemetry = ServiceTelemetry()
+        self._closed = False
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_circuit(cls, circuit: Circuit, **kwargs: Any) -> "ShardedEngine":
+        """Bind a service to a circuit's flattened segment dataset."""
+        return cls(circuit.segments(), circuit=circuit, **kwargs)
+
+    @classmethod
+    def from_objects(
+        cls, objects: Sequence[SpatialObject], **kwargs: Any
+    ) -> "ShardedEngine":
+        """Bind a service to an arbitrary set of spatial objects."""
+        return cls(objects, **kwargs)
+
+    @classmethod
+    def from_engine(cls, engine: SpatialEngine, **kwargs: Any) -> "ShardedEngine":
+        """Shard an existing single engine's dataset (same engine knobs)."""
+        merged = {
+            "page_capacity": engine.page_capacity,
+            "pool_capacity": engine.pool_capacity,
+            "disk_params": engine.disk_params,
+            "seed_fanout": engine.seed_fanout,
+        }
+        merged.update(kwargs)
+        return cls(engine.objects, circuit=engine.circuit, **merged)
+
+    @classmethod
+    def generate(
+        cls, n_neurons: int = 40, seed: int = 0, **kwargs: Any
+    ) -> "ShardedEngine":
+        """Generate a synthetic circuit and bind a service to it."""
+        return cls.from_circuit(generate_circuit(n_neurons=n_neurons, seed=seed), **kwargs)
+
+    @classmethod
+    def open(cls, path: str | Path, **kwargs: Any) -> "ShardedEngine":
+        """Open a circuit saved with :func:`repro.save_circuit`."""
+        return cls.from_circuit(load_circuit(path), **kwargs)
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.objects)
+
+    def warm(self) -> "ShardedEngine":
+        """Build every shard's indexes up front (benchmarks, latency SLOs)."""
+        for shard in self.shards:
+            with shard.lock:
+                shard.engine.flat_index()
+                shard.engine.object_rtree()
+                shard.engine.buffer_pool()
+        return self
+
+    def close(self) -> None:
+        """Shut down the worker pool; pending subtasks finish first."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        bound = f"circuit ({self.circuit.num_neurons} neurons)" if self.circuit else "objects"
+        sizes = ", ".join(str(len(s.spec)) for s in self.shards)
+        return (
+            f"ShardedEngine over {self.num_objects:,} objects from {bound}; "
+            f"{self.num_shards} Hilbert shards ({sizes} objects), "
+            f"admission {self.admission.max_in_flight} in flight / "
+            f"{self.admission.max_queued} queued"
+        )
+
+    # -- execution -------------------------------------------------------------
+    def execute(self, query: Query, timeout_s: float | None = None) -> ServiceResult:
+        """Admit, fan out, and deterministically merge one query.
+
+        Raises :class:`ServiceOverloadError` when admission rejects,
+        :class:`ServiceTimeoutError` past the deadline, and
+        :class:`ServiceError` when a shard worker fails; all three derive
+        from :class:`EngineError`, and none of them poisons the pool.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        self.telemetry.record_submitted()
+        try:
+            wait_ms = self.admission.admit()
+        except ServiceOverloadError:
+            self.telemetry.record_rejected()
+            raise
+        try:
+            result = self._execute_admitted(query, timeout_s, wait_ms)
+        except ServiceTimeoutError:
+            self.telemetry.record_timeout()
+            raise
+        except BaseException:
+            self.telemetry.record_failure()
+            raise
+        finally:
+            self.admission.release()
+        self.telemetry.record_completed(result.stats)
+        return result
+
+    def query_many(
+        self, queries: Sequence[Query], timeout_s: float | None = None
+    ) -> list[ServiceResult]:
+        """Execute a batch; each query is admitted and fanned out in turn.
+
+        Results come back in input order.  Per-query shard subtasks run
+        concurrently on the pool; the batch as a whole runs from the
+        calling thread, so many client threads can pipeline their own
+        batches against one service.
+        """
+        return [self.execute(query, timeout_s=timeout_s) for query in queries]
+
+    def _execute_admitted(
+        self, query: Query, timeout_s: float | None, wait_ms: float
+    ) -> ServiceResult:
+        start = time.perf_counter()
+        effective = timeout_s if timeout_s is not None else self.default_timeout_s
+        deadline = None if effective is None else start + effective
+        if isinstance(query, RangeQuery):
+            payload, work, merge_ms = self._execute_range(query, deadline)
+            kind = "range"
+        elif isinstance(query, KNNQuery):
+            payload, work, merge_ms = self._execute_knn(query, deadline)
+            kind = "knn"
+        elif isinstance(query, SpatialJoin):
+            payload, work, merge_ms = self._execute_join(query, deadline)
+            kind = "join"
+        elif isinstance(query, Walkthrough):
+            payload, work, merge_ms = self._execute_walk(query, deadline)
+            kind = "walk"
+        else:
+            raise ServiceError(f"cannot execute query of type {type(query).__name__}")
+        stats = ServiceStats(
+            kind=kind,
+            shards_total=self.num_shards,
+            shards_used=len({w.shard_id for w in work}),
+            num_results=_payload_size(kind, payload),
+            admission_wait_ms=wait_ms,
+            elapsed_ms=(time.perf_counter() - start) * 1000.0,
+            merge_ms=merge_ms,
+            shard_work=work,
+        )
+        return ServiceResult(payload=payload, stats=stats)
+
+    # -- fan-out plumbing ------------------------------------------------------
+    def _fan_out(
+        self,
+        subtasks: Sequence[tuple[int, Callable[[], Any]]],
+        deadline: float | None,
+    ) -> list[Any]:
+        """Run ``(shard_id, thunk)`` subtasks on the pool; collect in order.
+
+        The first worker exception cancels everything not yet started and
+        surfaces as :class:`ServiceError` carrying the shard id; a missed
+        deadline surfaces as :class:`ServiceTimeoutError`.  Subtasks
+        already running are left to finish on the pool (threads cannot be
+        interrupted); their results are discarded and the pool is reusable
+        immediately.
+        """
+        futures: list[tuple[int, Future]] = [
+            (shard_id, self._pool.submit(thunk)) for shard_id, thunk in subtasks
+        ]
+        try:
+            remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            done, pending = wait(
+                {future for _, future in futures},
+                timeout=remaining,
+                return_when=FIRST_EXCEPTION,
+            )
+            for shard_id, future in futures:
+                if future in done and future.exception() is not None:
+                    error = future.exception()
+                    raise ServiceError(
+                        f"shard {shard_id} failed: {error}", shard_id=shard_id
+                    ) from error
+            if pending:
+                raise ServiceTimeoutError(
+                    f"query missed its deadline with {len(pending)} of "
+                    f"{len(futures)} shard subtasks unfinished"
+                )
+            return [future.result() for _, future in futures]
+        finally:
+            for _, future in futures:
+                future.cancel()
+
+    def _shard_subtask(self, shard: _EngineShard, query: Query) -> tuple[ShardWork, Any]:
+        result = shard.execute_locked(query)
+        return _work_from(shard.spec.shard_id, result.stats, io_model=True), result
+
+    # -- per-kind execution ----------------------------------------------------
+    def _execute_range(
+        self, query: RangeQuery, deadline: float | None
+    ) -> tuple[list[int], list[ShardWork], float]:
+        uids, work = self._range_fan_out(query.box, query.strategy, deadline)
+        start = time.perf_counter()
+        uids.sort()
+        return uids, work, (time.perf_counter() - start) * 1000.0
+
+    def _range_fan_out(
+        self, box, strategy: str | None, deadline: float | None
+    ) -> tuple[list[int], list[ShardWork]]:
+        touched = [s for s in self.shards if s.spec.mbr.intersects(box)]
+        subquery = RangeQuery(box, strategy=strategy)
+        subtasks = [
+            (shard.spec.shard_id, lambda shard=shard: self._shard_subtask(shard, subquery))
+            for shard in touched
+        ]
+        outcomes = self._fan_out(subtasks, deadline)
+        uids: list[int] = []
+        work: list[ShardWork] = []
+        for shard_work, result in outcomes:
+            uids.extend(result.payload)
+            work.append(shard_work)
+        return uids, work
+
+    def _execute_knn(
+        self, query: KNNQuery, deadline: float | None
+    ) -> tuple[list[tuple[int, float]], list[ShardWork], float]:
+        subtasks = []
+        for shard in self.shards:
+            subquery = KNNQuery(
+                query.point, min(query.k, len(shard.spec)), strategy=query.strategy
+            )
+            subtasks.append(
+                (
+                    shard.spec.shard_id,
+                    lambda shard=shard, subquery=subquery: self._shard_subtask(
+                        shard, subquery
+                    ),
+                )
+            )
+        outcomes = self._fan_out(subtasks, deadline)
+        start = time.perf_counter()
+        candidates: list[tuple[float, int]] = []
+        work: list[ShardWork] = []
+        for shard_work, result in outcomes:
+            candidates.extend((distance, uid) for uid, distance in result.payload)
+            work.append(shard_work)
+        top = heapq.nsmallest(query.k, candidates)
+        payload = [(uid, distance) for distance, uid in top]
+        return payload, work, (time.perf_counter() - start) * 1000.0
+
+    def _join_sides(
+        self, query: SpatialJoin
+    ) -> tuple[Sequence[SpatialObject], Sequence[SpatialObject]]:
+        if query.side_a is not None and query.side_b is not None:
+            return query.side_a, query.side_b
+        if (query.side_a is None) != (query.side_b is None):
+            raise EngineError("SpatialJoin needs both sides or neither")
+        if self.circuit is None:
+            raise EngineError(
+                "SpatialJoin without explicit sides needs a service bound to a "
+                "circuit (axon x dendrite default)"
+            )
+        return self.circuit.axon_segments(), self.circuit.dendrite_segments()
+
+    def _execute_join(
+        self, query: SpatialJoin, deadline: float | None
+    ) -> tuple[list[tuple[int, int]], list[ShardWork], float]:
+        side_a, side_b = self._join_sides(query)
+        plan = self.planner.plan(query, join_sizes=(len(side_a), len(side_b)))
+        chunks = round_robin_split(side_b, self.num_shards)
+        if plan.strategy == "touch" and side_a:
+            # Build TOUCH's hierarchy over A once; workers share it
+            # read-only with private bucket overlays (phases 2+3 only).
+            refine = segment_touch_refine if query.refine else None
+            root = build_touch_tree(side_a)
+            bucket_nodes = list(root.iter_nodes())
+            for node in bucket_nodes:
+                if node.is_leaf and node.objects:
+                    node.packed_object_bounds()
+
+            def join_chunk(chunk: tuple[SpatialObject, ...]) -> tuple[list, EngineStats]:
+                pairs, counter, elapsed_ms = probe_shard(
+                    root, bucket_nodes, chunk, len(side_a), query.eps, refine
+                )
+                stats = EngineStats(
+                    kind="join",
+                    strategy="touch",
+                    comparisons=counter.comparisons,
+                    num_results=len(pairs),
+                    elapsed_ms=elapsed_ms,
+                )
+                return pairs, stats
+        else:
+
+            def join_chunk(chunk: tuple[SpatialObject, ...]) -> tuple[list, EngineStats]:
+                payload, stats, _raw = timed(
+                    lambda: run_join(plan.strategy, side_a, chunk, query)
+                )
+                return payload, stats
+
+        subtasks = [
+            (shard_id, lambda chunk=chunk: join_chunk(chunk))
+            for shard_id, chunk in enumerate(chunks)
+        ]
+        outcomes = self._fan_out(subtasks, deadline)
+        start = time.perf_counter()
+        pairs: list[tuple[int, int]] = []
+        work: list[ShardWork] = []
+        for (shard_id, _), (chunk_pairs, stats) in zip(subtasks, outcomes):
+            pairs.extend(chunk_pairs)
+            work.append(_work_from(shard_id, stats, io_model=False))
+        pairs.sort()
+        return pairs, work, (time.perf_counter() - start) * 1000.0
+
+    def _execute_walk(
+        self, query: Walkthrough, deadline: float | None
+    ) -> tuple[list[list[int]], list[ShardWork], float]:
+        steps: list[list[int]] = []
+        per_shard: dict[int, list[ShardWork]] = {}
+        merge_ms = 0.0
+        for window in query.queries:
+            uids, work = self._range_fan_out(window, None, deadline)
+            start = time.perf_counter()
+            uids.sort()
+            merge_ms += (time.perf_counter() - start) * 1000.0
+            steps.append(uids)
+            for item in work:
+                per_shard.setdefault(item.shard_id, []).append(item)
+        combined = [
+            ShardWork(
+                shard_id=shard_id,
+                strategy="range-fanout",
+                service_ms=sum(w.service_ms for w in items),
+                elapsed_ms=sum(w.elapsed_ms for w in items),
+                pages_read=sum(w.pages_read for w in items),
+                comparisons=sum(w.comparisons for w in items),
+                num_results=sum(w.num_results for w in items),
+            )
+            for shard_id, items in sorted(per_shard.items())
+        ]
+        return steps, combined, merge_ms
+
+
+def _work_from(shard_id: int, stats: EngineStats, io_model: bool) -> ShardWork:
+    """Map one shard subtask's engine stats into the service breakdown.
+
+    ``io_model`` selects the modelled cost: simulated I/O for the paged
+    query paths, measured CPU for the in-memory joins (which perform no
+    simulated I/O at all) — mirroring how the experiments report each
+    subsystem.
+    """
+    return ShardWork(
+        shard_id=shard_id,
+        strategy=stats.strategy,
+        service_ms=stats.io_time_ms if io_model else stats.elapsed_ms,
+        elapsed_ms=stats.elapsed_ms,
+        pages_read=stats.pages_read,
+        comparisons=stats.comparisons,
+        num_results=stats.num_results,
+    )
+
+
+def _payload_size(kind: str, payload: Any) -> int:
+    if kind == "walk":
+        return sum(len(step) for step in payload)
+    return len(payload)

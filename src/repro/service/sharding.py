@@ -1,0 +1,105 @@
+"""Spatial partitioning of one dataset into engine shards.
+
+A shard is a contiguous run of the dataset in Hilbert-curve order: sort all
+object centres along the curve, cut the sorted sequence into ``num_shards``
+equal-count chunks.  Equal counts balance the per-shard work (every shard
+owns the same number of objects, so index sizes and scan costs match), and
+curve contiguity makes each chunk a spatially coherent *tile* — a range
+window touches only the shards whose tile it overlaps, which is what lets
+the service prune the fan-out.
+
+The partitioning is a pure function of ``(objects, num_shards, order)``:
+ties on the Hilbert key break by ``uid``, so shard membership is exactly
+reproducible across runs, thread schedules and kernel backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ServiceError
+from repro.geometry.aabb import AABB
+from repro.hilbert.curve import HilbertEncoder3D
+from repro.objects import SpatialObject
+
+__all__ = ["ShardSpec", "hilbert_shards", "round_robin_split"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of a spatially partitioned dataset.
+
+    ``mbr`` is the union of the member objects' AABBs (not the tile of
+    space): a query window that misses every member's box misses the whole
+    shard, so the service can skip it without consulting the shard's index.
+    """
+
+    shard_id: int
+    objects: tuple[SpatialObject, ...]
+    mbr: AABB = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.objects:
+            raise ServiceError("a shard cannot be empty", shard_id=self.shard_id)
+        object.__setattr__(self, "mbr", AABB.union_all(o.aabb for o in self.objects))
+
+    def __len__(self) -> int:
+        return len(self.objects)
+
+
+def hilbert_shards(
+    objects: Sequence[SpatialObject],
+    num_shards: int,
+    order: int = 10,
+) -> list[ShardSpec]:
+    """Partition ``objects`` into up to ``num_shards`` Hilbert-order tiles.
+
+    Every object lands in exactly one shard (the invariant every merge in
+    :class:`~repro.service.ShardedEngine` relies on).  When the dataset is
+    smaller than ``num_shards`` the count is clamped so no shard is empty.
+
+    >>> shards = hilbert_shards(circuit.segments(), 4)
+    >>> sum(len(s) for s in shards) == len(circuit.segments())
+    True
+    """
+    if num_shards < 1:
+        raise ServiceError("need at least one shard")
+    if not objects:
+        raise ServiceError("cannot shard an empty dataset")
+    num_shards = min(num_shards, len(objects))
+    if num_shards == 1:
+        return [ShardSpec(0, tuple(objects))]
+
+    world = AABB.union_all(o.aabb for o in objects)
+    encoder = HilbertEncoder3D(world, order=order)
+    keys = encoder.keys_of_boxes([o.aabb for o in objects])
+    ranked = sorted(range(len(objects)), key=lambda i: (keys[i], objects[i].uid))
+
+    base, extra = divmod(len(ranked), num_shards)
+    shards: list[ShardSpec] = []
+    cursor = 0
+    for shard_id in range(num_shards):
+        take = base + (1 if shard_id < extra else 0)
+        members = tuple(objects[i] for i in ranked[cursor : cursor + take])
+        shards.append(ShardSpec(shard_id, members))
+        cursor += take
+    return shards
+
+
+def round_robin_split(
+    objects: Sequence[SpatialObject], num_shards: int
+) -> list[tuple[SpatialObject, ...]]:
+    """Deal ``objects`` round-robin into up to ``num_shards`` non-empty groups.
+
+    Used for join fan-out, where the probe side needs balanced *work*, not
+    spatial coherence (every group is joined against the full build side, so
+    no pair can be lost to a boundary or found twice).
+    """
+    if num_shards < 1:
+        raise ServiceError("need at least one shard")
+    num_shards = max(1, min(num_shards, len(objects)))
+    groups: list[list[SpatialObject]] = [[] for _ in range(num_shards)]
+    for position, obj in enumerate(objects):
+        groups[position % num_shards].append(obj)
+    return [tuple(group) for group in groups]

@@ -1,0 +1,285 @@
+"""Service-level result envelopes and thread-safe telemetry.
+
+Per query the service reports two clocks:
+
+* **real wall time** (``elapsed_ms``) — what this process actually spent,
+  including Python/GIL effects of the worker pool, and
+* **modelled service time** (``makespan_ms`` vs ``total_work_ms``) — the
+  deterministic cost model every experiment in this repo reports (simulated
+  I/O per shard; compare :attr:`ShardedJoinResult.makespan_ms`).  The
+  makespan is the slowest shard, i.e. the parallel service latency on a
+  cluster with one node per shard; the total work is what a single node
+  would pay.  The ratio is the modelled sharding speedup, and it is exact
+  and machine-independent — which is what lets CI gate on it.
+
+:class:`ServiceTelemetry` aggregates across queries *and threads*: every
+mutation takes the internal lock, so counters sum consistently no matter
+how many client threads hammer one service.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.engine.stats import EngineStats
+from repro.utils.tables import Table
+
+__all__ = [
+    "ServiceResult",
+    "ServiceStats",
+    "ServiceTelemetry",
+    "ShardWork",
+    "batch_balance",
+    "batch_makespan_ms",
+    "batch_per_shard_service_ms",
+    "batch_total_work_ms",
+]
+
+
+@dataclass(frozen=True)
+class ShardWork:
+    """One shard's contribution to one service query."""
+
+    shard_id: int
+    strategy: str  # strategy the shard's engine actually ran
+    service_ms: float  # modelled cost (simulated I/O) of the shard subtask
+    elapsed_ms: float  # real wall time on the worker thread
+    pages_read: int
+    comparisons: int
+    num_results: int
+
+
+@dataclass
+class ServiceStats:
+    """The uniform per-query counters of one sharded execution."""
+
+    kind: str  # "range" | "knn" | "join" | "walk"
+    shards_total: int  # shards the service owns
+    shards_used: int  # shards the query actually touched (after pruning)
+    num_results: int = 0
+    admission_wait_ms: float = 0.0  # time spent queued before execution
+    elapsed_ms: float = 0.0  # real wall clock, admission excluded
+    merge_ms: float = 0.0  # deterministic merge of shard partials
+    shard_work: list[ShardWork] = field(default_factory=list)
+
+    @property
+    def makespan_ms(self) -> float:
+        """Modelled parallel latency: the slowest shard subtask."""
+        return max((w.service_ms for w in self.shard_work), default=0.0)
+
+    @property
+    def total_work_ms(self) -> float:
+        """Modelled single-node latency: every shard subtask, serialised."""
+        return sum(w.service_ms for w in self.shard_work)
+
+    @property
+    def balance(self) -> float:
+        """Mean/max shard service time — 1.0 is a perfectly balanced fleet."""
+        times = [w.service_ms for w in self.shard_work]
+        if not times or max(times) == 0.0:
+            return 1.0
+        return (sum(times) / len(times)) / max(times)
+
+    @property
+    def pages_read(self) -> int:
+        return sum(w.pages_read for w in self.shard_work)
+
+    @property
+    def comparisons(self) -> int:
+        return sum(w.comparisons for w in self.shard_work)
+
+    def as_engine_stats(self) -> EngineStats:
+        """The query's counters in the single-engine envelope shape."""
+        return EngineStats(
+            kind=self.kind,
+            strategy="sharded",
+            pages_read=self.pages_read,
+            io_time_ms=self.total_work_ms,
+            comparisons=self.comparisons,
+            num_results=self.num_results,
+            elapsed_ms=self.elapsed_ms,
+        )
+
+
+@dataclass
+class ServiceResult:
+    """What every :meth:`ShardedEngine.execute` call returns.
+
+    ``payload`` matches the single-engine payload for the query kind —
+    range: sorted uids; knn: ``(uid, distance)`` pairs sorted by
+    ``(distance, uid)``; join: sorted ``(uid_a, uid_b)`` pairs; walk: one
+    sorted uid list per window.  The ordering is part of the contract: it
+    is canonical, so two executions (any shard count, any thread schedule)
+    return byte-identical payloads.
+    """
+
+    payload: Any
+    stats: ServiceStats
+
+    @property
+    def num_results(self) -> int:
+        return self.stats.num_results
+
+    def render(self) -> str:
+        s = self.stats
+        table = Table(
+            ["kind", "results", "shards", "makespan ms", "total work ms", "balance", "wall ms"],
+            title="service result",
+        )
+        table.add_row(
+            [
+                s.kind,
+                s.num_results,
+                f"{s.shards_used}/{s.shards_total}",
+                round(s.makespan_ms, 3),
+                round(s.total_work_ms, 3),
+                round(s.balance, 3),
+                round(s.elapsed_ms, 3),
+            ]
+        )
+        return table.render()
+
+
+def batch_per_shard_service_ms(results: Iterable[ServiceResult]) -> dict[int, float]:
+    """Total modelled service time each shard contributed to a batch."""
+    per_shard: dict[int, float] = {}
+    for result in results:
+        for work in result.stats.shard_work:
+            per_shard[work.shard_id] = per_shard.get(work.shard_id, 0.0) + work.service_ms
+    return per_shard
+
+
+def batch_makespan_ms(results: Iterable[ServiceResult]) -> float:
+    """Modelled latency of a batch on a fleet with one node per shard.
+
+    Each shard serialises its own subtasks but shards run in parallel, so
+    the batch finishes when the busiest shard drains:
+    ``max over shards of (sum of that shard's service_ms)``.
+    """
+    return max(batch_per_shard_service_ms(results).values(), default=0.0)
+
+
+def batch_balance(results: Iterable[ServiceResult]) -> float:
+    """Mean/max per-shard batch service time — 1.0 is perfectly balanced."""
+    per_shard = batch_per_shard_service_ms(results)
+    if not per_shard or max(per_shard.values()) <= 0.0:
+        return 1.0
+    return (sum(per_shard.values()) / len(per_shard)) / max(per_shard.values())
+
+
+def batch_total_work_ms(results: Iterable[ServiceResult]) -> float:
+    """Modelled latency of the same batch on a single node."""
+    return sum(result.stats.total_work_ms for result in results)
+
+
+class ServiceTelemetry:
+    """Service-lifetime aggregate, safe under concurrent mutation.
+
+    Unlike :class:`~repro.engine.stats.EngineTelemetry` (which guards only
+    its own ``record``), this object is the service's single source of
+    truth for conservation checks: ``completed + failed + rejected +
+    timed_out == submitted`` holds at every quiescent point, and
+    ``results_returned`` equals the sum of per-query result counts.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.timed_out = 0
+        self.failed = 0
+        self.results_returned = 0
+        self.shard_subtasks = 0
+        self.admission_wait_ms = 0.0
+        self.makespan_ms = 0.0
+        self.total_work_ms = 0.0
+        self.by_kind: dict[str, int] = {}
+        self.per_shard_service_ms: dict[int, float] = {}
+
+    # -- recording (each method takes the lock once) ---------------------------
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.timed_out += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failed += 1
+
+    def record_completed(self, stats: ServiceStats) -> None:
+        with self._lock:
+            self.completed += 1
+            self.results_returned += stats.num_results
+            self.shard_subtasks += stats.shards_used
+            self.admission_wait_ms += stats.admission_wait_ms
+            self.makespan_ms += stats.makespan_ms
+            self.total_work_ms += stats.total_work_ms
+            self.by_kind[stats.kind] = self.by_kind.get(stats.kind, 0) + 1
+            for work in stats.shard_work:
+                self.per_shard_service_ms[work.shard_id] = (
+                    self.per_shard_service_ms.get(work.shard_id, 0.0) + work.service_ms
+                )
+
+    # -- reading ---------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent copy of every counter (one lock acquisition)."""
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "timed_out": self.timed_out,
+                "failed": self.failed,
+                "results_returned": self.results_returned,
+                "shard_subtasks": self.shard_subtasks,
+                "admission_wait_ms": self.admission_wait_ms,
+                "makespan_ms": self.makespan_ms,
+                "total_work_ms": self.total_work_ms,
+                "by_kind": dict(self.by_kind),
+                "per_shard_service_ms": dict(self.per_shard_service_ms),
+            }
+
+    @property
+    def modelled_speedup(self) -> float:
+        """Aggregate total-work / makespan — the modelled sharding win."""
+        with self._lock:
+            if self.makespan_ms <= 0.0:
+                return 1.0
+            return self.total_work_ms / self.makespan_ms
+
+    def render(self) -> str:
+        snap = self.snapshot()
+        table = Table(["metric", "value"], title="service telemetry")
+        for key in (
+            "submitted",
+            "completed",
+            "rejected",
+            "timed_out",
+            "failed",
+            "results_returned",
+            "shard_subtasks",
+        ):
+            table.add_row([key.replace("_", " "), snap[key]])
+        table.add_row(["admission wait (ms)", round(snap["admission_wait_ms"], 2)])
+        table.add_row(["modelled makespan (ms)", round(snap["makespan_ms"], 2)])
+        table.add_row(["modelled total work (ms)", round(snap["total_work_ms"], 2)])
+        for kind in sorted(snap["by_kind"]):
+            table.add_row([f"  {kind} queries", snap["by_kind"][kind]])
+        for shard_id in sorted(snap["per_shard_service_ms"]):
+            table.add_row(
+                [
+                    f"  shard {shard_id} service (ms)",
+                    round(snap["per_shard_service_ms"][shard_id], 2),
+                ]
+            )
+        return table.render()

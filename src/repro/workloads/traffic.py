@@ -1,0 +1,109 @@
+"""Service traffic: the mixed, read-heavy workload of many concurrent users.
+
+A production deployment of the engine does not see one query kind at a
+time; it sees an interleaved stream — mostly range windows (viewport
+fetches), a steady trickle of KNN lookups (probe placement, "what is near
+this electrode"), and the occasional expensive join (synapse recount).
+:func:`traffic_workload` scripts that stream deterministically so the
+service benchmarks and the stress tests replay the exact same traffic on
+every run.
+
+Every random draw flows through :mod:`repro.utils.rng`: one master seed,
+one :func:`~repro.utils.rng.derive_seed` sub-stream per concern (mix
+shuffling, window placement, knn placement), so adding queries of one kind
+never perturbs the others.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.queries import KNNQuery, Query, RangeQuery, SpatialJoin
+from repro.errors import WorkloadError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.objects import SpatialObject
+from repro.utils.rng import derive_seed, make_rng
+from repro.workloads.ranges import uniform_queries
+
+__all__ = ["traffic_workload", "TRAFFIC_MIX"]
+
+#: Default (range, knn, join) proportions of the read-heavy mix.
+TRAFFIC_MIX = (0.8, 0.15, 0.05)
+
+
+def traffic_workload(
+    objects: Sequence[SpatialObject],
+    count: int,
+    extent: float = 120.0,
+    knn_k: int = 8,
+    mix: tuple[float, float, float] = TRAFFIC_MIX,
+    include_joins: bool = True,
+    seed: int = 0,
+) -> list[Query]:
+    """``count`` declarative queries drawn from a read-heavy traffic mix.
+
+    Parameters
+    ----------
+    objects:
+        The served dataset; windows and knn points are placed inside its
+        bounding box so queries hit real data.
+    mix:
+        ``(range, knn, join)`` weights.  Joins need the executing engine to
+        be bound to a circuit (the default synapse-discovery sides); pass
+        ``include_joins=False`` to redistribute their weight to ranges
+        when serving plain objects.
+    seed:
+        Master seed; every draw derives from it via stable sub-streams.
+
+    >>> queries = traffic_workload(circuit.segments(), 50, seed=7)
+    >>> queries == traffic_workload(circuit.segments(), 50, seed=7)
+    True
+    """
+    if count < 0:
+        raise WorkloadError("count must be >= 0")
+    if len(mix) != 3 or min(mix) < 0 or sum(mix) <= 0:
+        raise WorkloadError("mix must be three non-negative weights summing > 0")
+    if not objects:
+        raise WorkloadError("need objects to build traffic against")
+
+    range_w, knn_w, join_w = mix
+    if not include_joins:
+        range_w, join_w = range_w + join_w, 0.0
+    total = range_w + knn_w + join_w
+
+    world = AABB.union_all(o.aabb for o in objects)
+    mix_rng = make_rng(derive_seed(seed, "traffic", "mix"))
+    kinds: list[str] = []
+    for _ in range(count):
+        draw = float(mix_rng.uniform(0.0, total))
+        if draw < range_w:
+            kinds.append("range")
+        elif draw < range_w + knn_w:
+            kinds.append("knn")
+        else:
+            kinds.append("join")
+
+    windows = iter(
+        uniform_queries(
+            world,
+            kinds.count("range"),
+            extent,
+            seed=make_rng(derive_seed(seed, "traffic", "ranges")),
+        )
+    )
+    knn_rng = make_rng(derive_seed(seed, "traffic", "knn"))
+    queries: list[Query] = []
+    for kind in kinds:
+        if kind == "range":
+            queries.append(RangeQuery(next(windows)))
+        elif kind == "knn":
+            point = Vec3(
+                float(knn_rng.uniform(world.min_x, world.max_x)),
+                float(knn_rng.uniform(world.min_y, world.max_y)),
+                float(knn_rng.uniform(world.min_z, world.max_z)),
+            )
+            queries.append(KNNQuery(point, knn_k))
+        else:
+            queries.append(SpatialJoin(eps=3.0))
+    return queries

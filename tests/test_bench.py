@@ -160,3 +160,16 @@ class TestCommittedArtifacts:
         for name, speedup in speedups.items():
             assert speedup is not None, f"{name} missing a fallback comparison"
             assert speedup >= 2.0, f"{name} only {speedup:.2f}x vs scalar fallback"
+
+    def test_sharded_range_scan_beats_one_shard_1_5x(self, committed):
+        """The PR's service claim, pinned on the committed smoke baseline."""
+        report = json.loads(committed[0].read_text(encoding="utf-8"))
+        names = {w["name"] for w in report["workloads"]}
+        assert {"service.range_scan_1shard", "service.range_scan_sharded"} <= names
+        recorded = report["service"]["sharded_range_speedup"]
+        assert recorded is not None
+        assert recorded > 1.5, f"sharded range scan only {recorded:.2f}x over 1 shard"
+        recomputed = bench.sharded_speedup(
+            report["workloads"], mode=report["default_backend"]
+        )
+        assert recomputed == pytest.approx(recorded, rel=1e-3)

@@ -175,3 +175,35 @@ class TestQueryCommand:
         out = capsys.readouterr().out
         assert "SpatialEngine over" in out
         assert "engine result" in out
+
+
+class TestServeBenchCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.command == "serve-bench"
+        assert args.shards == "1,2,4"
+        assert args.queries == 32
+        assert args.max_queued == 64
+
+    def test_sweep_prints_table_and_telemetry(self, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--neurons", "6",
+                "--seed", "3",
+                "--shards", "1,2",
+                "--queries", "8",
+                "--extent", "100",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve-bench: 8 mixed queries" in out
+        assert "makespan ms" in out
+        assert "service telemetry" in out
+        assert "ShardedEngine over" in out
+
+    def test_bad_shards_fail_cleanly(self, capsys):
+        code = main(["serve-bench", "--neurons", "6", "--shards", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().out

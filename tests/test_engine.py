@@ -339,3 +339,51 @@ class TestFromObjects:
         greedy = Planner(profile, tiny_join_pairs=0)
         plan = greedy.plan(SpatialJoin(eps=1.0, side_a=tuple(grid27), side_b=tuple(grid27)))
         assert plan.strategy == "touch"
+
+
+class TestKNNCanonicalTieBreak:
+    """Distance ties at the k-th place break by uid on every strategy."""
+
+    @staticmethod
+    def tied_engine():
+        from repro.objects import BoxObject
+
+        # Eight identical-distance unit boxes at the corners of a cube,
+        # plus spacers so uids interleave across index pages.
+        boxes = []
+        uid = 0
+        for dx in (-4.0, 4.0):
+            for dy in (-4.0, 4.0):
+                for dz in (-4.0, 4.0):
+                    boxes.append(
+                        BoxObject(
+                            uid=uid,
+                            box=AABB(dx - 0.5, dy - 0.5, dz - 0.5, dx + 0.5, dy + 0.5, dz + 0.5),
+                        )
+                    )
+                    uid += 1
+        for i in range(16):
+            boxes.append(
+                BoxObject(
+                    uid=uid + i,
+                    box=AABB(40.0 + i, 40.0, 40.0, 41.0 + i, 41.0, 41.0),
+                )
+            )
+        return SpatialEngine.from_objects(boxes, page_capacity=4)
+
+    @pytest.mark.parametrize("strategy", ["flat", "rtree"])
+    def test_tied_group_truncates_by_uid(self, strategy):
+        eng = self.tied_engine()
+        result = eng.execute(KNNQuery(Vec3(0.0, 0.0, 0.0), k=3, strategy=strategy))
+        # All eight corner boxes are equidistant; the canonical answer is
+        # the three smallest uids among them.
+        assert [uid for uid, _ in result.payload] == [0, 1, 2]
+        distances = [d for _, d in result.payload]
+        assert distances[0] == pytest.approx(distances[1]) == pytest.approx(distances[2])
+
+    def test_strategies_agree_exactly_under_ties(self):
+        eng = self.tied_engine()
+        for k in (1, 3, 8, 10):
+            flat = eng.execute(KNNQuery(Vec3(0.0, 0.0, 0.0), k=k, strategy="flat"))
+            rtree = eng.execute(KNNQuery(Vec3(0.0, 0.0, 0.0), k=k, strategy="rtree"))
+            assert flat.payload == rtree.payload

@@ -12,8 +12,10 @@ import pytest
 from repro.core.flat.index import FLATIndex
 from repro.core.scout.prefetcher import ScoutPrefetcher
 from repro.core.scout.session import ExplorationSession
-from repro.errors import PageNotFoundError, StorageError
+from repro.engine import KNNQuery, RangeQuery
+from repro.errors import EngineError, PageNotFoundError, ServiceError, StorageError
 from repro.geometry.aabb import AABB
+from repro.service import ShardedEngine
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.disk import Disk
 from repro.storage.page import Page
@@ -108,6 +110,51 @@ class TestResourcePressure:
         index.query(box, pool=pool)
         assert pool.stats.evictions > 0
         assert pool.num_resident <= 2
+
+    def test_shard_fault_surfaces_clean_engine_error(self):
+        """A shard worker raising mid-query becomes one ServiceError that
+        names the shard and chains the original cause."""
+        with ShardedEngine.from_objects(grid_boxes(6), num_shards=4) as service:
+            victim = service.shards[1].engine
+            original = victim.execute
+
+            def exploding(query):
+                raise PageNotFoundError(99)
+
+            victim.execute = exploding
+            whole = AABB(-10, -10, -10, 50, 50, 50)
+            with pytest.raises(ServiceError) as excinfo:
+                service.execute(RangeQuery(whole))
+            assert isinstance(excinfo.value, EngineError)
+            assert excinfo.value.shard_id == 1
+            assert isinstance(excinfo.value.__cause__, PageNotFoundError)
+            # Repair the shard: the pool and the other shards are unharmed.
+            victim.execute = original
+            result = service.execute(RangeQuery(whole))
+            assert result.payload == [o.uid for o in grid_boxes(6)]
+            snap = service.telemetry.snapshot()
+            assert snap["failed"] == 1 and snap["completed"] == 1
+
+    def test_shard_fault_leaves_pool_reusable_across_kinds(self):
+        """After a mid-query crash the same pool serves every query kind."""
+        objects = grid_boxes(5)
+        with ShardedEngine.from_objects(objects, num_shards=3) as service:
+            victim = service.shards[0].engine
+            original = victim.execute
+            def crash(query):
+                raise RuntimeError("boom")
+
+            victim.execute = crash
+            whole = AABB(-10, -10, -10, 50, 50, 50)
+            for _ in range(3):  # repeated failures must not wedge admission
+                with pytest.raises(ServiceError):
+                    service.execute(RangeQuery(whole))
+            victim.execute = original
+            assert service.execute(RangeQuery(whole)).num_results == len(objects)
+            knn = service.execute(KNNQuery(whole.center(), 4))
+            assert len(knn.payload) == 4
+            admission = service.admission.snapshot()
+            assert admission.in_flight == 0 and admission.queued == 0
 
     def test_prefetch_under_pressure_never_breaks_results(self, medium_circuit):
         from repro.workloads.walks import branch_walk

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine.queries import KNNQuery, RangeQuery, SpatialJoin
 from repro.errors import WorkloadError
 from repro.geometry.aabb import AABB
 from repro.workloads.joins import JoinWorkload, clustered_boxes, uniform_boxes
@@ -12,6 +13,7 @@ from repro.workloads.ranges import (
     grid_queries,
     uniform_queries,
 )
+from repro.workloads.traffic import traffic_workload
 from repro.workloads.walks import branch_walk, random_walk
 
 
@@ -148,3 +150,46 @@ class TestJoinWorkloads:
             uniform_boxes(-1, world, 1.0)
         with pytest.raises(WorkloadError):
             clustered_boxes(10, world, 1.0, num_clusters=0)
+
+
+class TestTrafficWorkloads:
+    def test_mix_and_determinism(self, medium_circuit):
+        segments = medium_circuit.segments()
+        queries = traffic_workload(segments, 60, seed=5)
+        again = traffic_workload(segments, 60, seed=5)
+        assert queries == again
+        kinds = {type(q) for q in queries}
+        assert RangeQuery in kinds and KNNQuery in kinds
+        # Read-heavy: ranges dominate the default mix.
+        n_ranges = sum(isinstance(q, RangeQuery) for q in queries)
+        assert n_ranges > len(queries) // 2
+
+    def test_different_seeds_differ(self, medium_circuit):
+        segments = medium_circuit.segments()
+        assert traffic_workload(segments, 30, seed=1) != traffic_workload(
+            segments, 30, seed=2
+        )
+
+    def test_windows_hit_real_data(self, medium_circuit):
+        segments = medium_circuit.segments()
+        world = medium_circuit.bounding_box()
+        for query in traffic_workload(segments, 40, include_joins=False, seed=3):
+            if isinstance(query, RangeQuery):
+                assert query.box.intersects(world)
+            else:
+                assert world.expanded(1.0).contains_point(query.point)
+
+    def test_no_joins_flag(self, medium_circuit):
+        queries = traffic_workload(
+            medium_circuit.segments(), 50, include_joins=False, seed=7
+        )
+        assert not any(isinstance(q, SpatialJoin) for q in queries)
+
+    def test_validation(self, medium_circuit):
+        segments = medium_circuit.segments()
+        with pytest.raises(WorkloadError):
+            traffic_workload(segments, -1)
+        with pytest.raises(WorkloadError):
+            traffic_workload(segments, 5, mix=(0.0, 0.0, 0.0))
+        with pytest.raises(WorkloadError):
+            traffic_workload([], 5)
