@@ -60,10 +60,15 @@ from repro.core.touch import (
     touch_join,
 )
 from repro.engine import (
+    Delete,
     EngineResult,
     EngineStats,
     EngineTelemetry,
+    Insert,
     KNNQuery,
+    Move,
+    MutationResult,
+    MutationStats,
     QueryPlan,
     RangeQuery,
     SpatialEngine,
@@ -113,6 +118,7 @@ __all__ = [
     "BufferPool",
     "Circuit",
     "CircuitConfig",
+    "Delete",
     "Disk",
     "DiskParameters",
     "EngineError",
@@ -125,6 +131,7 @@ __all__ = [
     "FLATQueryResult",
     "FLATQueryStats",
     "HilbertPrefetcher",
+    "Insert",
     "JoinResult",
     "JoinStats",
     "KNNQuery",
@@ -132,6 +139,9 @@ __all__ = [
     "Morphology",
     "MorphologyConfig",
     "MorphologyGenerator",
+    "Move",
+    "MutationResult",
+    "MutationStats",
     "NoPrefetcher",
     "ObjectStore",
     "QueryPlan",

@@ -136,6 +136,11 @@ def _smoke_config() -> dict[str, Any]:
         "service_neurons": 40,
         "service_queries": 10,
         "service_extent": 180.0,
+        "mutate_neurons": 30,
+        "mutate_batch": 400,
+        "rw_neurons": 20,
+        "rw_ops": 24,
+        "rw_write_fraction": 0.3,
     }
 
 
@@ -157,6 +162,11 @@ def _full_config() -> dict[str, Any]:
         "service_neurons": 60,
         "service_queries": 16,
         "service_extent": 220.0,
+        "mutate_neurons": 60,
+        "mutate_batch": 800,
+        "rw_neurons": 30,
+        "rw_ops": 48,
+        "rw_write_fraction": 0.3,
     }
 
 
@@ -406,6 +416,120 @@ def _service_workload(shards_key: str) -> _Workload:
     )
 
 
+def _mutation_state(cfg: dict[str, Any]) -> Any:
+    from repro.engine import Delete, Insert, RangeQuery, SpatialEngine
+    from repro.experiments.datasets import circuit_dataset
+    from repro.geometry.aabb import AABB
+    from repro.geometry.vec import Vec3
+    from repro.objects import BoxObject
+    from repro.utils.rng import make_rng
+
+    circuit = circuit_dataset(n_neurons=cfg["mutate_neurons"])
+    engine = SpatialEngine.from_circuit(circuit, page_capacity=cfg["page_capacity"])
+    # Warm both index families so the timed runs measure *incremental*
+    # maintenance (FLAT page rewrites/splits, R-tree insert/delete), not
+    # a lazy rebuild.
+    world = engine.profile.world
+    engine.execute(RangeQuery(world, strategy="flat"))
+    engine.execute(RangeQuery(world, strategy="rtree"))
+    rng = make_rng(2013)
+    base_uid = max(o.uid for o in engine.objects) + 1
+    size = max(world.sizes) * 0.01
+    inserts = []
+    for i in range(cfg["mutate_batch"]):
+        center = Vec3(
+            float(rng.uniform(world.min_x, world.max_x)),
+            float(rng.uniform(world.min_y, world.max_y)),
+            float(rng.uniform(world.min_z, world.max_z)),
+        )
+        inserts.append(
+            Insert(BoxObject(uid=base_uid + i, box=AABB.from_center_extent(center, size)))
+        )
+    deletes = [Delete(base_uid + i) for i in range(cfg["mutate_batch"])]
+    return engine, inserts, deletes
+
+
+def _run_ingest(state: Any) -> int:
+    # Insert a batch through the warm indexes, then delete it again, so
+    # every repeat starts from the same dataset.  Units = mutations applied.
+    engine, inserts, deletes = state
+    engine.apply_many(inserts)
+    engine.apply_many(deletes)
+    return len(inserts) + len(deletes)
+
+
+def _read_write_workload() -> _Workload:
+    """Mixed live traffic through the :class:`ShardedEngine` write path.
+
+    Replays a seeded read-write stream (range/knn reads interleaved with
+    insert/delete/move writes, each write published as one epoch) and then
+    applies the compensating batch that restores the initial dataset, so
+    repeats are identical.  Wall time covers reads, epoch publication
+    (copy-on-write shard rebuilds) and the restore batch.
+    """
+
+    def setup(cfg: dict[str, Any]) -> Any:
+        from repro.experiments.datasets import circuit_dataset
+        from repro.service import ShardedEngine
+        from repro.workloads.traffic import read_write_workload
+
+        circuit = circuit_dataset(n_neurons=cfg["rw_neurons"])
+        segments = circuit.segments()
+        ops = read_write_workload(
+            segments,
+            cfg["rw_ops"],
+            write_fraction=cfg["rw_write_fraction"],
+            extent=cfg["service_extent"],
+            seed=2013,
+        )
+        service = ShardedEngine.from_circuit(
+            circuit,
+            num_shards=cfg["service_shards"],
+            page_capacity=cfg["page_capacity"],
+            max_queued=cfg["rw_ops"] + 8,
+        )
+        originals = {o.uid: o for o in segments}
+        return service, ops, originals
+
+    def run(state: Any) -> int:
+        from repro.engine.mutations import Delete, Insert, Move
+
+        service, ops, originals = state
+        current = dict(originals)
+        for op in ops:
+            if isinstance(op, (Insert, Delete, Move)):
+                service.apply(op)
+                if isinstance(op, Insert):
+                    current[op.obj.uid] = op.obj
+                elif isinstance(op, Delete):
+                    del current[op.uid]
+                else:
+                    current[op.uid] = op.obj
+            else:
+                service.execute(op)
+        restore: list[Any] = [Delete(uid) for uid in current if uid not in originals]
+        for uid, obj in originals.items():
+            if uid not in current:
+                restore.append(Insert(obj))
+            elif current[uid] is not obj:
+                restore.append(Move(uid, obj))
+        if restore:
+            service.apply_many(restore)
+        return len(ops) + len(restore)
+
+    def teardown(state: Any) -> None:
+        service, _, _ = state
+        service.close()
+
+    return _Workload(
+        name="mutate.read_write_mix",
+        unit="ops served",
+        setup=setup,
+        run=run,
+        teardown=teardown,
+    )
+
+
 def _sweep_probe_workload() -> _Workload:
     """join.filter times only the probe (filter + refine) phase of the sweep:
     sorting and packing are identical build work in both modes."""
@@ -442,6 +566,8 @@ def _workloads() -> list[_Workload]:
         _Workload("join.pbsm", "mbr comparisons", _join_state, _run_pbsm),
         _service_workload("one"),
         _service_workload("sharded"),
+        _Workload("mutate.ingest_throughput", "mutations applied", _mutation_state, _run_ingest),
+        _read_write_workload(),
     ]
 
 

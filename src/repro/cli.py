@@ -19,7 +19,9 @@ screens displayed, plus an ASCII rendering of the figure:
 * ``serve-bench`` — drive a mixed traffic workload through the
   :class:`~repro.service.ShardedEngine` query service across a sweep of
   shard counts, reporting modelled makespan vs total work and the service
-  telemetry;
+  telemetry; ``--write-fraction`` turns the stream into a live read-write
+  mix whose insert/delete/move mutations publish epochs while the reads
+  run;
 * ``bench``      — the unified benchmark suite (:mod:`repro.bench`): emits
   the schema-versioned BENCH JSON and exits non-zero on regression against
   a baseline.
@@ -112,6 +114,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--no-joins", action="store_true", help="serve ranges and knn only"
+    )
+    serve.add_argument(
+        "--write-fraction", type=float, default=0.0, metavar="FRACTION",
+        help="serve a live read-write mix: this fraction of the ops are "
+        "insert/delete/move mutations published as epochs (default 0 = read-only)",
     )
 
     bench = sub.add_parser("bench", help="run the benchmark suite, emit BENCH JSON")
@@ -343,6 +350,7 @@ def _run_report(args: argparse.Namespace) -> int:
 def _run_serve_bench(args: argparse.Namespace) -> int:
     import time
 
+    from repro.engine.mutations import Delete, Insert, Move
     from repro.errors import ReproError
     from repro.service import (
         ShardedEngine,
@@ -351,12 +359,14 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         batch_total_work_ms,
     )
     from repro.utils.tables import Table
-    from repro.workloads.traffic import traffic_workload
+    from repro.workloads.traffic import read_write_workload, traffic_workload
 
     try:
         shard_counts = sorted({int(v) for v in args.shards.split(",")})
         if any(count < 1 for count in shard_counts):
             raise ValueError("shard counts must be >= 1")
+        if not 0.0 <= args.write_fraction <= 1.0:
+            raise ValueError("--write-fraction must be in [0, 1]")
 
         if args.circuit is not None:
             from repro.neuro.persistence import load_circuit
@@ -366,18 +376,29 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             from repro.neuro.circuit import generate_circuit
 
             circuit = generate_circuit(n_neurons=args.neurons, seed=args.seed)
-        queries = traffic_workload(
-            circuit.segments(),
-            args.queries,
-            extent=args.extent,
-            include_joins=not args.no_joins,
-            seed=args.seed,
-        )
+        if args.write_fraction > 0.0:
+            ops = read_write_workload(
+                circuit.segments(),
+                args.queries,
+                write_fraction=args.write_fraction,
+                extent=args.extent,
+                seed=args.seed,
+            )
+        else:
+            ops = traffic_workload(
+                circuit.segments(),
+                args.queries,
+                extent=args.extent,
+                include_joins=not args.no_joins,
+                seed=args.seed,
+            )
+        n_writes = sum(isinstance(op, (Insert, Delete, Move)) for op in ops)
 
         table = Table(
             [
                 "shards",
                 "queries",
+                "writes",
                 "results",
                 "makespan ms",
                 "total work ms",
@@ -385,8 +406,13 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
                 "balance",
                 "wall ms",
             ],
-            title=f"serve-bench: {len(queries)} mixed queries "
-            f"({circuit.num_neurons} neurons)",
+            title="serve-bench: "
+            + (
+                f"{len(ops) - n_writes} queries + {n_writes} writes"
+                if n_writes
+                else f"{len(ops)} mixed queries"
+            )
+            + f" ({circuit.num_neurons} neurons)",
         )
         single_node_ms: float | None = None
         summary: tuple[str, str] | None = None
@@ -400,7 +426,12 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
                 default_timeout_s=args.timeout,
             ) as service:
                 start = time.perf_counter()
-                results = service.query_many(queries)
+                results = []
+                for op in ops:
+                    if isinstance(op, (Insert, Delete, Move)):
+                        service.apply(op)
+                    else:
+                        results.append(service.execute(op))
                 wall_ms = (time.perf_counter() - start) * 1000.0
                 summary = (service.describe(), service.telemetry.render())
             makespan = batch_makespan_ms(results)
@@ -411,6 +442,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
                 [
                     count,
                     len(results),
+                    n_writes,
                     sum(r.num_results for r in results),
                     round(makespan, 2),
                     round(total_work, 2),

@@ -92,8 +92,9 @@ class FLATIndex:
         )
         self.disk = Disk(params=disk_params if disk_params is not None else DiskParameters())
         # Batch-kernel cache: packed object bounds per partition, keyed by
-        # the kernel backend that built them (packs are backend-specific).
-        self._page_packs: dict[int, tuple[str, object]] = {}
+        # the kernel backend that built them (packs are backend-specific)
+        # and by the page's write-version (maintenance rewrites pages).
+        self._page_packs: dict[int, tuple[str, int, object]] = {}
         self._partition_of_uid: dict[int, int] = {}
         for partition in self.partitions:
             self.disk.store(
@@ -142,14 +143,18 @@ class FLATIndex:
 
         The pack is what the crawl and KNN scans hand to the batch kernels;
         it is rebuilt lazily after maintenance touches the partition or the
-        active kernel backend changes.
+        active kernel backend changes.  The cache entry is keyed by both
+        the backend token *and* the page's disk write-version, so a pack
+        built from a page snapshot that maintenance has since rewritten
+        (e.g. delete-then-reinsert of the same uid) can never be served.
         """
         token = kernels.pack_token()
+        version = self.disk.version_of(page.page_id)
         cached = self._page_packs.get(page.page_id)
-        if cached is not None and cached[0] == token:
-            return cached[1]
+        if cached is not None and cached[0] == token and cached[1] == version:
+            return cached[2]
         packed = kernels.pack_boxes([self._objects[uid].aabb for uid in page.object_uids])
-        self._page_packs[page.page_id] = (token, packed)
+        self._page_packs[page.page_id] = (token, version, packed)
         return packed
 
     def _invalidate_page_pack(self, pid: int) -> None:
@@ -172,6 +177,14 @@ class FLATIndex:
     def delete(self, uid: int) -> None:
         """Remove an object; empty partitions are dissolved."""
         _updates.delete_object(self, uid)
+
+    def move(self, obj: SpatialObject) -> None:
+        """Replace object ``obj.uid``'s geometry (page-level when possible).
+
+        See :func:`repro.core.flat.updates.move_object` for the in-place
+        versus delete-reinsert decision.
+        """
+        _updates.move_object(self, obj)
 
     def validate(self) -> None:
         """Check every FLAT invariant (partition coverage, links, seed tree)."""

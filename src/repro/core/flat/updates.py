@@ -9,7 +9,17 @@ implements the maintenance operations used by :class:`FLATIndex`:
   splits the partition with STR when it overflows, and repairs the seed
   tree and the neighbour links locally;
 * ``delete`` shrinks or dissolves the containing partition and repairs the
-  same structures.
+  same structures;
+* ``move`` replaces one object's geometry: a *page-level in-place* rewrite
+  (same membership, refreshed MBR/page/pack/links) when the new geometry
+  still fits the owning partition's MBR, and delete-then-reinsert routing
+  when it has drifted out.
+
+Every repair rewrites the touched disk page (bumping its write-version,
+which invalidates buffer-pool frames and the per-page kernel-pack cache)
+and keeps the partitions in Hilbert-coherent placement: the in-place move
+path preserves the page's position in the crawl order, and relocations go
+through the same least-enlargement routing as fresh inserts.
 
 All repairs are local: only the touched partition(s) and the neighbour
 lists that mention them change, mirroring how the original system applies
@@ -29,7 +39,7 @@ from repro.storage.page import Page
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.flat.index import FLATIndex
 
-__all__ = ["insert_object", "delete_object", "validate_index"]
+__all__ = ["insert_object", "delete_object", "move_object", "validate_index"]
 
 
 def insert_object(index: "FLATIndex", obj: SpatialObject) -> None:
@@ -83,6 +93,32 @@ def delete_object(index: "FLATIndex", uid: int) -> None:
         _replace_partition(index, pid, remaining)
     else:
         _dissolve_partition(index, pid)
+
+
+def move_object(index: "FLATIndex", obj: SpatialObject) -> None:
+    """Replace object ``obj.uid``'s geometry with ``obj``.
+
+    When the new geometry still fits inside the owning partition's MBR the
+    move is a page-level in-place update: the membership is unchanged, the
+    page is rewritten (bumping its write-version), the partition MBR is
+    tightened and the pack cache, seed tree and neighbour links are
+    refreshed.  Otherwise the object is deleted and re-routed through the
+    normal insertion path.
+    """
+    uid = obj.uid
+    if uid not in index._objects:
+        raise IndexError_(f"unknown object uid {uid}")
+    pid = index._partition_of_uid[uid]
+    partition = index.partitions[pid]
+    old = index._objects[uid]
+    index._objects[uid] = obj
+    if partition.mbr.contains_box(obj.aabb):
+        _replace_partition(index, pid, partition.object_uids)
+        return
+    # Drifted out of the page: restore, then delete + reinsert routes it.
+    index._objects[uid] = old
+    delete_object(index, uid)
+    insert_object(index, obj)
 
 
 # -- internals ----------------------------------------------------------------

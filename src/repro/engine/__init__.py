@@ -11,6 +11,9 @@ Every execution returns an :class:`EngineResult` envelope with uniform
 The subsystem modules:
 
 * :mod:`repro.engine.queries` — the declarative query values,
+* :mod:`repro.engine.mutations` — the declarative mutation values
+  (:class:`Insert`, :class:`Delete`, :class:`Move`) applied via
+  :meth:`SpatialEngine.apply_many`,
 * :mod:`repro.engine.planner` — dataset profiling and strategy selection,
 * :mod:`repro.engine.executors` — one executor per strategy, uniform counters,
 * :mod:`repro.engine.stats` — result envelopes and telemetry,
@@ -18,6 +21,14 @@ The subsystem modules:
 """
 
 from repro.engine.engine import SpatialEngine
+from repro.engine.mutations import (
+    Delete,
+    Insert,
+    Move,
+    Mutation,
+    MutationResult,
+    MutationStats,
+)
 from repro.engine.planner import DatasetProfile, Planner, QueryPlan
 from repro.engine.queries import (
     JOIN_STRATEGIES,
@@ -39,6 +50,12 @@ __all__ = [
     "SpatialJoin",
     "Walkthrough",
     "Query",
+    "Insert",
+    "Delete",
+    "Move",
+    "Mutation",
+    "MutationResult",
+    "MutationStats",
     "QueryPlan",
     "Planner",
     "DatasetProfile",

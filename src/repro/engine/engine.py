@@ -37,6 +37,14 @@ from repro.engine.executors import (
     run_walk,
     timed,
 )
+from repro.engine.mutations import (
+    Delete,
+    Insert,
+    Move,
+    Mutation,
+    MutationResult,
+    MutationStats,
+)
 from repro.engine.planner import DatasetProfile, Planner, QueryPlan
 from repro.engine.queries import KNNQuery, Query, RangeQuery, SpatialJoin, Walkthrough
 from repro.engine.stats import EngineResult, EngineTelemetry
@@ -94,11 +102,17 @@ class SpatialEngine:
         self.disk_params = disk_params if disk_params is not None else DiskParameters()
         self.seed_fanout = seed_fanout
         self.profile = DatasetProfile.from_objects(self.objects, self.page_capacity)
+        self._planner_is_default = planner is None
         self.planner = planner if planner is not None else Planner(self.profile)
         self.telemetry = EngineTelemetry()
         self._flat_index: FLATIndex | None = None
         self._object_rtree: RTree | None = None
         self._pool: BufferPool | None = None
+        self._position_of_uid: dict[int, int] = {}
+        for position, obj in enumerate(self.objects):
+            if obj.uid in self._position_of_uid:
+                raise EngineError(f"duplicate object uid {obj.uid} in dataset")
+            self._position_of_uid[obj.uid] = position
 
     # -- constructors ----------------------------------------------------------
     @classmethod
@@ -167,6 +181,91 @@ class SpatialEngine:
             "rtree": self._object_rtree is not None,
             "pool": self._pool is not None,
         }
+
+    # -- mutation (live data: the paper's model-building loop) -----------------
+    def apply(self, mutation: Mutation) -> MutationResult:
+        """Apply one :class:`Insert` / :class:`Delete` / :class:`Move`."""
+        return self.apply_many((mutation,))
+
+    def apply_many(self, mutations: Sequence[Mutation]) -> MutationResult:
+        """Apply a batch of mutations through every live structure.
+
+        The dataset, the FLAT index (page-level maintenance: partition
+        rewrites, splits, dissolutions — each rewritten page bumps its
+        disk write-version, so warm buffer pools and kernel-pack caches
+        can never serve the pre-mutation snapshot) and the object R-tree
+        (insert/delete with node-pack invalidation) are all updated; lazy
+        structures that have not been built yet simply build over the
+        mutated dataset on first use.  The dataset profile (and the
+        default planner over it) is refreshed once per batch.
+
+        Mutations apply in order; an invalid one (duplicate insert,
+        unknown uid, deleting the last object) raises
+        :class:`~repro.errors.EngineError` and leaves the batch's earlier
+        mutations applied — the engine stays consistent either way.
+
+        The bound ``circuit`` (if any) is *not* edited: the engine mutates
+        its flattened object dataset, so the default synapse-discovery
+        sides of :class:`SpatialJoin` keep reflecting the original
+        circuit.  Joins over live data should pass explicit sides.
+        """
+        start = time.perf_counter()
+        stats = MutationStats()
+        applied: list[Mutation] = []
+        try:
+            for mutation in mutations:
+                self._apply_one(mutation)
+                stats.count(mutation)
+                applied.append(mutation)
+        finally:
+            if applied:
+                self.profile = DatasetProfile.from_objects(self.objects, self.page_capacity)
+                if self._planner_is_default:
+                    self.planner = Planner(self.profile)
+            stats.elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.telemetry.record_mutations(stats)
+        return MutationResult(stats=stats, num_objects=len(self.objects), applied=applied)
+
+    def _apply_one(self, mutation: Mutation) -> None:
+        if isinstance(mutation, Insert):
+            obj = mutation.obj
+            if obj.uid in self._position_of_uid:
+                raise EngineError(f"cannot insert duplicate uid {obj.uid}")
+            self._position_of_uid[obj.uid] = len(self.objects)
+            self.objects.append(obj)
+            if self._flat_index is not None:
+                self._flat_index.insert(obj)
+            if self._object_rtree is not None:
+                self._object_rtree.insert(obj.uid, obj.aabb)
+        elif isinstance(mutation, Delete):
+            position = self._position_of_uid.get(mutation.uid)
+            if position is None:
+                raise EngineError(f"cannot delete unknown uid {mutation.uid}")
+            if len(self.objects) == 1:
+                raise EngineError("cannot delete the last object of an engine dataset")
+            old = self.objects[position]
+            last = self.objects.pop()
+            if position < len(self.objects):
+                self.objects[position] = last
+                self._position_of_uid[last.uid] = position
+            del self._position_of_uid[mutation.uid]
+            if self._flat_index is not None:
+                self._flat_index.delete(mutation.uid)
+            if self._object_rtree is not None:
+                self._object_rtree.delete(mutation.uid, old.aabb)
+        elif isinstance(mutation, Move):
+            position = self._position_of_uid.get(mutation.uid)
+            if position is None:
+                raise EngineError(f"cannot move unknown uid {mutation.uid}")
+            old = self.objects[position]
+            self.objects[position] = mutation.obj
+            if self._flat_index is not None:
+                self._flat_index.move(mutation.obj)
+            if self._object_rtree is not None:
+                self._object_rtree.delete(mutation.uid, old.aabb)
+                self._object_rtree.insert(mutation.uid, mutation.obj.aabb)
+        else:
+            raise EngineError(f"cannot apply mutation of type {type(mutation).__name__}")
 
     # -- planning --------------------------------------------------------------
     def explain(self, query: Query) -> QueryPlan:

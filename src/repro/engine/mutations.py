@@ -1,0 +1,131 @@
+"""Declarative mutations — how a live dataset changes under the engine.
+
+The paper's workflow is iterative model *building*: neuroscientists grow
+and edit circuits continuously, so the indexes must absorb inserts,
+deletes and moves while queries keep running.  A mutation describes *what*
+changes; :meth:`SpatialEngine.apply` / :meth:`apply_many` and
+:meth:`ShardedEngine.apply_many` decide *how* — page-level FLAT
+maintenance, R-tree insert/delete, buffer-pool and kernel-pack
+invalidation, and (in the sharded service) an epoch-versioned
+copy-on-write view swap so in-flight readers never observe a torn state.
+
+Like queries, mutations are immutable values: they can be built once,
+logged, replayed, batched and routed.  A batch applied via ``apply_many``
+is one atomic visibility step for the sharded service — readers see either
+the pre-batch epoch or the post-batch epoch, never a prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import EngineError
+from repro.objects import SpatialObject
+
+__all__ = [
+    "Insert",
+    "Delete",
+    "Move",
+    "Mutation",
+    "MutationStats",
+    "MutationResult",
+]
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Add a new object to the dataset.
+
+    ``obj`` may be any :class:`~repro.objects.SpatialObject`; its ``uid``
+    must not already be present.  ``apply_many`` raises
+    :class:`~repro.errors.EngineError` on a duplicate and applies nothing
+    from the offending batch position onward.
+    """
+
+    obj: SpatialObject
+
+    kind = "insert"
+
+    @property
+    def uid(self) -> int:
+        return self.obj.uid
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Remove the object with ``uid`` from the dataset.
+
+    Unknown uids raise :class:`~repro.errors.EngineError`.  Deleting the
+    last object is rejected: an engine (and every shard view) is defined
+    over a non-empty dataset.
+    """
+
+    uid: int
+
+    kind = "delete"
+
+
+@dataclass(frozen=True)
+class Move:
+    """Replace the geometry of object ``uid`` with ``obj`` (same uid).
+
+    ``obj`` is the full replacement object — for a neuron segment that is
+    the re-placed segment, for a box object the relocated box.  FLAT
+    applies a move *in place* (page rewrite, pack-cache and seed-tree
+    refresh) when the new geometry still fits the owning partition's MBR,
+    and falls back to delete-then-reinsert routing otherwise; the R-tree
+    always reroutes.  ``obj.uid`` must equal ``uid``.
+    """
+
+    uid: int
+    obj: SpatialObject
+
+    kind = "move"
+
+    def __post_init__(self) -> None:
+        if self.obj.uid != self.uid:
+            raise EngineError(
+                f"Move target uid {self.uid} != replacement object uid {self.obj.uid}"
+            )
+
+
+#: Anything the engines can apply.
+Mutation = Insert | Delete | Move
+
+
+@dataclass
+class MutationStats:
+    """The uniform counters of one ``apply_many`` batch."""
+
+    inserts: int = 0
+    deletes: int = 0
+    moves: int = 0
+    elapsed_ms: float = 0.0  # wall-clock application time
+    epoch: int = 0  # service epoch the batch published (0 on a single engine)
+    rebalanced: bool = False  # did the service re-tile its shards afterwards
+    shards_touched: int = 0  # service shards rebuilt by the batch
+
+    @property
+    def applied(self) -> int:
+        return self.inserts + self.deletes + self.moves
+
+    def count(self, mutation: Mutation) -> None:
+        if isinstance(mutation, Insert):
+            self.inserts += 1
+        elif isinstance(mutation, Delete):
+            self.deletes += 1
+        else:
+            self.moves += 1
+
+
+@dataclass
+class MutationResult:
+    """What every ``apply`` / ``apply_many`` call returns."""
+
+    stats: MutationStats
+    num_objects: int = 0  # dataset size after the batch
+    applied: list[Mutation] = field(default_factory=list)
+
+    @property
+    def num_applied(self) -> int:
+        return self.stats.applied

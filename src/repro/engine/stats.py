@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any
 from repro.utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.engine.mutations import MutationStats
     from repro.engine.planner import QueryPlan
 
 __all__ = ["EngineStats", "EngineResult", "EngineTelemetry"]
@@ -103,6 +104,12 @@ class EngineTelemetry:
     elapsed_ms: float = 0.0
     planning_ms: float = 0.0
     kernel_batches: int = 0
+    mutation_batches: int = 0
+    mutations_applied: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    moves: int = 0
+    mutation_ms: float = 0.0
     by_kind: dict[str, int] = field(default_factory=dict)
     by_strategy: dict[str, int] = field(default_factory=dict)
     by_kernel_backend: dict[str, int] = field(default_factory=dict)
@@ -127,6 +134,16 @@ class EngineTelemetry:
                     self.by_kernel_backend.get(stats.kernel_backend, 0) + 1
                 )
 
+    def record_mutations(self, stats: "MutationStats") -> None:
+        """Fold one ``apply_many`` batch's counters into the lifetime view."""
+        with self._lock:
+            self.mutation_batches += 1
+            self.mutations_applied += stats.applied
+            self.inserts += stats.inserts
+            self.deletes += stats.deletes
+            self.moves += stats.moves
+            self.mutation_ms += stats.elapsed_ms
+
     def render(self) -> str:
         table = Table(["metric", "value"], title="engine telemetry")
         table.add_row(["queries executed", self.queries_executed])
@@ -139,6 +156,12 @@ class EngineTelemetry:
             table.add_row([f"  via {backend} kernels", self.by_kernel_backend[backend]])
         table.add_row(["execution wall (ms)", self.elapsed_ms])
         table.add_row(["planning wall (ms)", self.planning_ms])
+        if self.mutation_batches:
+            table.add_row(["mutations applied", self.mutations_applied])
+            table.add_row(["  inserts", self.inserts])
+            table.add_row(["  deletes", self.deletes])
+            table.add_row(["  moves", self.moves])
+            table.add_row(["mutation wall (ms)", self.mutation_ms])
         for kind in sorted(self.by_kind):
             table.add_row([f"  {kind} queries", self.by_kind[kind]])
         for strategy in sorted(self.by_strategy):

@@ -140,6 +140,19 @@ class RTree:
     def _capacity_of(self, node: Node) -> int:
         return self.leaf_capacity if node.is_leaf else self.max_entries
 
+    def _min_fill_of(self, node: Node) -> int:
+        """Minimum fill for ``node``'s kind.
+
+        When leaves model data pages with their own capacity, the 40%
+        internal-node fill can exceed the leaf capacity entirely, making
+        leaf splits impossible; leaves then get the same 40% rule scaled
+        to their own capacity.  Dynamic maintenance on page-leaved trees
+        (the engine's object R-tree) depends on this.
+        """
+        if node.is_leaf and self.leaf_capacity != self.max_entries:
+            return max(1, min(self.min_entries, (self.leaf_capacity * 2) // 5))
+        return self.min_entries
+
     # -- insertion ---------------------------------------------------------------
     def insert(self, uid: int, mbr: AABB) -> None:
         """Insert object ``uid`` with bounding box ``mbr``."""
@@ -192,7 +205,7 @@ class RTree:
         return best
 
     def _split_node(self, node: Node) -> Node:
-        group_a, group_b = self._split_func(node.entries, self.min_entries)
+        group_a, group_b = self._split_func(node.entries, self._min_fill_of(node))
         node.entries = group_a
         node.invalidate_pack()
         return self._new_node(level=node.level, entries=group_b)
@@ -229,7 +242,7 @@ class RTree:
             node = path[i]
             parent = path[i - 1]
             slot = next(s for s in parent.entries if s.child is node)
-            if len(node.entries) < self.min_entries:
+            if len(node.entries) < self._min_fill_of(node):
                 parent.entries.remove(slot)
                 orphan_leaf_entries.extend(self._collect_leaf_entries(node))
             else:
@@ -399,9 +412,10 @@ class RTree:
         cap = self._capacity_of(node)
         if len(node.entries) > cap:
             raise InvariantViolation(f"node {node.node_id} overflows: {len(node.entries)} > {cap}")
-        if self._maintains_min_fill and not is_root and len(node.entries) < self.min_entries:
+        min_fill = self._min_fill_of(node)
+        if self._maintains_min_fill and not is_root and len(node.entries) < min_fill:
             raise InvariantViolation(
-                f"node {node.node_id} underfull: {len(node.entries)} < {self.min_entries}"
+                f"node {node.node_id} underfull: {len(node.entries)} < {min_fill}"
             )
         if not is_root and not node.entries:
             raise InvariantViolation(f"non-root node {node.node_id} is empty")

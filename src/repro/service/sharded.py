@@ -32,10 +32,27 @@ shards, exactly like shard-per-core designs.  Client threads may call
 :meth:`execute` / :meth:`query_many` freely — admission control bounds the
 in-flight work and rejects (never deadlocks) beyond the configured queue.
 
+Live-data contract (epoch snapshots)
+------------------------------------
+Mutations (:class:`~repro.engine.Insert` / ``Delete`` / ``Move``) flow
+through :meth:`apply_many`, which routes each one to its owning shard —
+deletes and moves by the uid-ownership map, inserts by the Hilbert key
+interval each shard owns — and publishes the batch as a new *epoch*: an
+immutable shard view built copy-on-write (only touched shards are rebuilt;
+untouched shards keep their warm engines).  Every query captures exactly
+one view for its whole fan-out, so in-flight readers always observe a
+consistent whole-epoch snapshot — never a torn mix of pre- and
+post-mutation shards — and ``result.stats.epoch`` names which one.
+Writers never block readers; concurrent writers serialise on a single
+mutation lock.  When a batch drains a shard empty, or drifts shard sizes
+past ``rebalance_threshold`` times the balanced share, the whole dataset
+is re-tiled into fresh Hilbert shards before the epoch is published.
+
 >>> service = ShardedEngine.generate(n_neurons=30, num_shards=4)
 >>> hits = service.execute(RangeQuery(window))
 >>> hits.payload == sorted(hits.payload)   # canonical ordering
 True
+>>> service.apply_many([Insert(new_segment), Delete(stale_uid)])
 >>> service.telemetry.render()             # thread-safe aggregate
 """
 
@@ -53,6 +70,14 @@ from repro.core.touch.parallel import build_touch_tree, probe_shard
 from repro.core.touch.stats import segment_touch_refine
 from repro.engine.engine import SpatialEngine
 from repro.engine.executors import run_join, timed
+from repro.engine.mutations import (
+    Delete,
+    Insert,
+    Move,
+    Mutation,
+    MutationResult,
+    MutationStats,
+)
 from repro.engine.planner import DatasetProfile, Planner
 from repro.engine.queries import KNNQuery, Query, RangeQuery, SpatialJoin, Walkthrough
 from repro.engine.stats import EngineStats
@@ -62,6 +87,8 @@ from repro.errors import (
     ServiceOverloadError,
     ServiceTimeoutError,
 )
+from repro.geometry.aabb import AABB
+from repro.hilbert.curve import HilbertEncoder3D
 from repro.neuro.circuit import Circuit, generate_circuit
 from repro.neuro.persistence import load_circuit
 from repro.objects import SpatialObject
@@ -85,6 +112,28 @@ class _EngineShard:
             return self.engine.execute(query)
 
 
+@dataclass(frozen=True)
+class _ShardView:
+    """One epoch's immutable shard set — what a query runs against.
+
+    A view is published atomically (one reference assignment) and never
+    mutated afterwards; readers that captured it keep a consistent
+    whole-epoch snapshot no matter how many epochs writers publish while
+    the query is in flight.  ``owner`` maps every live uid to its shard
+    and ``encoder`` quantises insert positions onto the Hilbert curve the
+    shard key intervals were cut from (``None`` for a single shard).
+    """
+
+    epoch: int
+    shards: tuple[_EngineShard, ...]
+    owner: dict[int, int]
+    encoder: HilbertEncoder3D | None
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.owner)
+
+
 class ShardedEngine:
     """A concurrent spatial query service over N engine shards.
 
@@ -104,6 +153,11 @@ class ShardedEngine:
     default_timeout_s:
         Per-query deadline applied when :meth:`execute` is not given one;
         ``None`` disables deadlines.
+    rebalance_threshold:
+        Write-path drift bound: after a mutation batch, if the largest
+        shard holds more than this multiple of the balanced per-shard
+        share (or any shard drained empty), the whole dataset is re-tiled
+        into fresh Hilbert shards before the new epoch is published.
     engine_kwargs:
         Forwarded to every per-shard :class:`SpatialEngine`
         (``page_capacity``, ``pool_capacity``, ``disk_params``, ...).
@@ -120,35 +174,60 @@ class ShardedEngine:
         queue_timeout_s: float | None = 30.0,
         default_timeout_s: float | None = None,
         hilbert_order: int = 10,
+        rebalance_threshold: float = 4.0,
         **engine_kwargs: Any,
     ) -> None:
         if not objects:
             raise ServiceError("ShardedEngine needs a non-empty dataset")
-        self.objects: list[SpatialObject] = list(objects)
+        if rebalance_threshold < 1.0:
+            raise ServiceError("rebalance_threshold must be >= 1.0")
         self.circuit = circuit
-        specs = hilbert_shards(self.objects, num_shards, order=hilbert_order)
-        self.shards: list[_EngineShard] = [
-            _EngineShard(spec=spec, engine=SpatialEngine(spec.objects, **engine_kwargs))
-            for spec in specs
-        ]
         self.default_timeout_s = default_timeout_s
         self._engine_kwargs = dict(engine_kwargs)
-        page_capacity = self.shards[0].engine.page_capacity
+        self._shards_requested = num_shards
+        self._hilbert_order = hilbert_order
+        self.rebalance_threshold = rebalance_threshold
+        self._mutation_lock = Lock()
+        self._view = self._build_view(list(objects), epoch=0)
+        page_capacity = self._view.shards[0].engine.page_capacity
         self.profile = DatasetProfile.from_objects(self.objects, page_capacity)
         self.planner = Planner(self.profile)
+        # Size the pool and admission defaults by the *requested* shard
+        # count, not the (possibly dataset-clamped) initial one: a small
+        # dataset that grows under inserts and rebalances up to the
+        # requested tiling must not stay pinned to a one-thread fan-out.
+        default_width = max(len(self._view.shards), num_shards)
         self._pool = ThreadPoolExecutor(
-            max_workers=max_workers if max_workers is not None else len(self.shards),
+            max_workers=max_workers if max_workers is not None else default_width,
             thread_name_prefix="repro-shard",
         )
         self.admission = AdmissionController(
             max_in_flight=(
-                max_in_flight if max_in_flight is not None else len(self.shards)
+                max_in_flight if max_in_flight is not None else default_width
             ),
             max_queued=max_queued,
             queue_timeout_s=queue_timeout_s,
         )
         self.telemetry = ServiceTelemetry()
         self._closed = False
+
+    def _build_view(self, objects: Sequence[SpatialObject], epoch: int) -> _ShardView:
+        """Tile ``objects`` into fresh Hilbert shards as epoch ``epoch``."""
+        specs = hilbert_shards(objects, self._shards_requested, order=self._hilbert_order)
+        shards = tuple(
+            _EngineShard(
+                spec=spec, engine=SpatialEngine(spec.objects, **self._engine_kwargs)
+            )
+            for spec in specs
+        )
+        owner = {o.uid: spec.shard_id for spec in specs for o in spec.objects}
+        if len(owner) != len(objects):
+            raise ServiceError("dataset contains duplicate object uids")
+        encoder = None
+        if len(specs) > 1:
+            world = AABB.union_all(o.aabb for o in objects)
+            encoder = HilbertEncoder3D(world, order=self._hilbert_order)
+        return _ShardView(epoch=epoch, shards=shards, owner=owner, encoder=encoder)
 
     # -- constructors ----------------------------------------------------------
     @classmethod
@@ -189,16 +268,31 @@ class ShardedEngine:
 
     # -- lifecycle -------------------------------------------------------------
     @property
+    def shards(self) -> tuple[_EngineShard, ...]:
+        """The current epoch's shards (an immutable, consistent snapshot)."""
+        return self._view.shards
+
+    @property
+    def epoch(self) -> int:
+        """The epoch of the currently published view (0 until first write)."""
+        return self._view.epoch
+
+    @property
+    def objects(self) -> list[SpatialObject]:
+        """The live dataset, concatenated shard by shard (one epoch's view)."""
+        return [o for shard in self._view.shards for o in shard.spec.objects]
+
+    @property
     def num_shards(self) -> int:
-        return len(self.shards)
+        return len(self._view.shards)
 
     @property
     def num_objects(self) -> int:
-        return len(self.objects)
+        return self._view.num_objects
 
     def warm(self) -> "ShardedEngine":
         """Build every shard's indexes up front (benchmarks, latency SLOs)."""
-        for shard in self.shards:
+        for shard in self._view.shards:
             with shard.lock:
                 shard.engine.flat_index()
                 shard.engine.object_rtree()
@@ -218,14 +312,160 @@ class ShardedEngine:
         self.close()
 
     def describe(self) -> str:
+        view = self._view
         bound = f"circuit ({self.circuit.num_neurons} neurons)" if self.circuit else "objects"
-        sizes = ", ".join(str(len(s.spec)) for s in self.shards)
+        sizes = ", ".join(str(len(s.spec)) for s in view.shards)
         return (
-            f"ShardedEngine over {self.num_objects:,} objects from {bound}; "
-            f"{self.num_shards} Hilbert shards ({sizes} objects), "
-            f"admission {self.admission.max_in_flight} in flight / "
+            f"ShardedEngine over {view.num_objects:,} objects from {bound}; "
+            f"{len(view.shards)} Hilbert shards ({sizes} objects) at epoch "
+            f"{view.epoch}, admission {self.admission.max_in_flight} in flight / "
             f"{self.admission.max_queued} queued"
         )
+
+    # -- mutation (live data: epoch-versioned writes) --------------------------
+    def apply(self, mutation: Mutation) -> MutationResult:
+        """Apply one :class:`Insert` / :class:`Delete` / :class:`Move`."""
+        return self.apply_many((mutation,))
+
+    def apply_many(self, mutations: Sequence[Mutation]) -> MutationResult:
+        """Route, apply and publish a mutation batch as one new epoch.
+
+        Deletes and moves go to the shard that owns the uid; inserts go to
+        the shard owning the object's Hilbert key interval.  Touched
+        shards are rebuilt copy-on-write over their new membership
+        (untouched shards keep their warm engines), and the whole batch
+        becomes visible atomically when the new view is published — a
+        reader either sees every mutation of the batch or none of them.
+
+        The batch is all-or-nothing: every mutation is validated against
+        the pre-batch state (plus earlier mutations of the same batch)
+        before anything is rebuilt, so a duplicate insert or unknown uid
+        raises :class:`ServiceError` and leaves the published view
+        untouched.  A move keeps its uid on the owning shard (the shard
+        MBR stretches to cover the new geometry, so pruning stays exact);
+        sustained drift is what the rebalance hook is for: when a shard
+        drains empty or outgrows ``rebalance_threshold`` times the
+        balanced share, the dataset is re-tiled into fresh Hilbert shards
+        before the epoch is published.
+
+        Writers serialise on one mutation lock; readers are never blocked
+        and keep whatever epoch view they captured at admission.
+        """
+        if self._closed:
+            raise ServiceError("service is closed")
+        start = time.perf_counter()
+        with self._mutation_lock:
+            view = self._view
+            stats = MutationStats()
+            per_shard: dict[int, list[Mutation]] = {}
+            owner = dict(view.owner)
+            for mutation in mutations:
+                shard_id = self._route(view, owner, mutation)
+                per_shard.setdefault(shard_id, []).append(mutation)
+                stats.count(mutation)
+            if not owner:
+                raise ServiceError(
+                    "cannot delete every object; the service needs a non-empty dataset"
+                )
+            # Copy-on-write: recompute membership for touched shards only.
+            memberships: dict[int, tuple[SpatialObject, ...]] = {}
+            for shard_id, batch in per_shard.items():
+                members = {o.uid: o for o in view.shards[shard_id].spec.objects}
+                for mutation in batch:
+                    if isinstance(mutation, Insert):
+                        members[mutation.obj.uid] = mutation.obj
+                    elif isinstance(mutation, Delete):
+                        members.pop(mutation.uid, None)
+                    else:
+                        members[mutation.uid] = mutation.obj
+                memberships[shard_id] = tuple(members.values())
+            stats.shards_touched = len(per_shard)
+
+            sizes = [
+                len(memberships.get(shard.spec.shard_id, shard.spec.objects))
+                for shard in view.shards
+            ]
+            total = sum(sizes)
+            balanced_share = max(1, total // max(1, min(self._shards_requested, total)))
+            rebalance = (
+                min(sizes) == 0
+                or max(sizes) > self.rebalance_threshold * balanced_share
+            )
+            if rebalance:
+                live: list[SpatialObject] = []
+                for shard in view.shards:
+                    live.extend(memberships.get(shard.spec.shard_id, shard.spec.objects))
+                new_view = self._build_view(live, epoch=view.epoch + 1)
+                stats.rebalanced = True
+                # A re-tile rebuilds every shard of the new view, not just
+                # the ones the batch routed to.
+                stats.shards_touched = len(new_view.shards)
+            else:
+                new_shards = list(view.shards)
+                for shard_id, members in memberships.items():
+                    spec = ShardSpec(
+                        shard_id, members, key_range=view.shards[shard_id].spec.key_range
+                    )
+                    new_shards[shard_id] = _EngineShard(
+                        spec=spec,
+                        engine=SpatialEngine(spec.objects, **self._engine_kwargs),
+                    )
+                new_view = _ShardView(
+                    epoch=view.epoch + 1,
+                    shards=tuple(new_shards),
+                    owner=owner,
+                    encoder=view.encoder,
+                )
+            stats.epoch = new_view.epoch
+            self._view = new_view
+            page_capacity = new_view.shards[0].engine.page_capacity
+            self.profile = DatasetProfile.from_objects(self.objects, page_capacity)
+            self.planner = Planner(self.profile)
+            stats.elapsed_ms = (time.perf_counter() - start) * 1000.0
+            self.telemetry.record_mutations(stats)
+            return MutationResult(
+                stats=stats, num_objects=new_view.num_objects, applied=list(mutations)
+            )
+
+    def _route(
+        self, view: _ShardView, owner: dict[int, int], mutation: Mutation
+    ) -> int:
+        """Owning shard of one mutation (updates the evolving owner map)."""
+        if isinstance(mutation, Insert):
+            uid = mutation.obj.uid
+            if uid in owner:
+                raise ServiceError(f"cannot insert duplicate uid {uid}")
+            shard_id = self._route_insert(view, mutation.obj)
+            owner[uid] = shard_id
+            return shard_id
+        if isinstance(mutation, Delete):
+            shard_id = owner.pop(mutation.uid, None)
+            if shard_id is None:
+                raise ServiceError(f"cannot delete unknown uid {mutation.uid}")
+            return shard_id
+        if isinstance(mutation, Move):
+            shard_id = owner.get(mutation.uid)
+            if shard_id is None:
+                raise ServiceError(f"cannot move unknown uid {mutation.uid}")
+            return shard_id
+        raise ServiceError(f"cannot apply mutation of type {type(mutation).__name__}")
+
+    def _route_insert(self, view: _ShardView, obj: SpatialObject) -> int:
+        """Shard owning the Hilbert key interval the new object falls in.
+
+        Shard key intervals are contiguous and sorted, so the first shard
+        whose upper bound is at or past the object's key owns it; keys
+        past every interval (objects outside the original world clamp to
+        its boundary cells) land on the last shard.
+        """
+        if view.encoder is None or len(view.shards) == 1:
+            return view.shards[0].spec.shard_id
+        key = view.encoder.key_of_box(obj.aabb)
+        for shard in view.shards:
+            key_range = shard.spec.key_range
+            if key_range is not None and key <= key_range[1]:
+                return shard.spec.shard_id
+        return view.shards[-1].spec.shard_id
 
     # -- execution -------------------------------------------------------------
     def execute(self, query: Query, timeout_s: float | None = None) -> ServiceResult:
@@ -275,24 +515,29 @@ class ShardedEngine:
         start = time.perf_counter()
         effective = timeout_s if timeout_s is not None else self.default_timeout_s
         deadline = None if effective is None else start + effective
+        # One view for the whole fan-out: every subtask of this query (and
+        # every window of a walkthrough) runs against the same epoch, so
+        # concurrent writers can never tear the answer.
+        view = self._view
         if isinstance(query, RangeQuery):
-            payload, work, merge_ms = self._execute_range(query, deadline)
+            payload, work, merge_ms = self._execute_range(query, deadline, view)
             kind = "range"
         elif isinstance(query, KNNQuery):
-            payload, work, merge_ms = self._execute_knn(query, deadline)
+            payload, work, merge_ms = self._execute_knn(query, deadline, view)
             kind = "knn"
         elif isinstance(query, SpatialJoin):
-            payload, work, merge_ms = self._execute_join(query, deadline)
+            payload, work, merge_ms = self._execute_join(query, deadline, view)
             kind = "join"
         elif isinstance(query, Walkthrough):
-            payload, work, merge_ms = self._execute_walk(query, deadline)
+            payload, work, merge_ms = self._execute_walk(query, deadline, view)
             kind = "walk"
         else:
             raise ServiceError(f"cannot execute query of type {type(query).__name__}")
         stats = ServiceStats(
             kind=kind,
-            shards_total=self.num_shards,
+            shards_total=len(view.shards),
             shards_used=len({w.shard_id for w in work}),
+            epoch=view.epoch,
             num_results=_payload_size(kind, payload),
             admission_wait_ms=wait_ms,
             elapsed_ms=(time.perf_counter() - start) * 1000.0,
@@ -348,17 +593,17 @@ class ShardedEngine:
 
     # -- per-kind execution ----------------------------------------------------
     def _execute_range(
-        self, query: RangeQuery, deadline: float | None
+        self, query: RangeQuery, deadline: float | None, view: _ShardView
     ) -> tuple[list[int], list[ShardWork], float]:
-        uids, work = self._range_fan_out(query.box, query.strategy, deadline)
+        uids, work = self._range_fan_out(query.box, query.strategy, deadline, view)
         start = time.perf_counter()
         uids.sort()
         return uids, work, (time.perf_counter() - start) * 1000.0
 
     def _range_fan_out(
-        self, box, strategy: str | None, deadline: float | None
+        self, box, strategy: str | None, deadline: float | None, view: _ShardView
     ) -> tuple[list[int], list[ShardWork]]:
-        touched = [s for s in self.shards if s.spec.mbr.intersects(box)]
+        touched = [s for s in view.shards if s.spec.mbr.intersects(box)]
         subquery = RangeQuery(box, strategy=strategy)
         subtasks = [
             (shard.spec.shard_id, lambda shard=shard: self._shard_subtask(shard, subquery))
@@ -373,10 +618,10 @@ class ShardedEngine:
         return uids, work
 
     def _execute_knn(
-        self, query: KNNQuery, deadline: float | None
+        self, query: KNNQuery, deadline: float | None, view: _ShardView
     ) -> tuple[list[tuple[int, float]], list[ShardWork], float]:
         subtasks = []
-        for shard in self.shards:
+        for shard in view.shards:
             subquery = KNNQuery(
                 query.point, min(query.k, len(shard.spec)), strategy=query.strategy
             )
@@ -414,11 +659,11 @@ class ShardedEngine:
         return self.circuit.axon_segments(), self.circuit.dendrite_segments()
 
     def _execute_join(
-        self, query: SpatialJoin, deadline: float | None
+        self, query: SpatialJoin, deadline: float | None, view: _ShardView
     ) -> tuple[list[tuple[int, int]], list[ShardWork], float]:
         side_a, side_b = self._join_sides(query)
         plan = self.planner.plan(query, join_sizes=(len(side_a), len(side_b)))
-        chunks = round_robin_split(side_b, self.num_shards)
+        chunks = round_robin_split(side_b, len(view.shards))
         if plan.strategy == "touch" and side_a:
             # Build TOUCH's hierarchy over A once; workers share it
             # read-only with private bucket overlays (phases 2+3 only).
@@ -464,13 +709,13 @@ class ShardedEngine:
         return pairs, work, (time.perf_counter() - start) * 1000.0
 
     def _execute_walk(
-        self, query: Walkthrough, deadline: float | None
+        self, query: Walkthrough, deadline: float | None, view: _ShardView
     ) -> tuple[list[list[int]], list[ShardWork], float]:
         steps: list[list[int]] = []
         per_shard: dict[int, list[ShardWork]] = {}
         merge_ms = 0.0
         for window in query.queries:
-            uids, work = self._range_fan_out(window, None, deadline)
+            uids, work = self._range_fan_out(window, None, deadline, view)
             start = time.perf_counter()
             uids.sort()
             merge_ms += (time.perf_counter() - start) * 1000.0

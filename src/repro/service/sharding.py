@@ -33,10 +33,17 @@ class ShardSpec:
     ``mbr`` is the union of the member objects' AABBs (not the tile of
     space): a query window that misses every member's box misses the whole
     shard, so the service can skip it without consulting the shard's index.
+
+    ``key_range`` is the shard's span ``(lo, hi)`` on the Hilbert curve the
+    partitioner sorted by — the shard *owns* that contiguous key interval,
+    which is what lets the live-data write path route an inserted object to
+    a shard without consulting any index (``None`` when the partitioner did
+    not sort, e.g. the single-shard fast path).
     """
 
     shard_id: int
     objects: tuple[SpatialObject, ...]
+    key_range: tuple[int, int] | None = None
     mbr: AABB = field(init=False)
 
     def __post_init__(self) -> None:
@@ -81,8 +88,10 @@ def hilbert_shards(
     cursor = 0
     for shard_id in range(num_shards):
         take = base + (1 if shard_id < extra else 0)
-        members = tuple(objects[i] for i in ranked[cursor : cursor + take])
-        shards.append(ShardSpec(shard_id, members))
+        picked = ranked[cursor : cursor + take]
+        members = tuple(objects[i] for i in picked)
+        key_range = (keys[picked[0]], keys[picked[-1]])
+        shards.append(ShardSpec(shard_id, members, key_range=key_range))
         cursor += take
     return shards
 

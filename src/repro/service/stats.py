@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.engine.stats import EngineStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.mutations import MutationStats
 from repro.utils.tables import Table
 
 __all__ = [
@@ -58,6 +61,7 @@ class ServiceStats:
     kind: str  # "range" | "knn" | "join" | "walk"
     shards_total: int  # shards the service owns
     shards_used: int  # shards the query actually touched (after pruning)
+    epoch: int = 0  # dataset epoch the query's snapshot view belongs to
     num_results: int = 0
     admission_wait_ms: float = 0.0  # time spent queued before execution
     elapsed_ms: float = 0.0  # real wall clock, admission excluded
@@ -198,6 +202,16 @@ class ServiceTelemetry:
         self.total_work_ms = 0.0
         self.by_kind: dict[str, int] = {}
         self.per_shard_service_ms: dict[int, float] = {}
+        # Write-path counters (mutation batches published as epochs).
+        self.mutation_batches = 0
+        self.mutations_applied = 0
+        self.inserts = 0
+        self.deletes = 0
+        self.moves = 0
+        self.mutation_ms = 0.0
+        self.shards_rebuilt = 0
+        self.rebalances = 0
+        self.current_epoch = 0
 
     # -- recording (each method takes the lock once) ---------------------------
     def record_submitted(self) -> None:
@@ -230,6 +244,27 @@ class ServiceTelemetry:
                     self.per_shard_service_ms.get(work.shard_id, 0.0) + work.service_ms
                 )
 
+    def record_mutations(self, stats: "MutationStats") -> None:
+        """Fold one published mutation batch into the lifetime view.
+
+        Conservation contract (checked by the mutation stress suite at
+        quiescent points): ``inserts + deletes + moves ==
+        mutations_applied``, and ``current_epoch`` equals the number of
+        batches published (every ``apply_many`` bumps the epoch exactly
+        once, rebalance or not).
+        """
+        with self._lock:
+            self.mutation_batches += 1
+            self.mutations_applied += stats.applied
+            self.inserts += stats.inserts
+            self.deletes += stats.deletes
+            self.moves += stats.moves
+            self.mutation_ms += stats.elapsed_ms
+            self.shards_rebuilt += stats.shards_touched
+            if stats.rebalanced:
+                self.rebalances += 1
+            self.current_epoch = max(self.current_epoch, stats.epoch)
+
     # -- reading ---------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """A consistent copy of every counter (one lock acquisition)."""
@@ -247,6 +282,15 @@ class ServiceTelemetry:
                 "total_work_ms": self.total_work_ms,
                 "by_kind": dict(self.by_kind),
                 "per_shard_service_ms": dict(self.per_shard_service_ms),
+                "mutation_batches": self.mutation_batches,
+                "mutations_applied": self.mutations_applied,
+                "inserts": self.inserts,
+                "deletes": self.deletes,
+                "moves": self.moves,
+                "mutation_ms": self.mutation_ms,
+                "shards_rebuilt": self.shards_rebuilt,
+                "rebalances": self.rebalances,
+                "current_epoch": self.current_epoch,
             }
 
     @property
@@ -273,6 +317,15 @@ class ServiceTelemetry:
         table.add_row(["admission wait (ms)", round(snap["admission_wait_ms"], 2)])
         table.add_row(["modelled makespan (ms)", round(snap["makespan_ms"], 2)])
         table.add_row(["modelled total work (ms)", round(snap["total_work_ms"], 2)])
+        if snap["mutation_batches"]:
+            table.add_row(["mutation batches", snap["mutation_batches"]])
+            table.add_row(["mutations applied", snap["mutations_applied"]])
+            table.add_row(["  inserts", snap["inserts"]])
+            table.add_row(["  deletes", snap["deletes"]])
+            table.add_row(["  moves", snap["moves"]])
+            table.add_row(["shards rebuilt", snap["shards_rebuilt"]])
+            table.add_row(["rebalances", snap["rebalances"]])
+            table.add_row(["current epoch", snap["current_epoch"]])
         for kind in sorted(snap["by_kind"]):
             table.add_row([f"  {kind} queries", snap["by_kind"][kind]])
         for shard_id in sorted(snap["per_shard_service_ms"]):

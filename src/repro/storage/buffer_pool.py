@@ -32,6 +32,7 @@ class BufferStats:
     stall_time_ms: float = 0.0
     prefetch_io_ms: float = 0.0
     evictions: int = 0
+    stale_refetches: int = 0  # frames re-read because the page was rewritten
 
     @property
     def hit_ratio(self) -> float:
@@ -49,6 +50,7 @@ class BufferStats:
             self.stall_time_ms,
             self.prefetch_io_ms,
             self.evictions,
+            self.stale_refetches,
         )
 
     def delta_since(self, earlier: "BufferStats") -> "BufferStats":
@@ -61,6 +63,7 @@ class BufferStats:
             self.stall_time_ms - earlier.stall_time_ms,
             self.prefetch_io_ms - earlier.prefetch_io_ms,
             self.evictions - earlier.evictions,
+            self.stale_refetches - earlier.stale_refetches,
         )
 
 
@@ -68,6 +71,7 @@ class BufferStats:
 class _Frame:
     page: Page
     prefetched: bool  # brought in by a prefetch and not yet demanded
+    version: int = 0  # disk write-version the frame was read at
 
 
 class BufferPool:
@@ -88,21 +92,35 @@ class BufferPool:
 
     # -- demand path -------------------------------------------------------
     def fetch(self, page_id: int) -> Page:
-        """Fetch a page on the critical path; misses add stall time."""
+        """Fetch a page on the critical path; misses add stall time.
+
+        A resident frame only counts as a hit while its write-version still
+        matches the disk's: index maintenance that rewrites a page in place
+        (FLAT inserts/deletes/moves) silently invalidates every pool frame
+        holding the old snapshot, so readers can never observe pre-mutation
+        page contents through a warm pool.
+        """
         self.stats.demand_fetches += 1
         frame = self._frames.get(page_id)
         if frame is not None:
-            self._frames.move_to_end(page_id)
-            self.stats.demand_hits += 1
-            self.stats.stall_time_ms += self.disk.params.hit_latency_ms
-            if frame.prefetched:
-                frame.prefetched = False
-                self.stats.prefetch_used += 1
-            return frame.page
+            if frame.version == self.disk.version_of(page_id):
+                self._frames.move_to_end(page_id)
+                self.stats.demand_hits += 1
+                self.stats.stall_time_ms += self.disk.params.hit_latency_ms
+                if frame.prefetched:
+                    frame.prefetched = False
+                    self.stats.prefetch_used += 1
+                return frame.page
+            # Stale frame: the page was rewritten after we cached it.
+            del self._frames[page_id]
+            self.stats.stale_refetches += 1
         self.stats.demand_misses += 1
         page, latency = self.disk.read(page_id)
         self.stats.stall_time_ms += latency
-        self._admit(page_id, _Frame(page, prefetched=False))
+        self._admit(
+            page_id,
+            _Frame(page, prefetched=False, version=self.disk.version_of(page_id)),
+        )
         return page
 
     # -- speculative path ----------------------------------------------------
@@ -111,14 +129,22 @@ class BufferPool:
 
         Returns ``True`` if a disk read was issued, ``False`` if the page was
         already resident (prefetching something cached is free and not
-        counted as an issued prefetch).
+        counted as an issued prefetch).  A stale resident frame (the page
+        was rewritten since it was cached) is refreshed like a miss.
         """
-        if page_id in self._frames:
-            return False
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            if frame.version == self.disk.version_of(page_id):
+                return False
+            del self._frames[page_id]
+            self.stats.stale_refetches += 1
         page, latency = self.disk.read(page_id)
         self.stats.prefetch_issued += 1
         self.stats.prefetch_io_ms += latency
-        self._admit(page_id, _Frame(page, prefetched=True))
+        self._admit(
+            page_id,
+            _Frame(page, prefetched=True, version=self.disk.version_of(page_id)),
+        )
         return True
 
     # -- management ---------------------------------------------------------
@@ -127,6 +153,10 @@ class BufferPool:
             self._frames.popitem(last=False)
             self.stats.evictions += 1
         self._frames[page_id] = frame
+
+    def invalidate(self, page_id: int) -> bool:
+        """Drop one frame, if resident (eager form of the version check)."""
+        return self._frames.pop(page_id, None) is not None
 
     def resident(self, page_id: int) -> bool:
         return page_id in self._frames

@@ -72,10 +72,21 @@ class Disk:
     _pages: dict[int, Page] = field(default_factory=dict)
     stats: IOStats = field(default_factory=IOStats)
     _last_page_id: int | None = field(default=None, repr=False)
+    _versions: dict[int, int] = field(default_factory=dict, repr=False)
 
     def store(self, page: Page) -> None:
-        """Write a page (index building is not part of measured query I/O)."""
+        """Write a page (index building is not part of measured query I/O).
+
+        Every store bumps the page's version, which is how buffer pools and
+        pack caches detect that a frame they hold went stale after index
+        maintenance rewrote the page in place.
+        """
         self._pages[page.page_id] = page
+        self._versions[page.page_id] = self._versions.get(page.page_id, 0) + 1
+
+    def version_of(self, page_id: int) -> int:
+        """Monotone write-version of a page (0 for never-stored pages)."""
+        return self._versions.get(page_id, 0)
 
     def has_page(self, page_id: int) -> bool:
         return page_id in self._pages

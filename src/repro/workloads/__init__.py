@@ -10,18 +10,25 @@ from repro.workloads.ranges import (
     grid_queries,
     uniform_queries,
 )
-from repro.workloads.traffic import TRAFFIC_MIX, traffic_workload
+from repro.workloads.traffic import (
+    TRAFFIC_MIX,
+    WRITE_MIX,
+    read_write_workload,
+    traffic_workload,
+)
 from repro.workloads.walks import BranchWalk, branch_walk, random_walk
 
 __all__ = [
     "BranchWalk",
     "JoinWorkload",
     "TRAFFIC_MIX",
+    "WRITE_MIX",
     "branch_walk",
     "clustered_boxes",
     "density_stratified_queries",
     "grid_queries",
     "random_walk",
+    "read_write_workload",
     "traffic_workload",
     "uniform_boxes",
     "uniform_queries",

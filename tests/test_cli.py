@@ -207,3 +207,28 @@ class TestServeBenchCommand:
         code = main(["serve-bench", "--neurons", "6", "--shards", "0"])
         assert code == 2
         assert "error:" in capsys.readouterr().out
+
+    def test_write_fraction_serves_live_mix(self, capsys):
+        code = main(
+            [
+                "serve-bench",
+                "--neurons", "6",
+                "--seed", "3",
+                "--shards", "1,2",
+                "--queries", "12",
+                "--extent", "100",
+                "--write-fraction", "0.4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "writes" in out
+        assert "mutations applied" in out
+        assert "current epoch" in out
+
+    def test_bad_write_fraction_fails_cleanly(self, capsys):
+        code = main(
+            ["serve-bench", "--neurons", "6", "--write-fraction", "1.5"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().out

@@ -155,3 +155,72 @@ class TestKnn:
         index = FLATIndex(grid_boxes(3), page_capacity=6)
         results, _ = index.knn(Vec3(0.5, 0.5, 0.5), 1)
         assert results[0] == (0, 0.0)
+
+
+class TestStaleCacheRegression:
+    """Delete-then-reinsert of the same uid must never serve stale state.
+
+    Before the disk write-version fix, a warm :class:`BufferPool` kept
+    serving the pre-mutation page snapshot after FLAT maintenance rewrote
+    the page in place — the reinserted object was invisible at its new
+    location and the per-page kernel pack was rebuilt from the stale
+    snapshot (and then cached).  These tests pin the fix under the NumPy
+    backend (where the packs are actual arrays) and the pure-python one.
+    """
+
+    def _delete_then_reinsert(self, backend: str):
+        from repro import kernels
+        from repro.storage.buffer_pool import BufferPool
+
+        with kernels.use_backend(backend):
+            index = FLATIndex(grid_boxes(3), page_capacity=6)
+            pool = BufferPool(index.disk, capacity=64)
+            whole = AABB(-1, -1, -1, 10, 10, 10)
+            warm = index.query(whole, pool=pool)  # warm pool + page packs
+            assert sorted(warm.uids) == list(range(27))
+
+            index.delete(13)
+            index.insert(BoxObject(uid=13, box=AABB(100, 100, 100, 101, 101, 101)))
+            index.validate()
+
+            # Old neighbourhood through the *same* warm pool: 13 is gone.
+            stale_window = index.query(whole, pool=pool)
+            assert sorted(stale_window.uids) == sorted(set(range(27)) - {13})
+            # New location through the same pool: 13 is found exactly once.
+            fresh_window = index.query(AABB(99, 99, 99, 102, 102, 102), pool=pool)
+            assert fresh_window.uids == [13]
+            assert pool.stats.stale_refetches >= 1
+
+    def test_numpy_backend_pool_and_pack_refresh(self):
+        from repro import kernels
+
+        if "numpy" not in kernels.available_backends():
+            pytest.skip("numpy backend unavailable")
+        self._delete_then_reinsert("numpy")
+
+    def test_python_backend_pool_and_pack_refresh(self):
+        self._delete_then_reinsert("python")
+
+    def test_prefetched_stale_frame_is_refreshed(self):
+        from repro.storage.buffer_pool import BufferPool
+
+        index = FLATIndex(grid_boxes(3), page_capacity=6)
+        pool = BufferPool(index.disk, capacity=64)
+        pid = index._partition_of_uid[13]
+        pool.prefetch(pid)
+        index.delete(13)
+        index.insert(BoxObject(uid=13, box=AABB(0.2, 0.2, 0.2, 0.4, 0.4, 0.4)))
+        page = pool.fetch(pid)
+        assert tuple(page.object_uids) == tuple(index.partitions[pid].object_uids)
+
+    def test_pack_cache_is_version_keyed(self):
+        index = FLATIndex(grid_boxes(3), page_capacity=6)
+        pid = index._partition_of_uid[5]
+        page = index.disk.peek(pid)
+        pack_before = index.packed_page_bounds(page)
+        assert index.packed_page_bounds(page) is pack_before  # cached
+        index.delete(5)
+        index.insert(BoxObject(uid=5, box=AABB(50, 50, 50, 51, 51, 51)))
+        fresh_page = index.disk.peek(pid)
+        pack_after = index.packed_page_bounds(fresh_page)
+        assert pack_after is not pack_before

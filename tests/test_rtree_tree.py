@@ -210,3 +210,54 @@ class TestValidation:
         for uid, mbr in random_items(64, seed=10):
             tree.insert(uid, mbr)
         assert tree.byte_size() > empty_size
+
+
+class TestNodePackAfterChurn:
+    """Node-pack caches must refresh across delete-then-reinsert churn.
+
+    Range scans and KNN descend through per-node packed entry bounds; a
+    pack surviving a structural mutation would make a moved or reinserted
+    object invisible (or resurrect a deleted one).  Locked in under both
+    kernel backends.
+    """
+
+    @pytest.mark.parametrize("backend", ["numpy", "python"])
+    def test_delete_then_reinsert_same_uid(self, backend):
+        from repro import kernels
+
+        if backend not in kernels.available_backends():
+            pytest.skip(f"{backend} backend unavailable")
+        with kernels.use_backend(backend):
+            tree = RTree(max_entries=4)
+            items = random_items(60, seed=11)
+            for uid, mbr in items:
+                tree.insert(uid, mbr)
+            world = AABB(-1000, -1000, -1000, 1000, 1000, 1000)
+            assert sorted(tree.range_query(world)) == sorted(u for u, _ in items)  # warm packs
+
+            old_mbr = dict(items)[17]
+            new_mbr = AABB(500, 500, 500, 501, 501, 501)
+            tree.delete(17, old_mbr)
+            assert 17 not in tree.range_query(world)
+            tree.insert(17, new_mbr)
+            tree.validate()
+
+            assert sorted(tree.range_query(world)) == sorted(u for u, _ in items)
+            assert tree.range_query(AABB(499, 499, 499, 502, 502, 502)) == [17]
+            assert 17 not in tree.range_query(old_mbr.expanded(0.01))
+            nearest = tree.knn(Vec3(500.5, 500.5, 500.5), 1)
+            assert nearest[0][0] == 17
+
+    def test_page_leaved_tree_supports_dynamic_maintenance(self):
+        """Bulk-loaded trees with small data-page leaves (the engine's
+        object R-tree shape) must absorb inserts: the leaf minimum fill is
+        scaled to the leaf capacity, so leaf splits always succeed."""
+        from repro.rtree.bulk import str_bulk_load
+
+        items = random_items(50, seed=12)
+        tree = str_bulk_load(items, max_entries=16, leaf_capacity=6)
+        for uid in range(1000, 1030):
+            tree.insert(uid, AABB(uid, 0, 0, uid + 1.0, 1, 1))
+        world = AABB(-2000, -2000, -2000, 3000, 3000, 3000)
+        expected = sorted([u for u, _ in items] + list(range(1000, 1030)))
+        assert sorted(tree.range_query(world)) == expected

@@ -193,3 +193,108 @@ class TestTrafficWorkloads:
             traffic_workload(segments, 5, mix=(0.0, 0.0, 0.0))
         with pytest.raises(WorkloadError):
             traffic_workload([], 5)
+
+
+class TestReadWriteWorkloads:
+    def test_determinism_and_mix(self, medium_circuit):
+        from repro.engine.mutations import Delete, Insert, Move
+        from repro.workloads.traffic import read_write_workload
+
+        segments = medium_circuit.segments()
+        ops = read_write_workload(segments, 120, write_fraction=0.3, seed=5)
+        assert ops == read_write_workload(segments, 120, write_fraction=0.3, seed=5)
+        assert ops != read_write_workload(segments, 120, write_fraction=0.3, seed=6)
+        writes = [op for op in ops if isinstance(op, (Insert, Delete, Move))]
+        reads = [op for op in ops if not isinstance(op, (Insert, Delete, Move))]
+        assert writes and reads
+        assert {type(w) for w in writes} == {Insert, Delete, Move}
+
+    def test_stream_is_valid_by_construction(self, medium_circuit):
+        """Replaying the stream against a live engine never raises and the
+        dataset never shrinks below half its initial size."""
+        from repro.engine import SpatialEngine
+        from repro.engine.mutations import Delete, Insert, Move
+        from repro.workloads.traffic import read_write_workload
+
+        segments = medium_circuit.segments()
+        ops = read_write_workload(segments, 150, write_fraction=0.6, seed=11)
+        live = {s.uid for s in segments}
+        floor = len(live) // 2
+        for op in ops:
+            if isinstance(op, Insert):
+                assert op.obj.uid not in live
+                live.add(op.obj.uid)
+            elif isinstance(op, Delete):
+                assert op.uid in live
+                live.discard(op.uid)
+                assert len(live) >= floor
+            elif isinstance(op, Move):
+                assert op.uid in live
+        engine = SpatialEngine.from_objects(segments)
+        for op in ops:
+            if isinstance(op, (Insert, Delete, Move)):
+                engine.apply(op)
+            else:
+                engine.execute(op)
+        assert engine.num_objects == len(live)
+
+    def test_pure_read_and_pure_write_fractions(self, medium_circuit):
+        from repro.engine.mutations import Delete, Insert, Move
+        from repro.workloads.traffic import read_write_workload
+
+        segments = medium_circuit.segments()
+        pure_reads = read_write_workload(segments, 30, write_fraction=0.0, seed=2)
+        assert not any(isinstance(op, (Insert, Delete, Move)) for op in pure_reads)
+        pure_writes = read_write_workload(segments, 30, write_fraction=1.0, seed=2)
+        assert all(isinstance(op, (Insert, Delete, Move)) for op in pure_writes)
+
+    def test_validation(self, medium_circuit):
+        from repro.workloads.traffic import read_write_workload
+
+        segments = medium_circuit.segments()
+        with pytest.raises(WorkloadError):
+            read_write_workload(segments, -1)
+        with pytest.raises(WorkloadError):
+            read_write_workload(segments, 5, write_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            read_write_workload(segments, 5, write_mix=(0.0, 0.0, 0.0))
+        with pytest.raises(WorkloadError):
+            read_write_workload([], 5)
+
+    def test_delete_only_mix_respects_the_floor(self, medium_circuit):
+        """A pure-delete write mix must stop at the floor (substituting
+        reads), not crash or shrink the dataset to nothing."""
+        from repro.engine.mutations import Delete, Insert, Move
+        from repro.workloads.traffic import read_write_workload
+
+        segments = medium_circuit.segments()
+        ops = read_write_workload(
+            segments, 3 * len(segments), write_fraction=1.0,
+            write_mix=(0.0, 1.0, 0.0), seed=4,
+        )
+        deletes = [op for op in ops if isinstance(op, Delete)]
+        assert not any(isinstance(op, (Insert, Move)) for op in ops)
+        assert len(deletes) == len(segments) - len(segments) // 2
+        live = {s.uid for s in segments}
+        for op in deletes:
+            assert op.uid in live
+            live.discard(op.uid)
+        assert len(live) == len(segments) // 2
+
+    def test_no_insert_mix_substitutes_moves_at_the_floor(self, medium_circuit):
+        from repro.engine.mutations import Delete, Insert, Move
+        from repro.workloads.traffic import read_write_workload
+
+        segments = medium_circuit.segments()
+        ops = read_write_workload(
+            segments, 3 * len(segments), write_fraction=1.0,
+            write_mix=(0.0, 0.5, 0.5), seed=4,
+        )
+        assert not any(isinstance(op, Insert) for op in ops)
+        live = {s.uid for s in segments}
+        floor = len(live) // 2
+        for op in ops:
+            if isinstance(op, Delete):
+                live.discard(op.uid)
+            assert len(live) >= floor
+        assert any(isinstance(op, Move) for op in ops)
