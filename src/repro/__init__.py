@@ -75,12 +75,23 @@ from repro.engine import (
     SpatialJoin,
     Walkthrough,
 )
+from repro.durability import (
+    DurableEngine,
+    WriteAheadLog,
+    durable_sharded,
+    open_at_epoch,
+    recover_engine,
+    recover_sharded,
+)
 from repro.errors import (
+    CheckpointMismatchError,
+    DurabilityError,
     EngineError,
     ReproError,
     ServiceError,
     ServiceOverloadError,
     ServiceTimeoutError,
+    WalCorruptionError,
 )
 from repro.geometry import AABB, Segment, TriangleMesh, Vec3
 from repro.neuro import (
@@ -109,18 +120,21 @@ from repro.storage import BufferPool, Disk, DiskParameters, ObjectStore
 from repro.viz import render_crawl, render_density, render_walk
 from repro.workloads import branch_walk, random_walk, uniform_queries
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AABB",
     "AdmissionController",
     "BoxObject",
     "BufferPool",
+    "CheckpointMismatchError",
     "Circuit",
     "CircuitConfig",
     "Delete",
     "Disk",
     "DiskParameters",
+    "DurabilityError",
+    "DurableEngine",
     "EngineError",
     "EngineResult",
     "EngineStats",
@@ -164,19 +178,25 @@ __all__ = [
     "SpatialObject",
     "TriangleMesh",
     "Vec3",
+    "WalCorruptionError",
     "Walkthrough",
+    "WriteAheadLog",
     "__version__",
     "branch_walk",
     "circuit_morphometry",
+    "durable_sharded",
     "generate_circuit",
     "hilbert_bulk_load",
     "hilbert_shards",
     "load_circuit",
     "nested_loop_join",
+    "open_at_epoch",
     "pbsm_join",
     "plane_sweep_join",
     "random_walk",
     "read_swc",
+    "recover_engine",
+    "recover_sharded",
     "render_crawl",
     "render_density",
     "render_walk",

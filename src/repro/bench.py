@@ -141,6 +141,11 @@ def _smoke_config() -> dict[str, Any]:
         "rw_neurons": 20,
         "rw_ops": 24,
         "rw_write_fraction": 0.3,
+        "wal_batches": 64,
+        "wal_batch_size": 16,
+        "recover_objects": 1500,
+        "recover_batches": 48,
+        "recover_batch_size": 8,
     }
 
 
@@ -167,6 +172,11 @@ def _full_config() -> dict[str, Any]:
         "rw_neurons": 30,
         "rw_ops": 48,
         "rw_write_fraction": 0.3,
+        "wal_batches": 128,
+        "wal_batch_size": 32,
+        "recover_objects": 4000,
+        "recover_batches": 96,
+        "recover_batch_size": 16,
     }
 
 
@@ -530,6 +540,151 @@ def _read_write_workload() -> _Workload:
     )
 
 
+def _durability_batches(
+    n_batches: int, batch_size: int, first_uid: int, seed: int
+) -> list[list[Any]]:
+    """Seeded insert batches — the write stream both durability benches log."""
+    from repro.engine.mutations import Insert
+    from repro.geometry.aabb import AABB
+    from repro.objects import BoxObject
+    from repro.utils.rng import make_rng
+
+    rng = make_rng(seed)
+    batches: list[list[Any]] = []
+    uid = first_uid
+    for _ in range(n_batches):
+        batch = []
+        for _ in range(batch_size):
+            center = (
+                float(rng.uniform(-500, 500)),
+                float(rng.uniform(-500, 500)),
+                float(rng.uniform(-500, 500)),
+            )
+            batch.append(
+                Insert(BoxObject(uid=uid, box=AABB.from_center_extent(center, 4.0)))
+            )
+            uid += 1
+        batches.append(batch)
+    return batches
+
+
+def _wal_workload() -> _Workload:
+    """Group-commit append throughput of the write-ahead log.
+
+    Each run appends the same seeded insert batches through an open
+    :class:`~repro.durability.WriteAheadLog` (group-commit window of 8
+    batches, small segments so rotation is exercised) and force-flushes at
+    the end, so every timed run performs identical encode+write work.
+    """
+
+    def setup(cfg: dict[str, Any]) -> Any:
+        import tempfile
+        from pathlib import Path
+
+        from repro.durability.wal import WriteAheadLog
+
+        batches = _durability_batches(
+            cfg["wal_batches"], cfg["wal_batch_size"], first_uid=0, seed=2013
+        )
+        tmpdir = Path(tempfile.mkdtemp(prefix="repro_wal_bench_"))
+        wal = WriteAheadLog(
+            tmpdir, flush_batches=8, segment_bytes=256 * 1024
+        )
+        return wal, batches, tmpdir
+
+    def run(state: Any) -> int:
+        wal, batches, _tmpdir = state
+        for batch in batches:
+            wal.append(batch)
+        wal.flush()
+        return sum(len(batch) for batch in batches)
+
+    def teardown(state: Any) -> None:
+        import shutil
+
+        wal, _batches, tmpdir = state
+        wal.close()
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    return _Workload(
+        name="wal.append_throughput",
+        unit="mutations logged",
+        setup=setup,
+        run=run,
+        teardown=teardown,
+    )
+
+
+def _recover_workload() -> _Workload:
+    """WAL-suffix replay cost of crash recovery.
+
+    Setup builds one crash directory — a base checkpoint plus a durable
+    WAL of seeded insert batches, abandoned without a clean shutdown —
+    and every timed run recovers a fresh engine from it.  The measured
+    quantity is :attr:`~repro.durability.Recovery.replay_ms`, the
+    batch-by-batch ``apply_many`` replay the subsystem adds on top of the
+    checkpoint load.
+    """
+    replay_holder: dict[int, float] = {}
+
+    def setup(cfg: dict[str, Any]) -> Any:
+        import tempfile
+        from pathlib import Path
+
+        from repro.durability.engine import DurableEngine
+        from repro.geometry.aabb import AABB
+        from repro.objects import BoxObject
+        from repro.utils.rng import make_rng
+
+        rng = make_rng(41)
+        objects = []
+        for uid in range(cfg["recover_objects"]):
+            center = (
+                float(rng.uniform(-500, 500)),
+                float(rng.uniform(-500, 500)),
+                float(rng.uniform(-500, 500)),
+            )
+            objects.append(BoxObject(uid=uid, box=AABB.from_center_extent(center, 4.0)))
+        tmpdir = Path(tempfile.mkdtemp(prefix="repro_recover_bench_"))
+        durable = DurableEngine.create(
+            tmpdir, objects, wal_kwargs={"flush_batches": 8}
+        )
+        batches = _durability_batches(
+            cfg["recover_batches"],
+            cfg["recover_batch_size"],
+            first_uid=cfg["recover_objects"],
+            seed=97,
+        )
+        for batch in batches:
+            durable.apply_many(batch)
+        durable.close()  # flushed WAL + epoch-0 checkpoint = the crash dir
+        return tmpdir
+
+    def run(state: Any) -> int:
+        from repro.durability.recovery import recover_engine
+
+        recovery = recover_engine(state)
+        replay_holder[id(state)] = recovery.replay_ms
+        return recovery.mutations_replayed
+
+    def measured(state: Any, _units: int) -> float:
+        return replay_holder[id(state)]
+
+    def teardown(state: Any) -> None:
+        import shutil
+
+        shutil.rmtree(state, ignore_errors=True)
+
+    return _Workload(
+        name="recover.replay_ms",
+        unit="mutations replayed",
+        setup=setup,
+        run=run,
+        measured_ms=measured,
+        teardown=teardown,
+    )
+
+
 def _sweep_probe_workload() -> _Workload:
     """join.filter times only the probe (filter + refine) phase of the sweep:
     sorting and packing are identical build work in both modes."""
@@ -568,6 +723,8 @@ def _workloads() -> list[_Workload]:
         _service_workload("sharded"),
         _Workload("mutate.ingest_throughput", "mutations applied", _mutation_state, _run_ingest),
         _read_write_workload(),
+        _wal_workload(),
+        _recover_workload(),
     ]
 
 

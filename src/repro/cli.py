@@ -22,6 +22,9 @@ screens displayed, plus an ASCII rendering of the figure:
   telemetry; ``--write-fraction`` turns the stream into a live read-write
   mix whose insert/delete/move mutations publish epochs while the reads
   run;
+* ``recover``    — rebuild an engine from a durability directory (newest
+  valid checkpoint + WAL-suffix replay, :mod:`repro.durability`) and run a
+  validation query against the recovered state;
 * ``bench``      — the unified benchmark suite (:mod:`repro.bench`): emits
   the schema-versioned BENCH JSON and exits non-zero on regression against
   a baseline.
@@ -35,11 +38,26 @@ from typing import Sequence
 __all__ = ["main", "build_parser"]
 
 
+def _package_version() -> str:
+    """The installed distribution version, falling back to the source tree."""
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Data-driven Neuroscience' (SIGMOD'13): "
         "FLAT, SCOUT and TOUCH demos in the terminal.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -119,6 +137,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-fraction", type=float, default=0.0, metavar="FRACTION",
         help="serve a live read-write mix: this fraction of the ops are "
         "insert/delete/move mutations published as epochs (default 0 = read-only)",
+    )
+    serve.add_argument(
+        "--wal", type=str, default=None, metavar="DIR",
+        help="make the service durable: journal every mutation batch into a "
+        "write-ahead log under DIR (one subdirectory per sweep point when "
+        "several shard counts are swept); 'repro recover' restores it",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild an engine from a durability directory (checkpoint + WAL)",
+    )
+    recover.add_argument("dir", type=str, help="durability directory (wal/ + checkpoints/)")
+    recover.add_argument(
+        "--sharded", action="store_true",
+        help="recover a ShardedEngine instead of a single SpatialEngine",
+    )
+    recover.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count override (default: the checkpoint manifest's spec)",
+    )
+    recover.add_argument(
+        "--at-epoch", type=int, default=None, metavar="E",
+        help="time-travel: rebuild the state at exactly epoch E",
+    )
+    recover.add_argument(
+        "--extent", type=float, default=150.0,
+        help="validation range-window edge length (um)",
+    )
+    recover.add_argument(
+        "--no-verify", action="store_true", help="skip the validation query"
     )
 
     bench = sub.add_parser("bench", help="run the benchmark suite, emit BENCH JSON")
@@ -349,6 +398,7 @@ def _run_report(args: argparse.Namespace) -> int:
 
 def _run_serve_bench(args: argparse.Namespace) -> int:
     import time
+    from pathlib import Path
 
     from repro.engine.mutations import Delete, Insert, Move
     from repro.errors import ReproError
@@ -416,15 +466,28 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         )
         single_node_ms: float | None = None
         summary: tuple[str, str] | None = None
+        wal_roots: list[Path] = []
         for count in shard_counts:
-            with ShardedEngine.from_circuit(
-                circuit,
+            service_kwargs = dict(
                 num_shards=count,
                 max_workers=args.workers,
                 max_in_flight=args.max_in_flight,
                 max_queued=args.max_queued,
                 default_timeout_s=args.timeout,
-            ) as service:
+            )
+            if args.wal is not None:
+                from repro.durability import durable_sharded
+
+                wal_root = Path(args.wal)
+                if len(shard_counts) > 1:
+                    wal_root = wal_root / f"s{count}"
+                wal_roots.append(wal_root)
+                service = durable_sharded(
+                    wal_root, circuit.segments(), circuit=circuit, **service_kwargs
+                )
+            else:
+                service = ShardedEngine.from_circuit(circuit, **service_kwargs)
+            with service:
                 start = time.perf_counter()
                 results = []
                 for op in ops:
@@ -459,9 +522,56 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             print()
             print(summary[0])
             print(summary[1])
+        if wal_roots:
+            print()
+            for wal_root in wal_roots:
+                print(f"durable state journaled to {wal_root}")
+            print(f"restore with: python -m repro recover {wal_roots[-1]} --sharded")
     except (ReproError, ValueError) as error:
         print(f"error: {error}")
         return 2
+    return 0
+
+
+def _run_recover(args: argparse.Namespace) -> int:
+    from repro.durability import recover_engine, recover_sharded
+    from repro.engine import RangeQuery
+    from repro.errors import ReproError
+    from repro.geometry.aabb import AABB
+
+    engine = None
+    try:
+        if args.sharded:
+            recovery = recover_sharded(
+                args.dir, at_epoch=args.at_epoch, num_shards=args.shards
+            )
+        else:
+            recovery = recover_engine(args.dir, at_epoch=args.at_epoch)
+        engine = recovery.engine
+        print(recovery.describe())
+        print(engine.describe())
+        if not args.no_verify:
+            window = AABB.from_center_extent(
+                engine.profile.world.center(), args.extent
+            )
+            result = engine.execute(RangeQuery(window))
+            expected = sorted(
+                o.uid for o in engine.objects if o.aabb.intersects(window)
+            )
+            exact = sorted(result.payload) == expected
+            print()
+            print(
+                f"validation query: {len(result.payload)} objects in a "
+                f"{args.extent:g} um window — {'exact' if exact else 'MISMATCH'}"
+            )
+            if not exact:
+                return 1
+    except ReproError as error:
+        print(f"error: {error}")
+        return 2
+    finally:
+        if args.sharded and engine is not None:
+            engine.close()  # shut the recovered service's worker pool down
     return 0
 
 
@@ -493,6 +603,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_query(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
+    if args.command == "recover":
+        return _run_recover(args)
     if args.command == "bench":
         return _run_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

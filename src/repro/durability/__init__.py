@@ -1,0 +1,70 @@
+"""The durability layer: write-ahead log, checkpoints, crash recovery.
+
+The paper's workflow is months of iterative model building; the live
+mutation path (:meth:`~repro.engine.SpatialEngine.apply_many`,
+:meth:`~repro.service.ShardedEngine.apply_many`) is worth nothing if a
+crash loses the in-progress build.  This subsystem makes every
+acknowledged mutation batch reconstructible:
+
+* :mod:`repro.durability.wal` — an append-only, CRC-checksummed,
+  segment-rotated log of serialised mutation batches with group-commit
+  buffering and torn-tail detection/repair;
+* :mod:`repro.durability.checkpoint` — epoch-stamped, Hilbert-packed
+  snapshots of the object set, committed atomically by directory rename;
+* :mod:`repro.durability.recovery` — checkpoint + WAL-suffix replay back
+  to the exact pre-crash epoch (:func:`recover_engine`,
+  :func:`recover_sharded`), time-travel to any checkpointed epoch
+  (:func:`open_at_epoch`), and :func:`durable_sharded`, the create-or-
+  resume entry point for a journaling sharded service;
+* :mod:`repro.durability.engine` — :class:`DurableEngine`, the
+  log → apply → ack wrapper over one :class:`~repro.engine.SpatialEngine`.
+
+Failures surface under one root: :class:`~repro.errors.DurabilityError`
+(with :class:`~repro.errors.WalCorruptionError` and
+:class:`~repro.errors.CheckpointMismatchError`) derives from
+:class:`~repro.errors.EngineError`, so the usual one-``except`` contract
+covers the durable engines too.
+"""
+
+from repro.durability.checkpoint import (
+    CheckpointManifest,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.engine import DurableEngine
+from repro.durability.recovery import (
+    Recovery,
+    checkpoint_engine,
+    checkpoint_sharded,
+    checkpoints_path,
+    durable_sharded,
+    open_at_epoch,
+    recover_engine,
+    recover_sharded,
+    wal_path,
+)
+from repro.durability.wal import WalScan, WalStats, WriteAheadLog, read_wal
+
+__all__ = [
+    "CheckpointManifest",
+    "DurableEngine",
+    "Recovery",
+    "WalScan",
+    "WalStats",
+    "WriteAheadLog",
+    "checkpoint_engine",
+    "checkpoint_sharded",
+    "checkpoints_path",
+    "durable_sharded",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "open_at_epoch",
+    "read_wal",
+    "recover_engine",
+    "recover_sharded",
+    "wal_path",
+    "write_checkpoint",
+]

@@ -1,0 +1,260 @@
+"""Checkpoints: epoch-stamped snapshots of an engine's object set.
+
+A checkpoint materialises the full dataset at one epoch so recovery can
+skip the WAL prefix before it.  Objects are written in the Hilbert-packed
+page layout of :class:`~repro.storage.object_store.ObjectStore` — sorted
+along the Hilbert curve of their AABB centres and chunked into
+fixed-capacity pages — so a checkpoint is the same clustering the paged
+structures rebuild from, one JSON line per page.
+
+Each checkpoint is a directory ``ckpt-<epoch>/`` holding ``objects.jsonl``
+and ``manifest.json``; the manifest records the epoch, the WAL position
+the snapshot covers (``wal_seq``: every logged batch with a sequence
+number at or below it is already folded in), the shard spec the engine ran
+with, and a CRC of the data file.
+
+Atomicity by rename: both files are written into ``ckpt-<epoch>.tmp`` and
+the directory is renamed into place as the commit point.  A crash mid-
+checkpoint leaves only the ``.tmp`` directory, which every reader ignores
+— the half-written snapshot simply never happened.  Validation failures
+(CRC or object-count mismatch) raise
+:class:`~repro.errors.CheckpointMismatchError`; the newest-valid lookup
+skips such checkpoints and falls back to an older one.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import zlib
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.durability.serde import decode_object, encode_object
+from repro.errors import CheckpointMismatchError, DurabilityError
+from repro.objects import SpatialObject
+from repro.storage.object_store import ObjectStore
+from repro.storage.page import DEFAULT_PAGE_BYTES, OBJECT_BYTES
+
+__all__ = [
+    "CheckpointManifest",
+    "write_checkpoint",
+    "load_checkpoint",
+    "list_checkpoints",
+    "latest_checkpoint",
+]
+
+_FORMAT_VERSION = 1
+_PREFIX = "ckpt-"
+_TMP_SUFFIX = ".tmp"
+_DATA_FILE = "objects.jsonl"
+_MANIFEST_FILE = "manifest.json"
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """What a checkpoint claims about itself (validated against the data)."""
+
+    format_version: int
+    epoch: int
+    wal_seq: int  # every WAL batch with seq <= this is folded into the data
+    num_objects: int
+    num_pages: int
+    page_capacity: int
+    num_shards: int | None  # the sharded service's tiling; None for one engine
+    data_crc32: int
+
+    def as_json(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @staticmethod
+    def from_json(record: dict[str, Any]) -> "CheckpointManifest":
+        try:
+            return CheckpointManifest(
+                format_version=int(record["format_version"]),
+                epoch=int(record["epoch"]),
+                wal_seq=int(record["wal_seq"]),
+                num_objects=int(record["num_objects"]),
+                num_pages=int(record["num_pages"]),
+                page_capacity=int(record["page_capacity"]),
+                num_shards=(
+                    None if record["num_shards"] is None else int(record["num_shards"])
+                ),
+                data_crc32=int(record["data_crc32"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise CheckpointMismatchError(f"malformed checkpoint manifest: {error}") from error
+
+
+def _checkpoint_dirname(epoch: int) -> str:
+    return f"{_PREFIX}{epoch:010d}"
+
+
+def write_checkpoint(
+    root: str | Path,
+    objects: Sequence[SpatialObject],
+    epoch: int,
+    wal_seq: int,
+    num_shards: int | None = None,
+    page_capacity: int | None = None,
+) -> Path:
+    """Write one atomic checkpoint under ``root``; return its directory.
+
+    ``objects`` must be non-empty (the engines are defined over non-empty
+    datasets).  Re-checkpointing an epoch that already exists and validates
+    is a no-op returning the existing directory.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    if epoch < 0 or wal_seq < 0:
+        raise DurabilityError("checkpoint epoch and wal_seq must be >= 0")
+    if not objects:
+        raise DurabilityError("cannot checkpoint an empty dataset")
+    if page_capacity is None:
+        page_capacity = DEFAULT_PAGE_BYTES // OBJECT_BYTES
+
+    final = root / _checkpoint_dirname(epoch)
+    if final.exists():
+        try:
+            load_checkpoint(final)
+            return final
+        except CheckpointMismatchError:
+            shutil.rmtree(final)  # replace a checkpoint that failed validation
+
+    # Hilbert-packed layout: the ObjectStore's page clustering is the
+    # at-rest order, one JSON line per page.
+    store = ObjectStore(objects, page_capacity=page_capacity)
+    lines: list[str] = []
+    for page in store.pages():
+        encoded = [encode_object(obj) for obj in store.objects_on_page(page.page_id)]
+        lines.append(
+            json.dumps({"page": page.page_id, "objects": encoded}, separators=(",", ":"))
+        )
+    data = ("\n".join(lines) + "\n").encode("utf-8")
+
+    manifest = CheckpointManifest(
+        format_version=_FORMAT_VERSION,
+        epoch=epoch,
+        wal_seq=wal_seq,
+        num_objects=store.num_objects,
+        num_pages=store.num_pages,
+        page_capacity=page_capacity,
+        num_shards=num_shards,
+        data_crc32=zlib.crc32(data),
+    )
+
+    tmp = root / (_checkpoint_dirname(epoch) + _TMP_SUFFIX)
+    if tmp.exists():
+        shutil.rmtree(tmp)  # leftover from a crashed writer
+    tmp.mkdir()
+    (tmp / _DATA_FILE).write_bytes(data)
+    (tmp / _MANIFEST_FILE).write_text(
+        json.dumps(manifest.as_json(), indent=2) + "\n", encoding="utf-8"
+    )
+    tmp.rename(final)  # the commit point
+    return final
+
+
+def load_checkpoint(
+    path: str | Path,
+) -> tuple[list[SpatialObject], CheckpointManifest]:
+    """Load and validate one checkpoint directory.
+
+    Raises :class:`~repro.errors.CheckpointMismatchError` when the manifest
+    or data file is missing, the CRC does not match, or the object count
+    disagrees with the manifest.
+    """
+    path = Path(path)
+    manifest_path = path / _MANIFEST_FILE
+    data_path = path / _DATA_FILE
+    if not manifest_path.is_file():
+        raise CheckpointMismatchError(f"checkpoint {path.name} has no manifest")
+    if not data_path.is_file():
+        raise CheckpointMismatchError(f"checkpoint {path.name} has no data file")
+    try:
+        manifest = CheckpointManifest.from_json(
+            json.loads(manifest_path.read_text(encoding="utf-8"))
+        )
+    except ValueError as error:
+        raise CheckpointMismatchError(
+            f"checkpoint {path.name} manifest is not valid JSON: {error}"
+        ) from error
+    if manifest.format_version != _FORMAT_VERSION:
+        raise CheckpointMismatchError(
+            f"checkpoint {path.name} has unsupported format version "
+            f"{manifest.format_version}"
+        )
+    data = data_path.read_bytes()
+    if zlib.crc32(data) != manifest.data_crc32:
+        raise CheckpointMismatchError(
+            f"checkpoint {path.name} data CRC mismatch (corrupt or half-written)"
+        )
+    objects: list[SpatialObject] = []
+    try:
+        for line in data.decode("utf-8").splitlines():
+            if not line:
+                continue
+            record = json.loads(line)
+            objects.extend(decode_object(entry) for entry in record["objects"])
+    except (ValueError, KeyError, TypeError, DurabilityError) as error:
+        raise CheckpointMismatchError(
+            f"checkpoint {path.name} data is undecodable: {error}"
+        ) from error
+    if len(objects) != manifest.num_objects:
+        raise CheckpointMismatchError(
+            f"checkpoint {path.name} holds {len(objects)} objects, manifest "
+            f"claims {manifest.num_objects}"
+        )
+    return objects, manifest
+
+
+def list_checkpoints(root: str | Path) -> list[tuple[int, Path]]:
+    """``(epoch, path)`` of every committed checkpoint, oldest first.
+
+    Half-written ``.tmp`` directories (rename never happened) are ignored
+    — they are the crash-mid-checkpoint case, not a checkpoint.
+    """
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    found: list[tuple[int, Path]] = []
+    for path in root.iterdir():
+        if not path.is_dir() or not path.name.startswith(_PREFIX):
+            continue
+        if path.name.endswith(_TMP_SUFFIX):
+            continue
+        try:
+            epoch = int(path.name[len(_PREFIX) :])
+        except ValueError:
+            continue
+        found.append((epoch, path))
+    return sorted(found)
+
+
+def latest_checkpoint(
+    root: str | Path, at_epoch: int | None = None
+) -> tuple[list[SpatialObject], CheckpointManifest]:
+    """Load the newest checkpoint that validates (optionally ≤ ``at_epoch``).
+
+    Checkpoints that fail validation are skipped in favour of older ones;
+    if none survives, :class:`~repro.errors.DurabilityError` reports every
+    rejection reason.
+    """
+    candidates = [
+        (epoch, path)
+        for epoch, path in list_checkpoints(root)
+        if at_epoch is None or epoch <= at_epoch
+    ]
+    if not candidates:
+        bound = "" if at_epoch is None else f" at or below epoch {at_epoch}"
+        raise DurabilityError(f"no checkpoint{bound} found under {root}")
+    reasons: list[str] = []
+    for epoch, path in reversed(candidates):
+        try:
+            return load_checkpoint(path)
+        except CheckpointMismatchError as error:
+            reasons.append(str(error))
+    raise DurabilityError(
+        "every candidate checkpoint failed validation: " + "; ".join(reasons)
+    )

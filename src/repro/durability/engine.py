@@ -1,0 +1,228 @@
+"""The :class:`DurableEngine` — a crash-safe wrapper over one engine.
+
+Log → apply → ack: every mutation batch is appended to the write-ahead
+log *before* it touches the in-memory :class:`~repro.engine.SpatialEngine`,
+so the acknowledged state is always reconstructible.  Queries pass
+straight through (reads are never logged); :meth:`checkpoint` folds the
+log into an epoch-stamped snapshot so restarts replay only the suffix.
+
+The restart story is one call:
+
+>>> durable = DurableEngine.create("model_dir", objects)
+>>> durable.apply_many(batch)          # logged, applied, acked
+>>> durable.close()                    # or the process dies — same thing
+>>> durable = DurableEngine.open("model_dir")
+>>> durable.epoch                      # exactly where it left off
+
+Each ``apply_many`` batch advances the engine's *epoch* by one — the same
+batch-equals-epoch accounting the sharded service uses — and
+``result.stats.epoch`` reports it, so a single durable engine and a
+durable :class:`~repro.service.ShardedEngine` speak the same dialect.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.durability.recovery import (
+    checkpoint_engine,
+    checkpoints_path,
+    recover_engine,
+    wal_path,
+)
+from repro.durability.checkpoint import list_checkpoints
+from repro.durability.wal import WriteAheadLog
+from repro.engine.engine import SpatialEngine
+from repro.engine.mutations import Delete, Insert, Move, Mutation, MutationResult
+from repro.engine.queries import Query
+from repro.engine.stats import EngineResult
+from repro.errors import DurabilityError, EngineError
+
+__all__ = ["DurableEngine"]
+
+
+class DurableEngine:
+    """A :class:`SpatialEngine` whose mutations survive process death.
+
+    Construct via :meth:`create` (fresh directory: writes the epoch-0 base
+    checkpoint) or :meth:`open` (existing directory: recovers checkpoint +
+    WAL suffix to the exact pre-crash epoch).  The wrapper owns the WAL;
+    close it (or use it as a context manager) to flush the group-commit
+    window on the way out.
+    """
+
+    def __init__(
+        self,
+        engine: SpatialEngine,
+        wal: WriteAheadLog,
+        root: Path,
+        epoch: int = 0,
+    ) -> None:
+        self.engine = engine
+        self.wal = wal
+        self.root = Path(root)
+        self._epoch = epoch
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        root: str | Path,
+        objects: Sequence[Any],
+        wal_kwargs: dict[str, Any] | None = None,
+        **engine_kwargs: Any,
+    ) -> "DurableEngine":
+        """Start a fresh durable engine under ``root`` (must hold no state)."""
+        root = Path(root)
+        if list_checkpoints(checkpoints_path(root)):
+            raise DurabilityError(
+                f"{root} already holds checkpoints; use DurableEngine.open"
+            )
+        engine = SpatialEngine(objects, **engine_kwargs)
+        durable = cls(
+            engine=engine,
+            wal=WriteAheadLog(wal_path(root), **(wal_kwargs or {})),
+            root=root,
+            epoch=0,
+        )
+        if durable.wal.last_durable_seq != 0:
+            durable.wal.close()
+            raise DurabilityError(
+                f"{root} already holds WAL batches; use DurableEngine.open"
+            )
+        checkpoint_engine(root, engine, epoch=0, wal=durable.wal)
+        return durable
+
+    @classmethod
+    def open(
+        cls,
+        root: str | Path,
+        at_epoch: int | None = None,
+        wal_kwargs: dict[str, Any] | None = None,
+        **engine_kwargs: Any,
+    ) -> "DurableEngine":
+        """Recover a durable engine to its pre-crash (or ``at_epoch``) state.
+
+        Opening the WAL for writing repairs any torn tail, so a recovery
+        after a mid-write crash resumes appending right after the last
+        durable batch.  Time-travel opens (``at_epoch`` below the durable
+        tip) refuse to reattach the WAL — appending from the past would
+        fork the history; use them read-only.
+        """
+        root = Path(root)
+        recovery = recover_engine(root, at_epoch=at_epoch, **engine_kwargs)
+        wal_kwargs = dict(wal_kwargs or {})
+        # Anchor tail repair at the checkpoint: damage in folded-in history
+        # must never truncate away the valid suffix behind it.
+        wal_kwargs.setdefault("anchor_seq", recovery.checkpoint_wal_seq)
+        wal = WriteAheadLog(wal_path(root), **wal_kwargs)
+        # In a DurableEngine directory batch seq == epoch (one record per
+        # acknowledged batch, from 1), so the durable tip is the last seq.
+        if at_epoch is not None and at_epoch < wal.last_durable_seq:
+            wal.close()
+            raise DurabilityError(
+                f"epoch {at_epoch} is before the durable tip "
+                f"{wal.last_durable_seq}; time-travel opens are read-only — "
+                "use recover_engine / open_at_epoch instead"
+            )
+        return cls(engine=recovery.engine, wal=wal, root=root, epoch=recovery.epoch)
+
+    # -- the durable write path -------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Mutation batches acknowledged over this directory's lifetime."""
+        return self._epoch
+
+    def apply(self, mutation: Mutation) -> MutationResult:
+        return self.apply_many((mutation,))
+
+    def apply_many(self, mutations: Sequence[Mutation]) -> MutationResult:
+        """Validate, log, apply, acknowledge — in that order.
+
+        The batch is validated against the live uid set *before* it
+        reaches the WAL: an invalid batch (duplicate insert, unknown uid,
+        deleting the last object) raises without logging anything, so a
+        rejected batch can never poison the replay history.  A valid batch
+        reaches the WAL before the engine, so a crash between the two
+        replays it on recovery; a crash before the flush loses the whole
+        batch, never a prefix of it (a WAL record is atomic by CRC).
+        """
+        if not mutations:
+            raise DurabilityError("refusing to apply an empty mutation batch")
+        self._validate(mutations)
+        self.wal.append(mutations)
+        result = self.engine.apply_many(mutations)
+        self._epoch += 1
+        result.stats.epoch = self._epoch
+        return result
+
+    def _validate(self, mutations: Sequence[Mutation]) -> None:
+        """Reject any batch the engine would refuse, before it is logged.
+
+        Mirrors the checks of :meth:`SpatialEngine._apply_one` (which
+        applies batches prefix-wise, not all-or-nothing) against a scratch
+        uid set, so only batches that will replay cleanly become durable.
+        """
+        live = {obj.uid for obj in self.engine.objects}
+        for mutation in mutations:
+            if isinstance(mutation, Insert):
+                if mutation.obj.uid in live:
+                    raise EngineError(f"cannot insert duplicate uid {mutation.obj.uid}")
+                live.add(mutation.obj.uid)
+            elif isinstance(mutation, Delete):
+                if mutation.uid not in live:
+                    raise EngineError(f"cannot delete unknown uid {mutation.uid}")
+                if len(live) == 1:
+                    raise EngineError("cannot delete the last object of an engine dataset")
+                live.discard(mutation.uid)
+            elif isinstance(mutation, Move):
+                if mutation.uid not in live:
+                    raise EngineError(f"cannot move unknown uid {mutation.uid}")
+            else:
+                raise DurabilityError(
+                    f"cannot apply mutation of type {type(mutation).__name__}"
+                )
+
+    def checkpoint(self) -> Path:
+        """Snapshot the current state; restarts replay only newer batches."""
+        return checkpoint_engine(self.root, self.engine, epoch=self._epoch, wal=self.wal)
+
+    # -- reads pass straight through ---------------------------------------
+    def execute(self, query: Query) -> EngineResult:
+        return self.engine.execute(query)
+
+    def query_many(self, queries: Sequence[Query]) -> list[EngineResult]:
+        return self.engine.query_many(queries)
+
+    def explain(self, query: Query):
+        return self.engine.explain(query)
+
+    @property
+    def objects(self) -> list[Any]:
+        return self.engine.objects
+
+    @property
+    def num_objects(self) -> int:
+        return self.engine.num_objects
+
+    @property
+    def telemetry(self):
+        return self.engine.telemetry
+
+    def describe(self) -> str:
+        return (
+            f"Durable{self.engine.describe()} | epoch {self._epoch}, WAL at "
+            f"batch {self.wal.last_durable_seq} in {self.root}"
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Flush the group-commit window and release the WAL handle."""
+        self.wal.close()
+
+    def __enter__(self) -> "DurableEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

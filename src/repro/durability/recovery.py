@@ -1,0 +1,318 @@
+"""Crash recovery: newest valid checkpoint + WAL-suffix replay.
+
+The recovery contract is *epoch-exact*: a process killed after publishing
+epoch ``E`` (with every batch durable in the WAL) recovers to an engine at
+exactly epoch ``E`` whose uid set and query answers match a never-crashed
+one — because each WAL batch replays through the same ``apply_many`` path
+that produced the original epoch, starting from a checkpoint that names
+precisely which WAL prefix it already folds in.
+
+A durability directory has one layout::
+
+    <root>/
+      wal/           wal-00000001.seg ...   (repro.durability.wal)
+      checkpoints/   ckpt-0000000000/ ...   (repro.durability.checkpoint)
+
+:func:`recover_engine` / :func:`recover_sharded` rebuild a
+:class:`~repro.engine.SpatialEngine` / :class:`~repro.service.ShardedEngine`
+at the pre-crash epoch; :func:`open_at_epoch` time-travels to any epoch at
+or after the oldest checkpoint (reproducible reruns of an earlier model
+state); :func:`durable_sharded` is the one-call entry point that creates or
+resumes a durable sharded service.  Torn WAL tails and corrupt records are
+tolerated — recovery lands on the last *durable* batch instead of raising.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.durability.checkpoint import (
+    latest_checkpoint,
+    list_checkpoints,
+    write_checkpoint,
+)
+from repro.durability.wal import WalScan, WriteAheadLog, read_wal
+from repro.engine.engine import SpatialEngine
+from repro.errors import DurabilityError
+from repro.objects import SpatialObject
+
+__all__ = [
+    "Recovery",
+    "wal_path",
+    "checkpoints_path",
+    "recover_engine",
+    "recover_sharded",
+    "open_at_epoch",
+    "checkpoint_engine",
+    "checkpoint_sharded",
+    "durable_sharded",
+]
+
+
+def wal_path(root: str | Path) -> Path:
+    """Where the write-ahead log lives inside a durability directory."""
+    return Path(root) / "wal"
+
+
+def checkpoints_path(root: str | Path) -> Path:
+    """Where the checkpoints live inside a durability directory."""
+    return Path(root) / "checkpoints"
+
+
+@dataclass
+class Recovery:
+    """One recovery outcome: the rebuilt engine and how it was reached."""
+
+    engine: Any  # SpatialEngine or ShardedEngine
+    checkpoint_epoch: int
+    checkpoint_wal_seq: int  # the WAL anchor the chosen checkpoint folds in
+    epoch: int
+    batches_replayed: int
+    mutations_replayed: int
+    wal_truncated: bool  # a torn/corrupt record cut the replay short
+    replay_ms: float
+
+    def describe(self) -> str:
+        tail = " (torn WAL tail dropped)" if self.wal_truncated else ""
+        return (
+            f"recovered to epoch {self.epoch}: checkpoint at epoch "
+            f"{self.checkpoint_epoch} + {self.batches_replayed} WAL batches "
+            f"({self.mutations_replayed} mutations) replayed in "
+            f"{self.replay_ms:.1f} ms{tail}"
+        )
+
+
+def _replay(
+    engine: Any,
+    scan: WalScan,
+    after_seq: int,
+    stop_after_batches: int | None = None,
+) -> tuple[int, int, float]:
+    """Apply the WAL suffix through ``apply_many``; return replay counters."""
+    start = time.perf_counter()
+    batches = 0
+    mutations = 0
+    for _seq, batch in scan.suffix(after_seq):
+        if stop_after_batches is not None and batches >= stop_after_batches:
+            break
+        engine.apply_many(batch)
+        batches += 1
+        mutations += len(batch)
+    return batches, mutations, (time.perf_counter() - start) * 1000.0
+
+
+def recover_engine(
+    root: str | Path,
+    at_epoch: int | None = None,
+    **engine_kwargs: Any,
+) -> Recovery:
+    """Rebuild a :class:`SpatialEngine` from a durability directory.
+
+    Loads the newest valid checkpoint (optionally the newest at or below
+    ``at_epoch``), replays the durable WAL suffix batch-by-batch through
+    :meth:`SpatialEngine.apply_many`, and stops either at the pre-crash
+    epoch or — when ``at_epoch`` is given — at exactly that epoch.
+    """
+    objects, manifest = latest_checkpoint(checkpoints_path(root), at_epoch=at_epoch)
+    scan = read_wal(wal_path(root), anchor_seq=manifest.wal_seq)
+    engine = SpatialEngine(objects, **engine_kwargs)
+    budget = None if at_epoch is None else at_epoch - manifest.epoch
+    batches, mutations, replay_ms = _replay(engine, scan, manifest.wal_seq, budget)
+    epoch = manifest.epoch + batches
+    if at_epoch is not None and epoch != at_epoch:
+        raise DurabilityError(
+            f"cannot reach epoch {at_epoch}: checkpoint at epoch {manifest.epoch} "
+            f"plus the durable WAL only reaches epoch {epoch}"
+        )
+    return Recovery(
+        engine=engine,
+        checkpoint_epoch=manifest.epoch,
+        checkpoint_wal_seq=manifest.wal_seq,
+        epoch=epoch,
+        batches_replayed=batches,
+        mutations_replayed=mutations,
+        wal_truncated=scan.truncated,
+        replay_ms=replay_ms,
+    )
+
+
+def recover_sharded(
+    root: str | Path,
+    at_epoch: int | None = None,
+    num_shards: int | None = None,
+    attach_wal: bool = False,
+    **service_kwargs: Any,
+) -> Recovery:
+    """Rebuild a :class:`~repro.service.ShardedEngine` at the pre-crash epoch.
+
+    The service starts from the checkpoint's epoch (its manifest also
+    remembers the shard spec, used when ``num_shards`` is not given) and
+    replays each durable WAL batch as one published epoch — so the
+    recovered ``service.epoch`` equals the last durable pre-crash epoch
+    exactly.  ``attach_wal=True`` reopens the log for writing (repairing
+    any torn tail) and re-attaches it, so the recovered service keeps
+    journaling subsequent batches into the same directory.
+    """
+    from repro.service.sharded import ShardedEngine
+
+    objects, manifest = latest_checkpoint(checkpoints_path(root), at_epoch=at_epoch)
+    scan = read_wal(wal_path(root), anchor_seq=manifest.wal_seq)
+    if num_shards is None:
+        num_shards = manifest.num_shards if manifest.num_shards is not None else 1
+    service = ShardedEngine(
+        objects,
+        num_shards=num_shards,
+        initial_epoch=manifest.epoch,
+        **service_kwargs,
+    )
+    try:
+        budget = None if at_epoch is None else at_epoch - manifest.epoch
+        batches, mutations, replay_ms = _replay(service, scan, manifest.wal_seq, budget)
+        if at_epoch is not None and service.epoch != at_epoch:
+            raise DurabilityError(
+                f"cannot reach epoch {at_epoch}: checkpoint at epoch {manifest.epoch} "
+                f"plus the durable WAL only reaches epoch {service.epoch}"
+            )
+        if attach_wal:
+            # Reopening repairs any torn tail; appends resume after the last
+            # durable batch, which is exactly the state the replay rebuilt.
+            service.wal = WriteAheadLog(wal_path(root), anchor_seq=manifest.wal_seq)
+    except BaseException:
+        service.close()  # don't leak the worker pool on a failed recovery
+        raise
+    return Recovery(
+        engine=service,
+        checkpoint_epoch=manifest.epoch,
+        checkpoint_wal_seq=manifest.wal_seq,
+        epoch=service.epoch,
+        batches_replayed=batches,
+        mutations_replayed=mutations,
+        wal_truncated=scan.truncated,
+        replay_ms=replay_ms,
+    )
+
+
+def open_at_epoch(
+    root: str | Path,
+    epoch: int,
+    sharded: bool = False,
+    **kwargs: Any,
+) -> Recovery:
+    """Time-travel: rebuild the engine exactly as it was at ``epoch``.
+
+    Any epoch from the oldest checkpoint through the last durable batch is
+    reachable (the best checkpoint at or below it seeds the replay); asking
+    for anything else raises :class:`~repro.errors.DurabilityError`.  Use
+    it for reproducible reruns against an earlier model state.
+    """
+    if epoch < 0:
+        raise DurabilityError("epoch must be >= 0")
+    if sharded:
+        return recover_sharded(root, at_epoch=epoch, **kwargs)
+    return recover_engine(root, at_epoch=epoch, **kwargs)
+
+
+def checkpoint_engine(
+    root: str | Path,
+    engine: SpatialEngine,
+    epoch: int,
+    wal: WriteAheadLog | None = None,
+) -> Path:
+    """Checkpoint a single engine's dataset at ``epoch``.
+
+    When a WAL is given its group-commit window is flushed first, so the
+    recorded ``wal_seq`` is genuinely durable.  Without one, the batch
+    seq == epoch invariant of the durability layout stands in: the
+    checkpoint claims exactly the first ``epoch`` WAL batches, so
+    checkpointing a recovered (WAL-less) engine never causes replay of
+    batches it already folds in.
+    """
+    if wal is not None:
+        wal.flush()
+        wal_seq = wal.last_durable_seq
+    else:
+        wal_seq = epoch
+    return write_checkpoint(
+        checkpoints_path(root),
+        engine.objects,
+        epoch=epoch,
+        wal_seq=wal_seq,
+        num_shards=None,
+        page_capacity=engine.page_capacity,
+    )
+
+
+def checkpoint_sharded(root: str | Path, service: Any) -> Path:
+    """Checkpoint a (WAL-attached or plain) sharded service at its epoch.
+
+    Without an attached WAL the seq == epoch invariant stands in for the
+    durable position, exactly as in :func:`checkpoint_engine`.
+    """
+    if service.wal is not None:
+        service.wal.flush()
+        wal_seq = service.wal.last_durable_seq
+    else:
+        wal_seq = service.epoch
+    return write_checkpoint(
+        checkpoints_path(root),
+        service.objects,
+        epoch=service.epoch,
+        wal_seq=wal_seq,
+        num_shards=service.num_shards,
+    )
+
+
+def durable_sharded(
+    root: str | Path,
+    objects: Sequence[SpatialObject] | None = None,
+    num_shards: int | None = None,
+    wal_kwargs: dict[str, Any] | None = None,
+    **service_kwargs: Any,
+) -> Any:
+    """Create *or resume* a durable sharded service over ``root``.
+
+    Fresh directory: requires ``objects``, writes the epoch-0 base
+    checkpoint, opens the WAL, and returns a
+    :class:`~repro.service.ShardedEngine` that journals every mutation
+    batch before publishing it (``num_shards`` defaults to 4).  Existing
+    directory: ignores ``objects`` and recovers to the pre-crash epoch
+    with the WAL re-attached — the restart path is the same call as the
+    first boot.  On resume an explicit ``num_shards`` re-tiles the
+    recovered dataset (checkpoints are portable across shard counts);
+    leaving it ``None`` keeps the checkpoint manifest's spec.
+    """
+    from repro.service.sharded import ShardedEngine
+
+    root = Path(root)
+    wal_kwargs = dict(wal_kwargs or {})
+    if list_checkpoints(checkpoints_path(root)):
+        recovery = recover_sharded(
+            root, num_shards=num_shards, attach_wal=False, **service_kwargs
+        )
+        service = recovery.engine
+        wal_kwargs.setdefault("anchor_seq", recovery.checkpoint_wal_seq)
+        service.wal = WriteAheadLog(wal_path(root), **wal_kwargs)
+        return service
+    if read_wal(wal_path(root)).batches:
+        raise DurabilityError(
+            f"{root} holds WAL batches but no base checkpoint; the log cannot "
+            "be anchored — recover manually or start from a fresh directory"
+        )
+    if not objects:
+        raise DurabilityError(
+            f"{root} holds no durable state yet; pass the initial objects"
+        )
+    if num_shards is None:
+        num_shards = 4
+    write_checkpoint(
+        checkpoints_path(root),
+        objects,
+        epoch=0,
+        wal_seq=0,
+        num_shards=num_shards,
+    )
+    wal = WriteAheadLog(wal_path(root), **wal_kwargs)
+    return ShardedEngine(objects, num_shards=num_shards, wal=wal, **service_kwargs)

@@ -1,0 +1,116 @@
+"""Mutation (de)serialisation — the wire format of the durability layer.
+
+The WAL and the checkpoints persist the *declarative* values of the live
+engines (:class:`~repro.objects.BoxObject`, :class:`~repro.geometry.Segment`
+objects and the :class:`~repro.engine.Insert` / ``Delete`` / ``Move``
+mutations over them), not index state: indexes are rebuilt from objects on
+recovery, which is what makes a checkpoint portable across shard counts,
+kernel backends and index-layout changes.
+
+Encoding is JSON with full-precision floats (``repr`` round-trips every
+finite IEEE-754 double exactly), so a recovered object compares equal to
+the one that was logged.  Unknown object or mutation kinds raise
+:class:`~repro.errors.DurabilityError` at *write* time — nothing
+unreplayable ever reaches the log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.engine.mutations import Delete, Insert, Move, Mutation
+from repro.errors import DurabilityError
+from repro.geometry.segment import Segment
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.objects import BoxObject, SpatialObject
+
+__all__ = [
+    "encode_object",
+    "decode_object",
+    "encode_mutation",
+    "decode_mutation",
+    "encode_batch",
+    "decode_batch",
+]
+
+
+def encode_object(obj: SpatialObject) -> dict[str, Any]:
+    """One spatial object as a JSON-ready dict (exact float round-trip)."""
+    if isinstance(obj, Segment):
+        return {
+            "t": "segment",
+            "uid": obj.uid,
+            "p0": [obj.p0.x, obj.p0.y, obj.p0.z],
+            "p1": [obj.p1.x, obj.p1.y, obj.p1.z],
+            "r": obj.radius,
+            "n": obj.neuron_id,
+            "b": obj.branch_id,
+            "o": obj.order,
+        }
+    if isinstance(obj, BoxObject):
+        box = obj.box
+        return {
+            "t": "box",
+            "uid": obj.uid,
+            "lo": [box.min_x, box.min_y, box.min_z],
+            "hi": [box.max_x, box.max_y, box.max_z],
+        }
+    raise DurabilityError(
+        f"cannot serialise object of type {type(obj).__name__}; the durability "
+        "layer persists Segment and BoxObject values"
+    )
+
+
+def decode_object(record: dict[str, Any]) -> SpatialObject:
+    """Inverse of :func:`encode_object`."""
+    kind = record.get("t")
+    if kind == "segment":
+        return Segment(
+            uid=int(record["uid"]),
+            p0=Vec3(*record["p0"]),
+            p1=Vec3(*record["p1"]),
+            radius=float(record["r"]),
+            neuron_id=int(record["n"]),
+            branch_id=int(record["b"]),
+            order=int(record["o"]),
+        )
+    if kind == "box":
+        lo, hi = record["lo"], record["hi"]
+        return BoxObject(
+            uid=int(record["uid"]), box=AABB(lo[0], lo[1], lo[2], hi[0], hi[1], hi[2])
+        )
+    raise DurabilityError(f"cannot decode object record of kind {kind!r}")
+
+
+def encode_mutation(mutation: Mutation) -> dict[str, Any]:
+    """One declarative mutation as a JSON-ready dict."""
+    if isinstance(mutation, Insert):
+        return {"m": "insert", "obj": encode_object(mutation.obj)}
+    if isinstance(mutation, Delete):
+        return {"m": "delete", "uid": mutation.uid}
+    if isinstance(mutation, Move):
+        return {"m": "move", "uid": mutation.uid, "obj": encode_object(mutation.obj)}
+    raise DurabilityError(
+        f"cannot serialise mutation of type {type(mutation).__name__}"
+    )
+
+
+def decode_mutation(record: dict[str, Any]) -> Mutation:
+    """Inverse of :func:`encode_mutation`."""
+    kind = record.get("m")
+    if kind == "insert":
+        return Insert(decode_object(record["obj"]))
+    if kind == "delete":
+        return Delete(int(record["uid"]))
+    if kind == "move":
+        return Move(int(record["uid"]), decode_object(record["obj"]))
+    raise DurabilityError(f"cannot decode mutation record of kind {kind!r}")
+
+
+def encode_batch(mutations: Sequence[Mutation]) -> list[dict[str, Any]]:
+    return [encode_mutation(m) for m in mutations]
+
+
+def decode_batch(records: Sequence[dict[str, Any]]) -> list[Mutation]:
+    return [decode_mutation(r) for r in records]

@@ -1,0 +1,485 @@
+"""Write-ahead log: the durable record of every mutation batch.
+
+An append-only log of serialised :class:`~repro.engine.Insert` /
+``Delete`` / ``Move`` batches, one record per ``apply_many`` call.  The
+engines log a batch *before* applying it (write-ahead), so any state a
+reader was ever shown is reconstructible from the newest checkpoint plus
+the log suffix after it.
+
+On-disk format
+--------------
+A log is a directory of segment files (``wal-00000001.seg``, ...), each
+opened with an 8-byte header (magic ``RWAL`` + format version) and closed
+when it exceeds the segment byte budget — rotation bounds the cost of the
+tail scan on open and lets :meth:`WriteAheadLog.prune` reclaim whole
+files once a kept checkpoint folds them in.  A record is
+
+    ``[payload length u32][crc32 u32][batch seq u64][payload bytes]``
+
+with the CRC computed over ``seq + payload``, and the payload a JSON array
+of mutations (:mod:`repro.durability.serde`).  Batch sequence numbers are
+contiguous from 1, so "the WAL suffix after checkpoint ``S``" is exactly
+the records with ``seq > S``.
+
+Group commit
+------------
+``append`` buffers encoded records in memory and flushes when the batch
+count or byte budget is reached (``flush_batches`` / ``flush_bytes``) —
+the classic throughput/durability-window trade.  The default is
+``flush_batches=1``: every acknowledged batch is durable.  ``flush()``
+forces the window closed at any time; only flushed records are recoverable.
+
+Torn-tail detection
+-------------------
+A crash mid-write leaves a torn record at the physical tail: a short
+header, a payload shorter than its length field, or a CRC mismatch.
+Opening a :class:`WriteAheadLog` over an existing directory *repairs* the
+tail — the torn record and everything after it is truncated away, and
+appending resumes after the last durable batch.  :func:`read_wal` is the
+read-only view: tolerant by default (stop at the last valid record, flag
+``truncated``), strict on request (raise
+:class:`~repro.errors.WalCorruptionError`).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.durability.serde import decode_batch, encode_batch
+from repro.engine.mutations import Mutation
+from repro.errors import DurabilityError, WalCorruptionError
+
+__all__ = ["WriteAheadLog", "WalStats", "WalScan", "read_wal"]
+
+_MAGIC = b"RWAL"
+_FORMAT_VERSION = 1
+_FILE_HEADER = _MAGIC + struct.pack("<I", _FORMAT_VERSION)
+_RECORD_HEADER = struct.Struct("<II")  # payload length, crc32(seq + payload)
+_SEQ = struct.Struct("<Q")
+_SEGMENT_GLOB = "wal-*.seg"
+
+
+def _segment_name(index: int) -> str:
+    return f"wal-{index:08d}.seg"
+
+
+def _segment_index(path: Path) -> int:
+    return int(path.stem.split("-")[1])
+
+
+def _encode_record(seq: int, mutations: Sequence[Mutation]) -> bytes:
+    payload = json.dumps(encode_batch(mutations), separators=(",", ":")).encode("utf-8")
+    seq_bytes = _SEQ.pack(seq)
+    crc = zlib.crc32(seq_bytes + payload)
+    return _RECORD_HEADER.pack(len(payload), crc) + seq_bytes + payload
+
+
+@dataclass
+class WalStats:
+    """Lifetime counters of one open :class:`WriteAheadLog`."""
+
+    batches_appended: int = 0
+    mutations_appended: int = 0
+    flushes: int = 0
+    bytes_written: int = 0
+    segments_created: int = 0
+    tail_repaired: bool = False  # did open() truncate a torn tail
+
+
+@dataclass
+class WalScan:
+    """What :func:`read_wal` found: the durable batches and how it ended."""
+
+    batches: list[tuple[int, list[Mutation]]] = field(default_factory=list)
+    truncated: bool = False  # a torn/corrupt record cut the scan short
+    corruption: str | None = None  # what stopped the scan (None = clean EOF)
+    covered_gap: bool = False  # damage skipped because a checkpoint covers it
+    last_seq: int = 0
+
+    def suffix(self, after_seq: int) -> list[tuple[int, list[Mutation]]]:
+        """The batches to replay on top of a checkpoint at ``after_seq``."""
+        return [(seq, batch) for seq, batch in self.batches if seq > after_seq]
+
+
+def _scan_segment(
+    path: Path, skip_at_or_below: int = 0
+) -> tuple[list[tuple[int, int, list[Mutation] | None]], int, str | None]:
+    """Decode one segment file.
+
+    Returns ``(records, valid_bytes, corruption)`` where ``records`` are
+    ``(seq, end_offset, mutations)`` triples, ``valid_bytes`` is the byte
+    length of the longest valid prefix, and ``corruption`` names what
+    stopped the scan (``None`` for a clean end-of-file).  Records with
+    ``seq <= skip_at_or_below`` are CRC-verified but not payload-decoded
+    (``mutations is None``): a checkpoint already folds them in, so replay
+    never needs their contents.
+    """
+    data = path.read_bytes()
+    if len(data) < len(_FILE_HEADER):
+        return [], 0, f"segment {path.name}: short file header"
+    if data[: len(_MAGIC)] != _MAGIC:
+        return [], 0, f"segment {path.name}: bad magic"
+    (version,) = struct.unpack_from("<I", data, len(_MAGIC))
+    if version != _FORMAT_VERSION:
+        return [], 0, f"segment {path.name}: unsupported format version {version}"
+    records: list[tuple[int, int, list[Mutation] | None]] = []
+    offset = len(_FILE_HEADER)
+    while offset < len(data):
+        if offset + _RECORD_HEADER.size > len(data):
+            return records, offset, f"segment {path.name}: torn record header"
+        length, crc = _RECORD_HEADER.unpack_from(data, offset)
+        body_start = offset + _RECORD_HEADER.size
+        body_end = body_start + _SEQ.size + length
+        if body_end > len(data):
+            return records, offset, f"segment {path.name}: torn record payload"
+        body = data[body_start:body_end]
+        if zlib.crc32(body) != crc:
+            return records, offset, f"segment {path.name}: record CRC mismatch"
+        (seq,) = _SEQ.unpack_from(body, 0)
+        if seq <= skip_at_or_below:
+            mutations: list[Mutation] | None = None
+        else:
+            try:
+                mutations = decode_batch(json.loads(body[_SEQ.size :].decode("utf-8")))
+            except (ValueError, KeyError, TypeError, DurabilityError) as error:
+                return records, offset, f"segment {path.name}: undecodable payload ({error})"
+        records.append((seq, body_end, mutations))
+        offset = body_end
+    return records, offset, None
+
+
+def _segments(directory: Path) -> list[Path]:
+    return sorted(directory.glob(_SEGMENT_GLOB), key=_segment_index)
+
+
+@dataclass
+class _DirectoryScan:
+    """One anchored walk over every segment: batches plus repair geometry."""
+
+    batches: list[tuple[int, list[Mutation]]]
+    last_seq: int
+    corruption: str | None  # unresolved damage (torn tail / unrecoverable gap)
+    covered_gap: bool  # damage or gaps skipped because the anchor covers them
+    cut_index: int  # segment index of the last accepted record (-1: none)
+    cut_offset: int  # end offset of the last accepted record in that segment
+    segments: list[Path]
+
+
+def _scan_directory(directory: Path, anchor_seq: int) -> _DirectoryScan:
+    """Walk all segments, accepting the longest replayable batch sequence.
+
+    Sequence numbers must grow contiguously — except across damage or
+    gaps whose every missing seq is at or below ``anchor_seq``, the WAL
+    position a checkpoint already folds in: those batches are not needed
+    for replay, so losing their records loses nothing.  Damage above the
+    anchor ends the scan; everything accepted before it is the durable
+    prefix.
+    """
+    segments = _segments(directory)
+    batches: list[tuple[int, list[Mutation]]] = []
+    last_seq = 0
+    covered = False
+    pending: str | None = None  # damage awaiting a covered resume
+    stopped: str | None = None
+    cut_index = -1
+    cut_offset = 0
+    for index, path in enumerate(segments):
+        records, _valid_bytes, seg_corruption = _scan_segment(
+            path, skip_at_or_below=anchor_seq
+        )
+        for seq, end, mutations in records:
+            covered_jump = seq > last_seq + 1 and seq - 1 <= anchor_seq
+            if seq == last_seq + 1 or covered_jump:
+                if covered_jump or pending is not None:
+                    covered = True
+                pending = None
+                if mutations is not None:
+                    batches.append((seq, mutations))
+                last_seq = seq
+                cut_index, cut_offset = index, end
+            else:
+                # Unrecoverable: the missing records reach past the anchor,
+                # and every later seq is higher still — nothing after this
+                # point can ever rejoin the history.
+                stopped = (
+                    f"segment {path.name}: batch seq {seq} breaks the "
+                    f"contiguous sequence after {last_seq}"
+                )
+                break
+        if stopped is not None:
+            break
+        if seg_corruption is not None:
+            # The rest of this segment is unreadable; a later segment may
+            # still resume if the lost records are covered by the anchor.
+            pending = seg_corruption
+    return _DirectoryScan(
+        batches=batches,
+        last_seq=last_seq,
+        corruption=stopped if stopped is not None else pending,
+        covered_gap=covered,
+        cut_index=cut_index,
+        cut_offset=cut_offset,
+        segments=segments,
+    )
+
+
+def read_wal(
+    directory: str | Path, strict: bool = False, anchor_seq: int = 0
+) -> WalScan:
+    """Scan a WAL directory into its durable batch sequence.
+
+    Records must carry contiguous sequence numbers from 1; the scan stops
+    at the first torn, corrupt or out-of-sequence record (a gap means a
+    lost segment, not just a torn tail) — everything before it is the
+    durable prefix.  ``anchor_seq`` is the WAL position the newest
+    checkpoint folds in: records at or below it are CRC-verified but not
+    decoded or returned, and damage confined to them is *skipped* rather
+    than fatal (``covered_gap`` reports it), so a bit flip in long-folded
+    history can never cost the valid suffix.  ``strict=True`` raises
+    :class:`~repro.errors.WalCorruptionError` instead of tolerating a cut.
+    A missing directory reads as an empty log.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return WalScan()
+    scan = _scan_directory(directory, anchor_seq)
+    result = WalScan(
+        batches=scan.batches,
+        truncated=scan.corruption is not None,
+        corruption=scan.corruption,
+        covered_gap=scan.covered_gap,
+        last_seq=scan.last_seq,
+    )
+    if result.truncated and strict:
+        raise WalCorruptionError(result.corruption)
+    return result
+
+
+class WriteAheadLog:
+    """An append-only, CRC-checksummed, segment-rotated mutation log.
+
+    Parameters
+    ----------
+    directory:
+        Where segment files live; created if missing.  Opening over an
+        existing log repairs any torn tail and resumes the batch sequence
+        after the last durable record.
+    flush_batches, flush_bytes:
+        The group-commit window: buffered records are flushed to disk when
+        either threshold is reached.  ``flush_batches=1`` (the default)
+        makes every ``append`` durable before it returns.
+    segment_bytes:
+        Rotation threshold: a segment that reaches this size is closed and
+        a fresh one started (checked at flush boundaries).
+    fsync:
+        Also ``os.fsync`` on every flush.  Off by default: the tests and
+        benchmarks model crash-at-batch-boundary, and the simulated-device
+        repo convention is to keep timing deterministic.
+    anchor_seq:
+        The WAL position the newest checkpoint folds in (0 when no
+        checkpoint exists).  Tail repair never cuts at damage confined to
+        records at or below the anchor — a bit flip in long-checkpointed
+        history must not destroy the valid suffix behind it.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        flush_batches: int = 1,
+        flush_bytes: int = 256 * 1024,
+        segment_bytes: int = 4 * 1024 * 1024,
+        fsync: bool = False,
+        anchor_seq: int = 0,
+    ) -> None:
+        if flush_batches < 1:
+            raise DurabilityError("flush_batches must be >= 1")
+        if flush_bytes < 1 or segment_bytes < len(_FILE_HEADER) + 1:
+            raise DurabilityError("flush_bytes and segment_bytes must be positive")
+        if anchor_seq < 0:
+            raise DurabilityError("anchor_seq must be >= 0")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.flush_batches = flush_batches
+        self.flush_bytes = flush_bytes
+        self.segment_bytes = segment_bytes
+        self.fsync = fsync
+        self.anchor_seq = anchor_seq
+        self.stats = WalStats()
+        self._buffer: list[bytes] = []
+        self._buffered_bytes = 0
+        self._closed = False
+        self._last_durable_seq = self._repair_tail()
+        self._next_seq = self._last_durable_seq + 1
+        existing = _segments(self.directory)
+        self._segment_index = _segment_index(existing[-1]) + 1 if existing else 1
+        self._handle: io.BufferedWriter | None = None
+        self._segment_size = 0
+
+    # -- open-time tail repair ---------------------------------------------
+    def _repair_tail(self) -> int:
+        """Truncate any torn tail; return the last durable batch seq.
+
+        Unresolved damage (a torn tail, or a gap reaching past the anchor)
+        ends the durable prefix: the segment holding the last accepted
+        record is physically truncated right after it and every later
+        segment is deleted, so a reader and a writer agree on exactly
+        where the log ends.  Damage *covered* by the anchor is left in
+        place — the records behind it are still part of the history.
+        """
+        scan = _scan_directory(self.directory, self.anchor_seq)
+        if scan.corruption is not None:
+            self.stats.tail_repaired = True
+            if scan.cut_index < 0:
+                doomed = scan.segments
+            else:
+                cut = scan.segments[scan.cut_index]
+                with cut.open("r+b") as handle:
+                    handle.truncate(max(scan.cut_offset, len(_FILE_HEADER)))
+                doomed = scan.segments[scan.cut_index + 1 :]
+            for path in doomed:
+                path.unlink()
+        return scan.last_seq
+
+    # -- appending ----------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        """Seq of the newest appended batch (durable or still buffered)."""
+        return self._next_seq - 1
+
+    @property
+    def last_durable_seq(self) -> int:
+        """Seq of the newest batch guaranteed to survive a crash."""
+        return self._last_durable_seq
+
+    @property
+    def num_segments(self) -> int:
+        return len(_segments(self.directory))
+
+    def append(self, mutations: Sequence[Mutation]) -> int:
+        """Buffer one batch; flush if the group-commit window closed.
+
+        Returns the batch's sequence number.  The batch is durable once
+        ``last_durable_seq`` reaches that number (immediately with the
+        default ``flush_batches=1``).
+        """
+        if self._closed:
+            raise DurabilityError("write-ahead log is closed")
+        if not mutations:
+            raise DurabilityError("refusing to log an empty mutation batch")
+        seq = self._next_seq
+        record = _encode_record(seq, mutations)
+        self._next_seq += 1
+        self._buffer.append(record)
+        self._buffered_bytes += len(record)
+        self.stats.batches_appended += 1
+        self.stats.mutations_appended += len(mutations)
+        if len(self._buffer) >= self.flush_batches or self._buffered_bytes >= self.flush_bytes:
+            self.flush()
+        return seq
+
+    def flush(self) -> None:
+        """Write every buffered record to the current segment, durably."""
+        if self._closed:
+            raise DurabilityError("write-ahead log is closed")
+        if not self._buffer:
+            return
+        handle = self._current_handle()
+        for record in self._buffer:
+            handle.write(record)
+            self._segment_size += len(record)
+            self.stats.bytes_written += len(record)
+        handle.flush()
+        if self.fsync:
+            os.fsync(handle.fileno())
+        self._last_durable_seq = self.last_seq
+        self._buffer.clear()
+        self._buffered_bytes = 0
+        self.stats.flushes += 1
+        if self._segment_size >= self.segment_bytes:
+            self._rotate()
+
+    def _current_handle(self) -> io.BufferedWriter:
+        if self._handle is None:
+            path = self.directory / _segment_name(self._segment_index)
+            self._handle = path.open("wb")
+            self._handle.write(_FILE_HEADER)
+            self._segment_size = len(_FILE_HEADER)
+            self.stats.bytes_written += len(_FILE_HEADER)
+            self.stats.segments_created += 1
+        return self._handle
+
+    def _rotate(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._segment_index += 1
+        self._segment_size = 0
+
+    # -- reading back --------------------------------------------------------
+    def scan(self, strict: bool = False) -> WalScan:
+        """The durable batches currently on disk (buffered ones excluded)."""
+        return read_wal(self.directory, strict=strict, anchor_seq=self.anchor_seq)
+
+    def batches_after(self, after_seq: int) -> Iterator[tuple[int, list[Mutation]]]:
+        """Durable ``(seq, batch)`` pairs with ``seq > after_seq``."""
+        return iter(self.scan().suffix(after_seq))
+
+    # -- reclamation ---------------------------------------------------------
+    def prune(self, up_to_seq: int) -> int:
+        """Delete leading whole segments fully folded into a checkpoint.
+
+        A segment qualifies when every record it holds has
+        ``seq <= up_to_seq`` (the WAL position a *kept* checkpoint
+        records); deletion stops at the first segment that does not.
+        Returns the number of segments removed and raises the log's own
+        ``anchor_seq`` so its scans keep accepting the now-leading gap.
+
+        Prune against the **oldest** checkpoint you intend to keep:
+        time-travel to epochs below a pruned position becomes impossible
+        (and fails loudly at recovery, never silently).
+        """
+        if up_to_seq < 0:
+            raise DurabilityError("up_to_seq must be >= 0")
+        removed = 0
+        current = (
+            self.directory / _segment_name(self._segment_index)
+            if self._handle is not None
+            else None
+        )
+        for path in _segments(self.directory):
+            if path == current:
+                break  # never unlink the open segment under the writer
+            records, _valid_bytes, corruption = _scan_segment(
+                path, skip_at_or_below=up_to_seq
+            )
+            if corruption is not None or not records or records[-1][0] > up_to_seq:
+                break
+            path.unlink()
+            removed += 1
+        if removed:
+            self.anchor_seq = max(self.anchor_seq, up_to_seq)
+        return removed
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Flush the group-commit window and release the file handle."""
+        if self._closed:
+            return
+        self.flush()
+        self._closed = True
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -69,6 +69,28 @@ class ServiceError(EngineError):
         self.shard_id = shard_id
 
 
+class DurabilityError(EngineError):
+    """Raised by the durability subsystem (:mod:`repro.durability`) on invalid
+    configuration or unrecoverable on-disk state.  Deriving from
+    :class:`EngineError` keeps the one-``except`` contract: a caller that
+    treats a :class:`~repro.durability.DurableEngine` as just another engine
+    catches its failures with the same clause."""
+
+
+class WalCorruptionError(DurabilityError):
+    """Raised when a write-ahead-log record fails validation (truncated
+    header, payload shorter than its length field, CRC mismatch) and the
+    caller asked for strict reading.  Recovery reads tolerantly by default:
+    it stops at the last durable batch instead of raising."""
+
+
+class CheckpointMismatchError(DurabilityError):
+    """Raised when a checkpoint's manifest and data disagree (bad checksum,
+    wrong object count, missing data file) — the checkpoint is not trusted.
+    Recovery skips mismatched checkpoints and falls back to the newest
+    older one that validates."""
+
+
 class ServiceOverloadError(ServiceError):
     """Raised when admission control rejects a query: the service is at its
     in-flight limit and the bounded wait queue is full (or the queue wait

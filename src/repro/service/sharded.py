@@ -158,6 +158,15 @@ class ShardedEngine:
         shard holds more than this multiple of the balanced per-shard
         share (or any shard drained empty), the whole dataset is re-tiled
         into fresh Hilbert shards before the new epoch is published.
+    wal:
+        Optional :class:`~repro.durability.WriteAheadLog`.  When attached,
+        every validated mutation batch is appended to the log *before* its
+        epoch is published (write-ahead), so
+        :func:`~repro.durability.recover_sharded` can rebuild the service
+        at the exact pre-crash epoch.  Reads are never logged.
+    initial_epoch:
+        Epoch of the first published view (used by recovery to resume the
+        epoch sequence where a checkpoint left it; defaults to 0).
     engine_kwargs:
         Forwarded to every per-shard :class:`SpatialEngine`
         (``page_capacity``, ``pool_capacity``, ``disk_params``, ...).
@@ -175,20 +184,25 @@ class ShardedEngine:
         default_timeout_s: float | None = None,
         hilbert_order: int = 10,
         rebalance_threshold: float = 4.0,
+        wal: Any | None = None,
+        initial_epoch: int = 0,
         **engine_kwargs: Any,
     ) -> None:
         if not objects:
             raise ServiceError("ShardedEngine needs a non-empty dataset")
         if rebalance_threshold < 1.0:
             raise ServiceError("rebalance_threshold must be >= 1.0")
+        if initial_epoch < 0:
+            raise ServiceError("initial_epoch must be >= 0")
         self.circuit = circuit
         self.default_timeout_s = default_timeout_s
         self._engine_kwargs = dict(engine_kwargs)
         self._shards_requested = num_shards
         self._hilbert_order = hilbert_order
         self.rebalance_threshold = rebalance_threshold
+        self.wal = wal
         self._mutation_lock = Lock()
-        self._view = self._build_view(list(objects), epoch=0)
+        self._view = self._build_view(list(objects), epoch=initial_epoch)
         page_capacity = self._view.shards[0].engine.page_capacity
         self.profile = DatasetProfile.from_objects(self.objects, page_capacity)
         self.planner = Planner(self.profile)
@@ -300,10 +314,16 @@ class ShardedEngine:
         return self
 
     def close(self) -> None:
-        """Shut down the worker pool; pending subtasks finish first."""
+        """Shut down the worker pool; pending subtasks finish first.
+
+        An attached WAL is closed too (flushing its group-commit window),
+        so a clean shutdown leaves every acknowledged batch durable.
+        """
         if not self._closed:
             self._closed = True
             self._pool.shutdown(wait=True)
+            if self.wal is not None:
+                self.wal.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -353,6 +373,13 @@ class ShardedEngine:
         """
         if self._closed:
             raise ServiceError("service is closed")
+        if not mutations:
+            # Nothing to publish: an empty batch is a no-op, not an epoch
+            # (and never reaches the WAL, keeping batch seq == epoch step).
+            view = self._view
+            return MutationResult(
+                stats=MutationStats(epoch=view.epoch), num_objects=view.num_objects
+            )
         start = time.perf_counter()
         with self._mutation_lock:
             view = self._view
@@ -367,6 +394,11 @@ class ShardedEngine:
                 raise ServiceError(
                     "cannot delete every object; the service needs a non-empty dataset"
                 )
+            if self.wal is not None:
+                # Write-ahead: the batch is validated above and logged here,
+                # before any shard is rebuilt or the epoch becomes visible —
+                # a crash at any later point replays it on recovery.
+                self.wal.append(mutations)
             # Copy-on-write: recompute membership for touched shards only.
             memberships: dict[int, tuple[SpatialObject, ...]] = {}
             for shard_id, batch in per_shard.items():

@@ -161,22 +161,37 @@ class TestCommittedArtifacts:
             assert speedup is not None, f"{name} missing a fallback comparison"
             assert speedup >= 2.0, f"{name} only {speedup:.2f}x vs scalar fallback"
 
-    def test_mutation_workloads_are_committed_and_gated(self, committed):
-        """The live-data write path is part of the recorded trajectory: both
-        mutate workloads must be present in the report *and* the baseline,
-        which is what arms the CI regression gate for them."""
+    @pytest.mark.parametrize(
+        "names",
+        [
+            ("mutate.ingest_throughput", "mutate.read_write_mix"),
+            ("wal.append_throughput", "recover.replay_ms"),
+        ],
+        ids=["mutation", "durability"],
+    )
+    def test_workload_family_is_committed_and_gated(self, committed, names):
+        """The live-data write path and the durability subsystem are part of
+        the recorded trajectory: each workload family must be present in the
+        report *and* the baseline, which is what arms the CI regression gate
+        for it."""
         for path in committed:
             report = json.loads(path.read_text(encoding="utf-8"))
             by_name: dict[str, list[dict]] = {}
             for entry in report["workloads"]:
                 by_name.setdefault(entry["name"], []).append(entry)
-            for name in ("mutate.ingest_throughput", "mutate.read_write_mix"):
+            for name in names:
                 assert name in by_name, f"{path.name} missing {name}"
                 for entry in by_name[name]:
                     assert entry["units"] > 0
                     assert entry["wall_ms"] > 0.0
                 modes = {entry["mode"] for entry in by_name[name]}
                 assert report["default_backend"] in modes
+
+    def test_durability_regression_trips_the_gate(self):
+        baseline = make_report({("recover.replay_ms", "numpy"): 50.0})
+        current = make_report({("recover.replay_ms", "numpy"): 80.0})
+        regressions = bench.compare_to_baseline(current, baseline, max_regression=0.30)
+        assert [r.name for r in regressions] == ["recover.replay_ms"]
 
     def test_mutate_regression_trips_the_gate(self):
         baseline = make_report({("mutate.ingest_throughput", "numpy"): 50.0})

@@ -71,6 +71,74 @@ class TestParser:
             build_parser().parse_args(["query", "scan"])
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        # Package metadata (or the source-tree fallback) is a semver triple.
+        assert out.strip().split(" ")[1].count(".") == 2
+
+    def test_version_matches_package_fallback(self):
+        from repro.cli import _package_version
+
+        assert _package_version().count(".") == 2
+
+
+class TestRecoverCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["recover", "some/dir"])
+        assert args.dir == "some/dir"
+        assert not args.sharded
+        assert args.shards is None and args.at_epoch is None
+        assert not args.no_verify
+
+    def _durable_dir(self, tmp_path):
+        from repro.durability import DurableEngine
+        from repro.engine.mutations import Insert
+        from repro.geometry.aabb import AABB
+        from repro.objects import BoxObject
+        from tests.conftest import grid_boxes
+
+        root = tmp_path / "model"
+        durable = DurableEngine.create(root, grid_boxes(3))
+        durable.apply_many(
+            [Insert(BoxObject(uid=1000, box=AABB(0, 0, 0, 1, 1, 1)))]
+        )
+        # No close: the CLI recovers from the "crashed" directory.
+        return root
+
+    def test_recover_replays_and_verifies(self, capsys, tmp_path):
+        root = self._durable_dir(tmp_path)
+        code = main(["recover", str(root), "--extent", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered to epoch 1" in out
+        assert "1 WAL batches" in out
+        assert "exact" in out
+
+    def test_recover_sharded_mode(self, capsys, tmp_path):
+        root = self._durable_dir(tmp_path)
+        code = main(["recover", str(root), "--sharded", "--shards", "2", "--extent", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ShardedEngine over" in out
+        assert "exact" in out
+
+    def test_recover_time_travel(self, capsys, tmp_path):
+        root = self._durable_dir(tmp_path)
+        code = main(["recover", str(root), "--at-epoch", "0", "--no-verify"])
+        assert code == 0
+        assert "recovered to epoch 0" in capsys.readouterr().out
+
+    def test_recover_missing_dir_fails_cleanly(self, capsys, tmp_path):
+        code = main(["recover", str(tmp_path / "nothing-here")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().out
+
+
 class TestCircuitCommand:
     def test_prints_morphometry(self, capsys):
         code = main(["circuit", "--neurons", "3", "--seed", "5", "--no-figures"])
@@ -232,3 +300,46 @@ class TestServeBenchCommand:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().out
+
+    def test_wal_flag_journals_and_recovers(self, capsys, tmp_path):
+        wal_dir = tmp_path / "durable"
+        code = main(
+            [
+                "serve-bench",
+                "--neurons", "6",
+                "--seed", "3",
+                "--shards", "2",
+                "--queries", "10",
+                "--extent", "100",
+                "--write-fraction", "0.5",
+                "--wal", str(wal_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"durable state journaled to {wal_dir}" in out
+        assert "restore with" in out
+        # The journaled directory is a recoverable crash dir.
+        code = main(["recover", str(wal_dir), "--sharded", "--extent", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered to epoch" in out
+        assert "exact" in out
+
+    def test_wal_sweep_uses_per_count_subdirs(self, capsys, tmp_path):
+        wal_dir = tmp_path / "durable"
+        code = main(
+            [
+                "serve-bench",
+                "--neurons", "6",
+                "--seed", "3",
+                "--shards", "1,2",
+                "--queries", "6",
+                "--extent", "100",
+                "--write-fraction", "0.5",
+                "--wal", str(wal_dir),
+            ]
+        )
+        assert code == 0
+        assert (wal_dir / "s1" / "checkpoints").is_dir()
+        assert (wal_dir / "s2" / "wal").is_dir()

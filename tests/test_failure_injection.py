@@ -1,8 +1,10 @@
-"""Failure injection: storage faults and resource pressure.
+"""Failure injection: storage faults, resource pressure, crash damage.
 
 The library must degrade predictably: I/O errors surface as exceptions
-without corrupting index state, and undersized buffer pools cost latency,
-never correctness.
+without corrupting index state, undersized buffer pools cost latency,
+never correctness, and crash-damaged durable state (torn WAL tails,
+bit-flipped records, half-written checkpoints) recovers to the last
+durable batch instead of raising.
 """
 
 from __future__ import annotations
@@ -155,6 +157,94 @@ class TestResourcePressure:
             assert len(knn.payload) == 4
             admission = service.admission.snapshot()
             assert admission.in_flight == 0 and admission.queued == 0
+
+    def test_durable_state_survives_crash_damage_combinations(self, tmp_path):
+        """Torn tail on top of a mid-run checkpoint: recovery lands on the
+        last durable batch, anchored to the newest valid checkpoint."""
+        from repro.durability import (
+            checkpoint_sharded,
+            durable_sharded,
+            recover_sharded,
+            wal_path,
+        )
+        from tests.test_mutation_oracle import MutationScript
+
+        script = MutationScript(seed=77, n_objects=30)
+        root = tmp_path / "d"
+        service = durable_sharded(
+            root, script.initial_objects(), num_shards=2, page_capacity=12
+        )
+        for _ in range(2):
+            service.apply_many(script.next_batch(3))
+        checkpoint_sharded(root, service)
+        service.apply_many(script.next_batch(3))
+        durable_uids = sorted(script.model)
+        service.apply_many(script.next_batch(3))  # will be torn away
+        service.close()
+        segment = sorted(wal_path(root).glob("wal-*.seg"))[-1]
+        segment.write_bytes(segment.read_bytes()[:-9])
+        recovery = recover_sharded(root, page_capacity=12)
+        assert recovery.wal_truncated
+        assert recovery.checkpoint_epoch == 2
+        assert recovery.epoch == 3
+        assert sorted(o.uid for o in recovery.engine.objects) == durable_uids
+        recovery.engine.close()
+
+    def test_bit_flipped_wal_record_recovers_prefix(self, tmp_path):
+        """A flipped bit mid-log fails that record's CRC; everything before
+        it still replays, nothing after it leaks in, nothing raises."""
+        from repro.durability import DurableEngine, recover_engine, wal_path
+        from tests.test_mutation_oracle import MutationScript
+
+        script = MutationScript(seed=78, n_objects=24)
+        root = tmp_path / "d"
+        initial = script.initial_objects()
+        durable = DurableEngine.create(root, initial, page_capacity=12)
+        snapshots = [sorted(o.uid for o in initial)]
+        for _ in range(4):
+            durable.apply_many(script.next_batch(3))
+            snapshots.append(sorted(script.model))
+        durable.close()
+        segment = sorted(wal_path(root).glob("wal-*.seg"))[-1]
+        data = bytearray(segment.read_bytes())
+        data[len(data) * 3 // 4] ^= 0x01
+        segment.write_bytes(bytes(data))
+        recovery = recover_engine(root, page_capacity=12)
+        assert recovery.wal_truncated
+        assert 0 <= recovery.epoch < 4
+        assert sorted(o.uid for o in recovery.engine.objects) == snapshots[recovery.epoch]
+
+    def test_half_written_checkpoint_falls_back_to_base(self, tmp_path):
+        """tmp dir present, rename missing: the snapshot never happened, so
+        recovery anchors to the base checkpoint and replays the full WAL."""
+        import shutil
+
+        from repro.durability import (
+            DurableEngine,
+            checkpoints_path,
+            list_checkpoints,
+            recover_engine,
+        )
+        from tests.test_mutation_oracle import MutationScript
+
+        script = MutationScript(seed=79, n_objects=24)
+        root = tmp_path / "d"
+        durable = DurableEngine.create(root, script.initial_objects(), page_capacity=12)
+        for _ in range(3):
+            durable.apply_many(script.next_batch(3))
+        committed = durable.checkpoint()
+        durable.apply_many(script.next_batch(3))
+        durable.close()
+        # Demote the committed mid-run checkpoint to a half-written one:
+        # its data exists under the .tmp name but the rename never landed.
+        shutil.move(str(committed), str(committed) + ".tmp")
+        epochs = [e for e, _ in list_checkpoints(checkpoints_path(root))]
+        assert epochs == [0]
+        recovery = recover_engine(root, page_capacity=12)
+        assert recovery.checkpoint_epoch == 0  # fell back to the base
+        assert recovery.batches_replayed == 4  # full WAL replay
+        assert recovery.epoch == 4
+        assert sorted(o.uid for o in recovery.engine.objects) == sorted(script.model)
 
     def test_prefetch_under_pressure_never_breaks_results(self, medium_circuit):
         from repro.workloads.walks import branch_walk
