@@ -29,8 +29,10 @@ covers the durable engines too.
 from repro.durability.checkpoint import (
     CheckpointManifest,
     latest_checkpoint,
+    latest_manifest,
     list_checkpoints,
     load_checkpoint,
+    read_manifest,
     write_checkpoint,
 )
 from repro.durability.engine import DurableEngine
@@ -40,6 +42,7 @@ from repro.durability.recovery import (
     checkpoint_sharded,
     checkpoints_path,
     durable_sharded,
+    durable_tip,
     open_at_epoch,
     recover_engine,
     recover_sharded,
@@ -58,10 +61,13 @@ __all__ = [
     "checkpoint_sharded",
     "checkpoints_path",
     "durable_sharded",
+    "durable_tip",
     "latest_checkpoint",
+    "latest_manifest",
     "list_checkpoints",
     "load_checkpoint",
     "open_at_epoch",
+    "read_manifest",
     "read_wal",
     "recover_engine",
     "recover_sharded",

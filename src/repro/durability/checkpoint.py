@@ -41,8 +41,10 @@ __all__ = [
     "CheckpointManifest",
     "write_checkpoint",
     "load_checkpoint",
+    "read_manifest",
     "list_checkpoints",
     "latest_checkpoint",
+    "latest_manifest",
 ]
 
 _FORMAT_VERSION = 1
@@ -156,16 +158,8 @@ def write_checkpoint(
     return final
 
 
-def load_checkpoint(
-    path: str | Path,
-) -> tuple[list[SpatialObject], CheckpointManifest]:
-    """Load and validate one checkpoint directory.
-
-    Raises :class:`~repro.errors.CheckpointMismatchError` when the manifest
-    or data file is missing, the CRC does not match, or the object count
-    disagrees with the manifest.
-    """
-    path = Path(path)
+def _validated_manifest(path: Path) -> tuple[CheckpointManifest, bytes]:
+    """Read one checkpoint's manifest and data bytes, validating the CRC."""
     manifest_path = path / _MANIFEST_FILE
     data_path = path / _DATA_FILE
     if not manifest_path.is_file():
@@ -190,6 +184,35 @@ def load_checkpoint(
         raise CheckpointMismatchError(
             f"checkpoint {path.name} data CRC mismatch (corrupt or half-written)"
         )
+    return manifest, data
+
+
+def read_manifest(path: str | Path) -> CheckpointManifest:
+    """Validate one checkpoint and return its manifest without decoding objects.
+
+    Checks everything :func:`load_checkpoint` checks *except* the object
+    decode and the object-count cross-check — the data CRC must match,
+    but a manifest whose count field disagrees with its own data still
+    passes here while a full load rejects it.  Use it for guard checks
+    that need a checkpoint's position, not its contents, and make the
+    caller fail loudly if a later full load lands on a different
+    checkpoint (see ``DurableEngine.open``'s tip cross-check).
+    """
+    manifest, _data = _validated_manifest(Path(path))
+    return manifest
+
+
+def load_checkpoint(
+    path: str | Path,
+) -> tuple[list[SpatialObject], CheckpointManifest]:
+    """Load and validate one checkpoint directory.
+
+    Raises :class:`~repro.errors.CheckpointMismatchError` when the manifest
+    or data file is missing, the CRC does not match, or the object count
+    disagrees with the manifest.
+    """
+    path = Path(path)
+    manifest, data = _validated_manifest(path)
     objects: list[SpatialObject] = []
     try:
         for line in data.decode("utf-8").splitlines():
@@ -232,14 +255,14 @@ def list_checkpoints(root: str | Path) -> list[tuple[int, Path]]:
     return sorted(found)
 
 
-def latest_checkpoint(
-    root: str | Path, at_epoch: int | None = None
-) -> tuple[list[SpatialObject], CheckpointManifest]:
-    """Load the newest checkpoint that validates (optionally ≤ ``at_epoch``).
+def _newest_valid(root: str | Path, at_epoch: int | None, loader):
+    """Apply ``loader`` to the newest candidate checkpoint that validates.
 
-    Checkpoints that fail validation are skipped in favour of older ones;
-    if none survives, :class:`~repro.errors.DurabilityError` reports every
-    rejection reason.
+    One home for the candidate order and fallback policy: newest first
+    (optionally bounded by ``at_epoch``), skipping checkpoints whose
+    ``loader`` raises :class:`~repro.errors.CheckpointMismatchError`, and
+    raising :class:`~repro.errors.DurabilityError` with every rejection
+    reason when none survives.
     """
     candidates = [
         (epoch, path)
@@ -250,11 +273,36 @@ def latest_checkpoint(
         bound = "" if at_epoch is None else f" at or below epoch {at_epoch}"
         raise DurabilityError(f"no checkpoint{bound} found under {root}")
     reasons: list[str] = []
-    for epoch, path in reversed(candidates):
+    for _epoch, path in reversed(candidates):
         try:
-            return load_checkpoint(path)
+            return loader(path)
         except CheckpointMismatchError as error:
             reasons.append(str(error))
     raise DurabilityError(
         "every candidate checkpoint failed validation: " + "; ".join(reasons)
     )
+
+
+def latest_checkpoint(
+    root: str | Path, at_epoch: int | None = None
+) -> tuple[list[SpatialObject], CheckpointManifest]:
+    """Load the newest checkpoint that validates (optionally ≤ ``at_epoch``).
+
+    Checkpoints that fail validation are skipped in favour of older ones;
+    if none survives, :class:`~repro.errors.DurabilityError` reports every
+    rejection reason.
+    """
+    return _newest_valid(root, at_epoch, load_checkpoint)
+
+
+def latest_manifest(
+    root: str | Path, at_epoch: int | None = None
+) -> CheckpointManifest:
+    """The manifest of the newest checkpoint that validates, objects unread.
+
+    Same candidate order and fallback as :func:`latest_checkpoint`, but
+    only the manifest and data CRC are checked (:func:`read_manifest`) —
+    cheap enough to answer "where is the newest checkpoint's WAL anchor?"
+    before committing to a full load.
+    """
+    return _newest_valid(root, at_epoch, read_manifest)

@@ -1,10 +1,16 @@
 """The :class:`DurableEngine` — a crash-safe wrapper over one engine.
 
 Log → apply → ack: every mutation batch is appended to the write-ahead
-log *before* it touches the in-memory :class:`~repro.engine.SpatialEngine`,
-so the acknowledged state is always reconstructible.  Queries pass
-straight through (reads are never logged); :meth:`checkpoint` folds the
-log into an epoch-stamped snapshot so restarts replay only the suffix.
+log *before* it touches the in-memory :class:`~repro.engine.SpatialEngine`.
+Under the default group-commit window (``flush_batches=1``) every
+acknowledged batch is durable by ack time, so the acknowledged state is
+always reconstructible; a wider window (``wal_kwargs={"flush_batches": N}``)
+trades a bounded crash window — the batches still buffered — for append
+throughput.  :attr:`DurableEngine.last_durable_epoch` reports the durable
+frontier and :meth:`DurableEngine.flush` closes the window on demand, so
+callers that widen it can still fsync-style wait.  Queries pass straight
+through (reads are never logged); :meth:`checkpoint` folds the log into
+an epoch-stamped snapshot so restarts replay only the suffix.
 
 The restart story is one call:
 
@@ -28,6 +34,7 @@ from typing import Any, Sequence
 from repro.durability.recovery import (
     checkpoint_engine,
     checkpoints_path,
+    durable_tip,
     recover_engine,
     wal_path,
 )
@@ -111,21 +118,40 @@ class DurableEngine:
         fork the history; use them read-only.
         """
         root = Path(root)
-        recovery = recover_engine(root, at_epoch=at_epoch, **engine_kwargs)
-        wal_kwargs = dict(wal_kwargs or {})
-        # Anchor tail repair at the checkpoint: damage in folded-in history
-        # must never truncate away the valid suffix behind it.
-        wal_kwargs.setdefault("anchor_seq", recovery.checkpoint_wal_seq)
-        wal = WriteAheadLog(wal_path(root), **wal_kwargs)
-        # In a DurableEngine directory batch seq == epoch (one record per
-        # acknowledged batch, from 1), so the durable tip is the last seq.
-        if at_epoch is not None and at_epoch < wal.last_durable_seq:
-            wal.close()
+        # The read-only guard must run BEFORE the WAL is opened for
+        # writing: opening runs destructive tail repair, and a repair
+        # anchored at an at_epoch-selected (older) checkpoint would treat
+        # mid-history damage the newest checkpoint covers as an unresolved
+        # torn tail and truncate away acknowledged durable batches.  So
+        # compute the tip read-only, anchored at the newest checkpoint —
+        # in a DurableEngine directory batch seq == epoch (one record per
+        # acknowledged batch, from 1), so the durable tip is an epoch too.
+        # Guarding before the recovery also keeps a refused open cheap: no
+        # checkpoint load or replay happens just to be thrown away.
+        anchor, tip = durable_tip(root)
+        if at_epoch is not None and at_epoch < tip:
             raise DurabilityError(
-                f"epoch {at_epoch} is before the durable tip "
-                f"{wal.last_durable_seq}; time-travel opens are read-only — "
-                "use recover_engine / open_at_epoch instead"
+                f"epoch {at_epoch} is before the durable tip {tip}; "
+                "time-travel opens are read-only — use recover_engine / "
+                "open_at_epoch instead"
             )
+        recovery = recover_engine(root, at_epoch=at_epoch, **engine_kwargs)
+        if recovery.epoch != tip:
+            # durable_tip validates checkpoints at manifest+CRC level, the
+            # full recovery at object level — if they disagree (a checkpoint
+            # that reads but will not load, or damage blocking the replay
+            # from an older fallback checkpoint), appending at the recovered
+            # epoch would misalign seq and epoch and silently orphan the
+            # batches between it and the tip.  Fail loudly instead.
+            raise DurabilityError(
+                f"recovered epoch {recovery.epoch} does not reach the durable "
+                f"tip {tip}: the newest checkpoint or the WAL suffix is "
+                "damaged — the directory is still readable via recover_engine, "
+                "but opening it for writing would fork the history"
+            )
+        wal_kwargs = dict(wal_kwargs or {})
+        wal_kwargs.setdefault("anchor_seq", anchor)
+        wal = WriteAheadLog(wal_path(root), **wal_kwargs)
         return cls(engine=recovery.engine, wal=wal, root=root, epoch=recovery.epoch)
 
     # -- the durable write path -------------------------------------------
@@ -147,6 +173,10 @@ class DurableEngine:
         reaches the WAL before the engine, so a crash between the two
         replays it on recovery; a crash before the flush loses the whole
         batch, never a prefix of it (a WAL record is atomic by CRC).
+        Acknowledgement means *durable* only under the default
+        ``flush_batches=1`` window — with a wider group-commit window the
+        batch may still be buffered at return time; watch
+        :attr:`last_durable_epoch` or call :meth:`flush` to close it.
         """
         if not mutations:
             raise DurabilityError("refusing to apply an empty mutation batch")
@@ -183,6 +213,20 @@ class DurableEngine:
                 raise DurabilityError(
                     f"cannot apply mutation of type {type(mutation).__name__}"
                 )
+
+    @property
+    def last_durable_epoch(self) -> int:
+        """Newest epoch guaranteed to survive a crash.
+
+        Equal to :attr:`epoch` under the default ``flush_batches=1``; with
+        a wider group-commit window it trails the acknowledged epoch until
+        the window fills or :meth:`flush` closes it.
+        """
+        return self.wal.last_durable_seq
+
+    def flush(self) -> None:
+        """Close the group-commit window: every acknowledged epoch is durable."""
+        self.wal.flush()
 
     def checkpoint(self) -> Path:
         """Snapshot the current state; restarts replay only newer batches."""

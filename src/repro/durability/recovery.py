@@ -31,6 +31,7 @@ from typing import Any, Sequence
 
 from repro.durability.checkpoint import (
     latest_checkpoint,
+    latest_manifest,
     list_checkpoints,
     write_checkpoint,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "Recovery",
     "wal_path",
     "checkpoints_path",
+    "durable_tip",
     "recover_engine",
     "recover_sharded",
     "open_at_epoch",
@@ -60,6 +62,24 @@ def wal_path(root: str | Path) -> Path:
 def checkpoints_path(root: str | Path) -> Path:
     """Where the checkpoints live inside a durability directory."""
     return Path(root) / "checkpoints"
+
+
+def durable_tip(root: str | Path) -> tuple[int, int]:
+    """``(anchor_seq, tip_seq)`` of a durability directory, read-only.
+
+    The anchor is the *newest* validating checkpoint's ``wal_seq`` — the
+    only safe position to anchor destructive tail repair at: under an
+    older (time-travel-selected) checkpoint's anchor, mid-history damage
+    the newest checkpoint already folds in reads as an unresolved torn
+    tail and repair would truncate away acknowledged durable batches.
+    The tip is the last durable batch seq (equal to the epoch under the
+    durability layout's seq-equals-epoch invariant), never below the
+    anchor even when the WAL prefix has been pruned.  Nothing on disk is
+    modified.
+    """
+    anchor = latest_manifest(checkpoints_path(root)).wal_seq
+    scan = read_wal(wal_path(root), anchor_seq=anchor, decode=False)
+    return anchor, max(scan.last_seq, anchor)
 
 
 @dataclass
@@ -158,6 +178,20 @@ def recover_sharded(
     """
     from repro.service.sharded import ShardedEngine
 
+    if attach_wal:
+        # Reattaching opens the WAL for writing, which runs destructive
+        # tail repair — guard first, before the worker pool even spins up:
+        # a time-travel recovery below the durable tip must stay read-only
+        # (appending from the past would fork the history), and repair must
+        # anchor at the NEWEST checkpoint, never the at_epoch-selected one,
+        # so covered mid-history damage is not mistaken for a torn tail.
+        wal_anchor, tip = durable_tip(root)
+        if at_epoch is not None and at_epoch < tip:
+            raise DurabilityError(
+                f"epoch {at_epoch} is before the durable tip {tip}; "
+                "time-travel recoveries cannot reattach the WAL — "
+                "recover without attach_wal for a read-only view"
+            )
     objects, manifest = latest_checkpoint(checkpoints_path(root), at_epoch=at_epoch)
     scan = read_wal(wal_path(root), anchor_seq=manifest.wal_seq)
     if num_shards is None:
@@ -177,9 +211,18 @@ def recover_sharded(
                 f"plus the durable WAL only reaches epoch {service.epoch}"
             )
         if attach_wal:
-            # Reopening repairs any torn tail; appends resume after the last
-            # durable batch, which is exactly the state the replay rebuilt.
-            service.wal = WriteAheadLog(wal_path(root), anchor_seq=manifest.wal_seq)
+            if service.epoch != tip:
+                # The manifest-level tip and the object-level recovery
+                # disagree (see DurableEngine.open): appending here would
+                # misalign seq and epoch and orphan the batches between the
+                # recovered epoch and the tip.
+                raise DurabilityError(
+                    f"recovered epoch {service.epoch} does not reach the "
+                    f"durable tip {tip}: the newest checkpoint or the WAL "
+                    "suffix is damaged — recover without attach_wal for a "
+                    "read-only view"
+                )
+            service.wal = WriteAheadLog(wal_path(root), anchor_seq=wal_anchor)
     except BaseException:
         service.close()  # don't leak the worker pool on a failed recovery
         raise

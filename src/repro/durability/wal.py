@@ -110,7 +110,7 @@ class WalScan:
 
 def _scan_segment(
     path: Path, skip_at_or_below: int = 0
-) -> tuple[list[tuple[int, int, list[Mutation] | None]], int, str | None]:
+) -> tuple[list[tuple[int | None, int, list[Mutation] | None]], int, str | None]:
     """Decode one segment file.
 
     Returns ``(records, valid_bytes, corruption)`` where ``records`` are
@@ -119,7 +119,14 @@ def _scan_segment(
     stopped the scan (``None`` for a clean end-of-file).  Records with
     ``seq <= skip_at_or_below`` are CRC-verified but not payload-decoded
     (``mutations is None``): a checkpoint already folds them in, so replay
-    never needs their contents.
+    never needs their contents.  A record that *fails* its CRC but whose
+    framing is intact (the length header points inside the file) is
+    stepped over and reported as a ``seq is None`` entry — nothing inside
+    a corrupt record, including its seq field, can be trusted, so whether
+    the loss is tolerable is decided by the directory scan's sequence
+    contiguity check, not by anything the damaged bytes claim.  Only
+    physically torn framing (short header, payload past end-of-file) or
+    an unreadable file header ends the scan here.
     """
     data = path.read_bytes()
     if len(data) < len(_FILE_HEADER):
@@ -129,7 +136,7 @@ def _scan_segment(
     (version,) = struct.unpack_from("<I", data, len(_MAGIC))
     if version != _FORMAT_VERSION:
         return [], 0, f"segment {path.name}: unsupported format version {version}"
-    records: list[tuple[int, int, list[Mutation] | None]] = []
+    records: list[tuple[int | None, int, list[Mutation] | None]] = []
     offset = len(_FILE_HEADER)
     while offset < len(data):
         if offset + _RECORD_HEADER.size > len(data):
@@ -141,7 +148,9 @@ def _scan_segment(
             return records, offset, f"segment {path.name}: torn record payload"
         body = data[body_start:body_end]
         if zlib.crc32(body) != crc:
-            return records, offset, f"segment {path.name}: record CRC mismatch"
+            records.append((None, body_end, None))
+            offset = body_end
+            continue
         (seq,) = _SEQ.unpack_from(body, 0)
         if seq <= skip_at_or_below:
             mutations: list[Mutation] | None = None
@@ -172,7 +181,13 @@ class _DirectoryScan:
     segments: list[Path]
 
 
-def _scan_directory(directory: Path, anchor_seq: int) -> _DirectoryScan:
+#: skip_at_or_below value that suppresses payload decoding entirely.
+_NO_DECODE = (1 << 63) - 1
+
+
+def _scan_directory(
+    directory: Path, anchor_seq: int, decode: bool = True
+) -> _DirectoryScan:
     """Walk all segments, accepting the longest replayable batch sequence.
 
     Sequence numbers must grow contiguously — except across damage or
@@ -180,9 +195,11 @@ def _scan_directory(directory: Path, anchor_seq: int) -> _DirectoryScan:
     position a checkpoint already folds in: those batches are not needed
     for replay, so losing their records loses nothing.  Damage above the
     anchor ends the scan; everything accepted before it is the durable
-    prefix.
+    prefix.  ``decode=False`` verifies CRCs and sequence geometry without
+    JSON-decoding any payload — for callers that need only the tip.
     """
     segments = _segments(directory)
+    decode_floor = anchor_seq if decode else _NO_DECODE
     batches: list[tuple[int, list[Mutation]]] = []
     last_seq = 0
     covered = False
@@ -192,9 +209,16 @@ def _scan_directory(directory: Path, anchor_seq: int) -> _DirectoryScan:
     cut_offset = 0
     for index, path in enumerate(segments):
         records, _valid_bytes, seg_corruption = _scan_segment(
-            path, skip_at_or_below=anchor_seq
+            path, skip_at_or_below=decode_floor
         )
         for seq, end, mutations in records:
+            if seq is None:
+                # A CRC-failed record with intact framing: its true seq is
+                # unknowable, so treat it exactly like other damage — the
+                # scan may only resume at a record the anchor proves loses
+                # nothing (directly contiguous, or a covered jump).
+                pending = f"segment {path.name}: record CRC mismatch"
+                continue
             covered_jump = seq > last_seq + 1 and seq - 1 <= anchor_seq
             if seq == last_seq + 1 or covered_jump:
                 if covered_jump or pending is not None:
@@ -231,7 +255,10 @@ def _scan_directory(directory: Path, anchor_seq: int) -> _DirectoryScan:
 
 
 def read_wal(
-    directory: str | Path, strict: bool = False, anchor_seq: int = 0
+    directory: str | Path,
+    strict: bool = False,
+    anchor_seq: int = 0,
+    decode: bool = True,
 ) -> WalScan:
     """Scan a WAL directory into its durable batch sequence.
 
@@ -244,12 +271,15 @@ def read_wal(
     than fatal (``covered_gap`` reports it), so a bit flip in long-folded
     history can never cost the valid suffix.  ``strict=True`` raises
     :class:`~repro.errors.WalCorruptionError` instead of tolerating a cut.
+    ``decode=False`` skips all payload decoding — ``batches`` comes back
+    empty but ``last_seq`` / ``truncated`` / ``covered_gap`` are exact,
+    for callers that need only the durable tip, not the contents.
     A missing directory reads as an empty log.
     """
     directory = Path(directory)
     if not directory.is_dir():
         return WalScan()
-    scan = _scan_directory(directory, anchor_seq)
+    scan = _scan_directory(directory, anchor_seq, decode=decode)
     result = WalScan(
         batches=scan.batches,
         truncated=scan.corruption is not None,
@@ -345,7 +375,11 @@ class WriteAheadLog:
                 doomed = scan.segments[scan.cut_index + 1 :]
             for path in doomed:
                 path.unlink()
-        return scan.last_seq
+        # Never resume below the anchor: when damage or pruning swallowed
+        # the records up to it, the checkpoint still folds their seqs in —
+        # reusing one would make the next acknowledged batch read as
+        # already-folded history and silently vanish from every recovery.
+        return max(scan.last_seq, self.anchor_seq)
 
     # -- appending ----------------------------------------------------------
     @property
@@ -459,7 +493,14 @@ class WriteAheadLog:
             records, _valid_bytes, corruption = _scan_segment(
                 path, skip_at_or_below=up_to_seq
             )
-            if corruption is not None or not records or records[-1][0] > up_to_seq:
+            # A CRC-failed record's true seq is unknowable, so a damaged
+            # segment is never provably folded in — keep it.
+            if (
+                corruption is not None
+                or not records
+                or any(seq is None for seq, _end, _mutations in records)
+                or records[-1][0] > up_to_seq
+            ):
                 break
             path.unlink()
             removed += 1

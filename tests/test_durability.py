@@ -11,6 +11,7 @@ a half-written checkpoint must read as "never happened".
 from __future__ import annotations
 
 import json
+import struct
 
 import pytest
 
@@ -83,6 +84,38 @@ def last_segment(root):
     segments = sorted(wal_path(root).glob("wal-*.seg"))
     assert segments, f"no WAL segments under {root}"
     return segments[-1]
+
+
+def flip_record_bit(wal_dir, target_seq: int, field: str = "payload") -> None:
+    """Flip one bit inside the record carrying ``target_seq``.
+
+    Walks the record framing (``[len u32][crc u32][seq u64][payload]``), so
+    the damage is surgical: that record's CRC fails, its length header
+    stays intact, and every other record is untouched.  ``field`` picks
+    where the flip lands — ``"payload"`` keeps the seq readable,
+    ``"seq"`` hits the high byte of the seq field itself, so the damaged
+    record *claims* a garbage sequence number.
+    """
+    for segment in sorted(wal_dir.glob("wal-*.seg")):
+        data = bytearray(segment.read_bytes())
+        offset = 8  # segment file header: magic + format version
+        while offset + 8 <= len(data):
+            length, _crc = struct.unpack_from("<II", data, offset)
+            body_start = offset + 8
+            (seq,) = struct.unpack_from("<Q", data, body_start)
+            if seq == target_seq:
+                if field == "seq":
+                    data[body_start + 7] ^= 0x80  # little-endian high byte
+                else:
+                    data[body_start + 8 + length // 2] ^= 0x01
+                segment.write_bytes(bytes(data))
+                return
+            offset = body_start + 8 + length
+    raise AssertionError(f"no WAL record with seq {target_seq} under {wal_dir}")
+
+
+def flip_payload_bit(wal_dir, target_seq: int) -> None:
+    flip_record_bit(wal_dir, target_seq, field="payload")
 
 
 # -- serialisation -------------------------------------------------------------
@@ -185,6 +218,15 @@ class TestWriteAheadLog:
             assert wal.last_durable_seq == 2
             assert wal.append(sample_mutations(2)) == 3
         assert [seq for seq, _ in read_wal(tmp_path / "wal").batches] == [1, 2, 3]
+
+    def test_decode_free_scan_reports_geometry_only(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            for _ in range(4):
+                wal.append(sample_mutations(3))
+        scan = read_wal(tmp_path / "wal", decode=False)
+        assert scan.batches == []  # payloads deliberately left undecoded
+        assert scan.last_seq == 4
+        assert not scan.truncated
 
     def test_empty_batch_and_closed_log_are_rejected(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "wal")
@@ -332,6 +374,81 @@ class TestCheckpointAnchoredDamage:
         reopened = DurableEngine.open(root, page_capacity=12)
         assert reopened.epoch == 6
         reopened.close()
+
+    def test_covered_bit_flip_inside_one_segment_keeps_the_suffix(self, tmp_path):
+        """The default geometry is a single 4 MiB segment, so skipping
+        covered damage must work *within* a segment, not just across
+        segment boundaries: the corrupt record's intact length header gives
+        the next boundary, and the whole valid suffix survives."""
+        with WriteAheadLog(tmp_path / "wal") as wal:  # default segment_bytes
+            for _ in range(12):
+                wal.append(sample_mutations(4))
+        assert len(sorted((tmp_path / "wal").glob("wal-*.seg"))) == 1
+        flip_payload_bit(tmp_path / "wal", target_seq=5)
+        anchored = read_wal(tmp_path / "wal", anchor_seq=8)
+        assert not anchored.truncated
+        assert anchored.covered_gap
+        assert anchored.last_seq == 12
+        assert [seq for seq, _ in anchored.suffix(8)] == [9, 10, 11, 12]
+
+    def test_bit_flip_above_the_anchor_still_ends_the_scan(self, tmp_path):
+        """Only checkpoint-covered damage may be stepped over; a corrupt
+        record the replay actually needs still cuts the durable prefix."""
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            for _ in range(12):
+                wal.append(sample_mutations(4))
+        flip_payload_bit(tmp_path / "wal", target_seq=10)
+        anchored = read_wal(tmp_path / "wal", anchor_seq=8)
+        assert anchored.truncated
+        assert anchored.last_seq == 9
+        assert [seq for seq, _ in anchored.suffix(8)] == [9]
+
+    def test_anchored_reopen_survives_in_segment_covered_damage(self, tmp_path):
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            for _ in range(12):
+                wal.append(sample_mutations(4))
+        flip_payload_bit(tmp_path / "wal", target_seq=5)
+        with WriteAheadLog(tmp_path / "wal", anchor_seq=8) as wal:
+            assert wal.last_durable_seq == 12  # nothing durable was cut
+            assert wal.append(sample_mutations(2)) == 13
+        anchored = read_wal(tmp_path / "wal", anchor_seq=8)
+        assert anchored.last_seq == 13
+
+    def test_corrupt_seq_field_in_covered_record_cannot_cost_the_suffix(self, tmp_path):
+        """A flip landing in the 8-byte seq field makes the damaged record
+        *claim* a garbage (huge) sequence number.  Nothing inside a
+        CRC-failed record may be trusted: the skip must not depend on the
+        claimed seq — the contiguity check above the anchor is what guards
+        against splices — so the valid suffix still survives."""
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            for _ in range(12):
+                wal.append(sample_mutations(4))
+        flip_record_bit(tmp_path / "wal", target_seq=5, field="seq")
+        anchored = read_wal(tmp_path / "wal", anchor_seq=8)
+        assert not anchored.truncated
+        assert anchored.covered_gap
+        assert anchored.last_seq == 12
+        assert [seq for seq, _ in anchored.suffix(8)] == [9, 10, 11, 12]
+        # Opening for writing keeps the suffix too.
+        with WriteAheadLog(tmp_path / "wal", anchor_seq=8) as wal:
+            assert wal.last_durable_seq == 12
+
+    def test_covered_damage_at_the_tail_never_reuses_a_seq(self, tmp_path):
+        """Damage in the last record, covered by the anchor: repair cuts
+        the unreadable bytes, but the writer must resume at anchor+1 —
+        recycling a folded-in seq would make the next acknowledged batch
+        read as already-replayed history and silently vanish."""
+        with WriteAheadLog(tmp_path / "wal") as wal:
+            for _ in range(8):
+                wal.append(sample_mutations(4))
+        flip_payload_bit(tmp_path / "wal", target_seq=8)
+        with WriteAheadLog(tmp_path / "wal", anchor_seq=8) as wal:
+            assert wal.stats.tail_repaired
+            assert wal.last_durable_seq == 8  # clamped to the anchor
+            assert wal.append(sample_mutations(2)) == 9  # not a recycled 8
+        anchored = read_wal(tmp_path / "wal", anchor_seq=8)
+        assert anchored.last_seq == 9
+        assert [seq for seq, _ in anchored.suffix(8)] == [9]
 
     def test_prune_reclaims_folded_segments(self, tmp_path):
         segments = self.build_segmented_wal(tmp_path)
@@ -506,6 +623,113 @@ class TestDurableEngine:
             DurableEngine.open(tmp_path / "d", at_epoch=1)
         recovery = open_at_epoch(tmp_path / "d", 3)  # the tip itself is fine
         assert recovery.epoch == 3
+
+    def test_failed_time_travel_open_is_truly_read_only(self, tmp_path):
+        """Checkpoints at epochs 0 and 8, durable tip 12, a bit flip in
+        folded-in record seq 5: a refused ``open(at_epoch=3)`` must not
+        have run tail repair under the *older* checkpoint's anchor — that
+        repair would read the covered damage as an unresolved torn tail
+        and permanently destroy acknowledged epochs 9-12."""
+        script = MutationScript(seed=81, n_objects=30)
+        root = tmp_path / "d"
+        durable = DurableEngine.create(root, script.initial_objects(), page_capacity=12)
+        for _ in range(8):
+            durable.apply_many(script.next_batch(3))
+        durable.checkpoint()  # epoch 8 folds seqs 1-8 in
+        for _ in range(4):
+            durable.apply_many(script.next_batch(3))
+        durable.close()  # durable tip: epoch 12
+        flip_payload_bit(wal_path(root), target_seq=5)
+        assert recover_engine(root, page_capacity=12).epoch == 12
+        with pytest.raises(DurabilityError):
+            DurableEngine.open(root, at_epoch=3, page_capacity=12)
+        # The refused open changed nothing on disk: every acknowledged
+        # epoch is still reachable, read-only and for writing.
+        recovery = recover_engine(root, page_capacity=12)
+        assert recovery.epoch == 12
+        assert sorted(o.uid for o in recovery.engine.objects) == sorted(script.model)
+        reopened = DurableEngine.open(root, page_capacity=12)
+        assert reopened.epoch == 12
+        reopened.close()
+
+    def test_group_commit_window_defers_durability_until_flush(self, tmp_path):
+        """With flush_batches > 1 an acknowledged epoch may still be
+        buffered: last_durable_epoch reports the durable frontier and
+        flush() closes the window."""
+        script = MutationScript(seed=82, n_objects=24)
+        durable = DurableEngine.create(
+            tmp_path / "d",
+            script.initial_objects(),
+            page_capacity=12,
+            wal_kwargs={"flush_batches": 3},
+        )
+        for _ in range(2):
+            durable.apply_many(script.next_batch(3))
+        assert durable.epoch == 2
+        assert durable.last_durable_epoch == 0  # acknowledged, not yet durable
+        # A crash here loses the buffered epochs — that is the documented
+        # group-commit trade, visible through the durable frontier.
+        assert recover_engine(tmp_path / "d", page_capacity=12).epoch == 0
+        durable.flush()
+        assert durable.last_durable_epoch == 2
+        assert recover_engine(tmp_path / "d", page_capacity=12).epoch == 2
+        durable.close()
+
+    def test_covered_tail_damage_never_loses_the_next_acked_epoch(self, tmp_path):
+        """Checkpoint at epoch 8, then the freshly-folded-in tail record 8
+        is damaged: a reopened engine must write its next batch as seq 9,
+        not recycle seq 8 — a recycled seq reads as already-folded history
+        and every future recovery would silently drop the acked epoch."""
+        script = MutationScript(seed=83, n_objects=24)
+        root = tmp_path / "d"
+        durable = DurableEngine.create(root, script.initial_objects(), page_capacity=12)
+        for _ in range(8):
+            durable.apply_many(script.next_batch(3))
+        durable.checkpoint()  # epoch 8 folds seqs 1-8 in
+        durable.close()
+        flip_payload_bit(wal_path(root), target_seq=8)  # covered, at the tail
+        reopened = DurableEngine.open(root, page_capacity=12)
+        assert reopened.epoch == 8
+        reopened.apply_many(script.next_batch(3))  # acknowledged epoch 9
+        assert reopened.epoch == 9
+        reopened.close()
+        recovery = recover_engine(root, page_capacity=12)
+        assert recovery.epoch == 9
+        assert sorted(o.uid for o in recovery.engine.objects) == sorted(script.model)
+
+    def test_open_refuses_when_recovery_cannot_reach_the_tip(self, tmp_path):
+        """The tip guard validates checkpoints at manifest+CRC level, the
+        recovery at object level.  If the newest checkpoint passes the
+        first but fails the second (count mismatch — the manifest has no
+        self-checksum), recovery falls back to an older checkpoint; with
+        covered damage then blocking the replay, the recovered epoch sits
+        below the durable tip, and opening for writing there would
+        misalign seq and epoch — it must fail loudly instead."""
+        script = MutationScript(seed=84, n_objects=24)
+        root = tmp_path / "d"
+        durable = DurableEngine.create(root, script.initial_objects(), page_capacity=12)
+        for _ in range(8):
+            durable.apply_many(script.next_batch(3))
+        durable.checkpoint()  # epoch 8
+        for _ in range(4):
+            durable.apply_many(script.next_batch(3))
+        durable.close()  # durable tip: epoch 12
+        flip_payload_bit(wal_path(root), target_seq=5)
+        # Sabotage the newest checkpoint's object count; its data CRC still
+        # matches, so manifest-level validation keeps accepting it.
+        manifest_path = checkpoints_path(root) / "ckpt-0000000008" / "manifest.json"
+        record = json.loads(manifest_path.read_text(encoding="utf-8"))
+        record["num_objects"] += 1
+        manifest_path.write_text(json.dumps(record), encoding="utf-8")
+        # Read-only recovery degrades honestly: epoch-0 fallback, replay
+        # stops at the (no longer covered) damage.
+        recovery = recover_engine(root, page_capacity=12)
+        assert recovery.checkpoint_epoch == 0
+        assert recovery.epoch == 4
+        assert recovery.wal_truncated
+        # Opening for writing at that diverged epoch must refuse.
+        with pytest.raises(DurabilityError, match="durable tip"):
+            DurableEngine.open(root, page_capacity=12)
 
 
 # -- time travel ---------------------------------------------------------------
@@ -816,6 +1040,27 @@ class TestShardedWalHook:
             assert resumed.epoch == 1
         finally:
             resumed.close()
+
+    def test_time_travel_cannot_reattach_the_wal(self, tmp_path):
+        """attach_wal opens the log for writing (destructive tail repair);
+        a recovery below the durable tip must refuse it and leave every
+        durable epoch intact."""
+        script = MutationScript(seed=59, n_objects=30)
+        service = durable_sharded(
+            tmp_path / "d", script.initial_objects(), num_shards=2, page_capacity=12
+        )
+        for _ in range(3):
+            service.apply_many(script.next_batch(3))
+        service.close()
+        with pytest.raises(DurabilityError):
+            recover_sharded(tmp_path / "d", at_epoch=1, attach_wal=True, page_capacity=12)
+        # Read-only time travel still works, and the tip is unharmed.
+        past = recover_sharded(tmp_path / "d", at_epoch=1, page_capacity=12)
+        assert past.epoch == 1
+        past.engine.close()
+        tip = recover_sharded(tmp_path / "d", page_capacity=12)
+        assert tip.epoch == 3
+        tip.engine.close()
 
     def test_failed_time_travel_does_not_leak_a_worker_pool(self, tmp_path):
         import threading
