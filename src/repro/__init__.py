@@ -87,7 +87,10 @@ from repro.errors import (
     CheckpointMismatchError,
     DurabilityError,
     EngineError,
+    NotPrimaryError,
+    ProtocolError,
     ReproError,
+    ServerError,
     ServiceError,
     ServiceOverloadError,
     ServiceTimeoutError,
@@ -108,6 +111,7 @@ from repro.neuro.morphometry import circuit_morphometry, sholl_analysis
 from repro.neuro.persistence import load_circuit, save_circuit
 from repro.objects import BoxObject, SpatialObject
 from repro.rtree import RTree, hilbert_bulk_load, str_bulk_load
+from repro.server import Client, ReproServer, bootstrap_replica, serve_in_background
 from repro.service import (
     AdmissionController,
     ServiceResult,
@@ -120,12 +124,13 @@ from repro.storage import BufferPool, Disk, DiskParameters, ObjectStore
 from repro.viz import render_crawl, render_density, render_walk
 from repro.workloads import branch_walk, random_walk, uniform_queries
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AABB",
     "AdmissionController",
     "BoxObject",
+    "Client",
     "BufferPool",
     "CheckpointMismatchError",
     "Circuit",
@@ -157,13 +162,17 @@ __all__ = [
     "MutationResult",
     "MutationStats",
     "NoPrefetcher",
+    "NotPrimaryError",
     "ObjectStore",
+    "ProtocolError",
     "QueryPlan",
     "RTree",
     "RangeQuery",
     "ReproError",
+    "ReproServer",
     "ScoutPrefetcher",
     "Segment",
+    "ServerError",
     "ServiceError",
     "ServiceOverloadError",
     "ServiceResult",
@@ -182,6 +191,7 @@ __all__ = [
     "Walkthrough",
     "WriteAheadLog",
     "__version__",
+    "bootstrap_replica",
     "branch_walk",
     "circuit_morphometry",
     "durable_sharded",
@@ -201,6 +211,7 @@ __all__ = [
     "render_density",
     "render_walk",
     "s3_join",
+    "serve_in_background",
     "save_circuit",
     "sholl_analysis",
     "str_bulk_load",

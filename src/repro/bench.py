@@ -146,6 +146,10 @@ def _smoke_config() -> dict[str, Any]:
         "recover_objects": 1500,
         "recover_batches": 48,
         "recover_batch_size": 8,
+        "serve_neurons": 20,
+        "serve_queries": 16,
+        "catchup_batches": 24,
+        "catchup_batch_size": 8,
     }
 
 
@@ -177,6 +181,10 @@ def _full_config() -> dict[str, Any]:
         "recover_objects": 4000,
         "recover_batches": 96,
         "recover_batch_size": 16,
+        "serve_neurons": 40,
+        "serve_queries": 32,
+        "catchup_batches": 48,
+        "catchup_batch_size": 16,
     }
 
 
@@ -707,6 +715,155 @@ def _sweep_probe_workload() -> _Workload:
     )
 
 
+def _serve_roundtrip_workload() -> _Workload:
+    """Wire cost of one query through ``repro serve``, end to end.
+
+    Setup boots an in-process server (daemon thread, ephemeral port) over
+    a sharded service and connects one blocking client; each run issues
+    the same seeded range windows sequentially and reports the *mean*
+    roundtrip — encode, TCP, admission, execute, payload encode, decode —
+    in milliseconds per request.
+    """
+    mean_ms_holder: dict[int, float] = {}
+
+    def setup(cfg: dict[str, Any]) -> Any:
+        from repro.engine.queries import RangeQuery
+        from repro.geometry.aabb import AABB
+        from repro.server import Client, serve_in_background
+        from repro.service.sharded import ShardedEngine
+        from repro.utils.rng import make_rng
+
+        service = ShardedEngine.generate(
+            n_neurons=cfg["serve_neurons"], seed=17, num_shards=cfg["service_shards"]
+        )
+        handle = serve_in_background(service)
+        client = Client(handle.host, handle.port)
+        client.hello(name="bench")
+        rng = make_rng(2024)
+        extent = cfg["service_extent"]
+        queries = []
+        for _ in range(cfg["serve_queries"]):
+            center = (
+                float(rng.uniform(-300, 300)),
+                float(rng.uniform(-300, 300)),
+                float(rng.uniform(-300, 300)),
+            )
+            queries.append(RangeQuery(AABB.from_center_extent(center, extent)))
+        return handle, client, queries
+
+    def run(state: Any) -> int:
+        import time as _time
+
+        _handle, client, queries = state
+        start = _time.perf_counter()
+        for query in queries:
+            client.query(query)
+        total_ms = (_time.perf_counter() - start) * 1000.0
+        mean_ms_holder[id(state)] = total_ms / len(queries)
+        return len(queries)
+
+    def measured(state: Any, _units: int) -> float:
+        return mean_ms_holder[id(state)]
+
+    def teardown(state: Any) -> None:
+        handle, client, _queries = state
+        client.close()
+        handle.stop()
+
+    return _Workload(
+        name="serve.request_roundtrip_ms",
+        unit="requests",
+        setup=setup,
+        run=run,
+        measured_ms=measured,
+        teardown=teardown,
+    )
+
+
+def _serve_catchup_workload() -> _Workload:
+    """WAL-shipping drain rate: how fast a lagging follower reaches the tip.
+
+    Setup boots a primary server once.  Each run bootstraps a fresh
+    follower (snapshot at the current epoch), applies a seeded backlog of
+    insert batches to the primary — queueing them on the follower's
+    subscription — then starts the tail and times the drain until the
+    follower's epoch reaches the primary's.  Fresh uids every run keep
+    runs identical in shape and repeatable on one primary.
+    """
+    drain_ms_holder: dict[int, float] = {}
+
+    def setup(cfg: dict[str, Any]) -> Any:
+        from repro.server import serve_in_background
+        from repro.service.sharded import ShardedEngine
+
+        service = ShardedEngine.generate(
+            n_neurons=cfg["serve_neurons"], seed=23, num_shards=cfg["service_shards"]
+        )
+        handle = serve_in_background(service)
+        uid_counter = [10_000_000]
+        return handle, service, uid_counter, cfg["catchup_batches"], cfg["catchup_batch_size"]
+
+    def run(state: Any) -> int:
+        import time as _time
+
+        from repro.engine.mutations import Insert
+        from repro.geometry.aabb import AABB
+        from repro.objects import BoxObject
+        from repro.server import bootstrap_replica
+        from repro.utils.rng import make_rng
+
+        handle, primary, uid_counter, n_batches, batch_size = state
+        replica, tail = bootstrap_replica(handle.host, handle.port)
+        rng = make_rng(uid_counter[0])
+        shipped = 0
+        try:
+            # The backlog lands on the follower's subscription queue
+            # while its tail is not yet draining: a lagging replica.
+            for _ in range(n_batches):
+                batch = []
+                for _ in range(batch_size):
+                    uid = uid_counter[0]
+                    uid_counter[0] += 1
+                    center = (
+                        float(rng.uniform(-400, 400)),
+                        float(rng.uniform(-400, 400)),
+                        float(rng.uniform(-400, 400)),
+                    )
+                    batch.append(
+                        BoxObject(uid=uid, box=AABB.from_center_extent(center, 3.0))
+                    )
+                primary.apply_many([Insert(obj) for obj in batch])
+                shipped += len(batch)
+            target = primary.epoch
+            start = _time.perf_counter()
+            tail.start()
+            while replica.epoch < target:
+                if tail.error is not None:
+                    raise tail.error
+                _time.sleep(0.0005)
+            drain_ms_holder[id(state)] = (_time.perf_counter() - start) * 1000.0
+        finally:
+            tail.stop()
+            replica.close()
+        return shipped
+
+    def measured(state: Any, _units: int) -> float:
+        return drain_ms_holder[id(state)]
+
+    def teardown(state: Any) -> None:
+        handle = state[0]
+        handle.stop()
+
+    return _Workload(
+        name="serve.replica_catchup_ms",
+        unit="mutations shipped",
+        setup=setup,
+        run=run,
+        measured_ms=measured,
+        teardown=teardown,
+    )
+
+
 def _workloads() -> list[_Workload]:
     return [
         _Workload("kernel.box_intersects", "box tests", _micro_boxes, _run_box_intersects),
@@ -725,6 +882,8 @@ def _workloads() -> list[_Workload]:
         _read_write_workload(),
         _wal_workload(),
         _recover_workload(),
+        _serve_roundtrip_workload(),
+        _serve_catchup_workload(),
     ]
 
 

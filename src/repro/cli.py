@@ -22,6 +22,12 @@ screens displayed, plus an ASCII rendering of the figure:
   telemetry; ``--write-fraction`` turns the stream into a live read-write
   mix whose insert/delete/move mutations publish epochs while the reads
   run;
+* ``serve``      — the network front door (:mod:`repro.server`): an asyncio
+  TCP server fronting the sharded service, speaking the length-prefixed
+  JSON protocol; ``--wal`` makes it durable, ``--replica-of HOST:PORT``
+  starts it as a WAL-shipped read replica of a running primary;
+* ``connect``    — a small interactive client for a running ``serve``
+  (query, mutate, stats, checkpoint, promote, shutdown);
 * ``recover``    — rebuild an engine from a durability directory (newest
   valid checkpoint + WAL-suffix replay, :mod:`repro.durability`) and run a
   validation query against the recovered state;
@@ -143,6 +149,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="make the service durable: journal every mutation batch into a "
         "write-ahead log under DIR (one subdirectory per sweep point when "
         "several shard counts are swept); 'repro recover' restores it",
+    )
+
+    server = sub.add_parser(
+        "serve",
+        help="serve the sharded engine over TCP (primary or WAL-shipped replica)",
+    )
+    server.add_argument("--host", type=str, default="127.0.0.1")
+    server.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick an ephemeral port, printed in the banner)",
+    )
+    server.add_argument("--neurons", type=int, default=30, help="generated circuit size")
+    server.add_argument("--seed", type=int, default=0)
+    server.add_argument(
+        "--circuit", type=str, default=None,
+        help="open a saved circuit directory instead of generating one",
+    )
+    server.add_argument(
+        "--shards", type=int, default=None,
+        help="service shard count (default 4; a replica defaults to the "
+        "primary's tiling)",
+    )
+    server.add_argument(
+        "--workers", type=int, default=None, help="pool threads (default: one per shard)"
+    )
+    server.add_argument(
+        "--max-in-flight", type=int, default=None,
+        help="admission: concurrent queries (default: shard count)",
+    )
+    server.add_argument("--max-queued", type=int, default=64, help="admission: wait-queue bound")
+    server.add_argument(
+        "--timeout", type=float, default=None, help="per-query deadline in seconds"
+    )
+    server.add_argument(
+        "--session-queue", type=int, default=32,
+        help="per-connection pending-request bound (past it: structured busy)",
+    )
+    server.add_argument(
+        "--wal", type=str, default=None, metavar="DIR",
+        help="durability root: journal writes before the ack; a replica with "
+        "--wal journals every batch it applies from the stream",
+    )
+    server.add_argument(
+        "--replica-of", type=str, default=None, metavar="HOST:PORT",
+        help="start as a read replica: bootstrap from this primary's snapshot "
+        "and tail its mutation stream (writes are rejected until promoted)",
+    )
+
+    connect = sub.add_parser(
+        "connect", help="interactive client for a running 'repro serve'"
+    )
+    connect.add_argument("address", type=str, metavar="HOST:PORT")
+    connect.add_argument(
+        "--cmd", action="append", default=None, metavar="COMMAND",
+        help="run this command instead of the interactive loop (repeatable)",
+    )
+    connect.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout in seconds"
     )
 
     recover = sub.add_parser(
@@ -408,6 +472,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         batch_makespan_ms,
         batch_total_work_ms,
     )
+    from repro.utils.rng import derive_seed
     from repro.utils.tables import Table
     from repro.workloads.traffic import read_write_workload, traffic_workload
 
@@ -426,13 +491,19 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             from repro.neuro.circuit import generate_circuit
 
             circuit = generate_circuit(n_neurons=args.neurons, seed=args.seed)
+        # One traffic seed, derived once, replayed at every shard count:
+        # the sweep compares shard counts on the *identical* operation
+        # stream, so rows differ only by the service configuration.  The
+        # derivation also decouples the traffic from the circuit
+        # generator, which consumes args.seed through its own sub-streams.
+        workload_seed = derive_seed(args.seed, "serve-bench", "traffic")
         if args.write_fraction > 0.0:
             ops = read_write_workload(
                 circuit.segments(),
                 args.queries,
                 write_fraction=args.write_fraction,
                 extent=args.extent,
-                seed=args.seed,
+                seed=workload_seed,
             )
         else:
             ops = traffic_workload(
@@ -440,7 +511,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
                 args.queries,
                 extent=args.extent,
                 include_joins=not args.no_joins,
-                seed=args.seed,
+                seed=workload_seed,
             )
         n_writes = sum(isinstance(op, (Insert, Delete, Move)) for op in ops)
 
@@ -463,6 +534,11 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
                 else f"{len(ops)} mixed queries"
             )
             + f" ({circuit.num_neurons} neurons)",
+        )
+        print(
+            f"traffic seed {workload_seed} "
+            f"(derived once from --seed {args.seed}; every shard count "
+            "replays the identical operation stream)"
         )
         single_node_ms: float | None = None
         summary: tuple[str, str] | None = None
@@ -531,6 +607,214 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         print(f"error: {error}")
         return 2
     return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.server import ReproServer, bootstrap_replica
+
+    try:
+        service_kwargs = dict(
+            max_workers=args.workers,
+            max_in_flight=args.max_in_flight,
+            max_queued=args.max_queued,
+            default_timeout_s=args.timeout,
+        )
+        if args.replica_of is not None:
+            host, _, port = args.replica_of.rpartition(":")
+            if not host or not port.isdigit():
+                raise ValueError("--replica-of must be HOST:PORT")
+            service, tail = bootstrap_replica(
+                host,
+                int(port),
+                num_shards=args.shards,
+                wal_root=args.wal,
+                **service_kwargs,
+            )
+            print(
+                f"repro serve: bootstrapped replica of {host}:{port} at epoch "
+                f"{service.epoch} ({service.num_objects} objects)"
+            )
+            server = ReproServer(
+                service,
+                host=args.host,
+                port=args.port,
+                role="replica",
+                root=args.wal,
+                tail=tail,
+                session_queue=args.session_queue,
+            )
+        else:
+            if args.circuit is not None:
+                from repro.neuro.persistence import load_circuit
+
+                circuit = load_circuit(args.circuit)
+            else:
+                from repro.neuro.circuit import generate_circuit
+
+                circuit = generate_circuit(n_neurons=args.neurons, seed=args.seed)
+            num_shards = args.shards if args.shards is not None else 4
+            if args.wal is not None:
+                from repro.durability import durable_sharded
+
+                service = durable_sharded(
+                    args.wal,
+                    circuit.segments(),
+                    num_shards=num_shards,
+                    circuit=circuit,
+                    **service_kwargs,
+                )
+            else:
+                from repro.service import ShardedEngine
+
+                service = ShardedEngine.from_circuit(
+                    circuit, num_shards=num_shards, **service_kwargs
+                )
+            server = ReproServer(
+                service,
+                host=args.host,
+                port=args.port,
+                role="primary",
+                root=args.wal,
+                session_queue=args.session_queue,
+            )
+        return server.run()
+    except (ReproError, ValueError, OSError) as error:
+        print(f"error: {error}")
+        return 2
+
+
+def _connect_help() -> str:
+    return (
+        "commands:\n"
+        "  range X,Y,Z EXTENT       objects in a window around a centre\n"
+        "  knn X,Y,Z K              K nearest objects to a point\n"
+        "  join EPS                 distance self-join of the live dataset\n"
+        "  insert UID X,Y,Z EXTENT  insert a box object\n"
+        "  delete UID               delete an object\n"
+        "  move UID X,Y,Z EXTENT    move an object\n"
+        "  stats [MIN_EPOCH]        service snapshot (optionally wait for an epoch)\n"
+        "  checkpoint               write a durable checkpoint (primary + --wal)\n"
+        "  promote                  failover: make this replica the primary\n"
+        "  shutdown                 drain and stop the server\n"
+        "  quit                     close this client"
+    )
+
+
+def _connect_command(client, line: str) -> str:
+    """Execute one ``repro connect`` command line; return the output."""
+    from repro.engine.mutations import Delete, Insert, Move
+    from repro.engine.queries import KNNQuery, RangeQuery
+    from repro.geometry.aabb import AABB
+    from repro.geometry.vec import Vec3
+    from repro.objects import BoxObject
+
+    def vec(text: str) -> Vec3:
+        parts = [float(v) for v in text.split(",")]
+        if len(parts) != 3:
+            raise ValueError("expected X,Y,Z")
+        return Vec3(*parts)
+
+    words = line.split()
+    command, rest = words[0], words[1:]
+    if command == "help":
+        return _connect_help()
+    if command == "range":
+        box = AABB.from_center_extent(vec(rest[0]), float(rest[1]))
+        result = client.query(RangeQuery(box))
+        return (
+            f"epoch {result.epoch}: {len(result.payload)} objects in "
+            f"{result.elapsed_ms:.2f} ms"
+        )
+    if command == "knn":
+        result = client.query(KNNQuery(vec(rest[0]), int(rest[1])))
+        nearest = ", ".join(f"{uid}@{dist:.2f}" for uid, dist in result.payload[:8])
+        return f"epoch {result.epoch}: [{nearest}]"
+    if command == "join":
+        result = client.self_join(float(rest[0]))
+        return (
+            f"epoch {result.epoch}: {len(result.payload)} pairs in "
+            f"{result.elapsed_ms:.2f} ms"
+        )
+    if command in ("insert", "move"):
+        uid = int(rest[0])
+        box = AABB.from_center_extent(vec(rest[1]), float(rest[2]))
+        mutation = (
+            Insert(BoxObject(uid=uid, box=box))
+            if command == "insert"
+            else Move(uid, BoxObject(uid=uid, box=box))
+        )
+        return f"applied as epoch {client.mutate([mutation])}"
+    if command == "delete":
+        return f"applied as epoch {client.mutate([Delete(int(rest[0]))])}"
+    if command == "stats":
+        reply = client.stats(min_epoch=int(rest[0]) if rest else None)
+        admission = reply["admission"]
+        return (
+            f"role={reply['role']} epoch={reply['epoch']} "
+            f"objects={reply['num_objects']} shards={reply['num_shards']} "
+            f"in_flight={admission['in_flight']} queued={admission['queued']} "
+            f"rejected={admission['rejected']}"
+        )
+    if command == "checkpoint":
+        reply = client.checkpoint()
+        return f"checkpointed epoch {reply['epoch']} at {reply['path']}"
+    if command == "promote":
+        return f"promoted to primary at epoch {client.promote()['epoch']}"
+    if command == "shutdown":
+        client.shutdown()
+        return "server draining"
+    raise ValueError(f"unknown command {command!r} (try 'help')")
+
+
+def _run_connect(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+    from repro.server import Client
+
+    host, _, port = args.address.rpartition(":")
+    if not host or not port.isdigit():
+        print("error: address must be HOST:PORT")
+        return 2
+    try:
+        client = Client(host, int(port), timeout_s=args.timeout)
+    except OSError as error:
+        print(f"error: cannot connect to {args.address}: {error}")
+        return 2
+    with client:
+        welcome = client.hello(name="repro-connect")
+        print(
+            f"connected to {args.address}: role={welcome['role']} "
+            f"epoch={welcome['epoch']} objects={welcome['num_objects']} "
+            f"shards={welcome['num_shards']} protocol v{welcome['protocol']}"
+        )
+        status = 0
+        if args.cmd is not None:
+            lines = list(args.cmd)
+        else:
+            print(_connect_help())
+            lines = None
+        while True:
+            if lines is not None:
+                if not lines:
+                    break
+                line = lines.pop(0)
+                print(f"> {line}")
+            else:
+                try:
+                    line = input("> ")
+                except EOFError:
+                    break
+            line = line.strip()
+            if not line:
+                continue
+            if line == "quit":
+                break
+            try:
+                print(_connect_command(client, line))
+            except (ReproError, ValueError, IndexError) as error:
+                print(f"error: {error}")
+                status = 1
+        return status
 
 
 def _run_recover(args: argparse.Namespace) -> int:
@@ -603,6 +887,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_query(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "connect":
+        return _run_connect(args)
     if args.command == "recover":
         return _run_recover(args)
     if args.command == "bench":

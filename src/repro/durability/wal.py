@@ -50,7 +50,7 @@ import struct
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.durability.serde import decode_batch, encode_batch
 from repro.engine.mutations import Mutation
@@ -344,6 +344,8 @@ class WriteAheadLog:
         self.stats = WalStats()
         self._buffer: list[bytes] = []
         self._buffered_bytes = 0
+        self._listeners: list[Callable[[list[tuple[int, list[Mutation]]]], None]] = []
+        self._pending_batches: list[tuple[int, list[Mutation]]] = []
         self._closed = False
         self._last_durable_seq = self._repair_tail()
         self._next_seq = self._last_durable_seq + 1
@@ -410,6 +412,8 @@ class WriteAheadLog:
         seq = self._next_seq
         record = _encode_record(seq, mutations)
         self._next_seq += 1
+        if self._listeners:
+            self._pending_batches.append((seq, list(mutations)))
         self._buffer.append(record)
         self._buffered_bytes += len(record)
         self.stats.batches_appended += 1
@@ -436,6 +440,10 @@ class WriteAheadLog:
         self._buffer.clear()
         self._buffered_bytes = 0
         self.stats.flushes += 1
+        if self._pending_batches:
+            newly_durable, self._pending_batches = self._pending_batches, []
+            for listener in list(self._listeners):
+                listener(newly_durable)
         if self._segment_size >= self.segment_bytes:
             self._rotate()
 
@@ -464,6 +472,41 @@ class WriteAheadLog:
     def batches_after(self, after_seq: int) -> Iterator[tuple[int, list[Mutation]]]:
         """Durable ``(seq, batch)`` pairs with ``seq > after_seq``."""
         return iter(self.scan().suffix(after_seq))
+
+    # -- shipping ------------------------------------------------------------
+    def tail(self, after_seq: int) -> Iterator[tuple[int, list[Mutation]]]:
+        """The durable suffix after ``after_seq`` — the WAL-shipping read.
+
+        This is the catch-up half of replication: a follower at epoch ``E``
+        asks for ``tail(E)`` and replays the returned batches in order.
+        Only flushed records are visible (group-commit buffers are not);
+        ``flush()`` first if you need the tip included.  Live shipping —
+        batches that become durable *after* this call — is the listener
+        API's job (:meth:`add_listener`).
+        """
+        return self.batches_after(after_seq)
+
+    def add_listener(
+        self, listener: Callable[[list[tuple[int, list[Mutation]]]], None]
+    ) -> None:
+        """Call ``listener(newly_durable)`` at every flush, in seq order.
+
+        ``newly_durable`` is the list of ``(seq, batch)`` pairs that this
+        flush made durable — the live half of WAL shipping.  Listeners run
+        on the flushing thread (under the engine's mutation lock when the
+        engine drives the flush): keep them fast and never call back into
+        the log or the engine from one.  Batches appended before the first
+        listener registered are not replayed — pair with :meth:`tail` for
+        history.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(
+        self, listener: Callable[[list[tuple[int, list[Mutation]]]], None]
+    ) -> None:
+        """Detach a listener added by :meth:`add_listener` (idempotent)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # -- reclamation ---------------------------------------------------------
     def prune(self, up_to_seq: int) -> int:

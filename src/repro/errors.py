@@ -91,6 +91,32 @@ class CheckpointMismatchError(DurabilityError):
     older one that validates."""
 
 
+class ServerError(EngineError):
+    """Raised by the network front door (:mod:`repro.server`): failed
+    requests, unexpected responses, transport errors.  ``code`` carries the
+    machine-readable error code of a server ERROR frame when one exists.
+    Deriving from :class:`EngineError` keeps the one-``except`` contract: a
+    caller that treats a remote engine as just another engine catches its
+    failures with the same clause."""
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ProtocolError(ServerError):
+    """Raised on a malformed wire frame (bad length prefix, oversized
+    payload, non-JSON body, unsupported protocol version, unknown frame or
+    query kind).  A protocol error poisons only its own connection — the
+    server drops that session and keeps serving the rest."""
+
+
+class NotPrimaryError(ServerError):
+    """Raised when a write (MUTATE / CHECKPOINT) is sent to a replica.
+    Replicas serve epoch-consistent reads only; promote one (failover) or
+    address the primary to write."""
+
+
 class ServiceOverloadError(ServiceError):
     """Raised when admission control rejects a query: the service is at its
     in-flight limit and the bounded wait queue is full (or the queue wait

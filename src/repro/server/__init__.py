@@ -1,0 +1,32 @@
+"""The network front door: ``repro serve`` and its wire protocol.
+
+Everything below this package exists so the in-process engines can be
+used from *other processes*: :mod:`repro.server.protocol` defines a small
+length-prefixed JSON frame format (versioned, request-id'd),
+:mod:`repro.server.server` runs an asyncio TCP server fronting a
+:class:`~repro.service.ShardedEngine` (primary or WAL-shipped replica),
+and :mod:`repro.server.client` is the matching blocking client the
+tests, benchmarks and the ``repro connect`` CLI speak through.
+"""
+
+from repro.server.client import Client, RemoteResult, Subscription
+from repro.server.protocol import PROTOCOL_VERSION
+from repro.server.server import (
+    ReplicaTail,
+    ReproServer,
+    ServerHandle,
+    bootstrap_replica,
+    serve_in_background,
+)
+
+__all__ = [
+    "Client",
+    "RemoteResult",
+    "Subscription",
+    "PROTOCOL_VERSION",
+    "ReplicaTail",
+    "ReproServer",
+    "ServerHandle",
+    "bootstrap_replica",
+    "serve_in_background",
+]

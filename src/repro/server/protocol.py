@@ -1,0 +1,299 @@
+"""The wire protocol of ``repro serve`` — length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian payload length followed by one UTF-8 JSON
+object.  Every frame carries the protocol version (``"v"``); requests
+carry a client-chosen request id (``"id"``) and responses echo it back as
+``"re"``, so a client may pipeline requests and match answers out of
+order.  Subscription streams reuse the subscribe request's id on every
+``snapshot`` / ``batch`` frame they push.
+
+Request frames (client → server)
+--------------------------------
+==============  ============================================================
+``hello``       handshake; the reply describes the server
+``query``       one declarative query (``query`` record, optional
+                ``min_epoch`` + ``epoch_wait_s`` for read-your-writes)
+``mutate``      one mutation batch (``mutations``, serde wire format);
+                journaled before the ack on a durable primary
+``stats``       service snapshot (optional ``min_epoch`` wait — the
+                cheapest way to block until a replica caught up)
+``checkpoint``  write a durable checkpoint at the current epoch
+``subscribe``   turn this connection into a replication stream (optional
+                ``from_epoch`` for WAL catch-up instead of a snapshot)
+``promote``     replica only: stop tailing, start accepting writes
+``shutdown``    drain and stop the server
+==============  ============================================================
+
+Response frames (server → client)
+---------------------------------
+===============  ===========================================================
+``welcome``      hello reply: protocol, version, role, epoch, dataset shape
+``result``       query answer: ``kind``, ``epoch`` stamp, wire ``payload``
+``applied``      mutate ack: the published (and journaled) ``epoch``
+``stats``        stats reply: role/epoch/admission/telemetry snapshot
+``checkpointed``  checkpoint ack: ``epoch`` + manifest ``path``
+``snapshot``     subscription bootstrap: ``epoch`` + full ``objects`` list
+``batch``        one shipped mutation batch: ``seq`` + ``mutations``
+``promoted``     promote ack: the role is now ``primary``
+``bye``          shutdown ack
+``busy``         structured overload rejection (admission or session queue)
+``error``        failed request: machine-readable ``code`` + ``message``
+===============  ===========================================================
+
+Queries and payloads cross the wire in a canonical JSON form (boxes as
+six floats, points as three, knn/join tuples as two-element arrays); the
+codecs below round-trip them exactly, which is what lets the replication
+differential demand byte-identical answers from primary and replica.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Callable, Sequence
+
+from repro.durability.serde import decode_object, encode_object
+from repro.engine.queries import KNNQuery, Query, RangeQuery, SpatialJoin, Walkthrough
+from repro.errors import ProtocolError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.objects import SpatialObject
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "LENGTH_PREFIX",
+    "encode_frame",
+    "decode_frame",
+    "read_frame_async",
+    "check_version",
+    "encode_box",
+    "decode_box",
+    "encode_query",
+    "decode_query",
+    "encode_payload",
+    "decode_payload",
+]
+
+#: Bump on any incompatible frame change; HELLO rejects mismatches.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame's payload — snapshots of real datasets fit
+#: comfortably; anything larger is a framing error, not data.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+LENGTH_PREFIX = struct.Struct(">I")
+
+
+# -- framing -----------------------------------------------------------------
+def encode_frame(message: dict[str, Any]) -> bytes:
+    """One message as ``[payload length u32][UTF-8 JSON payload]``."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return LENGTH_PREFIX.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> dict[str, Any]:
+    """Inverse of :func:`encode_frame` for the payload part of a frame."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame payload is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+def frame_length(header: bytes) -> int:
+    """Payload length from a 4-byte prefix, bounds-checked."""
+    (length,) = LENGTH_PREFIX.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return length
+
+
+async def read_frame_async(reader: Any) -> dict[str, Any] | None:
+    """Read one frame from an :class:`asyncio.StreamReader`.
+
+    Returns ``None`` on a clean end-of-stream (the peer closed between
+    frames); raises :class:`~repro.errors.ProtocolError` on a stream cut
+    mid-frame or an oversized length prefix.
+    """
+    try:
+        header = await reader.readexactly(LENGTH_PREFIX.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid frame header") from error
+    length = frame_length(header)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid frame payload") from error
+    return decode_frame(payload)
+
+
+def check_version(frame: dict[str, Any]) -> None:
+    """Reject frames from an incompatible protocol generation."""
+    version = frame.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} (this side speaks "
+            f"{PROTOCOL_VERSION})"
+        )
+
+
+# -- geometry codecs ---------------------------------------------------------
+def encode_box(box: AABB) -> list[float]:
+    return [box.min_x, box.min_y, box.min_z, box.max_x, box.max_y, box.max_z]
+
+
+def decode_box(values: Sequence[float]) -> AABB:
+    if len(values) != 6:
+        raise ProtocolError(f"a box needs 6 floats, got {len(values)}")
+    return AABB(*(float(v) for v in values))
+
+
+def encode_vec(point: Vec3) -> list[float]:
+    return [point.x, point.y, point.z]
+
+
+def decode_vec(values: Sequence[float]) -> Vec3:
+    if len(values) != 3:
+        raise ProtocolError(f"a point needs 3 floats, got {len(values)}")
+    return Vec3(*(float(v) for v in values))
+
+
+# -- query codec -------------------------------------------------------------
+def encode_query(query: Query) -> dict[str, Any]:
+    """One declarative query as a JSON-ready record.
+
+    A :class:`SpatialJoin` without explicit sides encodes as
+    ``sides: "default"`` — the server resolves it exactly like an
+    in-process engine would (the circuit's axon × dendrite sides).  The
+    marker ``sides: "dataset"`` (no :class:`SpatialJoin` spelling; see
+    :meth:`repro.server.client.Client.self_join`) asks for a self-join of
+    the server's live dataset — the replicated-state join the
+    differential harness exercises.
+    """
+    if isinstance(query, RangeQuery):
+        return {"k": "range", "box": encode_box(query.box), "strategy": query.strategy}
+    if isinstance(query, KNNQuery):
+        return {
+            "k": "knn",
+            "point": encode_vec(query.point),
+            "kk": query.k,
+            "strategy": query.strategy,
+        }
+    if isinstance(query, SpatialJoin):
+        if (query.side_a is None) != (query.side_b is None):
+            raise ProtocolError("SpatialJoin needs both sides or neither")
+        sides: Any = "default"
+        if query.side_a is not None and query.side_b is not None:
+            sides = {
+                "a": [encode_object(o) for o in query.side_a],
+                "b": [encode_object(o) for o in query.side_b],
+            }
+        return {
+            "k": "join",
+            "eps": query.eps,
+            "strategy": query.strategy,
+            "refine": query.refine,
+            "sides": sides,
+        }
+    if isinstance(query, Walkthrough):
+        return {
+            "k": "walk",
+            "windows": [encode_box(b) for b in query.queries],
+            "strategy": query.strategy,
+            "cold_cache": query.cold_cache,
+            "budget_pages": query.budget_pages,
+        }
+    raise ProtocolError(f"cannot encode query of type {type(query).__name__}")
+
+
+def decode_query(
+    record: dict[str, Any],
+    dataset: Callable[[], Sequence[SpatialObject]] | None = None,
+) -> Query:
+    """Inverse of :func:`encode_query`.
+
+    ``dataset`` resolves ``sides: "dataset"`` self-joins to the live
+    object set (the server passes its snapshot accessor); without it a
+    dataset self-join is a protocol error.
+    """
+    kind = record.get("k")
+    try:
+        if kind == "range":
+            return RangeQuery(
+                decode_box(record["box"]), strategy=record.get("strategy")
+            )
+        if kind == "knn":
+            return KNNQuery(
+                decode_vec(record["point"]),
+                int(record["kk"]),
+                strategy=record.get("strategy"),
+            )
+        if kind == "join":
+            sides = record.get("sides", "default")
+            side_a: tuple[SpatialObject, ...] | None = None
+            side_b: tuple[SpatialObject, ...] | None = None
+            if sides == "dataset":
+                if dataset is None:
+                    raise ProtocolError(
+                        "a dataset self-join needs a serving dataset to resolve "
+                        "against"
+                    )
+                objects = tuple(dataset())
+                side_a = side_b = objects
+            elif isinstance(sides, dict):
+                side_a = tuple(decode_object(o) for o in sides["a"])
+                side_b = tuple(decode_object(o) for o in sides["b"])
+            elif sides != "default":
+                raise ProtocolError(f"unknown join sides marker {sides!r}")
+            return SpatialJoin(
+                eps=float(record["eps"]),
+                side_a=side_a,
+                side_b=side_b,
+                strategy=record.get("strategy"),
+                refine=bool(record.get("refine", False)),
+            )
+        if kind == "walk":
+            return Walkthrough(
+                queries=tuple(decode_box(b) for b in record["windows"]),
+                strategy=record.get("strategy"),
+                cold_cache=bool(record.get("cold_cache", True)),
+                budget_pages=int(record.get("budget_pages", 24)),
+            )
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed {kind!r} query record: {error}") from error
+    raise ProtocolError(f"unknown query kind {kind!r}")
+
+
+# -- payload codec -----------------------------------------------------------
+def encode_payload(kind: str, payload: Any) -> Any:
+    """A service result payload in canonical JSON form (tuples → arrays)."""
+    if kind in ("knn", "join"):
+        return [[a, b] for a, b in payload]
+    return payload  # range: [uid, ...]; walk: [[uid, ...], ...]
+
+
+def decode_payload(kind: str, payload: Any) -> Any:
+    """Inverse of :func:`encode_payload` — back to the in-process shapes."""
+    if kind == "knn":
+        return [(int(uid), float(distance)) for uid, distance in payload]
+    if kind == "join":
+        return [(int(a), int(b)) for a, b in payload]
+    if kind == "range":
+        return [int(uid) for uid in payload]
+    if kind == "walk":
+        return [[int(uid) for uid in step] for step in payload]
+    raise ProtocolError(f"unknown payload kind {kind!r}")

@@ -63,7 +63,7 @@ import time
 from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
-from threading import Lock
+from threading import Condition, Lock
 from typing import Any, Callable, Sequence
 
 from repro.core.touch.parallel import build_touch_tree, probe_shard
@@ -223,6 +223,9 @@ class ShardedEngine:
             queue_timeout_s=queue_timeout_s,
         )
         self.telemetry = ServiceTelemetry()
+        self._epoch_listeners: list[Callable[[int, Sequence[Mutation]], None]] = []
+        self._lifecycle = Condition()
+        self._active = 0
         self._closed = False
 
     def _build_view(self, objects: Sequence[SpatialObject], epoch: int) -> _ShardView:
@@ -313,17 +316,40 @@ class ShardedEngine:
                 shard.engine.buffer_pool()
         return self
 
-    def close(self) -> None:
-        """Shut down the worker pool; pending subtasks finish first.
+    def _begin_work(self) -> None:
+        """Count one query or mutation as in flight (refused once closed)."""
+        with self._lifecycle:
+            if self._closed:
+                raise ServiceError("service is closed")
+            self._active += 1
 
-        An attached WAL is closed too (flushing its group-commit window),
-        so a clean shutdown leaves every acknowledged batch durable.
+    def _end_work(self) -> None:
+        with self._lifecycle:
+            self._active -= 1
+            if self._active == 0:
+                self._lifecycle.notify_all()
+
+    def close(self) -> None:
+        """Drain in-flight work, shut the pool down, flush and close the WAL.
+
+        Closing is graceful: new queries and mutations are refused
+        immediately (:class:`ServiceError`), but everything already past
+        admission — including queries still waiting in the admission queue
+        — runs to completion before the pool is torn down.  The attached
+        WAL is flushed and closed last, so a clean shutdown leaves every
+        acknowledged batch durable and never abandons a query mid-fan-out.
+        Idempotent and safe to call concurrently with queries from other
+        threads.
         """
-        if not self._closed:
+        with self._lifecycle:
+            if self._closed:
+                return
             self._closed = True
-            self._pool.shutdown(wait=True)
-            if self.wal is not None:
-                self.wal.close()
+            while self._active:
+                self._lifecycle.wait()
+        self._pool.shutdown(wait=True)
+        if self.wal is not None:
+            self.wal.close()
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -341,6 +367,37 @@ class ShardedEngine:
             f"{view.epoch}, admission {self.admission.max_in_flight} in flight / "
             f"{self.admission.max_queued} queued"
         )
+
+    # -- epoch observation (WAL shipping, replication) -------------------------
+    def snapshot_objects(self) -> tuple[int, list[SpatialObject]]:
+        """One epoch's ``(epoch, objects)`` — a consistent bootstrap snapshot.
+
+        Both values come from a single captured view, so the object list
+        is exactly the dataset at that epoch no matter how many writers
+        publish while the list is being built.  This is what a replica
+        bootstraps from before tailing the mutation stream.
+        """
+        view = self._view
+        return view.epoch, [o for shard in view.shards for o in shard.spec.objects]
+
+    def add_epoch_listener(
+        self, listener: Callable[[int, Sequence[Mutation]], None]
+    ) -> None:
+        """Call ``listener(epoch, mutations)`` after each epoch publishes.
+
+        Listeners run on the writing thread, under the mutation lock —
+        exactly once per published epoch, in epoch order, after the WAL
+        append (an acked-then-streamed batch is always durable first).
+        Keep them fast and never call back into the service from one.
+        """
+        self._epoch_listeners.append(listener)
+
+    def remove_epoch_listener(
+        self, listener: Callable[[int, Sequence[Mutation]], None]
+    ) -> None:
+        """Detach a listener added by :meth:`add_epoch_listener` (idempotent)."""
+        if listener in self._epoch_listeners:
+            self._epoch_listeners.remove(listener)
 
     # -- mutation (live data: epoch-versioned writes) --------------------------
     def apply(self, mutation: Mutation) -> MutationResult:
@@ -371,8 +428,13 @@ class ShardedEngine:
         Writers serialise on one mutation lock; readers are never blocked
         and keep whatever epoch view they captured at admission.
         """
-        if self._closed:
-            raise ServiceError("service is closed")
+        self._begin_work()
+        try:
+            return self._apply_many_counted(mutations)
+        finally:
+            self._end_work()
+
+    def _apply_many_counted(self, mutations: Sequence[Mutation]) -> MutationResult:
         if not mutations:
             # Nothing to publish: an empty batch is a no-op, not an epoch
             # (and never reaches the WAL, keeping batch seq == epoch step).
@@ -455,6 +517,12 @@ class ShardedEngine:
             self.planner = Planner(self.profile)
             stats.elapsed_ms = (time.perf_counter() - start) * 1000.0
             self.telemetry.record_mutations(stats)
+            # Epoch hooks fire after the publish, still under the mutation
+            # lock: exactly once per published epoch, in epoch order —
+            # what WAL shipping and replication streams rely on.  Batches
+            # that never publish (empty, or failed validation) never fire.
+            for listener in list(self._epoch_listeners):
+                listener(new_view.epoch, mutations)
             return MutationResult(
                 stats=stats, num_objects=new_view.num_objects, applied=list(mutations)
             )
@@ -508,26 +576,28 @@ class ShardedEngine:
         :class:`ServiceError` when a shard worker fails; all three derive
         from :class:`EngineError`, and none of them poisons the pool.
         """
-        if self._closed:
-            raise ServiceError("service is closed")
-        self.telemetry.record_submitted()
+        self._begin_work()
         try:
-            wait_ms = self.admission.admit()
-        except ServiceOverloadError:
-            self.telemetry.record_rejected()
-            raise
-        try:
-            result = self._execute_admitted(query, timeout_s, wait_ms)
-        except ServiceTimeoutError:
-            self.telemetry.record_timeout()
-            raise
-        except BaseException:
-            self.telemetry.record_failure()
-            raise
+            self.telemetry.record_submitted()
+            try:
+                wait_ms = self.admission.admit()
+            except ServiceOverloadError:
+                self.telemetry.record_rejected()
+                raise
+            try:
+                result = self._execute_admitted(query, timeout_s, wait_ms)
+            except ServiceTimeoutError:
+                self.telemetry.record_timeout()
+                raise
+            except BaseException:
+                self.telemetry.record_failure()
+                raise
+            finally:
+                self.admission.release()
+            self.telemetry.record_completed(result.stats)
+            return result
         finally:
-            self.admission.release()
-        self.telemetry.record_completed(result.stats)
-        return result
+            self._end_work()
 
     def query_many(
         self, queries: Sequence[Query], timeout_s: float | None = None

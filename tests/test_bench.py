@@ -166,8 +166,9 @@ class TestCommittedArtifacts:
         [
             ("mutate.ingest_throughput", "mutate.read_write_mix"),
             ("wal.append_throughput", "recover.replay_ms"),
+            ("serve.request_roundtrip_ms", "serve.replica_catchup_ms"),
         ],
-        ids=["mutation", "durability"],
+        ids=["mutation", "durability", "serving"],
     )
     def test_workload_family_is_committed_and_gated(self, committed, names):
         """The live-data write path and the durability subsystem are part of

@@ -1,0 +1,251 @@
+"""Multi-process replication differential and failover.
+
+These tests spawn real ``python -m repro serve`` subprocesses — a
+primary and a WAL-shipped replica — and drive them over TCP, exactly the
+topology the README's runbook describes.  The differential demands
+byte-identical answers (as they crossed the wire) from both sides at the
+same epoch, across all four query kinds, for ``REPRO_SERVER_SEEDS``
+seeded rounds (default 20).  The failover test kills the primary with
+SIGKILL and proves the promoted replica lost none of the acked writes.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.engine.mutations import Delete, Insert, Move
+from repro.engine.queries import KNNQuery, RangeQuery, Walkthrough
+from repro.errors import ServerError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import Vec3
+from repro.objects import BoxObject
+from repro.server import Client
+from repro.utils.rng import derive_seed
+
+ROUNDS = int(os.environ.get("REPRO_SERVER_SEEDS", "20"))
+WORLD = AABB(-600.0, -600.0, -600.0, 600.0, 600.0, 600.0)
+BANNER = re.compile(r"listening on ([\d.]+):(\d+)")
+
+
+class _ServeProcess:
+    """One ``repro serve`` subprocess with its banner-parsed address."""
+
+    def __init__(self, extra_args: list[str], name: str) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src"
+        self.name = name
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        self.lines: list[str] = []
+        self._bound = threading.Event()
+        self.host: str | None = None
+        self.port: int | None = None
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+        if not self._bound.wait(timeout=60.0):
+            self.kill()
+            raise RuntimeError(
+                f"{name} never printed its banner; output so far: {self.lines}"
+            )
+
+    def _drain(self) -> None:
+        assert self.proc.stdout is not None
+        for line in self.proc.stdout:
+            self.lines.append(line.rstrip())
+            match = BANNER.search(line)
+            if match:
+                self.host, self.port = match.group(1), int(match.group(2))
+                self._bound.set()
+        self._bound.set()  # EOF before a banner → the waiter fails loudly
+
+    def client(self, timeout_s: float = 60.0) -> Client:
+        assert self.host is not None and self.port is not None
+        client = Client(self.host, self.port, timeout_s=timeout_s)
+        client.hello(name=f"test-{self.name}")
+        return client
+
+    def kill(self) -> None:
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30.0)
+
+    def stop(self) -> int:
+        """Graceful shutdown via the protocol; returns the exit status."""
+        if self.proc.poll() is None:
+            try:
+                with Client(self.host, self.port, timeout_s=30.0) as c:
+                    c.shutdown()
+            except (OSError, ServerError):
+                pass
+            try:
+                return self.proc.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                self.kill()
+        return self.proc.returncode
+
+
+@pytest.fixture(scope="module")
+def pair():
+    """A primary and a caught-up replica, both real subprocesses."""
+    primary = _ServeProcess(["--neurons", "7", "--seed", "5", "--shards", "2"], "primary")
+    try:
+        replica = _ServeProcess(
+            ["--replica-of", f"{primary.host}:{primary.port}"], "replica"
+        )
+    except Exception:
+        primary.kill()
+        raise
+    yield primary, replica
+    replica_status = replica.stop()
+    primary_status = primary.stop()
+    assert replica_status == 0, f"replica exit {replica_status}: {replica.lines[-5:]}"
+    assert primary_status == 0, f"primary exit {primary_status}: {primary.lines[-5:]}"
+
+
+def _random_batch(rng: random.Random, live: dict[int, AABB], next_uid: int):
+    """One seeded mutation batch against the mirrored ``live`` uid map.
+
+    Mutates ``live`` to track what the batch does; returns the batch and
+    the next free uid.
+    """
+    batch = []
+    for _ in range(rng.randint(1, 4)):
+        roll = rng.random()
+        if live and roll < 0.2:
+            uid = rng.choice(sorted(live))
+            del live[uid]
+            batch.append(Delete(uid))
+        elif live and roll < 0.4:
+            uid = rng.choice(sorted(live))
+            box = _random_box(rng)
+            live[uid] = box
+            batch.append(Move(uid, BoxObject(uid=uid, box=box)))
+        else:
+            uid, next_uid = next_uid, next_uid + 1
+            box = _random_box(rng)
+            live[uid] = box
+            batch.append(Insert(BoxObject(uid=uid, box=box)))
+    return batch, next_uid
+
+
+def _random_box(rng: random.Random) -> AABB:
+    x = rng.uniform(-500.0, 500.0)
+    y = rng.uniform(-500.0, 500.0)
+    z = rng.uniform(-500.0, 500.0)
+    extent = rng.uniform(0.5, 4.0)
+    return AABB(x, y, z, x + extent, y + extent, z + extent)
+
+
+def _probes(rng: random.Random):
+    """The four query kinds, seeded; self-join is sent via the client."""
+    window = _random_box(rng)
+    wide = AABB(
+        window.min_x - 40.0,
+        window.min_y - 40.0,
+        window.min_z - 40.0,
+        window.max_x + 40.0,
+        window.max_y + 40.0,
+        window.max_z + 40.0,
+    )
+    return [
+        RangeQuery(wide),
+        KNNQuery(
+            Vec3(
+                rng.uniform(-400.0, 400.0),
+                rng.uniform(-400.0, 400.0),
+                rng.uniform(-400.0, 400.0),
+            ),
+            rng.randint(1, 8),
+        ),
+        Walkthrough((window, wide)),
+    ]
+
+
+def test_replica_answers_equal_primary_answers(pair):
+    primary, replica = pair
+    rng = random.Random(derive_seed(5, "server-differential"))
+    live: dict[int, AABB] = {}
+    next_uid = 5_000_000
+    with primary.client() as pc, replica.client() as rc:
+        assert pc.server_info["role"] == "primary"
+        assert rc.server_info["role"] == "replica"
+        for round_number in range(ROUNDS):
+            batch, next_uid = _random_batch(rng, live, next_uid)
+            epoch = pc.mutate(batch)
+            for query in _probes(rng):
+                on_primary = pc.query(query, min_epoch=epoch, epoch_wait_s=60.0)
+                on_replica = rc.query(query, min_epoch=epoch, epoch_wait_s=60.0)
+                assert on_replica.wire_payload == on_primary.wire_payload, (
+                    f"round {round_number}: {query!r} diverged at epoch {epoch}"
+                )
+                assert on_replica.epoch == on_primary.epoch == epoch
+            join_primary = pc.self_join(1.5, min_epoch=epoch)
+            join_replica = rc.self_join(1.5, min_epoch=epoch)
+            assert join_replica.wire_payload == join_primary.wire_payload, (
+                f"round {round_number}: dataset self-join diverged at epoch {epoch}"
+            )
+        assert pc.stats()["epoch"] == ROUNDS
+        assert rc.stats(min_epoch=ROUNDS)["epoch"] == ROUNDS
+
+
+def test_failover_loses_no_acked_write():
+    primary = _ServeProcess(["--neurons", "5", "--seed", "9", "--shards", "2"], "primary")
+    replica = None
+    try:
+        replica = _ServeProcess(
+            ["--replica-of", f"{primary.host}:{primary.port}"], "replica"
+        )
+        rng = random.Random(derive_seed(9, "server-failover"))
+        acked: dict[int, AABB] = {}
+        with primary.client() as pc:
+            epoch = 0
+            for _ in range(6):
+                box = _random_box(rng)
+                uid = 6_000_000 + len(acked)
+                epoch = pc.mutate([Insert(BoxObject(uid=uid, box=box))])
+                acked[uid] = box
+        with replica.client() as rc:
+            # Runbook step 1: confirm the follower reached the tip ...
+            assert rc.stats(min_epoch=epoch)["epoch"] >= epoch
+            # ... step 2: the primary dies hard ...
+            primary.kill()
+            # ... step 3: promote, and the workload resumes with every
+            # acked write intact.
+            rc.promote()
+            answer = rc.query(RangeQuery(WORLD), min_epoch=epoch)
+            assert set(acked) <= set(answer.payload), "acked write lost in failover"
+            survivor_uid = sorted(acked)[0]
+            new_epoch = rc.mutate([Delete(survivor_uid)])
+            assert new_epoch == epoch + 1
+            after = rc.query(RangeQuery(WORLD), min_epoch=new_epoch)
+            assert survivor_uid not in after.payload
+        assert replica.stop() == 0
+        replica = None
+    finally:
+        if replica is not None:
+            replica.kill()
+        primary.kill()
+
+
+def test_replica_rejects_writes_until_promoted(pair):
+    primary, replica = pair
+    with replica.client() as rc:
+        from repro.errors import NotPrimaryError
+
+        with pytest.raises(NotPrimaryError):
+            rc.mutate([Insert(BoxObject(uid=9_999_999, box=AABB(0, 0, 0, 1, 1, 1)))])
