@@ -839,7 +839,7 @@ def _serve_catchup_workload() -> _Workload:
             tail.start()
             while replica.epoch < target:
                 if tail.error is not None:
-                    raise tail.error
+                    raise RuntimeError(f"replica tail failed: {tail.error}")
                 _time.sleep(0.0005)
             drain_ms_holder[id(state)] = (_time.perf_counter() - start) * 1000.0
         finally:

@@ -47,6 +47,7 @@ import io
 import json
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -317,6 +318,11 @@ class WriteAheadLog:
         checkpoint exists).  Tail repair never cuts at damage confined to
         records at or below the anchor — a bit flip in long-checkpointed
         history must not destroy the valid suffix behind it.
+
+    The log is thread-safe: ``append`` / ``flush`` / ``tail`` / ``scan`` /
+    ``prune`` / ``close`` serialise on one internal lock, so a reader
+    shipping the tail (replication catch-up) can never interleave with a
+    writer's group-commit flush.
     """
 
     def __init__(
@@ -342,6 +348,11 @@ class WriteAheadLog:
         self.fsync = fsync
         self.anchor_seq = anchor_seq
         self.stats = WalStats()
+        # Writers serialise on the engine's mutation lock, but readers
+        # (replication catch-up tails) may arrive on any thread — every
+        # state-touching method below takes this lock.  Reentrant because
+        # append/close drive flush internally.
+        self._lock = threading.RLock()
         self._buffer: list[bytes] = []
         self._buffered_bytes = 0
         self._listeners: list[Callable[[list[tuple[int, list[Mutation]]]], None]] = []
@@ -405,47 +416,52 @@ class WriteAheadLog:
         ``last_durable_seq`` reaches that number (immediately with the
         default ``flush_batches=1``).
         """
-        if self._closed:
-            raise DurabilityError("write-ahead log is closed")
-        if not mutations:
-            raise DurabilityError("refusing to log an empty mutation batch")
-        seq = self._next_seq
-        record = _encode_record(seq, mutations)
-        self._next_seq += 1
-        if self._listeners:
-            self._pending_batches.append((seq, list(mutations)))
-        self._buffer.append(record)
-        self._buffered_bytes += len(record)
-        self.stats.batches_appended += 1
-        self.stats.mutations_appended += len(mutations)
-        if len(self._buffer) >= self.flush_batches or self._buffered_bytes >= self.flush_bytes:
-            self.flush()
-        return seq
+        with self._lock:
+            if self._closed:
+                raise DurabilityError("write-ahead log is closed")
+            if not mutations:
+                raise DurabilityError("refusing to log an empty mutation batch")
+            seq = self._next_seq
+            record = _encode_record(seq, mutations)
+            self._next_seq += 1
+            if self._listeners:
+                self._pending_batches.append((seq, list(mutations)))
+            self._buffer.append(record)
+            self._buffered_bytes += len(record)
+            self.stats.batches_appended += 1
+            self.stats.mutations_appended += len(mutations)
+            if (
+                len(self._buffer) >= self.flush_batches
+                or self._buffered_bytes >= self.flush_bytes
+            ):
+                self.flush()
+            return seq
 
     def flush(self) -> None:
         """Write every buffered record to the current segment, durably."""
-        if self._closed:
-            raise DurabilityError("write-ahead log is closed")
-        if not self._buffer:
-            return
-        handle = self._current_handle()
-        for record in self._buffer:
-            handle.write(record)
-            self._segment_size += len(record)
-            self.stats.bytes_written += len(record)
-        handle.flush()
-        if self.fsync:
-            os.fsync(handle.fileno())
-        self._last_durable_seq = self.last_seq
-        self._buffer.clear()
-        self._buffered_bytes = 0
-        self.stats.flushes += 1
-        if self._pending_batches:
-            newly_durable, self._pending_batches = self._pending_batches, []
-            for listener in list(self._listeners):
-                listener(newly_durable)
-        if self._segment_size >= self.segment_bytes:
-            self._rotate()
+        with self._lock:
+            if self._closed:
+                raise DurabilityError("write-ahead log is closed")
+            if not self._buffer:
+                return
+            handle = self._current_handle()
+            for record in self._buffer:
+                handle.write(record)
+                self._segment_size += len(record)
+                self.stats.bytes_written += len(record)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+            self._last_durable_seq = self.last_seq
+            self._buffer.clear()
+            self._buffered_bytes = 0
+            self.stats.flushes += 1
+            if self._pending_batches:
+                newly_durable, self._pending_batches = self._pending_batches, []
+                for listener in list(self._listeners):
+                    listener(newly_durable)
+            if self._segment_size >= self.segment_bytes:
+                self._rotate()
 
     def _current_handle(self) -> io.BufferedWriter:
         if self._handle is None:
@@ -467,7 +483,8 @@ class WriteAheadLog:
     # -- reading back --------------------------------------------------------
     def scan(self, strict: bool = False) -> WalScan:
         """The durable batches currently on disk (buffered ones excluded)."""
-        return read_wal(self.directory, strict=strict, anchor_seq=self.anchor_seq)
+        with self._lock:
+            return read_wal(self.directory, strict=strict, anchor_seq=self.anchor_seq)
 
     def batches_after(self, after_seq: int) -> Iterator[tuple[int, list[Mutation]]]:
         """Durable ``(seq, batch)`` pairs with ``seq > after_seq``."""
@@ -499,14 +516,16 @@ class WriteAheadLog:
         listener registered are not replayed — pair with :meth:`tail` for
         history.
         """
-        self._listeners.append(listener)
+        with self._lock:
+            self._listeners.append(listener)
 
     def remove_listener(
         self, listener: Callable[[list[tuple[int, list[Mutation]]]], None]
     ) -> None:
         """Detach a listener added by :meth:`add_listener` (idempotent)."""
-        if listener in self._listeners:
-            self._listeners.remove(listener)
+        with self._lock:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
 
     # -- reclamation ---------------------------------------------------------
     def prune(self, up_to_seq: int) -> int:
@@ -524,43 +543,45 @@ class WriteAheadLog:
         """
         if up_to_seq < 0:
             raise DurabilityError("up_to_seq must be >= 0")
-        removed = 0
-        current = (
-            self.directory / _segment_name(self._segment_index)
-            if self._handle is not None
-            else None
-        )
-        for path in _segments(self.directory):
-            if path == current:
-                break  # never unlink the open segment under the writer
-            records, _valid_bytes, corruption = _scan_segment(
-                path, skip_at_or_below=up_to_seq
+        with self._lock:
+            removed = 0
+            current = (
+                self.directory / _segment_name(self._segment_index)
+                if self._handle is not None
+                else None
             )
-            # A CRC-failed record's true seq is unknowable, so a damaged
-            # segment is never provably folded in — keep it.
-            if (
-                corruption is not None
-                or not records
-                or any(seq is None for seq, _end, _mutations in records)
-                or records[-1][0] > up_to_seq
-            ):
-                break
-            path.unlink()
-            removed += 1
-        if removed:
-            self.anchor_seq = max(self.anchor_seq, up_to_seq)
-        return removed
+            for path in _segments(self.directory):
+                if path == current:
+                    break  # never unlink the open segment under the writer
+                records, _valid_bytes, corruption = _scan_segment(
+                    path, skip_at_or_below=up_to_seq
+                )
+                # A CRC-failed record's true seq is unknowable, so a damaged
+                # segment is never provably folded in — keep it.
+                if (
+                    corruption is not None
+                    or not records
+                    or any(seq is None for seq, _end, _mutations in records)
+                    or records[-1][0] > up_to_seq
+                ):
+                    break
+                path.unlink()
+                removed += 1
+            if removed:
+                self.anchor_seq = max(self.anchor_seq, up_to_seq)
+            return removed
 
     # -- lifecycle -----------------------------------------------------------
     def close(self) -> None:
         """Flush the group-commit window and release the file handle."""
-        if self._closed:
-            return
-        self.flush()
-        self._closed = True
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._closed:
+                return
+            self.flush()
+            self._closed = True
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "WriteAheadLog":
         return self

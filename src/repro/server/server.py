@@ -12,7 +12,9 @@ Replication — WAL shipping
 --------------------------
 Every published epoch is pushed (via the engine's epoch hook, *after* the
 WAL append on a durable primary) into the loop, which fans it out to
-subscriber queues and resolves ``min_epoch`` waits.  A follower process
+*bounded* subscriber queues and resolves ``min_epoch`` waits; a stalled
+subscriber that overruns its queue is disconnected rather than allowed
+to grow primary memory without bound.  A follower process
 (``repro serve --replica-of HOST:PORT``) bootstraps from the primary's
 epoch-consistent snapshot — or, when it brings its own durable state,
 from the primary WAL's ``tail()`` — then applies shipped batches
@@ -94,6 +96,11 @@ class ReproServer:
     session_queue:
         Per-connection pending-request bound; a pipelining client that
         overruns it gets ``busy`` frames (bounded memory per connection).
+    subscriber_queue:
+        Bound on a replication subscriber's unsent-epoch queue.  A
+        stalled or slow replica that falls this many epochs behind the
+        publish stream is disconnected (bounded primary memory); it
+        re-bootstraps with ``from_epoch`` WAL catch-up on reconnect.
     epoch_wait_s:
         Default cap on a ``min_epoch`` wait before an ``epoch-behind``
         error (clients may lower it per request).
@@ -111,6 +118,7 @@ class ReproServer:
         root: Any | None = None,
         tail: "ReplicaTail | None" = None,
         session_queue: int = 32,
+        subscriber_queue: int = 1024,
         epoch_wait_s: float = 10.0,
         drain_timeout_s: float = 10.0,
         banner: bool = True,
@@ -124,6 +132,7 @@ class ReproServer:
         self.root = root
         self.tail = tail
         self.session_queue = session_queue
+        self.subscriber_queue = subscriber_queue
         self.epoch_wait_s = epoch_wait_s
         self.drain_timeout_s = drain_timeout_s
         self.banner = banner
@@ -131,7 +140,7 @@ class ReproServer:
         self._stop: asyncio.Event | None = None
         self._draining = False
         self._sessions: set[_Session] = set()
-        self._subscribers: set[asyncio.Queue] = set()
+        self._subscribers: dict[asyncio.Queue, _Session] = {}
         self._epoch_waiters: list[tuple[int, asyncio.Future]] = []
         self._published_epoch = service.epoch
 
@@ -151,8 +160,14 @@ class ReproServer:
 
     def _publish_epoch(self, epoch: int, encoded: list[dict[str, Any]]) -> None:
         self._published_epoch = max(self._published_epoch, epoch)
-        for queue in list(self._subscribers):
-            queue.put_nowait((epoch, encoded))
+        for queue, session in list(self._subscribers.items()):
+            try:
+                queue.put_nowait((epoch, encoded))
+            except asyncio.QueueFull:
+                # A stalled replica must not grow primary memory without
+                # bound: cut it loose — it re-bootstraps via from_epoch
+                # WAL catch-up, which covers everything dropped here.
+                self._teardown_session(session)
         still_waiting = []
         for target, future in self._epoch_waiters:
             if epoch >= target:
@@ -223,7 +238,7 @@ class ReproServer:
     def _teardown_session(self, session: _Session) -> None:
         self._sessions.discard(session)
         if session.subscriber_queue is not None:
-            self._subscribers.discard(session.subscriber_queue)
+            self._subscribers.pop(session.subscriber_queue, None)
         if session.forwarder is not None:
             session.forwarder.cancel()
         if session.worker is not None and not self._draining:
@@ -326,7 +341,9 @@ class ReproServer:
             await self._dispatch_subscribe(frame, session)
             return None  # the forwarder owns this connection's stream now
         if kind == "promote":
-            self.promote()
+            # promote() joins the tailing thread — run it on the executor
+            # so a slow tail cannot stall every other connection's loop.
+            await self._run_blocking(self.promote)
             return self._reply(frame, "promoted", epoch=self._current_epoch())
         if kind == "shutdown":
             assert self._stop is not None
@@ -334,10 +351,15 @@ class ReproServer:
             return self._reply(frame, "bye")
         raise ProtocolError(f"unknown frame type {kind!r}")
 
+    def _epoch_wait(self, frame: dict[str, Any]) -> float:
+        """The frame's ``min_epoch`` wait cap; 0 is a valid no-wait probe."""
+        wait_s = frame.get("epoch_wait_s")
+        return self.epoch_wait_s if wait_s is None else float(wait_s)
+
     async def _dispatch_query(self, frame: dict[str, Any]) -> dict[str, Any]:
         min_epoch = frame.get("min_epoch")
         if min_epoch is not None:
-            wait_s = float(frame.get("epoch_wait_s") or self.epoch_wait_s)
+            wait_s = self._epoch_wait(frame)
             if not await self._await_epoch(int(min_epoch), wait_s):
                 return self._error_frame(
                     frame,
@@ -381,7 +403,7 @@ class ReproServer:
     async def _dispatch_stats(self, frame: dict[str, Any]) -> dict[str, Any]:
         min_epoch = frame.get("min_epoch")
         if min_epoch is not None:
-            wait_s = float(frame.get("epoch_wait_s") or self.epoch_wait_s)
+            wait_s = self._epoch_wait(frame)
             if not await self._await_epoch(int(min_epoch), wait_s):
                 return self._error_frame(
                     frame,
@@ -412,12 +434,12 @@ class ReproServer:
     ) -> None:
         if session.subscriber_queue is not None:
             raise ProtocolError("this connection already subscribed")
-        queue: asyncio.Queue = asyncio.Queue()
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.subscriber_queue)
         # Register *before* reading any state: every epoch published after
         # this point lands in the queue, so snapshot/WAL reads below can
         # never race a concurrent writer into a gap (duplicates are
         # dropped by seq in the forwarder).
-        self._subscribers.add(queue)
+        self._subscribers[queue] = session
         session.subscriber_queue = queue
         from_epoch = frame.get("from_epoch")
         sent_through: int | None = None
@@ -474,7 +496,7 @@ class ReproServer:
         except (ConnectionError, OSError):
             pass
         finally:
-            self._subscribers.discard(queue)
+            self._subscribers.pop(queue, None)
 
     # -- failover ------------------------------------------------------------
     def promote(self) -> None:
@@ -486,9 +508,11 @@ class ReproServer:
         """
         if self.role == "primary":
             return
-        self.role = "primary"
+        # Stop the tail *before* accepting writes: a batch applied by the
+        # tail after a local write would fork the epoch history.
         if self.tail is not None:
             self.tail.stop()
+        self.role = "primary"
 
     # -- lifecycle -----------------------------------------------------------
     async def _main_async(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import struct
+import threading
 
 import pytest
 
@@ -237,6 +238,38 @@ class TestWriteAheadLog:
             wal.append(sample_mutations(1))
         with pytest.raises(DurabilityError):
             WriteAheadLog(tmp_path / "bad", flush_batches=0)
+
+    def test_concurrent_tail_reads_never_corrupt_the_log(self, tmp_path):
+        """The WAL-shipping catch-up path (flush + tail from a server
+        thread) races the writing thread's group-commit flushes; the
+        log's internal lock must keep the record stream exact."""
+        wal = WriteAheadLog(tmp_path / "wal", flush_batches=4)
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def tail_loop() -> None:
+            try:
+                while not stop.is_set():
+                    wal.flush()
+                    seqs = [seq for seq, _ in wal.tail(0)]
+                    assert seqs == sorted(set(seqs)), f"duplicated seqs: {seqs}"
+            except BaseException as error:
+                failures.append(error)
+
+        readers = [threading.Thread(target=tail_loop) for _ in range(2)]
+        for thread in readers:
+            thread.start()
+        try:
+            for _ in range(200):
+                wal.append(sample_mutations(2))
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+        wal.close()
+        assert not failures, failures
+        scan = read_wal(tmp_path / "wal", strict=True)
+        assert [seq for seq, _ in scan.batches] == list(range(1, 201))
 
 
 class TestTornTail:

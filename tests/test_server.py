@@ -8,6 +8,7 @@ multi-process differential and failover live in
 
 from __future__ import annotations
 
+import asyncio
 import socket
 import threading
 import time
@@ -282,6 +283,18 @@ class TestWritePath:
             client._read_matching(request_id)
         assert excinfo.value.code == "epoch-behind"
 
+    def test_explicit_zero_epoch_wait_is_a_no_wait_probe(self, client):
+        # An explicit 0 must not fall back to the server's 10s default.
+        start = time.perf_counter()
+        for frame_type in ("query", "stats"):
+            message = {"type": frame_type, "min_epoch": 10_000, "epoch_wait_s": 0}
+            if frame_type == "query":
+                message["query"] = {"k": "range", "box": protocol.encode_box(WORLD)}
+            with pytest.raises(ServerError) as excinfo:
+                client._read_matching(client._send(message))
+            assert excinfo.value.code == "epoch-behind"
+        assert time.perf_counter() - start < 5.0
+
 
 class TestBackpressure:
     def test_admission_overload_is_a_structured_busy(self):
@@ -332,6 +345,36 @@ class TestBackpressure:
                 assert answered > 0, "backpressure starved every request"
                 # And the session still works.
                 assert c.query(RangeQuery(WORLD)).payload is not None
+
+    def test_stalled_subscriber_is_dropped_not_buffered_unboundedly(self):
+        """A replica that stops draining its queue must be disconnected,
+        not allowed to accumulate every published epoch in primary
+        memory (it re-bootstraps via from_epoch catch-up)."""
+        from repro.server.server import ReproServer, _Session
+
+        svc = _fresh_service()
+        try:
+            server = ReproServer(svc, subscriber_queue=1, banner=False)
+
+            class _ClosableWriter:
+                closed = False
+
+                def close(self):
+                    self.closed = True
+
+            writer = _ClosableWriter()
+            session = _Session(writer, queue_size=4)
+            session.subscriber_queue = asyncio.Queue(maxsize=server.subscriber_queue)
+            server._subscribers[session.subscriber_queue] = session
+            server._sessions.add(session)
+
+            server._publish_epoch(1, [])  # fills the bounded queue
+            server._publish_epoch(2, [])  # overflow: the subscriber is cut loose
+            assert session.subscriber_queue not in server._subscribers
+            assert session not in server._sessions
+            assert writer.closed
+        finally:
+            svc.close()
 
 
 class TestAdmissionUnderChurn:
