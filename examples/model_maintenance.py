@@ -6,15 +6,15 @@ queries validate the tissue, mis-placed branches get removed — and none
 of that work may be lost to a crash.  This example drives the loop
 through the engine's declarative mutation API and the durability layer:
 
-1. bind a ``DurableEngine`` to the initial circuit (epoch-0 checkpoint
-   + write-ahead log),
+1. make the initial circuit durable via ``repro.create(objects, dir)``
+   (epoch-0 checkpoint + write-ahead log),
 2. insert a new neuron's segments via ``Insert`` batches (one logged,
    atomic epoch per batch),
 3. run validation queries (results always exact),
 4. fix the model — ``Delete`` a mis-placed branch, ``Move`` a stray
    segment back into place,
 5. "crash" (drop the engine without a clean shutdown), then restart via
-   ``DurableEngine.open`` — checkpoint + WAL replay restores the exact
+   ``repro.open(dir)`` — checkpoint + WAL replay restores the exact
    epoch — and re-run the validation to prove nothing was lost.
 
 Run:  python examples/model_maintenance.py
@@ -43,7 +43,7 @@ def main() -> None:
     # Stage 1: the initial model, made durable from the first epoch.
     base = generate_circuit(n_neurons=12, seed=7)
     model_dir = mkdtemp(prefix="repro_model_")
-    durable = repro.DurableEngine.create(model_dir, base.segments())
+    durable = repro.create(base.segments(), model_dir)
     print(f"initial model: {base.num_neurons} neurons, "
           f"{durable.num_objects:,} segments -> durable in {model_dir}")
     exactness_check(durable, "initial")
@@ -91,7 +91,7 @@ def main() -> None:
     del durable  # SIGKILL stand-in: no close(), no flushing ceremony
 
     # Stage 5: restart. Checkpoint + WAL replay restore the exact epoch.
-    restored = repro.DurableEngine.open(model_dir)
+    restored = repro.open(model_dir)
     print(f"\nrestart: recovered epoch {restored.epoch} with "
           f"{restored.num_objects:,} segments "
           f"(expected epoch {epoch_before}, {count_before:,} segments)")

@@ -17,10 +17,13 @@ curves, an R-tree with STR/Hilbert bulk loading, a paged-storage simulator
 with an LRU buffer pool, and a synthetic neural-circuit generator standing
 in for the proprietary Blue Brain datasets.
 
-The primary entry point is the :class:`SpatialEngine` facade: bind it to a
-dataset once and hand it declarative queries; a planner lazily builds the
-structures above and picks the execution strategy per query.  The low-level
-constructors remain public as the kernel layer.
+The primary entry points are :func:`repro.create` (a fresh engine —
+in-memory, durable with a directory, sharded with ``sharded=True``) and
+:func:`repro.open` (resume an existing durability directory, writable or
+read-only/time-travelled).  Both return engines speaking the same
+declarative query API; a planner lazily builds the structures above and
+picks the execution strategy per query.  The low-level constructors remain
+public as the kernel layer.
 
 Quickstart
 ----------
@@ -39,6 +42,7 @@ Each call returns an :class:`EngineResult` (payload + uniform
 engine's lifetime.
 """
 
+from repro.api import create, open
 from repro.core.flat import FLATIndex, FLATQueryResult, FLATQueryStats
 from repro.core.scout import (
     ExplorationSession,
@@ -194,12 +198,14 @@ __all__ = [
     "bootstrap_replica",
     "branch_walk",
     "circuit_morphometry",
+    "create",
     "durable_sharded",
     "generate_circuit",
     "hilbert_bulk_load",
     "hilbert_shards",
     "load_circuit",
     "nested_loop_join",
+    "open",
     "open_at_epoch",
     "pbsm_join",
     "plane_sweep_join",

@@ -252,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--modes", type=str, default=None, metavar="CSV",
         help="kernel backends to measure (default: all available)",
     )
+    bench.add_argument(
+        "--only", type=str, default=None, metavar="PREFIX",
+        help="run only workloads whose name starts with PREFIX (e.g. 'mutate.')",
+    )
     return parser
 
 
@@ -408,14 +412,19 @@ def _build_query(args: argparse.Namespace, engine):
 
 
 def _run_query(args: argparse.Namespace) -> int:
-    from repro.engine import SpatialEngine
+    import repro
     from repro.errors import ReproError
 
     try:
         if args.circuit is not None:
-            engine = SpatialEngine.open(args.circuit)
+            from repro.neuro.persistence import load_circuit
+
+            circuit = load_circuit(args.circuit)
         else:
-            engine = SpatialEngine.generate(n_neurons=args.neurons, seed=args.seed)
+            from repro.neuro.circuit import generate_circuit
+
+            circuit = generate_circuit(n_neurons=args.neurons, seed=args.seed)
+        engine = repro.create(circuit.segments(), circuit=circuit)
         print(engine.describe())
         print()
 
@@ -552,15 +561,25 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
                 default_timeout_s=args.timeout,
             )
             if args.wal is not None:
-                from repro.durability import durable_sharded
+                import repro
+                from repro.durability import checkpoints_path, list_checkpoints
 
                 wal_root = Path(args.wal)
                 if len(shard_counts) > 1:
                     wal_root = wal_root / f"s{count}"
                 wal_roots.append(wal_root)
-                service = durable_sharded(
-                    wal_root, circuit.segments(), circuit=circuit, **service_kwargs
-                )
+                if list_checkpoints(checkpoints_path(wal_root)):
+                    service = repro.open(
+                        wal_root, sharded=True, circuit=circuit, **service_kwargs
+                    )
+                else:
+                    service = repro.create(
+                        circuit.segments(),
+                        wal_root,
+                        sharded=True,
+                        circuit=circuit,
+                        **service_kwargs,
+                    )
             else:
                 service = ShardedEngine.from_circuit(circuit, **service_kwargs)
             with service:
@@ -655,15 +674,26 @@ def _run_serve(args: argparse.Namespace) -> int:
                 circuit = generate_circuit(n_neurons=args.neurons, seed=args.seed)
             num_shards = args.shards if args.shards is not None else 4
             if args.wal is not None:
-                from repro.durability import durable_sharded
+                import repro
+                from repro.durability import checkpoints_path, list_checkpoints
 
-                service = durable_sharded(
-                    args.wal,
-                    circuit.segments(),
-                    num_shards=num_shards,
-                    circuit=circuit,
-                    **service_kwargs,
-                )
+                if list_checkpoints(checkpoints_path(args.wal)):
+                    service = repro.open(
+                        args.wal,
+                        sharded=True,
+                        num_shards=args.shards,
+                        circuit=circuit,
+                        **service_kwargs,
+                    )
+                else:
+                    service = repro.create(
+                        circuit.segments(),
+                        args.wal,
+                        sharded=True,
+                        num_shards=num_shards,
+                        circuit=circuit,
+                        **service_kwargs,
+                    )
             else:
                 from repro.service import ShardedEngine
 
@@ -818,21 +848,21 @@ def _run_connect(args: argparse.Namespace) -> int:
 
 
 def _run_recover(args: argparse.Namespace) -> int:
-    from repro.durability import recover_engine, recover_sharded
+    import repro
     from repro.engine import RangeQuery
     from repro.errors import ReproError
     from repro.geometry.aabb import AABB
 
     engine = None
     try:
-        if args.sharded:
-            recovery = recover_sharded(
-                args.dir, at_epoch=args.at_epoch, num_shards=args.shards
-            )
-        else:
-            recovery = recover_engine(args.dir, at_epoch=args.at_epoch)
-        engine = recovery.engine
-        print(recovery.describe())
+        engine = repro.open(
+            args.dir,
+            sharded=args.sharded,
+            durable=False,
+            at_epoch=args.at_epoch,
+            num_shards=args.shards if args.sharded else None,
+        )
+        print(engine.last_recovery.describe())
         print(engine.describe())
         if not args.no_verify:
             window = AABB.from_center_extent(
@@ -869,6 +899,8 @@ def _run_bench(args: argparse.Namespace) -> int:
         argv.extend(["--baseline", args.baseline])
     if args.modes is not None:
         argv.extend(["--modes", args.modes])
+    if args.only is not None:
+        argv.extend(["--only", args.only])
     return bench.main(argv)
 
 

@@ -26,6 +26,7 @@ from repro.geometry.vec import Vec3
 from repro.objects import SpatialObject
 from repro.rtree.bulk import str_bulk_load
 from repro.rtree.tree import RTree
+from repro.storage.arena import BoundsView
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.disk import Disk, DiskParameters
 from repro.storage.page import DEFAULT_PAGE_BYTES, OBJECT_BYTES, Page
@@ -91,10 +92,6 @@ class FLATIndex:
             max_entries=seed_fanout,
         )
         self.disk = Disk(params=disk_params if disk_params is not None else DiskParameters())
-        # Batch-kernel cache: packed object bounds per partition, keyed by
-        # the kernel backend that built them (packs are backend-specific)
-        # and by the page's write-version (maintenance rewrites pages).
-        self._page_packs: dict[int, tuple[str, int, object]] = {}
         self._partition_of_uid: dict[int, int] = {}
         for partition in self.partitions:
             self.disk.store(
@@ -102,6 +99,9 @@ class FLATIndex:
                     page_id=partition.partition_id,
                     object_uids=partition.object_uids,
                     mbr=partition.mbr,
+                    bounds=BoundsView(
+                        self._objects[uid].aabb.bounds() for uid in partition.object_uids
+                    ),
                 )
             )
             for uid in partition.object_uids:
@@ -138,27 +138,16 @@ class FLATIndex:
         """
         return self.seed_tree.range_query(box)
 
-    def packed_page_bounds(self, page: Page) -> object:
-        """Packed object AABBs of one data page (cached per backend).
+    def page_bounds_view(self, uids: Sequence[int]) -> BoundsView:
+        """Build the immutable per-object bounds column view for a page.
 
-        The pack is what the crawl and KNN scans hand to the batch kernels;
-        it is rebuilt lazily after maintenance touches the partition or the
-        active kernel backend changes.  The cache entry is keyed by both
-        the backend token *and* the page's disk write-version, so a pack
-        built from a page snapshot that maintenance has since rewritten
-        (e.g. delete-then-reinsert of the same uid) can never be served.
+        Pages carry their bounds column (:class:`BoundsView`) from the
+        moment they are stored; because pages are immutable snapshots, the
+        view needs no invalidation — maintenance stores a new page with a
+        new view, so a pack built from a superseded snapshot can never be
+        served against the current index state.
         """
-        token = kernels.pack_token()
-        version = self.disk.version_of(page.page_id)
-        cached = self._page_packs.get(page.page_id)
-        if cached is not None and cached[0] == token and cached[1] == version:
-            return cached[2]
-        packed = kernels.pack_boxes([self._objects[uid].aabb for uid in page.object_uids])
-        self._page_packs[page.page_id] = (token, version, packed)
-        return packed
-
-    def _invalidate_page_pack(self, pid: int) -> None:
-        self._page_packs.pop(pid, None)
+        return BoundsView(self._objects[uid].aabb.bounds() for uid in uids)
 
     def index_bytes(self) -> int:
         """Modelled memory footprint of the index structures (not the data)."""
@@ -225,7 +214,7 @@ class FLATIndex:
             stats.partitions_fetched += 1
             stats.crawl_order.append(pid)
             stats.stall_time_ms += latency
-            distances = kernels.point_box_distance(self.packed_page_bounds(page), point)
+            distances = kernels.point_box_distance(page.bounds.packed(), point)
             stats.objects_scanned += len(page.object_uids)
             for uid, raw_distance in zip(page.object_uids, distances):
                 distance = float(raw_distance)
@@ -298,7 +287,7 @@ class FLATIndex:
             stats.crawl_order.append(pid)
             uids = page.object_uids
             stats.objects_scanned += len(uids)
-            mask = kernels.box_intersects(self.packed_page_bounds(page), box)
+            mask = kernels.box_intersects(page.bounds.packed(), box)
             for i in kernels.nonzero(mask):
                 results.append(uids[i])
             for neighbor_pid in self.neighbors[pid]:

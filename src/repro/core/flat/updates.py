@@ -15,11 +15,12 @@ implements the maintenance operations used by :class:`FLATIndex`:
   still fits the owning partition's MBR, and delete-then-reinsert routing
   when it has drifted out.
 
-Every repair rewrites the touched disk page (bumping its write-version,
-which invalidates buffer-pool frames and the per-page kernel-pack cache)
-and keeps the partitions in Hilbert-coherent placement: the in-place move
-path preserves the page's position in the crawl order, and relocations go
-through the same least-enlargement routing as fresh inserts.
+Every repair stores a *new* immutable page snapshot (bumping the disk
+write-version, which refreshes buffer-pool frames) carrying a freshly built
+bounds column view, and keeps the partitions in Hilbert-coherent placement:
+the in-place move path preserves the page's position in the crawl order,
+and relocations go through the same least-enlargement routing as fresh
+inserts.
 
 All repairs are local: only the touched partition(s) and the neighbour
 lists that mention them change, mirroring how the original system applies
@@ -99,9 +100,9 @@ def move_object(index: "FLATIndex", obj: SpatialObject) -> None:
     """Replace object ``obj.uid``'s geometry with ``obj``.
 
     When the new geometry still fits inside the owning partition's MBR the
-    move is a page-level in-place update: the membership is unchanged, the
-    page is rewritten (bumping its write-version), the partition MBR is
-    tightened and the pack cache, seed tree and neighbour links are
+    move is a page-level in-place update: the membership is unchanged, a
+    fresh page snapshot is stored (bumping its write-version), the partition
+    MBR is tightened and the bounds view, seed tree and neighbour links are
     refreshed.  Otherwise the object is deleted and re-routed through the
     normal insertion path.
     """
@@ -152,8 +153,9 @@ def _replace_partition(index: "FLATIndex", pid: int, uids: tuple[int, ...]) -> N
     old = index.partitions[pid]
     mbr = _partition_mbr(index, uids)
     index.partitions[pid] = Partition(partition_id=pid, mbr=mbr, object_uids=uids)
-    index.disk.store(Page(page_id=pid, object_uids=uids, mbr=mbr))
-    index._invalidate_page_pack(pid)
+    index.disk.store(
+        Page(page_id=pid, object_uids=uids, mbr=mbr, bounds=index.page_bounds_view(uids))
+    )
     for uid in uids:
         index._partition_of_uid[uid] = pid
     # Seed tree: refresh the entry (MBR may have changed).
@@ -167,8 +169,9 @@ def _create_partition(index: "FLATIndex", uids: tuple[int, ...], mbr: AABB) -> N
     pid = len(index.partitions)
     index.partitions.append(Partition(partition_id=pid, mbr=mbr, object_uids=uids))
     index.neighbors.append([])
-    index.disk.store(Page(page_id=pid, object_uids=uids, mbr=mbr))
-    index._invalidate_page_pack(pid)
+    index.disk.store(
+        Page(page_id=pid, object_uids=uids, mbr=mbr, bounds=index.page_bounds_view(uids))
+    )
     for uid in uids:
         index._partition_of_uid[uid] = pid
     index.seed_tree.insert(pid, mbr)
@@ -188,8 +191,9 @@ def _dissolve_partition(index: "FLATIndex", pid: int) -> None:
     # Keep the id slot (stable page ids) but mark it as empty.
     empty_box = AABB.from_center_extent(old.mbr.center(), 0.0)
     index.partitions[pid] = Partition(partition_id=pid, mbr=empty_box, object_uids=())
-    index.disk.store(Page(page_id=pid, object_uids=(), mbr=empty_box))
-    index._invalidate_page_pack(pid)
+    index.disk.store(
+        Page(page_id=pid, object_uids=(), mbr=empty_box, bounds=index.page_bounds_view(()))
+    )
 
 
 def _relink_neighbors(index: "FLATIndex", pid: int) -> None:

@@ -28,6 +28,7 @@ durable :class:`~repro.service.ShardedEngine` speak the same dialect.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Any, Sequence
 
@@ -80,26 +81,13 @@ class DurableEngine:
         wal_kwargs: dict[str, Any] | None = None,
         **engine_kwargs: Any,
     ) -> "DurableEngine":
-        """Start a fresh durable engine under ``root`` (must hold no state)."""
-        root = Path(root)
-        if list_checkpoints(checkpoints_path(root)):
-            raise DurabilityError(
-                f"{root} already holds checkpoints; use DurableEngine.open"
-            )
-        engine = SpatialEngine(objects, **engine_kwargs)
-        durable = cls(
-            engine=engine,
-            wal=WriteAheadLog(wal_path(root), **(wal_kwargs or {})),
-            root=root,
-            epoch=0,
+        """Deprecated shim: use :func:`repro.create` with a ``root``."""
+        warnings.warn(
+            "DurableEngine.create is deprecated; use repro.create(objects, root)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        if durable.wal.last_durable_seq != 0:
-            durable.wal.close()
-            raise DurabilityError(
-                f"{root} already holds WAL batches; use DurableEngine.open"
-            )
-        checkpoint_engine(root, engine, epoch=0, wal=durable.wal)
-        return durable
+        return _create_durable(root, objects, wal_kwargs=wal_kwargs, **engine_kwargs)
 
     @classmethod
     def open(
@@ -109,50 +97,13 @@ class DurableEngine:
         wal_kwargs: dict[str, Any] | None = None,
         **engine_kwargs: Any,
     ) -> "DurableEngine":
-        """Recover a durable engine to its pre-crash (or ``at_epoch``) state.
-
-        Opening the WAL for writing repairs any torn tail, so a recovery
-        after a mid-write crash resumes appending right after the last
-        durable batch.  Time-travel opens (``at_epoch`` below the durable
-        tip) refuse to reattach the WAL — appending from the past would
-        fork the history; use them read-only.
-        """
-        root = Path(root)
-        # The read-only guard must run BEFORE the WAL is opened for
-        # writing: opening runs destructive tail repair, and a repair
-        # anchored at an at_epoch-selected (older) checkpoint would treat
-        # mid-history damage the newest checkpoint covers as an unresolved
-        # torn tail and truncate away acknowledged durable batches.  So
-        # compute the tip read-only, anchored at the newest checkpoint —
-        # in a DurableEngine directory batch seq == epoch (one record per
-        # acknowledged batch, from 1), so the durable tip is an epoch too.
-        # Guarding before the recovery also keeps a refused open cheap: no
-        # checkpoint load or replay happens just to be thrown away.
-        anchor, tip = durable_tip(root)
-        if at_epoch is not None and at_epoch < tip:
-            raise DurabilityError(
-                f"epoch {at_epoch} is before the durable tip {tip}; "
-                "time-travel opens are read-only — use recover_engine / "
-                "open_at_epoch instead"
-            )
-        recovery = recover_engine(root, at_epoch=at_epoch, **engine_kwargs)
-        if recovery.epoch != tip:
-            # durable_tip validates checkpoints at manifest+CRC level, the
-            # full recovery at object level — if they disagree (a checkpoint
-            # that reads but will not load, or damage blocking the replay
-            # from an older fallback checkpoint), appending at the recovered
-            # epoch would misalign seq and epoch and silently orphan the
-            # batches between it and the tip.  Fail loudly instead.
-            raise DurabilityError(
-                f"recovered epoch {recovery.epoch} does not reach the durable "
-                f"tip {tip}: the newest checkpoint or the WAL suffix is "
-                "damaged — the directory is still readable via recover_engine, "
-                "but opening it for writing would fork the history"
-            )
-        wal_kwargs = dict(wal_kwargs or {})
-        wal_kwargs.setdefault("anchor_seq", anchor)
-        wal = WriteAheadLog(wal_path(root), **wal_kwargs)
-        return cls(engine=recovery.engine, wal=wal, root=root, epoch=recovery.epoch)
+        """Deprecated shim: use :func:`repro.open`."""
+        warnings.warn(
+            "DurableEngine.open is deprecated; use repro.open(root)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _open_durable(root, at_epoch=at_epoch, wal_kwargs=wal_kwargs, **engine_kwargs)
 
     # -- the durable write path -------------------------------------------
     @property
@@ -194,7 +145,7 @@ class DurableEngine:
         applies batches prefix-wise, not all-or-nothing) against a scratch
         uid set, so only batches that will replay cleanly become durable.
         """
-        live = {obj.uid for obj in self.engine.objects}
+        live = set(self.engine.arena.live_uids())
         for mutation in mutations:
             if isinstance(mutation, Insert):
                 if mutation.obj.uid in live:
@@ -270,3 +221,79 @@ class DurableEngine:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+
+def _create_durable(
+    root: str | Path,
+    objects: Sequence[Any],
+    wal_kwargs: dict[str, Any] | None = None,
+    **engine_kwargs: Any,
+) -> DurableEngine:
+    """Start a fresh durable engine under ``root`` (must hold no state)."""
+    root = Path(root)
+    if list_checkpoints(checkpoints_path(root)):
+        raise DurabilityError(f"{root} already holds checkpoints; use repro.open")
+    engine = SpatialEngine(objects, **engine_kwargs)
+    durable = DurableEngine(
+        engine=engine,
+        wal=WriteAheadLog(wal_path(root), **(wal_kwargs or {})),
+        root=root,
+        epoch=0,
+    )
+    if durable.wal.last_durable_seq != 0:
+        durable.wal.close()
+        raise DurabilityError(f"{root} already holds WAL batches; use repro.open")
+    checkpoint_engine(root, engine, epoch=0, wal=durable.wal)
+    return durable
+
+
+def _open_durable(
+    root: str | Path,
+    at_epoch: int | None = None,
+    wal_kwargs: dict[str, Any] | None = None,
+    **engine_kwargs: Any,
+) -> DurableEngine:
+    """Recover a durable engine to its pre-crash (or ``at_epoch``) state.
+
+    Opening the WAL for writing repairs any torn tail, so a recovery
+    after a mid-write crash resumes appending right after the last
+    durable batch.  Time-travel opens (``at_epoch`` below the durable
+    tip) refuse to reattach the WAL — appending from the past would
+    fork the history; use them read-only (``repro.open(durable=False)``).
+    """
+    root = Path(root)
+    # The read-only guard must run BEFORE the WAL is opened for
+    # writing: opening runs destructive tail repair, and a repair
+    # anchored at an at_epoch-selected (older) checkpoint would treat
+    # mid-history damage the newest checkpoint covers as an unresolved
+    # torn tail and truncate away acknowledged durable batches.  So
+    # compute the tip read-only, anchored at the newest checkpoint —
+    # in a DurableEngine directory batch seq == epoch (one record per
+    # acknowledged batch, from 1), so the durable tip is an epoch too.
+    # Guarding before the recovery also keeps a refused open cheap: no
+    # checkpoint load or replay happens just to be thrown away.
+    anchor, tip = durable_tip(root)
+    if at_epoch is not None and at_epoch < tip:
+        raise DurabilityError(
+            f"epoch {at_epoch} is before the durable tip {tip}; "
+            "time-travel opens are read-only — use repro.open(durable=False) "
+            "or recover_engine / open_at_epoch instead"
+        )
+    recovery = recover_engine(root, at_epoch=at_epoch, **engine_kwargs)
+    if recovery.epoch != tip:
+        # durable_tip validates checkpoints at manifest+CRC level, the
+        # full recovery at object level — if they disagree (a checkpoint
+        # that reads but will not load, or damage blocking the replay
+        # from an older fallback checkpoint), appending at the recovered
+        # epoch would misalign seq and epoch and silently orphan the
+        # batches between it and the tip.  Fail loudly instead.
+        raise DurabilityError(
+            f"recovered epoch {recovery.epoch} does not reach the durable "
+            f"tip {tip}: the newest checkpoint or the WAL suffix is "
+            "damaged — the directory is still readable via recover_engine, "
+            "but opening it for writing would fork the history"
+        )
+    wal_kwargs = dict(wal_kwargs or {})
+    wal_kwargs.setdefault("anchor_seq", anchor)
+    wal = WriteAheadLog(wal_path(root), **wal_kwargs)
+    return DurableEngine(engine=recovery.engine, wal=wal, root=root, epoch=recovery.epoch)

@@ -25,6 +25,7 @@ tolerated — recovery lands on the last *durable* batch instead of raising.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
@@ -166,6 +167,29 @@ def recover_sharded(
     attach_wal: bool = False,
     **service_kwargs: Any,
 ) -> Recovery:
+    """Deprecated shim: use :func:`repro.open` with ``sharded=True``."""
+    warnings.warn(
+        "recover_sharded is deprecated; use repro.open(root, sharded=True, "
+        "durable=False)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _recover_sharded(
+        root,
+        at_epoch=at_epoch,
+        num_shards=num_shards,
+        attach_wal=attach_wal,
+        **service_kwargs,
+    )
+
+
+def _recover_sharded(
+    root: str | Path,
+    at_epoch: int | None = None,
+    num_shards: int | None = None,
+    attach_wal: bool = False,
+    **service_kwargs: Any,
+) -> Recovery:
     """Rebuild a :class:`~repro.service.ShardedEngine` at the pre-crash epoch.
 
     The service starts from the checkpoint's epoch (its manifest also
@@ -254,7 +278,7 @@ def open_at_epoch(
     if epoch < 0:
         raise DurabilityError("epoch must be >= 0")
     if sharded:
-        return recover_sharded(root, at_epoch=epoch, **kwargs)
+        return _recover_sharded(root, at_epoch=epoch, **kwargs)
     return recover_engine(root, at_epoch=epoch, **kwargs)
 
 
@@ -280,7 +304,7 @@ def checkpoint_engine(
         wal_seq = epoch
     return write_checkpoint(
         checkpoints_path(root),
-        engine.objects,
+        engine.arena,  # columns dump straight to the binary format
         epoch=epoch,
         wal_seq=wal_seq,
         num_shards=None,
@@ -315,6 +339,30 @@ def durable_sharded(
     wal_kwargs: dict[str, Any] | None = None,
     **service_kwargs: Any,
 ) -> Any:
+    """Deprecated shim: use :func:`repro.create` / :func:`repro.open`."""
+    warnings.warn(
+        "durable_sharded is deprecated; use repro.create(objects, root, "
+        "sharded=True) for a fresh directory or repro.open(root, sharded=True) "
+        "to resume one",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _durable_sharded(
+        root,
+        objects,
+        num_shards=num_shards,
+        wal_kwargs=wal_kwargs,
+        **service_kwargs,
+    )
+
+
+def _durable_sharded(
+    root: str | Path,
+    objects: Sequence[SpatialObject] | None = None,
+    num_shards: int | None = None,
+    wal_kwargs: dict[str, Any] | None = None,
+    **service_kwargs: Any,
+) -> Any:
     """Create *or resume* a durable sharded service over ``root``.
 
     Fresh directory: requires ``objects``, writes the epoch-0 base
@@ -332,7 +380,7 @@ def durable_sharded(
     root = Path(root)
     wal_kwargs = dict(wal_kwargs or {})
     if list_checkpoints(checkpoints_path(root)):
-        recovery = recover_sharded(
+        recovery = _recover_sharded(
             root, num_shards=num_shards, attach_wal=False, **service_kwargs
         )
         service = recovery.engine

@@ -54,6 +54,7 @@ from repro.neuro.persistence import load_circuit, save_circuit
 from repro.objects import SpatialObject
 from repro.rtree.bulk import str_bulk_load
 from repro.rtree.tree import RTree
+from repro.storage.arena import ColumnarArena
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.disk import DiskParameters
 from repro.storage.page import DEFAULT_PAGE_BYTES, OBJECT_BYTES
@@ -83,7 +84,7 @@ class SpatialEngine:
 
     def __init__(
         self,
-        objects: Sequence[SpatialObject],
+        objects: Sequence[SpatialObject] | ColumnarArena,
         circuit: Circuit | None = None,
         page_capacity: int | None = None,
         pool_capacity: int = 256,
@@ -91,9 +92,13 @@ class SpatialEngine:
         planner: Planner | None = None,
         seed_fanout: int = 16,
     ) -> None:
-        if not objects:
+        if isinstance(objects, ColumnarArena):
+            arena = objects
+        else:
+            arena = ColumnarArena.from_objects(objects)
+        if not len(arena):
             raise EngineError("SpatialEngine needs a non-empty dataset")
-        self.objects: list[SpatialObject] = list(objects)
+        self.arena = arena
         self.circuit = circuit
         self.page_capacity = (
             page_capacity if page_capacity is not None else DEFAULT_PAGE_BYTES // OBJECT_BYTES
@@ -101,18 +106,17 @@ class SpatialEngine:
         self.pool_capacity = pool_capacity
         self.disk_params = disk_params if disk_params is not None else DiskParameters()
         self.seed_fanout = seed_fanout
-        self.profile = DatasetProfile.from_objects(self.objects, self.page_capacity)
+        self._profile: DatasetProfile | None = None
         self._planner_is_default = planner is None
-        self.planner = planner if planner is not None else Planner(self.profile)
+        self._planner = planner
         self.telemetry = EngineTelemetry()
         self._flat_index: FLATIndex | None = None
         self._object_rtree: RTree | None = None
         self._pool: BufferPool | None = None
-        self._position_of_uid: dict[int, int] = {}
-        for position, obj in enumerate(self.objects):
-            if obj.uid in self._position_of_uid:
-                raise EngineError(f"duplicate object uid {obj.uid} in dataset")
-            self._position_of_uid[obj.uid] = position
+        # Deferred index maintenance: mutations update the arena
+        # synchronously and queue net per-uid deltas here; built indexes
+        # absorb them on next access (see _sync_indexes).
+        self._pending: dict[int, list[SpatialObject | None]] = {}
 
     # -- constructors ----------------------------------------------------------
     @classmethod
@@ -124,6 +128,11 @@ class SpatialEngine:
     def from_objects(cls, objects: Sequence[SpatialObject], **kwargs) -> "SpatialEngine":
         """Bind an engine to an arbitrary set of spatial objects."""
         return cls(objects, **kwargs)
+
+    @classmethod
+    def from_arena(cls, arena: ColumnarArena, **kwargs) -> "SpatialEngine":
+        """Bind an engine directly to a :class:`ColumnarArena` (no re-encode)."""
+        return cls(arena, **kwargs)
 
     @classmethod
     def generate(cls, n_neurons: int = 40, seed: int = 0, **kwargs) -> "SpatialEngine":
@@ -141,9 +150,41 @@ class SpatialEngine:
             raise EngineError("engine is not bound to a circuit; nothing to save")
         return save_circuit(self.circuit, path)
 
+    # -- dataset views ---------------------------------------------------------
+    @property
+    def objects(self) -> list[SpatialObject]:
+        """Live objects in live order, materialized from the arena columns.
+
+        The list is cached per arena epoch and must be treated as read-only;
+        all mutation goes through :meth:`apply_many`.
+        """
+        return self.arena.live_objects()
+
+    @property
+    def profile(self) -> DatasetProfile:
+        """The dataset profile (rebuilt lazily after mutations)."""
+        if self._profile is None:
+            self._profile = DatasetProfile.from_objects(self.objects, self.page_capacity)
+            if self._planner_is_default:
+                self._planner = Planner(self._profile)
+        return self._profile
+
+    @property
+    def planner(self) -> Planner:
+        """The query planner (default planners track the live profile)."""
+        if self._planner is None or (self._planner_is_default and self._profile is None):
+            _ = self.profile
+        assert self._planner is not None
+        return self._planner
+
     # -- lazily built, cached structures --------------------------------------
     def flat_index(self) -> FLATIndex:
-        """The FLAT index over the dataset (built on first use, then cached)."""
+        """The FLAT index over the dataset (built on first use, then cached).
+
+        Pending mutation deltas are flushed into the index before it is
+        returned, so callers always observe the arena's current state.
+        """
+        self._sync_indexes()
         if self._flat_index is None:
             self._flat_index = FLATIndex(
                 self.objects,
@@ -155,6 +196,7 @@ class SpatialEngine:
 
     def object_rtree(self) -> RTree:
         """A bulk-loaded R-tree over the objects (built on first use)."""
+        self._sync_indexes()
         if self._object_rtree is None:
             self._object_rtree = str_bulk_load(
                 [(o.uid, o.aabb) for o in self.objects],
@@ -165,13 +207,14 @@ class SpatialEngine:
 
     def buffer_pool(self) -> BufferPool:
         """The shared buffer pool over the FLAT index's simulated disk."""
+        index = self.flat_index()  # also flushes pending deltas into the disk
         if self._pool is None:
-            self._pool = BufferPool(self.flat_index().disk, capacity=self.pool_capacity)
+            self._pool = BufferPool(index.disk, capacity=self.pool_capacity)
         return self._pool
 
     @property
     def num_objects(self) -> int:
-        return len(self.objects)
+        return self.arena.num_live
 
     @property
     def indexes_built(self) -> dict[str, bool]:
@@ -188,16 +231,16 @@ class SpatialEngine:
         return self.apply_many((mutation,))
 
     def apply_many(self, mutations: Sequence[Mutation]) -> MutationResult:
-        """Apply a batch of mutations through every live structure.
+        """Apply a batch of mutations as arena column operations.
 
-        The dataset, the FLAT index (page-level maintenance: partition
-        rewrites, splits, dissolutions — each rewritten page bumps its
-        disk write-version, so warm buffer pools and kernel-pack caches
-        can never serve the pre-mutation snapshot) and the object R-tree
-        (insert/delete with node-pack invalidation) are all updated; lazy
-        structures that have not been built yet simply build over the
-        mutated dataset on first use.  The dataset profile (and the
-        default planner over it) is refreshed once per batch.
+        The arena (the source of truth) is updated synchronously —
+        ``engine.objects`` and every validation read reflect the batch the
+        moment this returns.  Index maintenance is *deferred*: each
+        mutation queues a net per-uid delta, and built structures (FLAT,
+        object R-tree, buffer pool) absorb the queued deltas on their next
+        access.  Insert-then-delete churn between queries therefore costs
+        pure column work and never touches an index; the dataset profile
+        (and the default planner over it) is likewise rebuilt lazily.
 
         Mutations apply in order; an invalid one (duplicate insert,
         unknown uid, deleting the last object) raises
@@ -219,53 +262,78 @@ class SpatialEngine:
                 applied.append(mutation)
         finally:
             if applied:
-                self.profile = DatasetProfile.from_objects(self.objects, self.page_capacity)
-                if self._planner_is_default:
-                    self.planner = Planner(self.profile)
+                self._profile = None
+                self.arena.maybe_compact()
             stats.elapsed_ms = (time.perf_counter() - start) * 1000.0
             self.telemetry.record_mutations(stats)
-        return MutationResult(stats=stats, num_objects=len(self.objects), applied=applied)
+        return MutationResult(stats=stats, num_objects=self.arena.num_live, applied=applied)
 
     def _apply_one(self, mutation: Mutation) -> None:
+        arena = self.arena
         if isinstance(mutation, Insert):
             obj = mutation.obj
-            if obj.uid in self._position_of_uid:
+            if arena.contains(obj.uid):
                 raise EngineError(f"cannot insert duplicate uid {obj.uid}")
-            self._position_of_uid[obj.uid] = len(self.objects)
-            self.objects.append(obj)
-            if self._flat_index is not None:
-                self._flat_index.insert(obj)
-            if self._object_rtree is not None:
-                self._object_rtree.insert(obj.uid, obj.aabb)
+            arena.append(obj)
+            self._note_delta(obj.uid, None, obj)
         elif isinstance(mutation, Delete):
-            position = self._position_of_uid.get(mutation.uid)
-            if position is None:
+            if not arena.contains(mutation.uid):
                 raise EngineError(f"cannot delete unknown uid {mutation.uid}")
-            if len(self.objects) == 1:
+            if arena.num_live == 1:
                 raise EngineError("cannot delete the last object of an engine dataset")
-            old = self.objects[position]
-            last = self.objects.pop()
-            if position < len(self.objects):
-                self.objects[position] = last
-                self._position_of_uid[last.uid] = position
-            del self._position_of_uid[mutation.uid]
-            if self._flat_index is not None:
-                self._flat_index.delete(mutation.uid)
-            if self._object_rtree is not None:
-                self._object_rtree.delete(mutation.uid, old.aabb)
+            old = arena.tombstone(mutation.uid)
+            self._note_delta(mutation.uid, old, None)
         elif isinstance(mutation, Move):
-            position = self._position_of_uid.get(mutation.uid)
-            if position is None:
+            if not arena.contains(mutation.uid):
                 raise EngineError(f"cannot move unknown uid {mutation.uid}")
-            old = self.objects[position]
-            self.objects[position] = mutation.obj
-            if self._flat_index is not None:
-                self._flat_index.move(mutation.obj)
-            if self._object_rtree is not None:
-                self._object_rtree.delete(mutation.uid, old.aabb)
-                self._object_rtree.insert(mutation.uid, mutation.obj.aabb)
+            old = arena.replace(mutation.obj)
+            self._note_delta(mutation.uid, old, mutation.obj)
         else:
             raise EngineError(f"cannot apply mutation of type {type(mutation).__name__}")
+
+    def _note_delta(
+        self, uid: int, old: SpatialObject | None, new: SpatialObject | None
+    ) -> None:
+        """Queue the net index delta for ``uid``.
+
+        ``old`` is the geometry the built indexes currently hold (the arena
+        value before this batch first touched the uid); ``new`` is the
+        latest live value (``None`` once deleted).  Deltas collapse per
+        uid, so insert-then-delete churn nets out to no index work at all.
+        Nothing is queued while no index exists — a later build reads the
+        arena directly.
+        """
+        if self._flat_index is None and self._object_rtree is None:
+            return
+        entry = self._pending.get(uid)
+        if entry is None:
+            self._pending[uid] = [old, new]
+        else:
+            entry[1] = new
+
+    def _sync_indexes(self) -> None:
+        """Flush queued mutation deltas into whichever indexes are built."""
+        if not self._pending:
+            return
+        pending = self._pending
+        self._pending = {}
+        flat = self._flat_index
+        rtree = self._object_rtree
+        for uid, (old, new) in pending.items():
+            if old is None and new is None:
+                continue
+            if flat is not None:
+                if old is None:
+                    flat.insert(new)
+                elif new is None:
+                    flat.delete(uid)
+                else:
+                    flat.move(new)
+            if rtree is not None:
+                if old is not None:
+                    rtree.delete(uid, old.aabb)
+                if new is not None:
+                    rtree.insert(uid, new.aabb)
 
     # -- planning --------------------------------------------------------------
     def explain(self, query: Query) -> QueryPlan:

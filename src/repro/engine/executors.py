@@ -131,9 +131,7 @@ def run_knn_flat(
             raw.partitions_fetched += 1
             raw.crawl_order.append(pid)
             raw.objects_scanned += len(page.object_uids)
-            object_distances = kernels.point_box_distance(
-                index.packed_page_bounds(page), point
-            )
+            object_distances = kernels.point_box_distance(page.bounds.packed(), point)
             for uid, raw_d in zip(page.object_uids, object_distances):
                 d = float(raw_d)
                 if len(best) < k:
@@ -143,7 +141,7 @@ def run_knn_flat(
             continue
         raw.seed_nodes_visited += 1
         raw.seed_entries_tested += len(node.entries)
-        entry_distances = kernels.point_box_distance(node.packed_entry_bounds(), point)
+        entry_distances = kernels.point_box_distance(node.entry_bounds(), point)
         for entry, raw_d in zip(node.entries, entry_distances):
             d = float(raw_d)
             if len(best) == k and d > kth_best():

@@ -10,9 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro import kernels
 from repro.errors import InvariantViolation
 from repro.geometry.aabb import AABB
+from repro.storage.arena import BoundsView
 
 __all__ = ["Entry", "Node", "ENTRY_BYTES", "NODE_HEADER_BYTES"]
 
@@ -46,33 +46,26 @@ class Node:
     level: int
     entries: list[Entry] = field(default_factory=list)
     node_id: int = -1
-    # Batch-kernel cache of the entry MBRs; invalidated whenever the entry
-    # list or an entry MBR changes (see the mutation sites in rtree.tree).
-    _pack: Any = field(default=None, repr=False, compare=False)
-    _pack_token: str = field(default="", repr=False, compare=False)
-    _pack_len: int = field(default=-1, repr=False, compare=False)
+    # Immutable column view of the entry MBRs.  Every mutation site in
+    # rtree.tree eagerly rebuilds it (refresh_bounds), so a view in hand is
+    # always the node's current content — no invalidation protocol exists.
+    bounds: BoundsView | None = field(default=None, repr=False, compare=False)
 
     @property
     def is_leaf(self) -> bool:
         return self.level == 0
 
-    def packed_entry_bounds(self) -> Any:
-        """Entry MBRs packed for :mod:`repro.kernels` (cached per backend)."""
-        token = kernels.pack_token()
-        if (
-            self._pack is None
-            or self._pack_token != token
-            or self._pack_len != len(self.entries)
-        ):
-            self._pack = kernels.pack_boxes([e.mbr for e in self.entries])
-            self._pack_token = token
-            self._pack_len = len(self.entries)
-        return self._pack
+    def refresh_bounds(self) -> None:
+        """Rebuild the entry-bounds view after a structural or MBR mutation."""
+        self.bounds = BoundsView(e.mbr.bounds() for e in self.entries)
 
-    def invalidate_pack(self) -> None:
-        """Drop the cached pack after a structural or MBR mutation."""
-        self._pack = None
-        self._pack_len = -1
+    def entry_bounds(self) -> Any:
+        """Entry MBRs packed for :mod:`repro.kernels` (memoized per backend)."""
+        view = self.bounds
+        if view is None:
+            view = BoundsView(e.mbr.bounds() for e in self.entries)
+            self.bounds = view
+        return view.packed()
 
     @property
     def num_entries(self) -> int:

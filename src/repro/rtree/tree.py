@@ -184,7 +184,7 @@ class RTree:
             slot.mbr = child.mbr()
             if overflow is not None:
                 node.entries.append(Entry(mbr=overflow.mbr(), child=overflow))
-        node.invalidate_pack()
+        node.refresh_bounds()
         if len(node.entries) > self._capacity_of(node):
             return self._split_node(node)
         return None
@@ -207,7 +207,7 @@ class RTree:
     def _split_node(self, node: Node) -> Node:
         group_a, group_b = self._split_func(node.entries, self._min_fill_of(node))
         node.entries = group_a
-        node.invalidate_pack()
+        node.refresh_bounds()
         return self._new_node(level=node.level, entries=group_b)
 
     # -- deletion -----------------------------------------------------------------
@@ -218,7 +218,7 @@ class RTree:
             raise KeyError(f"uid {uid} not in tree")
         leaf = path[-1]
         leaf.entries = [e for e in leaf.entries if e.uid != uid]
-        leaf.invalidate_pack()
+        leaf.refresh_bounds()
         self._size -= 1
         self._condense(path)
 
@@ -247,7 +247,7 @@ class RTree:
                 orphan_leaf_entries.extend(self._collect_leaf_entries(node))
             else:
                 slot.mbr = node.mbr()
-            parent.invalidate_pack()
+            parent.refresh_bounds()
         # Shrink the root while it is an internal node with a single child.
         while not self.root.is_leaf and len(self.root.entries) == 1:
             child = self.root.entries[0].child
@@ -280,8 +280,9 @@ class RTree:
         """Range query plus the per-level node-access statistics of Figure 3.
 
         Each node scan is one batch kernel call over the entry MBRs (the
-        packed bounds are cached on the node), so the per-entry work runs
-        vectorised under the NumPy backend.
+        node carries an immutable bounds view, rebuilt at every mutation
+        site), so the per-entry work runs vectorised under the NumPy
+        backend.
         """
         stats = RangeQueryStats()
         results: list[int] = []
@@ -293,7 +294,7 @@ class RTree:
             stats.record_node(node.level)
             entries = node.entries
             stats.entries_tested += len(entries)
-            mask = kernels.box_intersects(node.packed_entry_bounds(), box)
+            mask = kernels.box_intersects(node.entry_bounds(), box)
             if node.is_leaf:
                 for i in kernels.nonzero(mask):
                     uid = entries[i].uid
@@ -386,7 +387,7 @@ class RTree:
             stats.nodes_visited += 1
             entries = node.entries
             stats.entries_tested += len(entries)
-            distances = kernels.point_box_distance(node.packed_entry_bounds(), point)
+            distances = kernels.point_box_distance(node.entry_bounds(), point)
             if node.is_leaf:
                 for entry, entry_dist in zip(entries, distances):
                     heapq.heappush(heap, (float(entry_dist), 1, entry.uid, None, entry.uid))

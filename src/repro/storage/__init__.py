@@ -7,9 +7,20 @@ LRU buffer pool and an object store that clusters spatial objects into
 fixed-capacity pages in Hilbert order.
 """
 
+from repro.storage.arena import ArenaSnapshot, BoundsView, ColumnarArena
 from repro.storage.buffer_pool import BufferPool
 from repro.storage.disk import Disk, DiskParameters, IOStats
 from repro.storage.object_store import ObjectStore
 from repro.storage.page import Page
 
-__all__ = ["BufferPool", "Disk", "DiskParameters", "IOStats", "ObjectStore", "Page"]
+__all__ = [
+    "ArenaSnapshot",
+    "BoundsView",
+    "BufferPool",
+    "ColumnarArena",
+    "Disk",
+    "DiskParameters",
+    "IOStats",
+    "ObjectStore",
+    "Page",
+]

@@ -4,6 +4,13 @@ Objects are sorted along the Hilbert curve of their AABB centres and chunked
 into fixed-capacity pages, the standard clustering for spatial data at rest.
 The store is the ground truth for "which pages does this result set live on",
 which is what every I/O statistic in the FLAT and SCOUT experiments counts.
+
+The store consumes either a plain object sequence or a
+:class:`~repro.storage.arena.ColumnarArena`.  Arena-backed stores cluster
+straight from the bounds column — no object is materialized to lay out the
+pages — and lazily materialize objects only when a caller asks for them.
+Every page carries a :class:`~repro.storage.arena.BoundsView` over its
+objects' bounds, so query paths pack kernel arrays from the page itself.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from repro.errors import StorageError
 from repro.geometry.aabb import AABB
 from repro.hilbert.curve import HilbertEncoder3D
 from repro.objects import SpatialObject
+from repro.storage.arena import BoundsView, ColumnarArena
 from repro.storage.disk import Disk
 from repro.storage.page import DEFAULT_PAGE_BYTES, OBJECT_BYTES, Page
 
@@ -26,7 +34,9 @@ class ObjectStore:
     Parameters
     ----------
     objects:
-        The dataset; uids must be unique.
+        The dataset — a sequence of objects (uids must be unique) or a
+        :class:`~repro.storage.arena.ColumnarArena`, whose *live* rows at
+        construction time define the dataset.
     disk:
         The simulated device pages are written to.  A fresh :class:`Disk` is
         created when omitted.
@@ -39,12 +49,12 @@ class ObjectStore:
 
     def __init__(
         self,
-        objects: Sequence[SpatialObject],
+        objects: Sequence[SpatialObject] | ColumnarArena,
         disk: Disk | None = None,
         page_capacity: int | None = None,
         hilbert_order: int = 10,
     ) -> None:
-        if not objects:
+        if not len(objects):
             raise StorageError("object store requires a non-empty dataset")
         if page_capacity is None:
             page_capacity = DEFAULT_PAGE_BYTES // OBJECT_BYTES
@@ -53,51 +63,73 @@ class ObjectStore:
 
         self.disk = disk if disk is not None else Disk()
         self.page_capacity = page_capacity
-        self.world = AABB.union_all(obj.aabb for obj in objects)
-        self._objects: dict[int, SpatialObject] = {}
-        for obj in objects:
-            if obj.uid in self._objects:
-                raise StorageError(f"duplicate object uid {obj.uid}")
-            self._objects[obj.uid] = obj
+
+        self._arena: ColumnarArena | None = None
+        self._materialized: dict[int, SpatialObject] | None = None
+        if isinstance(objects, ColumnarArena):
+            # Columns straight from the arena; objects stay unmaterialized.
+            self._arena = objects
+            uids = objects.live_uids()
+            bounds = objects.live_bounds()
+            self.world = objects.world()
+        else:
+            self._materialized = {}
+            for obj in objects:
+                if obj.uid in self._materialized:
+                    raise StorageError(f"duplicate object uid {obj.uid}")
+                self._materialized[obj.uid] = obj
+            uids = [obj.uid for obj in objects]
+            bounds = [obj.aabb.bounds() for obj in objects]
+            self.world = AABB.union_all(obj.aabb for obj in objects)
 
         encoder = HilbertEncoder3D(self.world, order=hilbert_order)
-        keys = encoder.keys_of_boxes([o.aabb for o in objects])
-        ordered = [obj for _, _, obj in sorted(zip(keys, range(len(keys)), objects))]
+        centers = [
+            ((b[0] + b[3]) / 2.0, (b[1] + b[4]) / 2.0, (b[2] + b[5]) / 2.0)
+            for b in bounds
+        ]
+        keys = encoder.keys_of(centers)
+        ordered = sorted(range(len(uids)), key=lambda i: (keys[i], i))
 
         self._page_of_uid: dict[int, int] = {}
         self._pages: list[Page] = []
         for start in range(0, len(ordered), page_capacity):
             chunk = ordered[start : start + page_capacity]
+            chunk_bounds = [bounds[i] for i in chunk]
             page_id = len(self._pages)
-            mbr = AABB.union_all(o.aabb for o in chunk)
             page = Page(
                 page_id=page_id,
-                object_uids=tuple(o.uid for o in chunk),
-                mbr=mbr,
+                object_uids=tuple(uids[i] for i in chunk),
+                mbr=AABB.union_all(AABB(*b) for b in chunk_bounds),
                 byte_size=DEFAULT_PAGE_BYTES,
+                bounds=BoundsView(chunk_bounds),
             )
             self._pages.append(page)
             self.disk.store(page)
-            for o in chunk:
-                self._page_of_uid[o.uid] = page_id
+            for i in chunk:
+                self._page_of_uid[uids[i]] = page_id
 
     # -- lookups ------------------------------------------------------------
     @property
     def num_objects(self) -> int:
-        return len(self._objects)
+        return len(self._page_of_uid)
 
     @property
     def num_pages(self) -> int:
         return len(self._pages)
 
     def object(self, uid: int) -> SpatialObject:
-        try:
-            return self._objects[uid]
-        except KeyError:
-            raise StorageError(f"unknown object uid {uid}") from None
+        if uid not in self._page_of_uid:
+            raise StorageError(f"unknown object uid {uid}")
+        if self._arena is not None:
+            return self._arena.object(uid)
+        assert self._materialized is not None
+        return self._materialized[uid]
 
     def objects(self) -> Iterable[SpatialObject]:
-        return self._objects.values()
+        if self._arena is not None:
+            return [self._arena.object(uid) for uid in self._page_of_uid]
+        assert self._materialized is not None
+        return self._materialized.values()
 
     def page(self, page_id: int) -> Page:
         try:
@@ -119,7 +151,7 @@ class ObjectStore:
         return sorted({self.page_of(uid) for uid in uids})
 
     def objects_on_page(self, page_id: int) -> list[SpatialObject]:
-        return [self._objects[uid] for uid in self.page(page_id).object_uids]
+        return [self.object(uid) for uid in self.page(page_id).object_uids]
 
     def total_bytes(self) -> int:
         return sum(p.byte_size for p in self._pages)

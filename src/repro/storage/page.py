@@ -8,8 +8,12 @@ decisions) never has to touch the objects themselves.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.geometry.aabb import AABB
+
+if TYPE_CHECKING:
+    from repro.storage.arena import BoundsView
 
 __all__ = ["Page", "DEFAULT_PAGE_BYTES", "OBJECT_BYTES"]
 
@@ -27,12 +31,16 @@ class Page:
 
     ``object_uids`` are the object ids stored on the page; ``mbr`` bounds
     their geometry.  ``byte_size`` is the modelled physical footprint.
+    ``bounds`` is the per-object bounds column view in ``object_uids`` order;
+    because pages are immutable snapshots, the view (and its packed memo) is
+    valid for the lifetime of the page — maintenance stores a *new* page.
     """
 
     page_id: int
     object_uids: tuple[int, ...]
     mbr: AABB
     byte_size: int = field(default=DEFAULT_PAGE_BYTES)
+    bounds: "BoundsView | None" = field(default=None, repr=False, compare=False)
 
     @property
     def num_objects(self) -> int:

@@ -544,7 +544,7 @@ class TestCheckpoint:
     def test_corrupt_data_detected_and_skipped(self, tmp_path):
         write_checkpoint(tmp_path, grid_boxes(2), epoch=1, wal_seq=1)
         newer = write_checkpoint(tmp_path, grid_boxes(3), epoch=2, wal_seq=2)
-        data_file = newer / "objects.jsonl"
+        data_file = newer / "columns.bin"
         data = bytearray(data_file.read_bytes())
         data[10] ^= 0x20  # bit flip
         data_file.write_bytes(bytes(data))

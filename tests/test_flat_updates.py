@@ -213,14 +213,19 @@ class TestStaleCacheRegression:
         page = pool.fetch(pid)
         assert tuple(page.object_uids) == tuple(index.partitions[pid].object_uids)
 
-    def test_pack_cache_is_version_keyed(self):
+    def test_page_bounds_views_are_immutable_carriers(self):
+        # Pages carry their bounds column view; the pack is memoized on the
+        # view (per backend) and maintenance stores a *new* page with a new
+        # view, so a superseded snapshot can never serve stale bounds.
         index = FLATIndex(grid_boxes(3), page_capacity=6)
         pid = index._partition_of_uid[5]
         page = index.disk.peek(pid)
-        pack_before = index.packed_page_bounds(page)
-        assert index.packed_page_bounds(page) is pack_before  # cached
+        pack_before = page.bounds.packed()
+        assert page.bounds.packed() is pack_before  # memoized on the view
         index.delete(5)
         index.insert(BoxObject(uid=5, box=AABB(50, 50, 50, 51, 51, 51)))
         fresh_page = index.disk.peek(pid)
-        pack_after = index.packed_page_bounds(fresh_page)
-        assert pack_after is not pack_before
+        assert fresh_page.bounds is not page.bounds
+        assert fresh_page.bounds.packed() is not pack_before
+        # The superseded snapshot still answers for its own content.
+        assert page.bounds.packed() is pack_before
