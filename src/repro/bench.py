@@ -437,6 +437,94 @@ def _service_workload(shards_key: str) -> _Workload:
     )
 
 
+def _executor_service_workload(executor: str) -> _Workload:
+    """Range-scan batch cost under one service executor mode.
+
+    Wall time cannot compare the executors honestly — a one-core CI
+    runner time-slices the process pool just like it time-slices threads,
+    and on any host the thread pool's wall includes GIL convoy effects
+    that vary with scheduler mood.  So both modes are measured on the
+    same deterministic footing: per-shard *CPU* time
+    (``time.thread_time()`` around each shard subtask, which excludes
+    GIL waits and preemption), aggregated by what each architecture
+    must pay for the batch —
+
+    * ``thread`` (``service.range_scan_gilbound``): the **serialised
+      sum** of every shard subtask's CPU.  One interpreter executes all
+      shard work back-to-back; that sum is the batch's floor no matter
+      how many threads fan it out.
+    * ``process`` (``service.range_scan_procpool``): the **CPU
+      makespan** — the busiest shard's summed CPU.  Each shard's worker
+      owns a core (and its own interpreter), so the batch completes when
+      the busiest shard does.
+
+    ``wall(gilbound) / wall(procpool)`` is therefore the modelled
+    GIL-escape speedup at ``service_shards`` shards, gated in
+    ``test_bench.py`` alongside the sharding speedup.
+
+    The batch is full-dataset scans rather than the stratified windows of
+    the sharding workloads: the executor comparison wants every shard
+    busy (Hilbert tiling gives near-equal row counts, so a full scan
+    spreads CPU evenly), because shard *skew* is a property of the query
+    mix already measured by ``sharded_range_speedup``, not of the
+    executor under test.
+    """
+    measured_holder: dict[int, float] = {}
+
+    def setup(cfg: dict[str, Any]) -> Any:
+        from repro.engine.queries import RangeQuery
+        from repro.experiments.datasets import circuit_dataset
+        from repro.geometry.aabb import AABB
+        from repro.service import ShardedEngine
+
+        circuit = circuit_dataset(n_neurons=cfg["service_neurons"])
+        segments = circuit.segments()
+        world = AABB.union_all(obj.aabb for obj in segments)
+        # 4x the sharding workloads' batch: per-shard CPU must dwarf the
+        # thread_time() sampling noise, because the procpool aggregate
+        # (min over runs of the *busiest* shard) inflates under noise
+        # where the gilbound sum averages it out.
+        queries = [RangeQuery(world) for _ in range(cfg["service_queries"] * 4)]
+        service = ShardedEngine.from_circuit(
+            circuit,
+            num_shards=cfg["service_shards"],
+            page_capacity=cfg["page_capacity"],
+            max_queued=len(queries) + 8,
+            executor=executor,
+        )
+        service.warm()
+        return service, queries
+
+    def run(state: Any) -> int:
+        from repro.service import batch_cpu_makespan_ms, batch_cpu_serialized_ms
+
+        service, queries = state
+        results = service.query_many(queries)
+        if executor == "process":
+            measured_holder[id(state)] = batch_cpu_makespan_ms(results)
+        else:
+            measured_holder[id(state)] = batch_cpu_serialized_ms(results)
+        return sum(r.num_results for r in results)
+
+    def measured(state: Any, _units: int) -> float:
+        return measured_holder[id(state)]
+
+    def teardown(state: Any) -> None:
+        service, _ = state
+        service.close()
+
+    suffix = "procpool" if executor == "process" else "gilbound"
+    return _Workload(
+        name=f"service.range_scan_{suffix}",
+        unit="results returned",
+        setup=setup,
+        run=run,
+        measured_ms=measured,
+        teardown=teardown,
+        min_repeats=8,  # min-of-max needs more samples than min-of-sum
+    )
+
+
 def _mutation_state(cfg: dict[str, Any]) -> Any:
     from repro.engine import Delete, Insert, RangeQuery, SpatialEngine
     from repro.experiments.datasets import circuit_dataset
@@ -880,6 +968,8 @@ def _workloads() -> list[_Workload]:
         _Workload("join.pbsm", "mbr comparisons", _join_state, _run_pbsm),
         _service_workload("one"),
         _service_workload("sharded"),
+        _executor_service_workload("thread"),
+        _executor_service_workload("process"),
         _Workload("mutate.ingest_throughput", "mutations applied", _mutation_state, _run_ingest),
         _read_write_workload(),
         _wal_workload(),
@@ -1116,12 +1206,36 @@ def sharded_speedup(
     return single / sharded
 
 
+def procpool_speedup(
+    results: Sequence[WorkloadResult] | Sequence[dict[str, Any]],
+    mode: str | None = None,
+) -> float | None:
+    """Modelled process-pool/GIL-bound range-scan speedup from a result set.
+
+    The ratio of the thread mode's serialised per-shard CPU sum to the
+    process mode's CPU makespan (see :func:`_executor_service_workload`);
+    ``mode`` defaults to the active kernel backend.
+    """
+    mode = mode if mode is not None else kernels.active_backend()
+    walls: dict[str, float] = {}
+    for entry in results:
+        record = entry.as_json() if isinstance(entry, WorkloadResult) else entry
+        if record["mode"] == mode:
+            walls[record["name"]] = float(record["wall_ms"])
+    gilbound = walls.get("service.range_scan_gilbound")
+    procpool = walls.get("service.range_scan_procpool")
+    if not gilbound or not procpool or procpool <= 0.0:
+        return None
+    return gilbound / procpool
+
+
 def results_to_json(
     cfg: dict[str, Any],
     results: Sequence[WorkloadResult],
     calibration_ms: float | None = None,
 ) -> dict[str, Any]:
     speedup = sharded_speedup(results)
+    gil_escape = procpool_speedup(results)
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": cfg["suite"],
@@ -1134,6 +1248,9 @@ def results_to_json(
         "service": {
             "shards": cfg.get("service_shards"),
             "sharded_range_speedup": None if speedup is None else round(speedup, 3),
+            "procpool_range_speedup": (
+                None if gil_escape is None else round(gil_escape, 3)
+            ),
         },
         "workloads": [r.as_json() for r in results],
     }
@@ -1257,6 +1374,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(
             f"  service.range_scan: {service_speedup:.2f}x modelled throughput "
             f"with {shards} shards vs 1 shard"
+        )
+    gil_escape = report.get("service", {}).get("procpool_range_speedup")
+    if gil_escape is not None:
+        shards = report.get("service", {}).get("shards")
+        print(
+            f"  service.procpool: {gil_escape:.2f}x modelled GIL-escape "
+            f"with {shards} process workers vs one interpreter"
         )
 
     if args.baseline is not None:

@@ -129,6 +129,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="pool threads (default: one per shard)"
     )
     serve.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="shard fan-out executor: in-process thread pool (GIL-bound) or "
+        "process pool over shared-memory arena publications (default: thread)",
+    )
+    serve.add_argument(
         "--max-in-flight", type=int, default=None,
         help="admission: concurrent queries (default: shard count)",
     )
@@ -559,6 +564,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
                 max_in_flight=args.max_in_flight,
                 max_queued=args.max_queued,
                 default_timeout_s=args.timeout,
+                executor=args.executor,
             )
             if args.wal is not None:
                 import repro

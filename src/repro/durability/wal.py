@@ -76,7 +76,13 @@ def _segment_index(path: Path) -> int:
 
 
 def _encode_record(seq: int, mutations: Sequence[Mutation]) -> bytes:
-    payload = json.dumps(encode_batch(mutations), separators=(",", ":")).encode("utf-8")
+    # allow_nan=False: a NaN/inf coordinate would otherwise serialise as
+    # the nonstandard ``NaN``/``Infinity`` tokens no strict parser reads
+    # back.  Ingress validation rejects such geometry before it gets
+    # here; this keeps any future gap loud instead of corrupting the log.
+    payload = json.dumps(
+        encode_batch(mutations), separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
     seq_bytes = _SEQ.pack(seq)
     crc = zlib.crc32(seq_bytes + payload)
     return _RECORD_HEADER.pack(len(payload), crc) + seq_bytes + payload

@@ -44,6 +44,7 @@ from repro.engine.mutations import (
     Mutation,
     MutationResult,
     MutationStats,
+    validate_finite_geometry,
 )
 from repro.engine.planner import DatasetProfile, Planner, QueryPlan
 from repro.engine.queries import KNNQuery, Query, RangeQuery, SpatialJoin, Walkthrough
@@ -272,6 +273,7 @@ class SpatialEngine:
         arena = self.arena
         if isinstance(mutation, Insert):
             obj = mutation.obj
+            validate_finite_geometry(obj)
             if arena.contains(obj.uid):
                 raise EngineError(f"cannot insert duplicate uid {obj.uid}")
             arena.append(obj)
@@ -284,6 +286,7 @@ class SpatialEngine:
             old = arena.tombstone(mutation.uid)
             self._note_delta(mutation.uid, old, None)
         elif isinstance(mutation, Move):
+            validate_finite_geometry(mutation.obj)
             if not arena.contains(mutation.uid):
                 raise EngineError(f"cannot move unknown uid {mutation.uid}")
             old = arena.replace(mutation.obj)
@@ -310,6 +313,23 @@ class SpatialEngine:
             self._pending[uid] = [old, new]
         else:
             entry[1] = new
+
+    def invalidate_indexes(self) -> None:
+        """Drop every cached structure; the next access rebuilds from the arena.
+
+        For out-of-band arena changes that bypass :meth:`apply_many`'s
+        per-uid delta tracking — :meth:`ColumnarArena.restore` being the
+        canonical case: it rewrites row positions wholesale, so replaying
+        queued deltas (or keeping structures built over the old rows)
+        could resurrect tombstoned uids or mismap live slots.
+        """
+        self._pending = {}
+        self._flat_index = None
+        self._object_rtree = None
+        self._pool = None
+        self._profile = None
+        if self._planner_is_default:
+            self._planner = None
 
     def _sync_indexes(self) -> None:
         """Flush queued mutation deltas into whichever indexes are built."""

@@ -17,9 +17,11 @@ the pre-batch epoch or the post-batch epoch, never a prefix.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
-from repro.errors import EngineError
+from repro.errors import EngineError, GeometryError
+from repro.geometry.segment import Segment
 from repro.objects import SpatialObject
 
 __all__ = [
@@ -29,7 +31,44 @@ __all__ = [
     "Mutation",
     "MutationStats",
     "MutationResult",
+    "validate_finite_geometry",
 ]
+
+
+def validate_finite_geometry(obj: SpatialObject) -> None:
+    """Reject NaN/inf geometry at mutation ingress.
+
+    Constructors validate finiteness, but objects can reach ``apply_many``
+    without ever running ``__post_init__`` — unpickling and
+    ``object.__setattr__`` both bypass it, and a :class:`Segment` crafted
+    that way keeps a stale *finite* cached AABB over non-finite raw
+    fields.  Downstream nothing else catches it: ``struct.pack`` encodes
+    NaN into binary checkpoints byte-for-byte, and Python's JSON encoder
+    emits nonstandard ``NaN`` / ``Infinity`` tokens into the WAL and the
+    wire protocol.  So the engines re-check the *raw* fields here, before
+    any durability path sees the object.
+    """
+    if isinstance(obj, Segment):
+        for value in (*obj.p0, *obj.p1, obj.radius):
+            if not math.isfinite(value):
+                raise EngineError(
+                    f"mutation rejected: segment uid {obj.uid} has non-finite "
+                    f"geometry ({value!r}); NaN/inf cannot round-trip through "
+                    "the WAL, the wire protocol, or binary checkpoints"
+                )
+    try:
+        box = obj.aabb
+    except GeometryError as exc:
+        raise EngineError(
+            f"mutation rejected: object uid {obj.uid} has invalid geometry: {exc}"
+        ) from exc
+    for value in (box.min_x, box.min_y, box.min_z, box.max_x, box.max_y, box.max_z):
+        if not math.isfinite(value):
+            raise EngineError(
+                f"mutation rejected: object uid {obj.uid} has a non-finite "
+                f"bounding box ({value!r}); NaN/inf cannot round-trip through "
+                "the WAL, the wire protocol, or binary checkpoints"
+            )
 
 
 @dataclass(frozen=True)

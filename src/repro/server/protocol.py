@@ -89,7 +89,16 @@ LENGTH_PREFIX = struct.Struct(">I")
 # -- framing -----------------------------------------------------------------
 def encode_frame(message: dict[str, Any]) -> bytes:
     """One message as ``[payload length u32][UTF-8 JSON payload]``."""
-    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    try:
+        # allow_nan=False: strict JSON on the wire — a NaN/inf anywhere in
+        # a message is a bug upstream (ingress validation rejects
+        # non-finite geometry), and the nonstandard tokens would poison
+        # any conforming peer's parser.
+        payload = json.dumps(
+            message, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    except ValueError as error:
+        raise ProtocolError(f"message is not strict JSON: {error}") from error
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(
             f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"

@@ -13,6 +13,7 @@ The supporting pieces:
 """
 
 from repro.service.admission import AdmissionController, AdmissionSnapshot
+from repro.service.procpool import ProcessShardExecutor, active_segment_names
 from repro.service.sharded import ShardedEngine
 from repro.service.sharding import ShardSpec, hilbert_shards, round_robin_split
 from repro.service.stats import (
@@ -21,7 +22,10 @@ from repro.service.stats import (
     ServiceTelemetry,
     ShardWork,
     batch_balance,
+    batch_cpu_makespan_ms,
+    batch_cpu_serialized_ms,
     batch_makespan_ms,
+    batch_per_shard_cpu_ms,
     batch_per_shard_service_ms,
     batch_total_work_ms,
 )
@@ -29,14 +33,19 @@ from repro.service.stats import (
 __all__ = [
     "AdmissionController",
     "AdmissionSnapshot",
+    "ProcessShardExecutor",
     "ServiceResult",
     "ServiceStats",
     "ServiceTelemetry",
     "ShardSpec",
     "ShardWork",
     "ShardedEngine",
+    "active_segment_names",
     "batch_balance",
+    "batch_cpu_makespan_ms",
+    "batch_cpu_serialized_ms",
     "batch_makespan_ms",
+    "batch_per_shard_cpu_ms",
     "batch_per_shard_service_ms",
     "batch_total_work_ms",
     "hilbert_shards",

@@ -61,11 +61,12 @@ from __future__ import annotations
 import heapq
 import time
 from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from threading import Condition, Lock
 from typing import Any, Callable, Sequence
 
+from repro import kernels
 from repro.core.touch.parallel import build_touch_tree, probe_shard
 from repro.core.touch.stats import segment_touch_refine
 from repro.engine.engine import SpatialEngine
@@ -77,6 +78,7 @@ from repro.engine.mutations import (
     Mutation,
     MutationResult,
     MutationStats,
+    validate_finite_geometry,
 )
 from repro.engine.planner import DatasetProfile, Planner
 from repro.engine.queries import KNNQuery, Query, RangeQuery, SpatialJoin, Walkthrough
@@ -88,11 +90,13 @@ from repro.errors import (
     ServiceTimeoutError,
 )
 from repro.geometry.aabb import AABB
+from repro.geometry.segment import Segment
 from repro.hilbert.curve import HilbertEncoder3D
 from repro.neuro.circuit import Circuit, generate_circuit
 from repro.neuro.persistence import load_circuit
-from repro.objects import SpatialObject
+from repro.objects import BoxObject, SpatialObject
 from repro.service.admission import AdmissionController
+from repro.service.procpool import ProcessShardExecutor
 from repro.service.sharding import ShardSpec, hilbert_shards, round_robin_split
 from repro.service.stats import ServiceResult, ServiceStats, ServiceTelemetry, ShardWork
 
@@ -128,6 +132,10 @@ class _ShardView:
     shards: tuple[_EngineShard, ...]
     owner: dict[int, int]
     encoder: HilbertEncoder3D | None
+    #: Process-mode only: the shared-memory publication backing this view
+    #: (``None`` on thread-mode services).  Bound to the view so a reader
+    #: capturing the view atomically captures the matching segment set.
+    publication: Any = None
 
     @property
     def num_objects(self) -> int:
@@ -167,6 +175,19 @@ class ShardedEngine:
     initial_epoch:
         Epoch of the first published view (used by recovery to resume the
         epoch sequence where a checkpoint left it; defaults to 0).
+    executor:
+        ``"thread"`` (default) fans shard subtasks out on a
+        :class:`~concurrent.futures.ThreadPoolExecutor`; ``"process"``
+        publishes each shard's arena columns into
+        ``multiprocessing.shared_memory`` and fans out to worker
+        *processes* that map them — no GIL contention between shards.
+        Results are byte-identical across the two modes (the differential
+        suite pins this); process mode refuses opaque objects, whose
+        Python payloads cannot cross the process boundary by columns.
+    mp_start:
+        Process-mode start method (``"fork"`` / ``"spawn"``); ``None``
+        picks ``fork`` where available.  See
+        :class:`~repro.service.procpool.ProcessShardExecutor`.
     engine_kwargs:
         Forwarded to every per-shard :class:`SpatialEngine`
         (``page_capacity``, ``pool_capacity``, ``disk_params``, ...).
@@ -186,6 +207,8 @@ class ShardedEngine:
         rebalance_threshold: float = 4.0,
         wal: Any | None = None,
         initial_epoch: int = 0,
+        executor: str = "thread",
+        mp_start: str | None = None,
         **engine_kwargs: Any,
     ) -> None:
         if not objects:
@@ -194,6 +217,10 @@ class ShardedEngine:
             raise ServiceError("rebalance_threshold must be >= 1.0")
         if initial_epoch < 0:
             raise ServiceError("initial_epoch must be >= 0")
+        if executor not in ("thread", "process"):
+            raise ServiceError(
+                f"unknown executor mode {executor!r}; choose 'thread' or 'process'"
+            )
         self.circuit = circuit
         self.default_timeout_s = default_timeout_s
         self._engine_kwargs = dict(engine_kwargs)
@@ -201,8 +228,22 @@ class ShardedEngine:
         self._hilbert_order = hilbert_order
         self.rebalance_threshold = rebalance_threshold
         self.wal = wal
+        self.executor = executor
         self._mutation_lock = Lock()
-        self._view = self._build_view(list(objects), epoch=initial_epoch)
+        self._procpool: ProcessShardExecutor | None = None
+        view = self._build_view(list(objects), epoch=initial_epoch)
+        if executor == "process":
+            self._procpool = ProcessShardExecutor(
+                max_workers=max(len(view.shards), num_shards),
+                mp_start=mp_start,
+                engine_kwargs=self._engine_kwargs,
+            )
+            try:
+                view = self._publish_view(view, previous=None)
+            except BaseException:
+                self._procpool.close()
+                raise
+        self._view = view
         page_capacity = self._view.shards[0].engine.page_capacity
         self.profile = DatasetProfile.from_objects(self.objects, page_capacity)
         self.planner = Planner(self.profile)
@@ -245,6 +286,60 @@ class ShardedEngine:
             world = AABB.union_all(o.aabb for o in objects)
             encoder = HilbertEncoder3D(world, order=self._hilbert_order)
         return _ShardView(epoch=epoch, shards=shards, owner=owner, encoder=encoder)
+
+    def _publish_view(
+        self, view: _ShardView, previous: _ShardView | None
+    ) -> _ShardView:
+        """Attach a shared-memory publication to ``view`` (process mode).
+
+        Shards carried over from ``previous`` unchanged (same
+        :class:`_EngineShard` instance — the copy-on-write fast path for
+        untouched shards) reuse the previous publication's segment; every
+        other shard packs a fresh one.  Thread-mode services return the
+        view untouched.
+        """
+        if self._procpool is None:
+            return view
+        prev_shards: dict[int, _EngineShard] = {}
+        if previous is not None and previous.publication is not None:
+            prev_shards = {s.spec.shard_id: s for s in previous.shards}
+        arenas: dict[int, Any] = {}
+        for shard in view.shards:
+            shard_id = shard.spec.shard_id
+            if prev_shards.get(shard_id) is shard:
+                arenas[shard_id] = None  # carry the published segment
+            else:
+                arenas[shard_id] = shard.engine.arena
+        previous_pub = previous.publication if previous is not None else None
+        publication = self._procpool.publish(arenas, previous_pub)
+        return replace(view, publication=publication)
+
+    def _pin_view(self) -> _ShardView:
+        """Capture the current view, pinned for one query's whole fan-out.
+
+        Thread mode just reads the reference.  Process mode additionally
+        acquires the view's publication so a concurrent mutation cannot
+        unlink its segments mid-query; if the publication was already
+        dropped (we lost the race to a writer), re-read and retry — the
+        newer view's publication is live.
+        """
+        view = self._view
+        if self._procpool is None:
+            return view
+        while True:
+            publication = view.publication
+            if publication is None or self._procpool.acquire(publication):
+                return view
+            current = self._view
+            if current is view:
+                # Not superseded yet still unacquirable: the executor is
+                # closing underneath us.
+                raise ServiceError("service is closed")
+            view = current
+
+    def _unpin_view(self, view: _ShardView) -> None:
+        if self._procpool is not None and view.publication is not None:
+            self._procpool.release(view.publication)
 
     # -- constructors ----------------------------------------------------------
     @classmethod
@@ -308,7 +403,31 @@ class ShardedEngine:
         return self._view.num_objects
 
     def warm(self) -> "ShardedEngine":
-        """Build every shard's indexes up front (benchmarks, latency SLOs)."""
+        """Build every shard's indexes up front (benchmarks, latency SLOs).
+
+        In process mode this warms the *workers*: it spawns them, maps the
+        current publication and builds each shard's engine where the
+        queries will actually run, by executing one full-shard range per
+        shard.  Thread mode warms the in-process shard engines.
+        """
+        if self._procpool is not None:
+            view = self._pin_view()
+            try:
+                backend = kernels.active_backend()
+                futures = [
+                    self._procpool.submit_query(
+                        view.publication,
+                        shard.spec.shard_id,
+                        RangeQuery(shard.spec.mbr),
+                        backend,
+                    )
+                    for shard in view.shards
+                ]
+                for future in futures:
+                    future.result()
+            finally:
+                self._unpin_view(view)
+            return self
         for shard in self._view.shards:
             with shard.lock:
                 shard.engine.flat_index()
@@ -348,6 +467,12 @@ class ShardedEngine:
             while self._active:
                 self._lifecycle.wait()
         self._pool.shutdown(wait=True)
+        if self._procpool is not None:
+            # Shuts the worker processes down and unlinks every
+            # shared-memory segment this service ever published — the
+            # parent owns them all, so nothing survives in /dev/shm even
+            # if workers were SIGKILL'd mid-task.
+            self._procpool.close()
         if self.wal is not None:
             self.wal.close()
 
@@ -510,8 +635,13 @@ class ShardedEngine:
                     owner=owner,
                     encoder=view.encoder,
                 )
+            new_view = self._publish_view(new_view, view)
             stats.epoch = new_view.epoch
             self._view = new_view
+            if self._procpool is not None and view.publication is not None:
+                # Supersede the old epoch's segments; they unlink once the
+                # last in-flight reader that pinned them releases.
+                self._procpool.retire(view.publication)
             page_capacity = new_view.shards[0].engine.page_capacity
             self.profile = DatasetProfile.from_objects(self.objects, page_capacity)
             self.planner = Planner(self.profile)
@@ -531,6 +661,21 @@ class ShardedEngine:
         self, view: _ShardView, owner: dict[int, int], mutation: Mutation
     ) -> int:
         """Owning shard of one mutation (updates the evolving owner map)."""
+        if isinstance(mutation, (Insert, Move)):
+            # Ingress validation, before the WAL sees the batch: non-finite
+            # geometry would survive the binary checkpoint packer but is
+            # emitted as nonstandard JSON (NaN/Infinity) by the WAL and
+            # wire serde, so a strict parser downstream (a replica) would
+            # reject a frame this primary acked.  Reject it here instead.
+            validate_finite_geometry(mutation.obj)
+            if self._procpool is not None and not isinstance(
+                mutation.obj, (Segment, BoxObject)
+            ):
+                raise ServiceError(
+                    f"process-mode service cannot store opaque object uid "
+                    f"{mutation.obj.uid} ({type(mutation.obj).__name__}); its "
+                    "payload cannot cross the shared-memory column boundary"
+                )
         if isinstance(mutation, Insert):
             uid = mutation.obj.uid
             if uid in owner:
@@ -619,22 +764,29 @@ class ShardedEngine:
         deadline = None if effective is None else start + effective
         # One view for the whole fan-out: every subtask of this query (and
         # every window of a walkthrough) runs against the same epoch, so
-        # concurrent writers can never tear the answer.
-        view = self._view
-        if isinstance(query, RangeQuery):
-            payload, work, merge_ms = self._execute_range(query, deadline, view)
-            kind = "range"
-        elif isinstance(query, KNNQuery):
-            payload, work, merge_ms = self._execute_knn(query, deadline, view)
-            kind = "knn"
-        elif isinstance(query, SpatialJoin):
-            payload, work, merge_ms = self._execute_join(query, deadline, view)
-            kind = "join"
-        elif isinstance(query, Walkthrough):
-            payload, work, merge_ms = self._execute_walk(query, deadline, view)
-            kind = "walk"
-        else:
-            raise ServiceError(f"cannot execute query of type {type(query).__name__}")
+        # concurrent writers can never tear the answer.  Pinning also
+        # holds the view's shared-memory publication (process mode) so a
+        # writer cannot unlink its segments while subtasks map them.
+        view = self._pin_view()
+        try:
+            if isinstance(query, RangeQuery):
+                payload, work, merge_ms = self._execute_range(query, deadline, view)
+                kind = "range"
+            elif isinstance(query, KNNQuery):
+                payload, work, merge_ms = self._execute_knn(query, deadline, view)
+                kind = "knn"
+            elif isinstance(query, SpatialJoin):
+                payload, work, merge_ms = self._execute_join(query, deadline, view)
+                kind = "join"
+            elif isinstance(query, Walkthrough):
+                payload, work, merge_ms = self._execute_walk(query, deadline, view)
+                kind = "walk"
+            else:
+                raise ServiceError(
+                    f"cannot execute query of type {type(query).__name__}"
+                )
+        finally:
+            self._unpin_view(view)
         stats = ServiceStats(
             kind=kind,
             shards_total=len(view.shards),
@@ -654,18 +806,25 @@ class ShardedEngine:
         subtasks: Sequence[tuple[int, Callable[[], Any]]],
         deadline: float | None,
     ) -> list[Any]:
-        """Run ``(shard_id, thunk)`` subtasks on the pool; collect in order.
+        """Run ``(shard_id, thunk)`` subtasks on the thread pool, in order."""
+        futures: list[tuple[int, Future]] = [
+            (shard_id, self._pool.submit(thunk)) for shard_id, thunk in subtasks
+        ]
+        return self._collect(futures, deadline)
+
+    def _collect(
+        self, futures: Sequence[tuple[int, Future]], deadline: float | None
+    ) -> list[Any]:
+        """Await ``(shard_id, future)`` subtasks; collect results in order.
 
         The first worker exception cancels everything not yet started and
         surfaces as :class:`ServiceError` carrying the shard id; a missed
         deadline surfaces as :class:`ServiceTimeoutError`.  Subtasks
-        already running are left to finish on the pool (threads cannot be
-        interrupted); their results are discarded and the pool is reusable
-        immediately.
+        already running are left to finish on their pool (workers cannot
+        be interrupted); their results are discarded and the pool is
+        reusable immediately.  Works identically over thread-pool and
+        process-pool futures — both are ``concurrent.futures`` futures.
         """
-        futures: list[tuple[int, Future]] = [
-            (shard_id, self._pool.submit(thunk)) for shard_id, thunk in subtasks
-        ]
         try:
             remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
             done, pending = wait(
@@ -690,8 +849,55 @@ class ShardedEngine:
                 future.cancel()
 
     def _shard_subtask(self, shard: _EngineShard, query: Query) -> tuple[ShardWork, Any]:
+        cpu_start = time.thread_time()
         result = shard.execute_locked(query)
-        return _work_from(shard.spec.shard_id, result.stats, io_model=True), result
+        cpu_ms = (time.thread_time() - cpu_start) * 1000.0
+        work = _work_from(
+            shard.spec.shard_id, result.stats, io_model=True, cpu_ms=cpu_ms
+        )
+        return work, result.payload
+
+    def _query_fan_out(
+        self,
+        shard_queries: Sequence[tuple[int, Query]],
+        deadline: float | None,
+        view: _ShardView,
+    ) -> list[tuple[ShardWork, Any]]:
+        """Fan ``(shard_id, subquery)`` pairs out on the active executor.
+
+        Returns one ``(ShardWork, payload)`` per subtask, in input order —
+        the executor modes are interchangeable above this line, which is
+        what keeps their merged results byte-identical.
+        """
+        if self._procpool is not None and view.publication is not None:
+            backend = kernels.active_backend()
+            futures = [
+                (
+                    shard_id,
+                    self._procpool.submit_query(
+                        view.publication, shard_id, subquery, backend
+                    ),
+                )
+                for shard_id, subquery in shard_queries
+            ]
+            outcomes = self._collect(futures, deadline)
+            return [
+                (_work_from(shard_id, stats, io_model=True, cpu_ms=cpu_ms), payload)
+                for (shard_id, _), (payload, stats, cpu_ms) in zip(
+                    shard_queries, outcomes
+                )
+            ]
+        shards_by_id = {s.spec.shard_id: s for s in view.shards}
+        subtasks = [
+            (
+                shard_id,
+                lambda shard=shards_by_id[shard_id], q=subquery: self._shard_subtask(
+                    shard, q
+                ),
+            )
+            for shard_id, subquery in shard_queries
+        ]
+        return self._fan_out(subtasks, deadline)
 
     # -- per-kind execution ----------------------------------------------------
     def _execute_range(
@@ -707,40 +913,34 @@ class ShardedEngine:
     ) -> tuple[list[int], list[ShardWork]]:
         touched = [s for s in view.shards if s.spec.mbr.intersects(box)]
         subquery = RangeQuery(box, strategy=strategy)
-        subtasks = [
-            (shard.spec.shard_id, lambda shard=shard: self._shard_subtask(shard, subquery))
-            for shard in touched
-        ]
-        outcomes = self._fan_out(subtasks, deadline)
+        outcomes = self._query_fan_out(
+            [(shard.spec.shard_id, subquery) for shard in touched], deadline, view
+        )
         uids: list[int] = []
         work: list[ShardWork] = []
-        for shard_work, result in outcomes:
-            uids.extend(result.payload)
+        for shard_work, payload in outcomes:
+            uids.extend(payload)
             work.append(shard_work)
         return uids, work
 
     def _execute_knn(
         self, query: KNNQuery, deadline: float | None, view: _ShardView
     ) -> tuple[list[tuple[int, float]], list[ShardWork], float]:
-        subtasks = []
-        for shard in view.shards:
-            subquery = KNNQuery(
-                query.point, min(query.k, len(shard.spec)), strategy=query.strategy
+        shard_queries = [
+            (
+                shard.spec.shard_id,
+                KNNQuery(
+                    query.point, min(query.k, len(shard.spec)), strategy=query.strategy
+                ),
             )
-            subtasks.append(
-                (
-                    shard.spec.shard_id,
-                    lambda shard=shard, subquery=subquery: self._shard_subtask(
-                        shard, subquery
-                    ),
-                )
-            )
-        outcomes = self._fan_out(subtasks, deadline)
+            for shard in view.shards
+        ]
+        outcomes = self._query_fan_out(shard_queries, deadline, view)
         start = time.perf_counter()
         candidates: list[tuple[float, int]] = []
         work: list[ShardWork] = []
-        for shard_work, result in outcomes:
-            candidates.extend((distance, uid) for uid, distance in result.payload)
+        for shard_work, payload in outcomes:
+            candidates.extend((distance, uid) for uid, distance in payload)
             work.append(shard_work)
         top = heapq.nsmallest(query.k, candidates)
         payload = [(uid, distance) for distance, uid in top]
@@ -766,6 +966,30 @@ class ShardedEngine:
         side_a, side_b = self._join_sides(query)
         plan = self.planner.plan(query, join_sizes=(len(side_a), len(side_b)))
         chunks = round_robin_split(side_b, len(view.shards))
+        if self._procpool is not None:
+            # Joins travel by pickle, not by shared memory: each worker
+            # joins the full build side against one probe chunk, exactly
+            # the thread-mode split, so the sorted pair merge is
+            # byte-identical.
+            backend = kernels.active_backend()
+            futures = [
+                (
+                    shard_id,
+                    self._procpool.submit_join_chunk(
+                        plan.strategy, side_a, chunk, query, backend
+                    ),
+                )
+                for shard_id, chunk in enumerate(chunks)
+            ]
+            outcomes = self._collect(futures, deadline)
+            start = time.perf_counter()
+            pairs: list[tuple[int, int]] = []
+            work: list[ShardWork] = []
+            for (shard_id, _), (chunk_pairs, stats, cpu_ms) in zip(futures, outcomes):
+                pairs.extend(chunk_pairs)
+                work.append(_work_from(shard_id, stats, io_model=False, cpu_ms=cpu_ms))
+            pairs.sort()
+            return pairs, work, (time.perf_counter() - start) * 1000.0
         if plan.strategy == "touch" and side_a:
             # Build TOUCH's hierarchy over A once; workers share it
             # read-only with private bucket overlays (phases 2+3 only).
@@ -796,17 +1020,24 @@ class ShardedEngine:
                 )
                 return payload, stats
 
+        def timed_chunk(
+            chunk: tuple[SpatialObject, ...]
+        ) -> tuple[list, EngineStats, float]:
+            cpu_start = time.thread_time()
+            chunk_pairs, stats = join_chunk(chunk)
+            return chunk_pairs, stats, (time.thread_time() - cpu_start) * 1000.0
+
         subtasks = [
-            (shard_id, lambda chunk=chunk: join_chunk(chunk))
+            (shard_id, lambda chunk=chunk: timed_chunk(chunk))
             for shard_id, chunk in enumerate(chunks)
         ]
         outcomes = self._fan_out(subtasks, deadline)
         start = time.perf_counter()
-        pairs: list[tuple[int, int]] = []
-        work: list[ShardWork] = []
-        for (shard_id, _), (chunk_pairs, stats) in zip(subtasks, outcomes):
+        pairs = []
+        work = []
+        for (shard_id, _), (chunk_pairs, stats, cpu_ms) in zip(subtasks, outcomes):
             pairs.extend(chunk_pairs)
-            work.append(_work_from(shard_id, stats, io_model=False))
+            work.append(_work_from(shard_id, stats, io_model=False, cpu_ms=cpu_ms))
         pairs.sort()
         return pairs, work, (time.perf_counter() - start) * 1000.0
 
@@ -833,13 +1064,16 @@ class ShardedEngine:
                 pages_read=sum(w.pages_read for w in items),
                 comparisons=sum(w.comparisons for w in items),
                 num_results=sum(w.num_results for w in items),
+                cpu_ms=sum(w.cpu_ms for w in items),
             )
             for shard_id, items in sorted(per_shard.items())
         ]
         return steps, combined, merge_ms
 
 
-def _work_from(shard_id: int, stats: EngineStats, io_model: bool) -> ShardWork:
+def _work_from(
+    shard_id: int, stats: EngineStats, io_model: bool, cpu_ms: float = 0.0
+) -> ShardWork:
     """Map one shard subtask's engine stats into the service breakdown.
 
     ``io_model`` selects the modelled cost: simulated I/O for the paged
@@ -855,6 +1089,7 @@ def _work_from(shard_id: int, stats: EngineStats, io_model: bool) -> ShardWork:
         pages_read=stats.pages_read,
         comparisons=stats.comparisons,
         num_results=stats.num_results,
+        cpu_ms=cpu_ms,
     )
 
 

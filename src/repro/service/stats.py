@@ -35,7 +35,10 @@ __all__ = [
     "ServiceTelemetry",
     "ShardWork",
     "batch_balance",
+    "batch_cpu_makespan_ms",
+    "batch_cpu_serialized_ms",
     "batch_makespan_ms",
+    "batch_per_shard_cpu_ms",
     "batch_per_shard_service_ms",
     "batch_total_work_ms",
 ]
@@ -52,6 +55,12 @@ class ShardWork:
     pages_read: int
     comparisons: int
     num_results: int
+    cpu_ms: float = 0.0  # CPU time the subtask burned on its worker
+    # ``cpu_ms`` is measured with the per-thread (thread pool) or
+    # per-worker (process pool) CPU clock, so it excludes GIL waits and
+    # scheduler preemption — the same subtask costs the same CPU no
+    # matter how contended the host is, which is what lets the bench
+    # compare executors deterministically on a one-core CI runner.
 
 
 @dataclass
@@ -176,6 +185,34 @@ def batch_balance(results: Iterable[ServiceResult]) -> float:
 def batch_total_work_ms(results: Iterable[ServiceResult]) -> float:
     """Modelled latency of the same batch on a single node."""
     return sum(result.stats.total_work_ms for result in results)
+
+
+def batch_per_shard_cpu_ms(results: Iterable[ServiceResult]) -> dict[int, float]:
+    """Total subtask CPU each shard contributed to a batch."""
+    per_shard: dict[int, float] = {}
+    for result in results:
+        for work in result.stats.shard_work:
+            per_shard[work.shard_id] = per_shard.get(work.shard_id, 0.0) + work.cpu_ms
+    return per_shard
+
+
+def batch_cpu_serialized_ms(results: Iterable[ServiceResult]) -> float:
+    """The batch's CPU cost when every shard subtask shares one interpreter.
+
+    This is what the GIL forces on the thread-pool executor: subtask CPU
+    cannot overlap, so the batch pays the *sum* of all per-shard CPU.
+    """
+    return sum(batch_per_shard_cpu_ms(results).values())
+
+
+def batch_cpu_makespan_ms(results: Iterable[ServiceResult]) -> float:
+    """The batch's CPU cost with one interpreter (process) per shard.
+
+    Each shard serialises its own subtasks but shards overlap freely —
+    no shared GIL — so the batch finishes when the busiest shard drains:
+    ``max over shards of (sum of that shard's cpu_ms)``.
+    """
+    return max(batch_per_shard_cpu_ms(results).values(), default=0.0)
 
 
 class ServiceTelemetry:

@@ -1,8 +1,10 @@
 """Differential oracle: sharded answers == single-engine answers, exactly.
 
 Every query answered by a :class:`ShardedEngine` — any shard count, either
-kernel backend — must match the single :class:`SpatialEngine` answer on the
-same dataset: same uids, same distances, same join pairs.  Payloads are
+kernel backend, either executor mode (GIL-bound thread pool or
+shared-memory process pool) — must match the single :class:`SpatialEngine`
+answer on the same dataset: same uids, same distances, same join pairs.
+Payloads are
 canonicalized (sorted uids / ``(distance, uid)`` / sorted pairs) before
 comparison; the service's own payloads are asserted to *already* be in
 canonical order, because that ordering is part of its contract.
@@ -26,6 +28,7 @@ from repro.workloads.walks import branch_walk
 
 BACKENDS = kernels.available_backends()
 SHARD_COUNTS = (1, 2, 4, 7)
+EXECUTORS = ("thread", "process")
 
 pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
@@ -59,16 +62,19 @@ def canonical_knn(payload):
     return sorted(((round(d, 9), uid) for uid, d in payload))
 
 
-def service_for(circuit, shards):
-    return ShardedEngine.from_circuit(circuit, num_shards=shards, max_queued=64)
+def service_for(circuit, shards, executor="thread"):
+    return ShardedEngine.from_circuit(
+        circuit, num_shards=shards, max_queued=64, executor=executor
+    )
 
 
+@pytest.mark.parametrize("executor", EXECUTORS)
 @pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
 class TestDifferential:
-    def test_range_matches(self, circuit, single, windows, shards, backend):
+    def test_range_matches(self, circuit, single, windows, shards, backend, executor):
         with kernels.use_backend(backend):
-            with service_for(circuit, shards) as service:
+            with service_for(circuit, shards, executor) as service:
                 for window in windows:
                     expected = sorted(single.execute(RangeQuery(window)).payload)
                     got = service.execute(RangeQuery(window))
@@ -80,18 +86,20 @@ class TestDifferential:
                     )
                     assert got.payload == brute
 
-    def test_range_matches_forced_strategies(self, circuit, single, windows, shards, backend):
+    def test_range_matches_forced_strategies(
+        self, circuit, single, windows, shards, backend, executor
+    ):
         with kernels.use_backend(backend):
-            with service_for(circuit, shards) as service:
+            with service_for(circuit, shards, executor) as service:
                 for strategy in ("flat", "rtree"):
                     query = RangeQuery(windows[0], strategy=strategy)
                     expected = sorted(single.execute(query).payload)
                     assert service.execute(query).payload == expected
 
-    def test_knn_matches(self, circuit, single, windows, shards, backend):
+    def test_knn_matches(self, circuit, single, windows, shards, backend, executor):
         points = [w.center() for w in windows]
         with kernels.use_backend(backend):
-            with service_for(circuit, shards) as service:
+            with service_for(circuit, shards, executor) as service:
                 for point in points:
                     for k in (1, 7, 64):
                         expected = single.execute(KNNQuery(point, k)).payload
@@ -108,44 +116,48 @@ class TestDifferential:
                         )[:k]
                         assert canonical_knn(got) == brute
 
-    def test_knn_exceeding_dataset_returns_everything(self, circuit, single, shards, backend):
+    def test_knn_exceeding_dataset_returns_everything(
+        self, circuit, single, shards, backend, executor
+    ):
         point = circuit.bounding_box().center()
         k = len(circuit.segments()) + 10
         with kernels.use_backend(backend):
-            with service_for(circuit, shards) as service:
+            with service_for(circuit, shards, executor) as service:
                 got = service.execute(KNNQuery(point, k)).payload
         assert len(got) == len(circuit.segments())
         assert sorted(uid for uid, _ in got) == sorted(o.uid for o in circuit.segments())
 
-    def test_join_matches(self, circuit, single, shards, backend):
+    def test_join_matches(self, circuit, single, shards, backend, executor):
         with kernels.use_backend(backend):
-            with service_for(circuit, shards) as service:
+            with service_for(circuit, shards, executor) as service:
                 for eps in (0.5, 3.0):
                     expected = sorted(single.execute(SpatialJoin(eps=eps)).payload)
                     got = service.execute(SpatialJoin(eps=eps))
                     assert got.payload == expected
                     assert got.payload == sorted(got.payload)
 
-    def test_join_matches_forced_strategies(self, circuit, single, shards, backend):
+    def test_join_matches_forced_strategies(
+        self, circuit, single, shards, backend, executor
+    ):
         with kernels.use_backend(backend):
-            with service_for(circuit, shards) as service:
+            with service_for(circuit, shards, executor) as service:
                 for strategy in ("touch", "plane-sweep", "pbsm"):
                     query = SpatialJoin(eps=2.0, strategy=strategy)
                     expected = sorted(single.execute(query).payload)
                     assert service.execute(query).payload == expected
 
-    def test_join_refined_matches(self, circuit, single, shards, backend):
+    def test_join_refined_matches(self, circuit, single, shards, backend, executor):
         query = SpatialJoin(eps=1.0, refine=True)
         with kernels.use_backend(backend):
-            with service_for(circuit, shards) as service:
+            with service_for(circuit, shards, executor) as service:
                 expected = sorted(single.execute(query).payload)
                 assert service.execute(query).payload == expected
 
-    def test_walk_matches(self, circuit, single, shards, backend):
+    def test_walk_matches(self, circuit, single, shards, backend, executor):
         walk = branch_walk(circuit, window_extent=80.0, seed=5)
         query = Walkthrough(tuple(walk.queries))
         with kernels.use_backend(backend):
-            with service_for(circuit, shards) as service:
+            with service_for(circuit, shards, executor) as service:
                 got = service.execute(query)
         metrics = single.execute(query).payload
         assert [len(step) for step in got.payload] == [
@@ -155,11 +167,12 @@ class TestDifferential:
             assert step_uids == sorted(single.execute(RangeQuery(window)).payload)
 
 
+@pytest.mark.parametrize("executor", EXECUTORS)
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
-def test_traffic_workload_differential(circuit, single, shards):
+def test_traffic_workload_differential(circuit, single, shards, executor):
     """A whole mixed traffic batch answers identically through the service."""
     queries = traffic_workload(circuit.segments(), 20, extent=100.0, seed=11)
-    with service_for(circuit, shards) as service:
+    with service_for(circuit, shards, executor) as service:
         results = service.query_many(queries)
     for query, result in zip(queries, results):
         expected = single.execute(query)
