@@ -43,6 +43,7 @@ engine's lifetime.
 """
 
 from repro.api import create, open
+from repro.catalog import Catalog
 from repro.core.flat import FLATIndex, FLATQueryResult, FLATQueryStats
 from repro.core.scout import (
     ExplorationSession,
@@ -88,6 +89,7 @@ from repro.durability import (
     recover_sharded,
 )
 from repro.errors import (
+    CatalogError,
     CheckpointMismatchError,
     DurabilityError,
     EngineError,
@@ -128,7 +130,7 @@ from repro.storage import BufferPool, Disk, DiskParameters, ObjectStore
 from repro.viz import render_crawl, render_density, render_walk
 from repro.workloads import branch_walk, random_walk, uniform_queries
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AABB",
@@ -136,6 +138,8 @@ __all__ = [
     "BoxObject",
     "Client",
     "BufferPool",
+    "Catalog",
+    "CatalogError",
     "CheckpointMismatchError",
     "Circuit",
     "CircuitConfig",

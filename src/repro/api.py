@@ -122,7 +122,8 @@ def open(
             if sharded:
                 raise DurabilityError(
                     "at_epoch opens of a sharded service are read-only; "
-                    "pass durable=False"
+                    "use repro.open(root, sharded=True, durable=False, "
+                    f"at_epoch={at_epoch})"
                 )
             # The single-engine path accepts at_epoch == durable tip (a
             # no-op bound) and refuses anything older, inside _open_durable.

@@ -153,6 +153,8 @@ def _smoke_config() -> dict[str, Any]:
         "serve_queries": 16,
         "catchup_batches": 24,
         "catchup_batch_size": 8,
+        "catalog_objects": 600,
+        "catalog_eps": 1.5,
     }
 
 
@@ -188,6 +190,8 @@ def _full_config() -> dict[str, Any]:
         "serve_queries": 32,
         "catchup_batches": 48,
         "catchup_batch_size": 16,
+        "catalog_objects": 2000,
+        "catalog_eps": 1.5,
     }
 
 
@@ -782,6 +786,76 @@ def _recover_workload() -> _Workload:
     )
 
 
+def _catalog_workload() -> _Workload:
+    """End-to-end cost of a cross-dataset join through the catalog.
+
+    Setup builds one catalog with two tagged datasets of seeded random
+    boxes; every timed run resolves both tags, opens the two roots
+    read-only at their pinned epochs, and executes the spatial join —
+    the full ``Catalog.join`` path a `repro query --dataset A@v1
+    --against B@v1` pays, including the checkpoint loads.
+
+    The strategy is pinned to plane-sweep: the planner's TOUCH default
+    issues one tiny kernel call per reached leaf per probe, where fixed
+    per-call overhead (not kernel math) dominates at bench scale —
+    pinning keeps the A/B backend comparison about the vectorized
+    filter path and the run-to-run numbers about catalog overhead.
+    """
+
+    def setup(cfg: dict[str, Any]) -> Any:
+        import tempfile
+        from pathlib import Path
+
+        from repro.catalog import Catalog
+        from repro.geometry.aabb import AABB
+        from repro.objects import BoxObject
+        from repro.utils.rng import make_rng
+
+        def random_boxes(seed: int, first_uid: int) -> list[Any]:
+            rng = make_rng(seed)
+            boxes = []
+            for i in range(cfg["catalog_objects"]):
+                center = (
+                    float(rng.uniform(-200, 200)),
+                    float(rng.uniform(-200, 200)),
+                    float(rng.uniform(-200, 200)),
+                )
+                boxes.append(
+                    BoxObject(uid=first_uid + i, box=AABB.from_center_extent(center, 4.0))
+                )
+            return boxes
+
+        tmpdir = Path(tempfile.mkdtemp(prefix="repro_catalog_bench_"))
+        catalog = Catalog(tmpdir)
+        catalog.create("circuit", random_boxes(23, 1)).close()
+        catalog.tag("circuit", "v1")
+        catalog.create("atlas", random_boxes(29, 1_000_000)).close()
+        catalog.tag("atlas", "v1")
+        return {"root": tmpdir, "eps": cfg["catalog_eps"]}
+
+    def run(state: Any) -> int:
+        from repro.catalog import Catalog
+
+        catalog = Catalog(state["root"], create=False)
+        result = catalog.join(
+            "circuit@v1", "atlas@v1", eps=state["eps"], strategy="plane-sweep"
+        )
+        return len(result.pairs)
+
+    def teardown(state: Any) -> None:
+        import shutil
+
+        shutil.rmtree(state["root"], ignore_errors=True)
+
+    return _Workload(
+        name="catalog.cross_join_ms",
+        unit="join pairs",
+        setup=setup,
+        run=run,
+        teardown=teardown,
+    )
+
+
 def _sweep_probe_workload() -> _Workload:
     """join.filter times only the probe (filter + refine) phase of the sweep:
     sorting and packing are identical build work in both modes."""
@@ -976,6 +1050,7 @@ def _workloads() -> list[_Workload]:
         _recover_workload(),
         _serve_roundtrip_workload(),
         _serve_catchup_workload(),
+        _catalog_workload(),
     ]
 
 

@@ -1,0 +1,57 @@
+"""Dataset catalog: named datasets, tagged epochs, lineage, cross-dataset joins.
+
+This package is the *naming layer* over the durability subsystem.  A
+:class:`Catalog` roots a directory of datasets — each one an ordinary
+durable engine root (``wal/`` + ``checkpoints/``) created through
+:func:`repro.create` — and adds what the bare layout cannot express:
+
+- **names** — ``catalog.create("circuit", objects)`` instead of a path;
+- **tags** — ``catalog.tag("circuit", "v1-validation")`` pins a human
+  name to an epoch in a CRC-checked, atomically-rewritten
+  ``catalog.json`` (tombstone-safe: a deleted tag cannot be silently
+  resurrected by a stale writer);
+- **lineage** — ``catalog.lineage("circuit")`` reconstructs which
+  mutation batches produced each epoch from the WAL and checkpoint
+  manifests (derived on demand, never a second source of truth);
+- **cross-dataset joins** — ``catalog.join(("circuit", "v3"),
+  ("atlas", "v1"), eps=2.0)`` opens both datasets read-only at their
+  tagged epochs and runs the existing spatial-join executors with the
+  build side from one arena and the probe side from the other;
+- **diff** — uid-level adds/deletes/moves between any two tagged epochs;
+- **tag-aware reclamation** — ``catalog.prune(name)`` deletes
+  checkpoints and WAL segments *except* what some tag still needs, so
+  pinned epochs stay openable forever.
+
+Errors raise :class:`~repro.errors.CatalogError` (a
+:class:`~repro.errors.DurabilityError`), keeping the library's
+one-``except`` contract.
+"""
+
+from repro.catalog.catalog import (
+    Catalog,
+    CrossJoinResult,
+    DatasetDiff,
+    DatasetInfo,
+    PruneReport,
+    ResolvedRef,
+    parse_ref,
+)
+from repro.catalog.lineage import LineageRecord, dataset_lineage
+from repro.catalog.manifest import MANIFEST_FILE, CatalogManifest, check_name
+from repro.errors import CatalogError
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "CatalogManifest",
+    "CrossJoinResult",
+    "DatasetDiff",
+    "DatasetInfo",
+    "LineageRecord",
+    "MANIFEST_FILE",
+    "PruneReport",
+    "ResolvedRef",
+    "check_name",
+    "dataset_lineage",
+    "parse_ref",
+]

@@ -1,0 +1,117 @@
+"""Lineage: which mutation batches produced which epoch.
+
+Lineage is *derived*, never stored: the WAL already records every
+acknowledged batch (seq == epoch under the durability layout) and each
+checkpoint manifest records the WAL position it folds in, so the catalog
+reconstructs per-epoch provenance on demand instead of maintaining a
+second source of truth that could drift.
+
+The record sequence always starts with one ``source="checkpoint"`` entry
+for the oldest validating checkpoint — everything at or below its epoch is
+folded history whose batches may already be pruned — followed by one
+``source="wal"`` entry per durable batch after it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.durability.checkpoint import list_checkpoints, read_manifest
+from repro.durability.recovery import checkpoints_path, wal_path
+from repro.durability.wal import read_wal
+from repro.engine.mutations import Delete, Insert, Move
+from repro.errors import CatalogError, CheckpointMismatchError
+
+__all__ = ["LineageRecord", "dataset_lineage"]
+
+
+@dataclass(frozen=True)
+class LineageRecord:
+    """How one epoch of a dataset came to be."""
+
+    epoch: int
+    source: str  # "checkpoint" (folded history) or "wal" (one batch)
+    mutations: int
+    inserts: int
+    deletes: int
+    moves: int
+    uids: tuple[int, ...]  # uids the batch touched, sorted
+
+    def describe(self) -> str:
+        if self.source == "checkpoint":
+            return (
+                f"epoch {self.epoch}: checkpoint base "
+                "(earlier batches folded in)"
+            )
+        parts = [
+            f"{count} {label}"
+            for count, label in (
+                (self.inserts, "insert"),
+                (self.deletes, "delete"),
+                (self.moves, "move"),
+            )
+            if count
+        ]
+        return f"epoch {self.epoch}: {', '.join(parts) or 'empty batch'}"
+
+
+def _oldest_valid_manifest(root: Path):
+    """The oldest checkpoint manifest that validates (oldest-first scan)."""
+    reasons: list[str] = []
+    for _epoch, path in list_checkpoints(checkpoints_path(root)):
+        try:
+            return read_manifest(path)
+        except CheckpointMismatchError as error:
+            reasons.append(str(error))
+    detail = f" ({'; '.join(reasons)})" if reasons else ""
+    raise CatalogError(f"no valid checkpoint under {root}{detail}")
+
+
+def dataset_lineage(root: str | Path, at_epoch: int | None = None) -> list[LineageRecord]:
+    """Reconstruct the per-epoch lineage of one durable dataset root.
+
+    The oldest validating checkpoint anchors the sequence; each durable
+    WAL batch after its fold position becomes one record (batch seq is
+    the epoch it published).  ``at_epoch`` truncates the history there.
+    """
+    root = Path(root)
+    manifest = _oldest_valid_manifest(root)
+    records = [
+        LineageRecord(
+            epoch=manifest.epoch,
+            source="checkpoint",
+            mutations=0,
+            inserts=0,
+            deletes=0,
+            moves=0,
+            uids=(),
+        )
+    ]
+    scan = read_wal(wal_path(root), anchor_seq=manifest.wal_seq, decode=True)
+    for seq, batch in scan.suffix(manifest.wal_seq):
+        if at_epoch is not None and seq > at_epoch:
+            break
+        inserts = sum(isinstance(m, Insert) for m in batch)
+        deletes = sum(isinstance(m, Delete) for m in batch)
+        moves = sum(isinstance(m, Move) for m in batch)
+        uids = sorted(
+            m.obj.uid if isinstance(m, Insert) else m.uid for m in batch
+        )
+        records.append(
+            LineageRecord(
+                epoch=seq,
+                source="wal",
+                mutations=len(batch),
+                inserts=inserts,
+                deletes=deletes,
+                moves=moves,
+                uids=tuple(uids),
+            )
+        )
+    if at_epoch is not None and records[-1].epoch < at_epoch:
+        raise CatalogError(
+            f"lineage for epoch {at_epoch} is unreachable: durable history "
+            f"under {root} ends at epoch {records[-1].epoch}"
+        )
+    return records

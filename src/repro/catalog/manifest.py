@@ -1,0 +1,209 @@
+"""The ``catalog.json`` manifest: names, tags, tombstones — nothing else.
+
+The manifest is deliberately small: it records *names* (datasets and their
+tags pinned to epochs) and never any derivable state.  Lineage, object
+counts, durable tips and shard specs all live in (or are reconstructed
+from) the per-dataset WAL and checkpoint manifests, so the catalog can
+never disagree with the durability layer about anything but a name.
+
+On-disk format
+--------------
+One JSON object::
+
+    {
+      "schema_version": 1,
+      "crc32": 2483027471,
+      "payload": {
+        "revision": 7,
+        "datasets": {
+          "circuit": {
+            "tags": {"v1-validation": 3, "v2": 9},
+            "tombstones": {"scratch": {"epoch": 5, "revision": 6}}
+          }
+        }
+      }
+    }
+
+``crc32`` covers the canonical encoding of ``payload`` (sorted keys,
+compact separators), so a torn or bit-flipped manifest is detected rather
+than trusted.  Writes are atomic by rename: the new manifest is written to
+``catalog.json.tmp`` and :func:`os.replace`\\ d into place, so a crash
+mid-write leaves the previous manifest intact.
+
+Tombstone-safe updates
+----------------------
+Every mutation is a read-modify-write of the *on-disk* state (never of a
+cached copy), and deleting a tag leaves a tombstone recording the deletion
+revision.  A stale :class:`~repro.catalog.Catalog` instance therefore
+cannot resurrect a deleted tag by rewriting its own older view: the fresh
+read sees the tombstone, and only an explicit re-``tag`` of the same name
+clears it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import CatalogError
+
+__all__ = ["CatalogManifest", "MANIFEST_FILE", "check_name"]
+
+MANIFEST_FILE = "catalog.json"
+_SCHEMA_VERSION = 1
+
+#: Dataset and tag names become directory components and ``name@tag`` refs:
+#: one conservative charset serves both (no separators, no path tricks).
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def check_name(name: str, what: str = "dataset") -> str:
+    """Validate a dataset or tag name; returns it unchanged."""
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise CatalogError(
+            f"invalid {what} name {name!r}: use 1-64 characters from "
+            "[A-Za-z0-9._-], starting with a letter or digit"
+        )
+    return name
+
+
+def _canonical(payload: dict[str, Any]) -> bytes:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
+
+
+@dataclass
+class CatalogManifest:
+    """The decoded manifest: ``datasets[name] = {"tags": ..., "tombstones": ...}``."""
+
+    revision: int = 0
+    datasets: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    # -- payload codec -----------------------------------------------------
+    def _payload(self) -> dict[str, Any]:
+        return {"revision": self.revision, "datasets": self.datasets}
+
+    @staticmethod
+    def _from_payload(payload: dict[str, Any]) -> "CatalogManifest":
+        try:
+            revision = int(payload["revision"])
+            raw = payload["datasets"]
+            datasets: dict[str, dict[str, Any]] = {}
+            for name, record in raw.items():
+                datasets[check_name(name)] = {
+                    "tags": {
+                        check_name(t, "tag"): int(e)
+                        for t, e in record.get("tags", {}).items()
+                    },
+                    "tombstones": {
+                        check_name(t, "tag"): {
+                            "epoch": int(stone["epoch"]),
+                            "revision": int(stone["revision"]),
+                        }
+                        for t, stone in record.get("tombstones", {}).items()
+                    },
+                }
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise CatalogError(f"malformed catalog manifest: {error}") from error
+        return CatalogManifest(revision=revision, datasets=datasets)
+
+    # -- dataset/tag accessors ---------------------------------------------
+    def dataset(self, name: str) -> dict[str, Any]:
+        record = self.datasets.get(name)
+        if record is None:
+            known = ", ".join(sorted(self.datasets)) or "none"
+            raise CatalogError(f"unknown dataset {name!r} (catalog holds: {known})")
+        return record
+
+    def add_dataset(self, name: str) -> None:
+        if name in self.datasets:
+            raise CatalogError(f"dataset {name!r} already exists in this catalog")
+        self.datasets[check_name(name)] = {"tags": {}, "tombstones": {}}
+
+    def set_tag(self, name: str, tag: str, epoch: int) -> None:
+        record = self.dataset(name)
+        check_name(tag, "tag")
+        if tag in record["tags"]:
+            raise CatalogError(
+                f"tag {name}@{tag} already pins epoch {record['tags'][tag]}; "
+                "untag it first to repoint"
+            )
+        record["tags"][tag] = int(epoch)
+        # An explicit re-tag is the one legitimate resurrection.
+        record["tombstones"].pop(tag, None)
+
+    def drop_tag(self, name: str, tag: str) -> int:
+        record = self.dataset(name)
+        if tag not in record["tags"]:
+            if tag in record["tombstones"]:
+                stone = record["tombstones"][tag]
+                raise CatalogError(
+                    f"tag {name}@{tag} was deleted at revision {stone['revision']}"
+                )
+            raise CatalogError(f"unknown tag {name}@{tag}")
+        epoch = record["tags"].pop(tag)
+        record["tombstones"][tag] = {"epoch": epoch, "revision": self.revision + 1}
+        return epoch
+
+    def tag_epoch(self, name: str, tag: str) -> int:
+        record = self.dataset(name)
+        if tag not in record["tags"]:
+            if tag in record["tombstones"]:
+                stone = record["tombstones"][tag]
+                raise CatalogError(
+                    f"tag {name}@{tag} was deleted at revision {stone['revision']} "
+                    f"(it pinned epoch {stone['epoch']})"
+                )
+            known = ", ".join(sorted(record["tags"])) or "none"
+            raise CatalogError(f"unknown tag {name}@{tag} (tags: {known})")
+        return record["tags"][tag]
+
+    # -- disk --------------------------------------------------------------
+    @staticmethod
+    def load(path: str | Path) -> "CatalogManifest":
+        """Read and CRC-validate the manifest; a missing file is empty."""
+        path = Path(path)
+        if not path.is_file():
+            return CatalogManifest()
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as error:
+            raise CatalogError(f"cannot read catalog manifest {path}: {error}") from error
+        if not isinstance(record, dict):
+            raise CatalogError(f"catalog manifest {path} is not a JSON object")
+        if record.get("schema_version") != _SCHEMA_VERSION:
+            raise CatalogError(
+                f"catalog manifest {path} has unsupported schema version "
+                f"{record.get('schema_version')!r}"
+            )
+        payload = record.get("payload")
+        if not isinstance(payload, dict):
+            raise CatalogError(f"catalog manifest {path} has no payload")
+        if zlib.crc32(_canonical(payload)) != record.get("crc32"):
+            raise CatalogError(
+                f"catalog manifest {path} failed its CRC check "
+                "(torn write or corruption) — restore it from a copy or "
+                "re-create the tags; the datasets themselves are untouched"
+            )
+        return CatalogManifest._from_payload(payload)
+
+    def store(self, path: str | Path) -> None:
+        """Atomically rewrite the manifest (tmp file + rename)."""
+        path = Path(path)
+        payload = self._payload()
+        record = {
+            "schema_version": _SCHEMA_VERSION,
+            "crc32": zlib.crc32(_canonical(payload)),
+            "payload": payload,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        os.replace(tmp, path)  # the commit point

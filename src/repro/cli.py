@@ -33,7 +33,12 @@ screens displayed, plus an ASCII rendering of the figure:
   validation query against the recovered state;
 * ``bench``      — the unified benchmark suite (:mod:`repro.bench`): emits
   the schema-versioned BENCH JSON and exits non-zero on regression against
-  a baseline.
+  a baseline;
+* ``datasets``   — the dataset catalog (:mod:`repro.catalog`):
+  ``list/create/tag/untag/lineage/diff/prune`` named datasets in a catalog
+  directory; ``query join --dataset A@v3 --against B@v1`` runs a
+  cross-dataset spatial join at the tagged epochs, and ``serve --catalog``
+  lets remote clients do the same.
 """
 
 from __future__ import annotations
@@ -42,6 +47,19 @@ import argparse
 from typing import Sequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _fail(message: object) -> int:
+    """One-line diagnostic on stderr; the CLI's uniform error exit code.
+
+    Every expected failure (bad input, missing directories, corrupt
+    durable state) funnels through here so scripts can rely on a clean
+    ``error: ...`` line on stderr and exit code 2 — never a traceback.
+    """
+    import sys
+
+    print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 def _package_version() -> str:
@@ -108,6 +126,18 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--k", type=int, default=8, help="knn: neighbours to return")
     query.add_argument("--eps", type=float, default=3.0, help="join: distance threshold (um)")
     query.add_argument("--steps", type=int, default=8, help="walk: minimum window count")
+    query.add_argument(
+        "--dataset", type=str, default=None, metavar="NAME[@TAG]",
+        help="join: build side from this catalogued dataset (needs --against)",
+    )
+    query.add_argument(
+        "--against", type=str, default=None, metavar="NAME[@TAG]",
+        help="join: probe side from this catalogued dataset (needs --dataset)",
+    )
+    query.add_argument(
+        "--catalog", type=str, default=".", metavar="DIR",
+        help="catalog root for --dataset/--against (default: current directory)",
+    )
 
     serve = sub.add_parser(
         "serve-bench",
@@ -201,6 +231,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="start as a read replica: bootstrap from this primary's snapshot "
         "and tail its mutation stream (writes are rejected until promoted)",
     )
+    server.add_argument(
+        "--catalog", type=str, default=None, metavar="DIR",
+        help="attach a dataset catalog: clients may send cross-dataset joins "
+        "against its tagged datasets",
+    )
 
     connect = sub.add_parser(
         "connect", help="interactive client for a running 'repro serve'"
@@ -261,6 +296,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--only", type=str, default=None, metavar="PREFIX",
         help="run only workloads whose name starts with PREFIX (e.g. 'mutate.')",
     )
+
+    datasets = sub.add_parser(
+        "datasets", help="manage named, tagged datasets in a catalog directory"
+    )
+    datasets.add_argument(
+        "--catalog", type=str, default=".", metavar="DIR",
+        help="catalog root (default: current directory)",
+    )
+    dsub = datasets.add_subparsers(dest="datasets_command", required=True)
+
+    dsub.add_parser("list", help="list datasets, their tips and tags")
+
+    ds_create = dsub.add_parser(
+        "create", help="register a new dataset from a circuit (saved or generated)"
+    )
+    ds_create.add_argument("name", type=str)
+    ds_create.add_argument("--neurons", type=int, default=20, help="generated circuit size")
+    ds_create.add_argument("--seed", type=int, default=0)
+    ds_create.add_argument(
+        "--circuit", type=str, default=None,
+        help="import a saved circuit directory instead of generating one",
+    )
+
+    ds_tag = dsub.add_parser("tag", help="pin a tag to an epoch (default: the tip)")
+    ds_tag.add_argument("name", type=str)
+    ds_tag.add_argument("tag", type=str)
+    ds_tag.add_argument("--epoch", type=int, default=None)
+
+    ds_untag = dsub.add_parser("untag", help="delete a tag (leaves a tombstone)")
+    ds_untag.add_argument("name", type=str)
+    ds_untag.add_argument("tag", type=str)
+
+    ds_lineage = dsub.add_parser(
+        "lineage", help="per-epoch provenance reconstructed from WAL + checkpoints"
+    )
+    ds_lineage.add_argument("name", type=str)
+    ds_lineage.add_argument("--at-epoch", type=int, default=None, metavar="E")
+
+    ds_diff = dsub.add_parser(
+        "diff", help="uid-level adds/deletes/moves between two references"
+    )
+    ds_diff.add_argument("ref_a", type=str, metavar="NAME[@TAG]")
+    ds_diff.add_argument("ref_b", type=str, metavar="NAME[@TAG]")
+
+    ds_prune = dsub.add_parser(
+        "prune", help="reclaim checkpoints and WAL segments no tag still needs"
+    )
+    ds_prune.add_argument("name", type=str)
     return parser
 
 
@@ -416,10 +499,40 @@ def _build_query(args: argparse.Namespace, engine):
     raise AssertionError(f"unhandled query kind {args.kind!r}")
 
 
+def _run_cross_join(args: argparse.Namespace) -> int:
+    """``repro query join --dataset A@v3 --against B@v1 [--catalog DIR]``."""
+    import repro
+    from repro.errors import ReproError
+
+    try:
+        catalog = repro.Catalog(args.catalog, create=False)
+        result = catalog.join(
+            args.dataset,
+            args.against,
+            eps=args.eps,
+            strategy=args.strategy,
+        )
+    except (ReproError, ValueError, OSError) as error:
+        return _fail(error)
+    print(result.describe())
+    shown = result.pairs[:20]
+    for a, b in shown:
+        print(f"  {a} - {b}")
+    if len(result.pairs) > len(shown):
+        print(f"  ... {len(result.pairs) - len(shown)} more")
+    return 0
+
+
 def _run_query(args: argparse.Namespace) -> int:
     import repro
     from repro.errors import ReproError
 
+    if (args.dataset is None) != (args.against is None):
+        return _fail("--dataset and --against must be given together")
+    if args.dataset is not None:
+        if args.kind != "join":
+            return _fail("--dataset/--against apply to the join kind only")
+        return _run_cross_join(args)
     try:
         if args.circuit is not None:
             from repro.neuro.persistence import load_circuit
@@ -439,9 +552,8 @@ def _run_query(args: argparse.Namespace) -> int:
         if args.explain:
             return 0
         result = engine.execute(query)
-    except (ReproError, ValueError) as error:
-        print(f"error: {error}")
-        return 2
+    except (ReproError, ValueError, OSError) as error:
+        return _fail(error)
 
     print()
     print(result.render())
@@ -628,9 +740,8 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             for wal_root in wal_roots:
                 print(f"durable state journaled to {wal_root}")
             print(f"restore with: python -m repro recover {wal_roots[-1]} --sharded")
-    except (ReproError, ValueError) as error:
-        print(f"error: {error}")
-        return 2
+    except (ReproError, ValueError, OSError) as error:
+        return _fail(error)
     return 0
 
 
@@ -639,6 +750,11 @@ def _run_serve(args: argparse.Namespace) -> int:
     from repro.server import ReproServer, bootstrap_replica
 
     try:
+        catalog = None
+        if args.catalog is not None:
+            import repro
+
+            catalog = repro.Catalog(args.catalog, create=False)
         service_kwargs = dict(
             max_workers=args.workers,
             max_in_flight=args.max_in_flight,
@@ -668,6 +784,7 @@ def _run_serve(args: argparse.Namespace) -> int:
                 root=args.wal,
                 tail=tail,
                 session_queue=args.session_queue,
+                catalog=catalog,
             )
         else:
             if args.circuit is not None:
@@ -713,11 +830,11 @@ def _run_serve(args: argparse.Namespace) -> int:
                 role="primary",
                 root=args.wal,
                 session_queue=args.session_queue,
+                catalog=catalog,
             )
         return server.run()
     except (ReproError, ValueError, OSError) as error:
-        print(f"error: {error}")
-        return 2
+        return _fail(error)
 
 
 def _connect_help() -> str:
@@ -809,13 +926,11 @@ def _run_connect(args: argparse.Namespace) -> int:
 
     host, _, port = args.address.rpartition(":")
     if not host or not port.isdigit():
-        print("error: address must be HOST:PORT")
-        return 2
+        return _fail("address must be HOST:PORT")
     try:
         client = Client(host, int(port), timeout_s=args.timeout)
     except OSError as error:
-        print(f"error: cannot connect to {args.address}: {error}")
-        return 2
+        return _fail(f"cannot connect to {args.address}: {error}")
     with client:
         welcome = client.hello(name="repro-connect")
         print(
@@ -848,7 +963,9 @@ def _run_connect(args: argparse.Namespace) -> int:
             try:
                 print(_connect_command(client, line))
             except (ReproError, ValueError, IndexError) as error:
-                print(f"error: {error}")
+                import sys
+
+                print(f"error: {error}", file=sys.stderr)
                 status = 1
         return status
 
@@ -886,13 +1003,70 @@ def _run_recover(args: argparse.Namespace) -> int:
             )
             if not exact:
                 return 1
-    except ReproError as error:
-        print(f"error: {error}")
-        return 2
+    except (ReproError, OSError) as error:
+        return _fail(error)
     finally:
         if args.sharded and engine is not None:
             engine.close()  # shut the recovered service's worker pool down
     return 0
+
+
+def _run_datasets(args: argparse.Namespace) -> int:
+    import repro
+    from repro.errors import ReproError
+
+    try:
+        # Only 'create' may initialise a catalog root; the read/modify
+        # commands refuse to invent one in an arbitrary directory.
+        catalog = repro.Catalog(
+            args.catalog, create=args.datasets_command == "create"
+        )
+        if args.datasets_command == "list":
+            infos = catalog.datasets()
+            if not infos:
+                print("catalog is empty")
+            for info in infos:
+                print(info.describe())
+            return 0
+        if args.datasets_command == "create":
+            if args.circuit is not None:
+                from repro.neuro.persistence import load_circuit
+
+                circuit = load_circuit(args.circuit)
+            else:
+                from repro.neuro.circuit import generate_circuit
+
+                circuit = generate_circuit(n_neurons=args.neurons, seed=args.seed)
+            engine = catalog.create(args.name, circuit.segments())
+            try:
+                print(
+                    f"dataset {args.name}: {len(engine.objects)} objects at "
+                    f"epoch {engine.epoch} under {catalog.dataset_root(args.name)}"
+                )
+            finally:
+                engine.close()
+            return 0
+        if args.datasets_command == "tag":
+            epoch = catalog.tag(args.name, args.tag, epoch=args.epoch)
+            print(f"tag {args.name}@{args.tag} -> epoch {epoch}")
+            return 0
+        if args.datasets_command == "untag":
+            epoch = catalog.untag(args.name, args.tag)
+            print(f"untagged {args.name}@{args.tag} (pinned epoch {epoch})")
+            return 0
+        if args.datasets_command == "lineage":
+            for record in catalog.lineage(args.name, at_epoch=args.at_epoch):
+                print(record.describe())
+            return 0
+        if args.datasets_command == "diff":
+            print(catalog.diff(args.ref_a, args.ref_b).render())
+            return 0
+        if args.datasets_command == "prune":
+            print(catalog.prune(args.name).describe())
+            return 0
+    except (ReproError, ValueError, OSError) as error:
+        return _fail(error)
+    raise AssertionError(f"unhandled datasets command {args.datasets_command!r}")
 
 
 def _run_bench(args: argparse.Namespace) -> int:
@@ -933,6 +1107,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_recover(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "datasets":
+        return _run_datasets(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -39,7 +39,7 @@ from repro.durability.recovery import (
     recover_engine,
     wal_path,
 )
-from repro.durability.checkpoint import list_checkpoints
+from repro.durability.checkpoint import latest_manifest, list_checkpoints
 from repro.durability.wal import WriteAheadLog
 from repro.engine.engine import SpatialEngine
 from repro.engine.mutations import Delete, Insert, Move, Mutation, MutationResult
@@ -274,9 +274,22 @@ def _open_durable(
     # checkpoint load or replay happens just to be thrown away.
     anchor, tip = durable_tip(root)
     if at_epoch is not None and at_epoch < tip:
+        # Name the escape hatch that matches the directory: a sharded
+        # root (manifest carries a shard spec) needs sharded=True too.
+        try:
+            sharded_root = (
+                latest_manifest(checkpoints_path(root)).num_shards is not None
+            )
+        except DurabilityError:
+            sharded_root = False
+        hatch = (
+            f"repro.open(root, sharded=True, durable=False, at_epoch={at_epoch})"
+            if sharded_root
+            else f"repro.open(root, durable=False, at_epoch={at_epoch})"
+        )
         raise DurabilityError(
             f"epoch {at_epoch} is before the durable tip {tip}; "
-            "time-travel opens are read-only — use repro.open(durable=False) "
+            f"time-travel opens are read-only — use {hatch} "
             "or recover_engine / open_at_epoch instead"
         )
     recovery = recover_engine(root, at_epoch=at_epoch, **engine_kwargs)

@@ -213,8 +213,9 @@ def _recover_sharded(
         if at_epoch is not None and at_epoch < tip:
             raise DurabilityError(
                 f"epoch {at_epoch} is before the durable tip {tip}; "
-                "time-travel recoveries cannot reattach the WAL — "
-                "recover without attach_wal for a read-only view"
+                "time-travel recoveries cannot reattach the WAL — use "
+                f"repro.open(root, sharded=True, durable=False, at_epoch={at_epoch}) "
+                "(recover without attach_wal) for a read-only view"
             )
     objects, manifest = latest_checkpoint(checkpoints_path(root), at_epoch=at_epoch)
     scan = read_wal(wal_path(root), anchor_seq=manifest.wal_seq)
@@ -243,7 +244,8 @@ def _recover_sharded(
                 raise DurabilityError(
                     f"recovered epoch {service.epoch} does not reach the "
                     f"durable tip {tip}: the newest checkpoint or the WAL "
-                    "suffix is damaged — recover without attach_wal for a "
+                    "suffix is damaged — use repro.open(root, sharded=True, "
+                    "durable=False) (recover without attach_wal) for a "
                     "read-only view"
                 )
             service.wal = WriteAheadLog(wal_path(root), anchor_seq=wal_anchor)
@@ -385,7 +387,11 @@ def _durable_sharded(
         )
         service = recovery.engine
         wal_kwargs.setdefault("anchor_seq", recovery.checkpoint_wal_seq)
-        service.wal = WriteAheadLog(wal_path(root), **wal_kwargs)
+        try:
+            service.wal = WriteAheadLog(wal_path(root), **wal_kwargs)
+        except BaseException:
+            service.close()  # guard fired after the pool spun up — no leak
+            raise
         return service
     if read_wal(wal_path(root)).batches:
         raise DurabilityError(

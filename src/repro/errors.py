@@ -91,6 +91,14 @@ class CheckpointMismatchError(DurabilityError):
     older one that validates."""
 
 
+class CatalogError(DurabilityError):
+    """Raised by the dataset catalog (:mod:`repro.catalog`): unknown dataset
+    or tag names, a corrupt ``catalog.json`` manifest, tags pinned to
+    unreachable epochs.  Deriving from :class:`DurabilityError` keeps the
+    one-``except`` contract — the catalog is the naming layer over the same
+    durable directories."""
+
+
 class ServerError(EngineError):
     """Raised by the network front door (:mod:`repro.server`): failed
     requests, unexpected responses, transport errors.  ``code`` carries the

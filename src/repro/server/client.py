@@ -244,6 +244,40 @@ class Client:
             message["min_epoch"] = min_epoch
         return self._collect_result(self._send(message))
 
+    def cross_join(
+        self,
+        ref_a: Any,
+        ref_b: Any,
+        eps: float,
+        strategy: str | None = None,
+        refine: bool = False,
+    ) -> RemoteResult:
+        """Distance join across two *catalogued* datasets on the server.
+
+        ``ref_a`` / ``ref_b`` are ``"name"``, ``"name@tag"`` or
+        ``(name, tag)`` references into the catalog the server was
+        started with; side A builds, side B probes, both pinned at their
+        tagged epochs.  Servers without an attached catalog answer with a
+        protocol error.
+        """
+        from repro.catalog.manifest import check_name
+
+        def split(ref: Any) -> list[Any]:
+            if isinstance(ref, str):
+                name, sep, tag = ref.partition("@")
+                return [check_name(name), check_name(tag, "tag") if sep else None]
+            name, tag = ref
+            return [check_name(name), None if tag is None else check_name(tag, "tag")]
+
+        record = {
+            "k": "join",
+            "eps": eps,
+            "strategy": strategy,
+            "refine": refine,
+            "sides": {"datasets": {"a": split(ref_a), "b": split(ref_b)}},
+        }
+        return self._collect_result(self._send({"type": "query", "query": record}))
+
     def _send_query(
         self,
         query: Query,

@@ -230,12 +230,19 @@ def encode_query(query: Query) -> dict[str, Any]:
 def decode_query(
     record: dict[str, Any],
     dataset: Callable[[], Sequence[SpatialObject]] | None = None,
+    catalog: Callable[[str, str | None], Sequence[SpatialObject]] | None = None,
 ) -> Query:
     """Inverse of :func:`encode_query`.
 
     ``dataset`` resolves ``sides: "dataset"`` self-joins to the live
     object set (the server passes its snapshot accessor); without it a
-    dataset self-join is a protocol error.
+    dataset self-join is a protocol error.  ``catalog`` resolves the
+    cross-dataset marker ``sides: {"datasets": {"a": [name, tag],
+    "b": [name, tag]}}`` — it is called once per side with ``(name,
+    tag_or_None)`` and must return that dataset's objects at the tagged
+    epoch (the server passes a resolver over its attached
+    :class:`~repro.catalog.Catalog`); without it a cross-dataset join is
+    a protocol error.
     """
     kind = record.get("k")
     try:
@@ -261,6 +268,17 @@ def decode_query(
                     )
                 objects = tuple(dataset())
                 side_a = side_b = objects
+            elif isinstance(sides, dict) and "datasets" in sides:
+                if catalog is None:
+                    raise ProtocolError(
+                        "a cross-dataset join needs an attached catalog to "
+                        "resolve against (serve with --catalog)"
+                    )
+                refs = sides["datasets"]
+                name_a, tag_a = refs["a"]
+                name_b, tag_b = refs["b"]
+                side_a = tuple(catalog(str(name_a), tag_a))
+                side_b = tuple(catalog(str(name_b), tag_b))
             elif isinstance(sides, dict):
                 side_a = tuple(decode_object(o) for o in sides["a"])
                 side_b = tuple(decode_object(o) for o in sides["b"])

@@ -122,10 +122,12 @@ class ReproServer:
         epoch_wait_s: float = 10.0,
         drain_timeout_s: float = 10.0,
         banner: bool = True,
+        catalog: Any | None = None,
     ) -> None:
         if role not in ("primary", "replica"):
             raise ServerError(f"unknown server role {role!r}")
         self.service = service
+        self.catalog = catalog  # repro.catalog.Catalog for cross-dataset joins
         self.host = host
         self.port = port
         self.role = role
@@ -356,6 +358,17 @@ class ReproServer:
         wait_s = frame.get("epoch_wait_s")
         return self.epoch_wait_s if wait_s is None else float(wait_s)
 
+    def _catalog_resolver(self):
+        """``(name, tag) -> objects`` over the attached catalog, or None.
+
+        Resolution failures (unknown names, unreachable epochs) raise
+        :class:`~repro.errors.CatalogError`, an ``EngineError`` — the
+        session loop already maps those to a clean ERROR frame.
+        """
+        if self.catalog is None:
+            return None
+        return lambda name, tag: self.catalog.objects_at((name, tag))[0]
+
     async def _dispatch_query(self, frame: dict[str, Any]) -> dict[str, Any]:
         min_epoch = frame.get("min_epoch")
         if min_epoch is not None:
@@ -368,7 +381,9 @@ class ReproServer:
                     f"requested min_epoch {min_epoch} after {wait_s:.1f}s",
                 )
         query = protocol.decode_query(
-            frame["query"], dataset=lambda: self.service.snapshot_objects()[1]
+            frame["query"],
+            dataset=lambda: self.service.snapshot_objects()[1],
+            catalog=self._catalog_resolver(),
         )
         timeout_s = frame.get("timeout_s")
         result = await self._run_blocking(self.service.execute, query, timeout_s)

@@ -136,7 +136,9 @@ class TestRecoverCommand:
     def test_recover_missing_dir_fails_cleanly(self, capsys, tmp_path):
         code = main(["recover", str(tmp_path / "nothing-here")])
         assert code == 2
-        assert "error:" in capsys.readouterr().out
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
 
 
 class TestCircuitCommand:
@@ -228,7 +230,9 @@ class TestQueryCommand:
     def test_unknown_strategy_fails_cleanly(self, capsys):
         code = main(["query", "range", "--neurons", "6", "--strategy", "bogus"])
         assert code == 2
-        assert "error:" in capsys.readouterr().out
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
 
     def test_saved_circuit_round_trip(self, capsys, tmp_path):
         assert main(
@@ -274,7 +278,9 @@ class TestServeBenchCommand:
     def test_bad_shards_fail_cleanly(self, capsys):
         code = main(["serve-bench", "--neurons", "6", "--shards", "0"])
         assert code == 2
-        assert "error:" in capsys.readouterr().out
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
 
     def test_write_fraction_serves_live_mix(self, capsys):
         code = main(
@@ -299,7 +305,9 @@ class TestServeBenchCommand:
             ["serve-bench", "--neurons", "6", "--write-fraction", "1.5"]
         )
         assert code == 2
-        assert "error:" in capsys.readouterr().out
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "Traceback" not in err
 
     def test_wal_flag_journals_and_recovers(self, capsys, tmp_path):
         wal_dir = tmp_path / "durable"
