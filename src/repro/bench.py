@@ -856,6 +856,78 @@ def _catalog_workload() -> _Workload:
     )
 
 
+def _trace_overhead_workload() -> _Workload:
+    """Disabled-path cost of the span plumbing on the flat range-scan path.
+
+    Every ``engine.execute`` crosses the ``trace.span`` site; with no trace
+    open that is one ContextVar read returning a shared no-op.  Each run
+    times the identical query batch twice — once with ``trace.span``
+    stubbed out entirely (no instrumentation at all), once through the
+    real disabled path — and reports the overhead as a *percentage*
+    (clamped at zero), which ``test_bench.py`` gates below 5%.
+    """
+    pct_holder: dict[int, float] = {}
+
+    def setup(cfg: dict[str, Any]) -> Any:
+        from repro.engine.engine import SpatialEngine
+        from repro.engine.queries import RangeQuery
+        from repro.experiments.datasets import circuit_dataset
+        from repro.workloads.ranges import density_stratified_queries
+
+        circuit = circuit_dataset(n_neurons=cfg["n_neurons"])
+        engine = SpatialEngine.from_circuit(
+            circuit, page_capacity=cfg["page_capacity"]
+        )
+        queries = [
+            RangeQuery(box, strategy="flat")
+            for box in density_stratified_queries(
+                circuit.segments(), cfg["n_queries"], cfg["extent"], dense=True, seed=2013
+            )
+        ]
+        for query in queries:
+            engine.execute(query)  # warm the per-partition packs
+        return engine, queries
+
+    def run(state: Any) -> int:
+        from repro.obs import trace as trace_mod
+
+        engine, queries = state
+        noop = trace_mod._NOOP
+        real_span = trace_mod.span
+
+        def stub_span(name: str, **attrs: Any) -> Any:
+            return noop
+
+        trace_mod.span = stub_span
+        try:
+            start = time.perf_counter()
+            for query in queries:
+                engine.execute(query)
+            stubbed_ms = (time.perf_counter() - start) * 1000.0
+        finally:
+            trace_mod.span = real_span
+        start = time.perf_counter()
+        for query in queries:
+            engine.execute(query)
+        real_ms = (time.perf_counter() - start) * 1000.0
+        pct = 0.0
+        if stubbed_ms > 0.0:
+            pct = max(0.0, (real_ms - stubbed_ms) / stubbed_ms * 100.0)
+        pct_holder[id(state)] = pct
+        return len(queries) * 2
+
+    def measured(state: Any, _units: int) -> float:
+        return pct_holder[id(state)]
+
+    return _Workload(
+        name="obs.trace_overhead_pct",
+        unit="queries timed",
+        setup=setup,
+        run=run,
+        measured_ms=measured,
+    )
+
+
 def _sweep_probe_workload() -> _Workload:
     """join.filter times only the probe (filter + refine) phase of the sweep:
     sorting and packing are identical build work in both modes."""
@@ -1051,6 +1123,7 @@ def _workloads() -> list[_Workload]:
         _serve_roundtrip_workload(),
         _serve_catchup_workload(),
         _catalog_workload(),
+        _trace_overhead_workload(),
     ]
 
 

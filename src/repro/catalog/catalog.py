@@ -30,6 +30,7 @@ all of them.
 from __future__ import annotations
 
 import shutil
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
@@ -41,7 +42,20 @@ from repro.durability.recovery import checkpoints_path, wal_path
 from repro.durability.wal import WriteAheadLog, read_wal
 from repro.engine.queries import SpatialJoin
 from repro.errors import CatalogError, DurabilityError
+from repro.obs import trace
+from repro.obs.metrics import LATENCY_BUCKETS_MS, global_registry
 from repro.objects import SpatialObject
+
+_C_OPS = global_registry().counter(
+    "repro_catalog_ops_total",
+    "Catalog operations by kind.",
+    label_names=("op",),
+)
+_C_RESOLVE_MS = global_registry().histogram(
+    "repro_catalog_resolve_ms",
+    "Wall time recovering a dataset's object set at a pinned epoch.",
+    buckets=LATENCY_BUCKETS_MS,
+)
 
 __all__ = [
     "Catalog",
@@ -232,6 +246,7 @@ class Catalog:
         import repro
 
         check_name(name)
+        _C_OPS.labels(op="create").inc()
         root = self.root / _DATASETS_DIR / name
         if list_checkpoints(checkpoints_path(root)):
             raise CatalogError(
@@ -335,11 +350,13 @@ class Catalog:
                 f"run from checkpoint {manifest.epoch} to durable tip {tip}"
             )
         self._mutate(lambda m: m.set_tag(name, tag, epoch))
+        _C_OPS.labels(op="tag").inc()
         return epoch
 
     def untag(self, name: str, tag: str) -> int:
         """Delete a tag (leaving a tombstone); returns the epoch it pinned."""
         self.dataset_root(name)
+        _C_OPS.labels(op="untag").inc()
         return self._mutate(lambda m: m.drop_tag(name, tag))
 
     def tags(self, name: str) -> dict[str, int]:
@@ -370,9 +387,13 @@ class Catalog:
     def _objects_at(self, resolved: ResolvedRef) -> tuple[tuple[SpatialObject, ...], int]:
         from repro.durability.recovery import recover_engine
 
-        recovery = recover_engine(
-            self.dataset_root(resolved.name), at_epoch=resolved.epoch
-        )
+        _C_OPS.labels(op="resolve").inc()
+        started = time.perf_counter()
+        with trace.span("catalog.resolve", dataset=resolved.name, epoch=resolved.epoch):
+            recovery = recover_engine(
+                self.dataset_root(resolved.name), at_epoch=resolved.epoch
+            )
+        _C_RESOLVE_MS.observe((time.perf_counter() - started) * 1000.0)
         return tuple(recovery.engine.objects), recovery.epoch
 
     def _snapshot_at(self, resolved: ResolvedRef):

@@ -118,6 +118,16 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--explain", action="store_true", help="print the plan only; execute nothing"
     )
+    query.add_argument(
+        "--trace", action="store_true",
+        help="run under a trace and print the span tree (EXPLAIN-ANALYZE style, "
+        "with per-span timings and kernel-batch counts)",
+    )
+    query.add_argument(
+        "--root", type=str, default=None, metavar="DIR",
+        help="query a sharded durable root (wal/ + checkpoints/) instead of "
+        "building an in-process engine (range, knn and join kinds)",
+    )
     query.add_argument("--extent", type=float, default=120.0, help="window edge length (um)")
     query.add_argument(
         "--center", type=str, default=None,
@@ -235,6 +245,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--catalog", type=str, default=None, metavar="DIR",
         help="attach a dataset catalog: clients may send cross-dataset joins "
         "against its tagged datasets",
+    )
+    server.add_argument(
+        "--slow-query-ms", type=float, default=None, metavar="MS",
+        help="record queries slower than MS into the ring-buffer slow-query "
+        "log (queryable via 'repro connect --cmd slowlog')",
     )
 
     connect = sub.add_parser(
@@ -523,6 +538,70 @@ def _run_cross_join(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_query_root(args: argparse.Namespace) -> int:
+    """``repro query <kind> --root DIR [--trace]`` — query a durable service.
+
+    Opens the sharded durable root (checkpoint + WAL replay), runs one
+    query through the :class:`~repro.service.ShardedEngine`, and with
+    ``--trace`` prints the full nested span tree — admission, per-shard
+    fan-out and per-shard engine execution, each with its kernel-batch
+    count.
+    """
+    import repro
+    from repro.engine import KNNQuery, RangeQuery, SpatialJoin
+    from repro.errors import ReproError
+    from repro.geometry.aabb import AABB
+    from repro.geometry.vec import Vec3
+    from repro.obs import trace as obs_trace
+
+    if args.kind == "walk":
+        return _fail("--root supports the range, knn and join kinds")
+    service = None
+    try:
+        service = repro.open(args.root, sharded=True)
+        print(service.describe())
+        print()
+        _, objects = service.snapshot_objects()
+        if args.center is not None:
+            parts = [float(v) for v in args.center.split(",")]
+            if len(parts) != 3:
+                raise ValueError("--center must be x,y,z")
+            center = Vec3(*parts)
+        else:
+            center = AABB.union_all(o.aabb for o in objects).center()
+        if args.kind == "range":
+            query = RangeQuery(
+                AABB.from_center_extent(center, args.extent), strategy=args.strategy
+            )
+        elif args.kind == "knn":
+            query = KNNQuery(center, args.k, strategy=args.strategy)
+        else:
+            sides = tuple(objects)
+            query = SpatialJoin(
+                eps=args.eps, side_a=sides, side_b=sides, strategy=args.strategy
+            )
+        if args.trace:
+            with obs_trace.start_trace("query", kind=args.kind) as root_span:
+                result = service.execute(query)
+            print(root_span.render())
+            print()
+        else:
+            result = service.execute(query)
+        stats = result.stats
+        print(
+            f"{stats.kind}: {stats.num_results} results at epoch {stats.epoch} "
+            f"in {stats.elapsed_ms:.2f} ms across {stats.shards_used} shard(s)"
+        )
+        print()
+        print(service.telemetry.render())
+    except (ReproError, ValueError, OSError) as error:
+        return _fail(error)
+    finally:
+        if service is not None:
+            service.close()
+    return 0
+
+
 def _run_query(args: argparse.Namespace) -> int:
     import repro
     from repro.errors import ReproError
@@ -533,6 +612,8 @@ def _run_query(args: argparse.Namespace) -> int:
         if args.kind != "join":
             return _fail("--dataset/--against apply to the join kind only")
         return _run_cross_join(args)
+    if args.root is not None:
+        return _run_query_root(args)
     try:
         if args.circuit is not None:
             from repro.neuro.persistence import load_circuit
@@ -551,10 +632,20 @@ def _run_query(args: argparse.Namespace) -> int:
         print(plan.render())
         if args.explain:
             return 0
-        result = engine.execute(query)
+        if args.trace:
+            from repro.obs import trace as obs_trace
+
+            with obs_trace.start_trace("query", kind=args.kind) as root_span:
+                result = engine.execute(query)
+        else:
+            root_span = None
+            result = engine.execute(query)
     except (ReproError, ValueError, OSError) as error:
         return _fail(error)
 
+    if root_span is not None:
+        print()
+        print(root_span.render())
     print()
     print(result.render())
     if args.kind == "walk":
@@ -608,6 +699,14 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             raise ValueError("shard counts must be >= 1")
         if not 0.0 <= args.write_fraction <= 1.0:
             raise ValueError("--write-fraction must be in [0, 1]")
+        if args.queries < 1:
+            raise ValueError("--queries must be >= 1")
+        if args.workers is not None and args.workers < 1:
+            raise ValueError("--workers must be >= 1")
+        if args.timeout is not None and args.timeout <= 0.0:
+            raise ValueError("--timeout must be > 0")
+        if args.extent <= 0.0:
+            raise ValueError("--extent must be > 0")
 
         if args.circuit is not None:
             from repro.neuro.persistence import load_circuit
@@ -667,7 +766,7 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             "replays the identical operation stream)"
         )
         single_node_ms: float | None = None
-        summary: tuple[str, str] | None = None
+        summary: tuple[str, str, dict[int, float]] | None = None
         wal_roots: list[Path] = []
         for count in shard_counts:
             service_kwargs = dict(
@@ -709,7 +808,14 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
                     else:
                         results.append(service.execute(op))
                 wall_ms = (time.perf_counter() - start) * 1000.0
-                summary = (service.describe(), service.telemetry.render())
+                # Per-shard CPU clock comes from the metrics registry, which
+                # both executors feed from time.thread_time() on the worker —
+                # thread and process sweeps report the same clock model.
+                summary = (
+                    service.describe(),
+                    service.telemetry.render(),
+                    service.telemetry.per_shard_cpu_ms,
+                )
             makespan = batch_makespan_ms(results)
             total_work = batch_total_work_ms(results)
             if single_node_ms is None:
@@ -735,6 +841,16 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
             print()
             print(summary[0])
             print(summary[1])
+            if summary[2]:
+                cpu_table = Table(
+                    ["shard", "cpu ms"],
+                    title=f"per-shard CPU clock ({args.executor} executor, "
+                    "thread_time per subtask)",
+                )
+                for shard_id in sorted(summary[2]):
+                    cpu_table.add_row([shard_id, round(summary[2][shard_id], 2)])
+                print()
+                print(cpu_table.render())
         if wal_roots:
             print()
             for wal_root in wal_roots:
@@ -760,6 +876,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             max_in_flight=args.max_in_flight,
             max_queued=args.max_queued,
             default_timeout_s=args.timeout,
+            slow_query_ms=args.slow_query_ms,
         )
         if args.replica_of is not None:
             host, _, port = args.replica_of.rpartition(":")
@@ -847,6 +964,8 @@ def _connect_help() -> str:
         "  delete UID               delete an object\n"
         "  move UID X,Y,Z EXTENT    move an object\n"
         "  stats [MIN_EPOCH]        service snapshot (optionally wait for an epoch)\n"
+        "  metrics                  Prometheus scrape of the server's metrics registry\n"
+        "  slowlog                  the server's ring-buffer slow-query log\n"
         "  checkpoint               write a durable checkpoint (primary + --wal)\n"
         "  promote                  failover: make this replica the primary\n"
         "  shutdown                 drain and stop the server\n"
@@ -909,6 +1028,26 @@ def _connect_command(client, line: str) -> str:
             f"in_flight={admission['in_flight']} queued={admission['queued']} "
             f"rejected={admission['rejected']}"
         )
+    if command == "metrics":
+        return client.metrics().rstrip("\n")
+    if command == "slowlog":
+        reply = client.slowlog()
+        if not reply["enabled"]:
+            return "slow-query log disabled (start the server with --slow-query-ms)"
+        if not reply["entries"]:
+            return "slow-query log is empty"
+        lines = []
+        for entry in reply["entries"]:
+            extras = " ".join(
+                f"{key}={value}"
+                for key, value in entry.items()
+                if key not in ("kind", "elapsed_ms", "ts")
+            )
+            lines.append(
+                f"{entry['kind']}: {entry['elapsed_ms']:.2f} ms"
+                + (f"  {extras}" if extras else "")
+            )
+        return "\n".join(lines)
     if command == "checkpoint":
         reply = client.checkpoint()
         return f"checkpointed epoch {reply['epoch']} at {reply['path']}"

@@ -30,7 +30,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.touch.join import _assign, _probe
+from repro.core.touch.join import _assign, _probe_bucket
 from repro.core.touch.stats import REF_BYTES, CandidateBatch, JoinStats, RefineFunc
 from repro.core.touch.tree import TouchNode, build_touch_tree
 from repro.errors import JoinError
@@ -106,8 +106,9 @@ def probe_shard(
         _assign(root, b, eps, counter, filtering, buckets=buckets)
     candidates = CandidateBatch(refine, counter, pairs)
     for node in bucket_nodes:
-        for b in buckets.get(id(node), ()):
-            _probe(node, b, eps, counter, candidates)
+        assigned = buckets.get(id(node))
+        if assigned:
+            _probe_bucket(node, assigned, eps, counter, candidates)
     candidates.flush()
     elapsed_ms = (time.perf_counter() - start) * 1000.0
     return pairs, counter, elapsed_ms

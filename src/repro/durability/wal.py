@@ -48,6 +48,7 @@ import json
 import os
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -56,8 +57,28 @@ from typing import Callable, Iterator, Sequence
 from repro.durability.serde import decode_batch, encode_batch
 from repro.engine.mutations import Mutation
 from repro.errors import DurabilityError, WalCorruptionError
+from repro.obs.metrics import LATENCY_BUCKETS_MS, SIZE_BUCKETS, global_registry
 
 __all__ = ["WriteAheadLog", "WalStats", "WalScan", "read_wal"]
+
+#: Process-wide WAL families, registered eagerly for the wire scrape.
+_REGISTRY = global_registry()
+_W_FSYNC = _REGISTRY.histogram(
+    "repro_wal_fsync_ms",
+    "Wall time of one WAL flush (write + flush + optional fsync), ms",
+    buckets=LATENCY_BUCKETS_MS,
+)
+_W_BATCH_SIZE = _REGISTRY.histogram(
+    "repro_wal_group_commit_batches",
+    "Records per group-commit flush",
+    buckets=SIZE_BUCKETS,
+)
+_W_ROTATIONS = _REGISTRY.counter(
+    "repro_wal_segment_rotations_total", "WAL segment files closed by rotation"
+)
+_W_APPENDS = _REGISTRY.counter(
+    "repro_wal_batches_appended_total", "Mutation batches appended to any WAL"
+)
 
 _MAGIC = b"RWAL"
 _FORMAT_VERSION = 1
@@ -436,6 +457,7 @@ class WriteAheadLog:
             self._buffered_bytes += len(record)
             self.stats.batches_appended += 1
             self.stats.mutations_appended += len(mutations)
+            _W_APPENDS.inc()
             if (
                 len(self._buffer) >= self.flush_batches
                 or self._buffered_bytes >= self.flush_bytes
@@ -450,6 +472,8 @@ class WriteAheadLog:
                 raise DurabilityError("write-ahead log is closed")
             if not self._buffer:
                 return
+            _W_BATCH_SIZE.observe(len(self._buffer))
+            flush_start = time.perf_counter()
             handle = self._current_handle()
             for record in self._buffer:
                 handle.write(record)
@@ -458,6 +482,7 @@ class WriteAheadLog:
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
+            _W_FSYNC.observe((time.perf_counter() - flush_start) * 1000.0)
             self._last_durable_seq = self.last_seq
             self._buffer.clear()
             self._buffered_bytes = 0
@@ -485,6 +510,7 @@ class WriteAheadLog:
             self._handle = None
         self._segment_index += 1
         self._segment_size = 0
+        _W_ROTATIONS.inc()
 
     # -- reading back --------------------------------------------------------
     def scan(self, strict: bool = False) -> WalScan:

@@ -51,6 +51,7 @@ from repro.engine.queries import KNNQuery, Query, RangeQuery, SpatialJoin, Walkt
 from repro.engine.stats import EngineResult, EngineTelemetry
 from repro.errors import EngineError
 from repro.neuro.circuit import Circuit, generate_circuit
+from repro.obs import trace
 from repro.neuro.persistence import load_circuit, save_circuit
 from repro.objects import SpatialObject
 from repro.rtree.bulk import str_bulk_load
@@ -381,37 +382,43 @@ class SpatialEngine:
     # -- execution -------------------------------------------------------------
     def execute(self, query: Query) -> EngineResult:
         """Plan and run one query, returning the uniform result envelope."""
-        plan_start = time.perf_counter()
-        if isinstance(query, SpatialJoin):
-            side_a, side_b = self._join_sides(query)
-            plan = self.planner.plan(query, join_sizes=(len(side_a), len(side_b)))
-        else:
-            plan = self.planner.plan(query)
-        planning_ms = (time.perf_counter() - plan_start) * 1000.0
-
-        if isinstance(query, RangeQuery):
-            payload, stats, raw = self._execute_range(query, plan)
-        elif isinstance(query, KNNQuery):
-            payload, stats, raw = self._execute_knn(query, plan)
-        elif isinstance(query, SpatialJoin):
-            payload, stats, raw = timed(lambda: run_join(plan.strategy, side_a, side_b, query))
-        elif isinstance(query, Walkthrough):
-            # A cold walkthrough runs on a private pool so its cache drop
-            # cannot evict the warm pages other queries in a batch rely on;
-            # a warm walkthrough continues on the shared pool.
-            if query.cold_cache:
-                walk_pool = BufferPool(self.flat_index().disk, capacity=self.pool_capacity)
+        with trace.span("engine.execute") as sp:
+            plan_start = time.perf_counter()
+            if isinstance(query, SpatialJoin):
+                side_a, side_b = self._join_sides(query)
+                plan = self.planner.plan(query, join_sizes=(len(side_a), len(side_b)))
             else:
-                walk_pool = self.buffer_pool()
-            payload, stats, raw = timed(
-                lambda: run_walk(self.flat_index(), walk_pool, plan.strategy, query)
-            )
-        else:
-            raise EngineError(f"cannot execute query of type {type(query).__name__}")
+                plan = self.planner.plan(query)
+            planning_ms = (time.perf_counter() - plan_start) * 1000.0
 
-        stats.planning_ms = planning_ms
-        self.telemetry.record(stats)
-        return EngineResult(payload=payload, stats=stats, plan=plan, raw=raw)
+            if isinstance(query, RangeQuery):
+                payload, stats, raw = self._execute_range(query, plan)
+            elif isinstance(query, KNNQuery):
+                payload, stats, raw = self._execute_knn(query, plan)
+            elif isinstance(query, SpatialJoin):
+                payload, stats, raw = timed(
+                    lambda: run_join(plan.strategy, side_a, side_b, query)
+                )
+            elif isinstance(query, Walkthrough):
+                # A cold walkthrough runs on a private pool so its cache drop
+                # cannot evict the warm pages other queries in a batch rely on;
+                # a warm walkthrough continues on the shared pool.
+                if query.cold_cache:
+                    walk_pool = BufferPool(
+                        self.flat_index().disk, capacity=self.pool_capacity
+                    )
+                else:
+                    walk_pool = self.buffer_pool()
+                payload, stats, raw = timed(
+                    lambda: run_walk(self.flat_index(), walk_pool, plan.strategy, query)
+                )
+            else:
+                raise EngineError(f"cannot execute query of type {type(query).__name__}")
+
+            stats.planning_ms = planning_ms
+            self.telemetry.record(stats)
+            sp.set(kind=stats.kind, strategy=stats.strategy, results=stats.num_results)
+            return EngineResult(payload=payload, stats=stats, plan=plan, raw=raw)
 
     def _execute_range(self, query: RangeQuery, plan: QueryPlan):
         if plan.strategy == "flat":

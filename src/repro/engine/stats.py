@@ -9,10 +9,10 @@ path serve the CLI for all four query kinds.
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.obs.metrics import LATENCY_BUCKETS_MS, Counter, global_registry
 from repro.utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -20,6 +20,34 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.engine.planner import QueryPlan
 
 __all__ = ["EngineStats", "EngineResult", "EngineTelemetry"]
+
+# Process-wide engine families, registered eagerly so the wire scrape sees
+# the names even before the first query runs.
+_REGISTRY = global_registry()
+_Q_TOTAL = _REGISTRY.counter(
+    "repro_engine_queries_total",
+    "Queries executed across every engine in the process",
+    label_names=("kind", "strategy"),
+)
+_Q_RESULTS = _REGISTRY.counter(
+    "repro_engine_results_total", "Result rows returned by engine queries"
+)
+_Q_LATENCY = _REGISTRY.histogram(
+    "repro_engine_query_latency_ms",
+    "Per-query execution wall time (ms)",
+    label_names=("kind",),
+    buckets=LATENCY_BUCKETS_MS,
+)
+_Q_KERNEL_BATCHES = _REGISTRY.counter(
+    "repro_engine_kernel_batches_total",
+    "Batch kernel calls issued by engine queries",
+    label_names=("backend",),
+)
+_M_TOTAL = _REGISTRY.counter(
+    "repro_engine_mutations_total",
+    "Mutations applied by engine write batches",
+    label_names=("op",),
+)
 
 
 @dataclass
@@ -84,65 +112,148 @@ class EngineResult:
         return table.render()
 
 
-@dataclass
+def _family_as_dict(family: Counter) -> dict[str, int]:
+    """A labeled counter family as the plain dict the old telemetry exposed."""
+    out: dict[str, int] = {}
+    for child in family.children():
+        value = child.value
+        if value:
+            out[child.label_values[0]] = int(value)
+    return out
+
+
 class EngineTelemetry:
     """Engine-lifetime aggregate of every executed query's counters.
 
-    ``record`` is atomic under an internal lock: a telemetry object fed
-    from several worker threads (the :class:`~repro.service.ShardedEngine`
-    service) never loses an increment to a read-modify-write race.  Plain
-    attribute reads remain lock-free — aggregate counters are monotone, so
-    a reader sees a consistent-enough snapshot for reporting; use one
-    quiescent point (no in-flight queries) for exact conservation checks.
+    Backed by :mod:`repro.obs.metrics` primitives: every count is a
+    per-instance :class:`~repro.obs.metrics.Counter` whose per-thread cells
+    make ``record`` lock-free — process-pool result handlers and shard
+    worker threads can feed one telemetry object without losing an
+    increment to a read-modify-write race.  Reads sum the cells, exact at
+    any quiescent point (no in-flight queries), which is the conservation
+    contract the stress suite asserts.  Each recording also feeds the
+    process-wide ``repro_engine_*`` families for the wire scrape.
     """
 
-    queries_executed: int = 0
-    pages_read: int = 0
-    io_time_ms: float = 0.0
-    comparisons: int = 0
-    results_returned: int = 0
-    elapsed_ms: float = 0.0
-    planning_ms: float = 0.0
-    kernel_batches: int = 0
-    mutation_batches: int = 0
-    mutations_applied: int = 0
-    inserts: int = 0
-    deletes: int = 0
-    moves: int = 0
-    mutation_ms: float = 0.0
-    by_kind: dict[str, int] = field(default_factory=dict)
-    by_strategy: dict[str, int] = field(default_factory=dict)
-    by_kernel_backend: dict[str, int] = field(default_factory=dict)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+    def __init__(self) -> None:
+        self._queries = Counter("queries_executed")
+        self._pages = Counter("pages_read")
+        self._io_ms = Counter("io_time_ms")
+        self._comparisons = Counter("comparisons")
+        self._results = Counter("results_returned")
+        self._elapsed_ms = Counter("elapsed_ms")
+        self._planning_ms = Counter("planning_ms")
+        self._kernel_batches = Counter("kernel_batches")
+        self._mutation_batches = Counter("mutation_batches")
+        self._mutations_applied = Counter("mutations_applied")
+        self._inserts = Counter("inserts")
+        self._deletes = Counter("deletes")
+        self._moves = Counter("moves")
+        self._mutation_ms = Counter("mutation_ms")
+        self._by_kind = Counter("by_kind", label_names=("kind",))
+        self._by_strategy = Counter("by_strategy", label_names=("strategy",))
+        self._by_backend = Counter("by_kernel_backend", label_names=("backend",))
 
     def record(self, stats: EngineStats) -> None:
-        with self._lock:
-            self.queries_executed += 1
-            self.pages_read += stats.pages_read
-            self.io_time_ms += stats.io_time_ms
-            self.comparisons += stats.comparisons
-            self.results_returned += stats.num_results
-            self.elapsed_ms += stats.elapsed_ms
-            self.planning_ms += stats.planning_ms
-            self.kernel_batches += stats.kernel_batches
-            self.by_kind[stats.kind] = self.by_kind.get(stats.kind, 0) + 1
-            self.by_strategy[stats.strategy] = self.by_strategy.get(stats.strategy, 0) + 1
-            if stats.kernel_backend:
-                self.by_kernel_backend[stats.kernel_backend] = (
-                    self.by_kernel_backend.get(stats.kernel_backend, 0) + 1
-                )
+        self._queries.inc()
+        self._pages.inc(stats.pages_read)
+        self._io_ms.inc(stats.io_time_ms)
+        self._comparisons.inc(stats.comparisons)
+        self._results.inc(stats.num_results)
+        self._elapsed_ms.inc(stats.elapsed_ms)
+        self._planning_ms.inc(stats.planning_ms)
+        self._kernel_batches.inc(stats.kernel_batches)
+        self._by_kind.labels(kind=stats.kind).inc()
+        self._by_strategy.labels(strategy=stats.strategy).inc()
+        if stats.kernel_backend:
+            self._by_backend.labels(backend=stats.kernel_backend).inc()
+            _Q_KERNEL_BATCHES.labels(backend=stats.kernel_backend).inc(
+                stats.kernel_batches
+            )
+        _Q_TOTAL.labels(kind=stats.kind, strategy=stats.strategy).inc()
+        _Q_RESULTS.inc(stats.num_results)
+        _Q_LATENCY.labels(kind=stats.kind).observe(stats.elapsed_ms)
 
     def record_mutations(self, stats: "MutationStats") -> None:
         """Fold one ``apply_many`` batch's counters into the lifetime view."""
-        with self._lock:
-            self.mutation_batches += 1
-            self.mutations_applied += stats.applied
-            self.inserts += stats.inserts
-            self.deletes += stats.deletes
-            self.moves += stats.moves
-            self.mutation_ms += stats.elapsed_ms
+        self._mutation_batches.inc()
+        self._mutations_applied.inc(stats.applied)
+        self._inserts.inc(stats.inserts)
+        self._deletes.inc(stats.deletes)
+        self._moves.inc(stats.moves)
+        self._mutation_ms.inc(stats.elapsed_ms)
+        _M_TOTAL.labels(op="insert").inc(stats.inserts)
+        _M_TOTAL.labels(op="delete").inc(stats.deletes)
+        _M_TOTAL.labels(op="move").inc(stats.moves)
+
+    # -- compat surface (the attributes the old dataclass exposed) ------------
+    @property
+    def queries_executed(self) -> int:
+        return int(self._queries.value)
+
+    @property
+    def pages_read(self) -> int:
+        return int(self._pages.value)
+
+    @property
+    def io_time_ms(self) -> float:
+        return self._io_ms.value
+
+    @property
+    def comparisons(self) -> int:
+        return int(self._comparisons.value)
+
+    @property
+    def results_returned(self) -> int:
+        return int(self._results.value)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self._elapsed_ms.value
+
+    @property
+    def planning_ms(self) -> float:
+        return self._planning_ms.value
+
+    @property
+    def kernel_batches(self) -> int:
+        return int(self._kernel_batches.value)
+
+    @property
+    def mutation_batches(self) -> int:
+        return int(self._mutation_batches.value)
+
+    @property
+    def mutations_applied(self) -> int:
+        return int(self._mutations_applied.value)
+
+    @property
+    def inserts(self) -> int:
+        return int(self._inserts.value)
+
+    @property
+    def deletes(self) -> int:
+        return int(self._deletes.value)
+
+    @property
+    def moves(self) -> int:
+        return int(self._moves.value)
+
+    @property
+    def mutation_ms(self) -> float:
+        return self._mutation_ms.value
+
+    @property
+    def by_kind(self) -> dict[str, int]:
+        return _family_as_dict(self._by_kind)
+
+    @property
+    def by_strategy(self) -> dict[str, int]:
+        return _family_as_dict(self._by_strategy)
+
+    @property
+    def by_kernel_backend(self) -> dict[str, int]:
+        return _family_as_dict(self._by_backend)
 
     def render(self) -> str:
         table = Table(["metric", "value"], title="engine telemetry")

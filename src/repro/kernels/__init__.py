@@ -52,6 +52,7 @@ __all__ = [
     "slice_packed",
     "box_intersects",
     "box_contains",
+    "box_overlap_pairs",
     "point_box_distance",
     "box_box_distance",
     "segment_distances",
@@ -86,11 +87,15 @@ class KernelCounters:
 
     def __init__(self) -> None:
         self._local = threading.local()
+        self._slots_lock = threading.Lock()
+        self._slots: list[list[int]] = []
 
     def _slot(self) -> list[int]:
         slot = getattr(self._local, "slot", None)
         if slot is None:
             slot = self._local.slot = [0, 0]
+            with self._slots_lock:
+                self._slots.append(slot)
         return slot
 
     @property
@@ -114,6 +119,19 @@ class KernelCounters:
     def snapshot(self) -> tuple[int, int]:
         slot = self._slot()
         return (slot[0], slot[1])
+
+    def totals(self) -> tuple[int, int]:
+        """``(batches, elements)`` summed across every thread ever seen.
+
+        The cross-thread aggregate the metrics registry exports; exact at
+        any quiescent point.  ``reset`` still only clears the calling
+        thread's slot, so totals are monotone while any thread works.
+        """
+        with self._slots_lock:
+            return (
+                sum(slot[0] for slot in self._slots),
+                sum(slot[1] for slot in self._slots),
+            )
 
 
 #: Per-thread batch counters, surfaced per query by the engine executors.
@@ -250,6 +268,20 @@ def capsule_pairs_touch(segpack_a: Any, segpack_b: Any, eps: float = 0.0) -> Any
     """
     _record(_active.batch_len(segpack_a[0]))
     return _active.capsule_pairs_touch(segpack_a, segpack_b, eps)
+
+
+def box_overlap_pairs(
+    packed_a: Any, packed_b: Any, eps: float = 0.0
+) -> tuple[list[int], list[int]]:
+    """Every eps-expanded AABB-overlap pair of two (unsorted) batches.
+
+    The batched TOUCH probe filter: parallel index lists
+    ``(indices_a, indices_b)`` in B-major order, equal to running
+    :func:`box_intersects` once per B box.  Counted as one batch of
+    ``len(a) * len(b)`` pairwise tests.
+    """
+    _record(_active.batch_len(packed_a) * _active.batch_len(packed_b))
+    return _active.box_overlap_pairs(packed_a, packed_b, eps)
 
 
 def xsorted_overlap_pairs(

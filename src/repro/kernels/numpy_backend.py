@@ -254,6 +254,29 @@ def xsorted_overlap_pairs(
     return out_a.tolist(), out_b.tolist(), tested_1 + tested_2
 
 
+def box_overlap_pairs(
+    packed_a: np.ndarray, packed_b: np.ndarray, eps: float = 0.0
+) -> tuple[list[int], list[int]]:
+    """All eps-expanded AABB-overlap pairs of two (unsorted) batches.
+
+    One broadcast intersect matrix instead of one :func:`box_intersects`
+    call per B box — the batched TOUCH probe filter.  Pair order is
+    B-major (ascending A index within each B), matching the scalar
+    backend exactly; each elementwise test applies the same float
+    arithmetic as :func:`box_intersects`.
+    """
+    if len(packed_a) == 0 or len(packed_b) == 0:
+        return [], []
+    mask = packed_a[None, :, 0] <= (packed_b[:, 3] + eps)[:, None]
+    mask &= packed_a[None, :, 3] >= (packed_b[:, 0] - eps)[:, None]
+    mask &= packed_a[None, :, 1] <= (packed_b[:, 4] + eps)[:, None]
+    mask &= packed_a[None, :, 4] >= (packed_b[:, 1] - eps)[:, None]
+    mask &= packed_a[None, :, 2] <= (packed_b[:, 5] + eps)[:, None]
+    mask &= packed_a[None, :, 5] >= (packed_b[:, 2] - eps)[:, None]
+    indices_b, indices_a = np.nonzero(mask)
+    return indices_a.tolist(), indices_b.tolist()
+
+
 def hilbert_keys(coords: Sequence[Sequence[int]], order: int) -> np.ndarray:
     from repro.errors import GeometryError
     from repro.kernels import python_backend

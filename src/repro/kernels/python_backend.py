@@ -185,6 +185,38 @@ def xsorted_overlap_pairs(
     return out_a, out_b, tested
 
 
+def box_overlap_pairs(
+    packed_a: list[Bounds], packed_b: list[Bounds], eps: float = 0.0
+) -> tuple[list[int], list[int]]:
+    """All eps-expanded AABB-overlap pairs of two (unsorted) batches.
+
+    Pair order is B-major (ascending A index within each B); each test is
+    exactly the :func:`box_intersects` arithmetic, so the pair set equals
+    one ``box_intersects`` call per B box.
+    """
+    out_a: list[int] = []
+    out_b: list[int] = []
+    for j, b in enumerate(packed_b):
+        q_min_x = b[0] - eps
+        q_min_y = b[1] - eps
+        q_min_z = b[2] - eps
+        q_max_x = b[3] + eps
+        q_max_y = b[4] + eps
+        q_max_z = b[5] + eps
+        for i, a in enumerate(packed_a):
+            if (
+                a[0] <= q_max_x
+                and q_min_x <= a[3]
+                and a[1] <= q_max_y
+                and q_min_y <= a[4]
+                and a[2] <= q_max_z
+                and q_min_z <= a[5]
+            ):
+                out_a.append(i)
+                out_b.append(j)
+    return out_a, out_b
+
+
 def hilbert_keys(coords: Sequence[Sequence[int]], order: int) -> list[int]:
     return [hilbert_encode(c, order) for c in coords]
 

@@ -1,0 +1,67 @@
+"""Ring-buffer slow-query log, queryable over the wire.
+
+The service records every query whose wall time crosses the configured
+``slow_query_ms`` threshold into a bounded deque — oldest entries fall
+off, memory stays fixed no matter how bad a traffic pattern gets.  Each
+entry is a plain strict-JSON-safe dict so the ``slowlog`` protocol frame
+ships entries verbatim.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """A fixed-capacity log of queries slower than ``threshold_ms``.
+
+    ``threshold_ms=None`` disables recording entirely (the default), but
+    the log stays queryable — surfaces can always ask for entries and get
+    an empty list instead of a special case.
+    """
+
+    def __init__(self, threshold_ms: float | None = None, capacity: int = 128) -> None:
+        if threshold_ms is not None and threshold_ms < 0:
+            raise ValueError("slow_query_ms must be >= 0")
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be >= 1")
+        self.threshold_ms = threshold_ms
+        self.capacity = capacity
+        self._entries: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_ms is not None
+
+    def record(self, kind: str, elapsed_ms: float, **attrs: Any) -> bool:
+        """Log one finished query; returns whether it crossed the threshold."""
+        if self.threshold_ms is None or elapsed_ms < self.threshold_ms:
+            return False
+        entry: dict[str, Any] = {
+            "kind": kind,
+            "elapsed_ms": round(float(elapsed_ms), 3),
+            "ts": round(time.time(), 3),
+        }
+        entry.update(attrs)
+        with self._lock:
+            self._entries.append(entry)
+        return True
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Logged entries, oldest first (copies: safe to mutate/serialise)."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

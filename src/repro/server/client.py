@@ -48,6 +48,7 @@ class RemoteResult:
     epoch: int
     elapsed_ms: float
     wire_payload: Any  # the payload exactly as it crossed the wire
+    trace: dict[str, Any] | None = None  # server-side span tree, if requested
 
 
 class Subscription:
@@ -203,10 +204,16 @@ class Client:
         min_epoch: int | None = None,
         timeout_s: float | None = None,
         epoch_wait_s: float | None = None,
+        trace: bool = False,
     ) -> RemoteResult:
-        """Execute one query; ``min_epoch`` demands read-your-writes."""
+        """Execute one query; ``min_epoch`` demands read-your-writes.
+
+        ``trace=True`` asks the server to run the query under a trace and
+        ship the full server-side span tree back on the result
+        (:attr:`RemoteResult.trace`, a ``Span.to_dict`` record).
+        """
         return self._collect_result(
-            self._send_query(query, min_epoch, timeout_s, epoch_wait_s)
+            self._send_query(query, min_epoch, timeout_s, epoch_wait_s, trace)
         )
 
     def query_many(
@@ -225,6 +232,7 @@ class Client:
         strategy: str | None = None,
         refine: bool = False,
         min_epoch: int | None = None,
+        trace: bool = False,
     ) -> RemoteResult:
         """Distance self-join of the server's *live* dataset.
 
@@ -242,6 +250,8 @@ class Client:
         message: dict[str, Any] = {"type": "query", "query": record}
         if min_epoch is not None:
             message["min_epoch"] = min_epoch
+        if trace:
+            message["trace"] = True
         return self._collect_result(self._send(message))
 
     def cross_join(
@@ -251,6 +261,7 @@ class Client:
         eps: float,
         strategy: str | None = None,
         refine: bool = False,
+        trace: bool = False,
     ) -> RemoteResult:
         """Distance join across two *catalogued* datasets on the server.
 
@@ -276,7 +287,10 @@ class Client:
             "refine": refine,
             "sides": {"datasets": {"a": split(ref_a), "b": split(ref_b)}},
         }
-        return self._collect_result(self._send({"type": "query", "query": record}))
+        message: dict[str, Any] = {"type": "query", "query": record}
+        if trace:
+            message["trace"] = True
+        return self._collect_result(self._send(message))
 
     def _send_query(
         self,
@@ -284,6 +298,7 @@ class Client:
         min_epoch: int | None,
         timeout_s: float | None,
         epoch_wait_s: float | None,
+        trace: bool = False,
     ) -> int:
         message: dict[str, Any] = {"type": "query", "query": protocol.encode_query(query)}
         if min_epoch is not None:
@@ -292,6 +307,8 @@ class Client:
             message["timeout_s"] = timeout_s
         if epoch_wait_s is not None:
             message["epoch_wait_s"] = epoch_wait_s
+        if trace:
+            message["trace"] = True
         return self._send(message)
 
     def _collect_result(self, request_id: int) -> RemoteResult:
@@ -303,6 +320,7 @@ class Client:
             epoch=int(reply["epoch"]),
             elapsed_ms=float(reply["elapsed_ms"]),
             wire_payload=reply["payload"],
+            trace=reply.get("trace"),
         )
 
     def mutate(self, mutations: Sequence[Mutation]) -> int:
@@ -319,6 +337,15 @@ class Client:
         if min_epoch is not None:
             message["min_epoch"] = min_epoch
         return self._read_matching(self._send(message))
+
+    def metrics(self) -> str:
+        """The server's process-wide metrics in Prometheus text form."""
+        return str(self._read_matching(self._send({"type": "metrics"}))["text"])
+
+    def slowlog(self) -> dict[str, Any]:
+        """The server's slow-query log: ``{"enabled": bool, "entries": [...]}``."""
+        reply = self._read_matching(self._send({"type": "slowlog"}))
+        return {"enabled": bool(reply["enabled"]), "entries": list(reply["entries"])}
 
     def checkpoint(self) -> dict[str, Any]:
         """Ask a durable server to write a checkpoint at the current epoch."""

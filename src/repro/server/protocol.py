@@ -12,11 +12,15 @@ Request frames (client → server)
 ==============  ============================================================
 ``hello``       handshake; the reply describes the server
 ``query``       one declarative query (``query`` record, optional
-                ``min_epoch`` + ``epoch_wait_s`` for read-your-writes)
+                ``min_epoch`` + ``epoch_wait_s`` for read-your-writes;
+                ``trace: true`` asks for the server-side span tree on
+                the result)
 ``mutate``      one mutation batch (``mutations``, serde wire format);
                 journaled before the ack on a durable primary
 ``stats``       service snapshot (optional ``min_epoch`` wait — the
                 cheapest way to block until a replica caught up)
+``metrics``     the process-wide metrics registry in Prometheus text form
+``slowlog``     the service's ring-buffer slow-query log
 ``checkpoint``  write a durable checkpoint at the current epoch
 ``subscribe``   turn this connection into a replication stream (optional
                 ``from_epoch`` for WAL catch-up instead of a snapshot)
@@ -29,8 +33,11 @@ Response frames (server → client)
 ===============  ===========================================================
 ``welcome``      hello reply: protocol, version, role, epoch, dataset shape
 ``result``       query answer: ``kind``, ``epoch`` stamp, wire ``payload``
+                 (plus the ``trace`` span tree when the request asked)
 ``applied``      mutate ack: the published (and journaled) ``epoch``
 ``stats``        stats reply: role/epoch/admission/telemetry snapshot
+``metrics``      metrics reply: Prometheus ``text`` exposition
+``slowlog``      slowlog reply: ``enabled`` flag + ``entries`` list
 ``checkpointed``  checkpoint ack: ``epoch`` + manifest ``path``
 ``snapshot``     subscription bootstrap: ``epoch`` + full ``objects`` list
 ``batch``        one shipped mutation batch: ``seq`` + ``mutations``

@@ -35,6 +35,8 @@ import contextlib
 import functools
 import signal
 import threading
+import time
+from collections import deque
 from typing import Any, Callable, Sequence
 
 from repro.durability.recovery import checkpoint_sharded
@@ -47,8 +49,30 @@ from repro.errors import (
     ServiceOverloadError,
     ServiceTimeoutError,
 )
+from repro.obs import trace
+from repro.obs.metrics import LATENCY_BUCKETS_MS, global_registry
 from repro.server import protocol
 from repro.server.client import Client, Subscription
+
+_SRV_FRAME_LATENCY = global_registry().histogram(
+    "repro_server_frame_latency_ms",
+    "Wall time dispatching one request frame, by frame type.",
+    label_names=("type",),
+    buckets=LATENCY_BUCKETS_MS,
+)
+_SRV_BUSY = global_registry().counter(
+    "repro_server_busy_rejections_total",
+    "Frames answered with a structured busy, by rejection point.",
+    label_names=("reason",),
+)
+_SRV_LAG_EPOCHS = global_registry().gauge(
+    "repro_server_replica_lag_epochs",
+    "Epochs the slowest connected replication subscriber is behind.",
+)
+_SRV_LAG_MS = global_registry().gauge(
+    "repro_server_replica_lag_ms",
+    "Age of the oldest epoch not yet shipped to the slowest subscriber.",
+)
 
 __all__ = [
     "ReproServer",
@@ -145,6 +169,8 @@ class ReproServer:
         self._subscribers: dict[asyncio.Queue, _Session] = {}
         self._epoch_waiters: list[tuple[int, asyncio.Future]] = []
         self._published_epoch = service.epoch
+        self._subscriber_progress: dict[asyncio.Queue, int] = {}
+        self._epoch_publish_times: deque[tuple[int, float]] = deque(maxlen=1024)
 
     # -- epoch plumbing ------------------------------------------------------
     def _epoch_hook(self, epoch: int, mutations: Sequence[Mutation]) -> None:
@@ -162,6 +188,7 @@ class ReproServer:
 
     def _publish_epoch(self, epoch: int, encoded: list[dict[str, Any]]) -> None:
         self._published_epoch = max(self._published_epoch, epoch)
+        self._epoch_publish_times.append((epoch, time.monotonic()))
         for queue, session in list(self._subscribers.items()):
             try:
                 queue.put_nowait((epoch, encoded))
@@ -178,6 +205,32 @@ class ReproServer:
             else:
                 still_waiting.append((target, future))
         self._epoch_waiters = still_waiting
+        self._update_lag_gauges()
+
+    def _update_lag_gauges(self) -> None:
+        """Replica lag of the *slowest* subscriber, in epochs and in age.
+
+        ``lag_ms`` is how long ago the oldest epoch that subscriber has
+        not yet received was published — the staleness bound an operator
+        actually cares about during failover.  No subscribers means no
+        replicas to lag: both gauges read 0.
+        """
+        if not self._subscriber_progress:
+            _SRV_LAG_EPOCHS.set(0)
+            _SRV_LAG_MS.set(0.0)
+            return
+        slowest = min(self._subscriber_progress.values())
+        lag_epochs = max(0, self._published_epoch - slowest)
+        _SRV_LAG_EPOCHS.set(lag_epochs)
+        if lag_epochs == 0:
+            _SRV_LAG_MS.set(0.0)
+            return
+        now = time.monotonic()
+        for epoch, published_at in self._epoch_publish_times:
+            if epoch > slowest:
+                _SRV_LAG_MS.set((now - published_at) * 1000.0)
+                return
+        _SRV_LAG_MS.set(0.0)
 
     def _current_epoch(self) -> int:
         # The service's own epoch covers batches a replica applied before
@@ -225,6 +278,7 @@ class ReproServer:
                     # Session backpressure: the bounded per-connection queue
                     # is the batching window; past it the client hears a
                     # structured busy, the connection stays up.
+                    _SRV_BUSY.labels(reason="session-queue").inc()
                     await self._send(
                         session,
                         self._busy_frame(
@@ -241,6 +295,7 @@ class ReproServer:
         self._sessions.discard(session)
         if session.subscriber_queue is not None:
             self._subscribers.pop(session.subscriber_queue, None)
+            self._subscriber_progress.pop(session.subscriber_queue, None)
         if session.forwarder is not None:
             session.forwarder.cancel()
         if session.worker is not None and not self._draining:
@@ -253,11 +308,13 @@ class ReproServer:
             frame = await session.pending.get()
             if frame is None:  # drain sentinel
                 return
+            started = time.perf_counter()
             try:
                 reply = await self._dispatch(frame, session)
             except ProtocolError as error:
                 reply = self._error_frame(frame, "protocol", str(error))
             except ServiceOverloadError as error:
+                _SRV_BUSY.labels(reason="admission").inc()
                 reply = self._busy_frame(frame, str(error))
             except ServiceTimeoutError as error:
                 reply = self._error_frame(frame, "timeout", str(error))
@@ -269,6 +326,9 @@ class ReproServer:
                 reply = self._error_frame(
                     frame, "internal", f"{type(error).__name__}: {error}"
                 )
+            _SRV_FRAME_LATENCY.labels(type=str(frame.get("type"))).observe(
+                (time.perf_counter() - started) * 1000.0
+            )
             if reply is not None:
                 try:
                     await self._send(session, reply)
@@ -339,6 +399,20 @@ class ReproServer:
             return self._reply(
                 frame, "checkpointed", epoch=self.service.epoch, path=str(path)
             )
+        if kind == "metrics":
+            # The scrape surface: the whole process-wide registry (engine,
+            # service, WAL, server, catalog) in Prometheus text form.
+            return self._reply(
+                frame, "metrics", text=global_registry().render_prometheus()
+            )
+        if kind == "slowlog":
+            log = getattr(self.service, "slow_log", None)
+            return self._reply(
+                frame,
+                "slowlog",
+                enabled=bool(log is not None and log.enabled),
+                entries=log.entries() if log is not None else [],
+            )
         if kind == "subscribe":
             await self._dispatch_subscribe(frame, session)
             return None  # the forwarder owns this connection's stream now
@@ -386,8 +460,14 @@ class ReproServer:
             catalog=self._catalog_resolver(),
         )
         timeout_s = frame.get("timeout_s")
-        result = await self._run_blocking(self.service.execute, query, timeout_s)
-        return self._reply(
+        trace_record: dict[str, Any] | None = None
+        if frame.get("trace"):
+            result, trace_record = await self._run_blocking(
+                self._traced_execute, query, timeout_s
+            )
+        else:
+            result = await self._run_blocking(self.service.execute, query, timeout_s)
+        reply = self._reply(
             frame,
             "result",
             kind=result.stats.kind,
@@ -395,6 +475,17 @@ class ReproServer:
             payload=protocol.encode_payload(result.stats.kind, result.payload),
             elapsed_ms=result.stats.elapsed_ms,
         )
+        if trace_record is not None:
+            reply["trace"] = trace_record
+        return reply
+
+    def _traced_execute(self, query: Any, timeout_s: float | None) -> tuple[Any, dict]:
+        """Execute under a trace — opened *on the executor thread*, because
+        a ContextVar set on the loop thread would not cross
+        ``run_in_executor`` into the service's calling thread."""
+        with trace.start_trace("server.query", role=self.role) as root:
+            result = self.service.execute(query, timeout_s)
+        return result, root.to_dict()
 
     async def _dispatch_mutate(self, frame: dict[str, Any]) -> dict[str, Any]:
         if self.role != "primary":
@@ -488,6 +579,8 @@ class ReproServer:
                 ),
             )
             sent_through = epoch
+        self._subscriber_progress[queue] = sent_through
+        self._update_lag_gauges()
         session.forwarder = asyncio.ensure_future(
             self._forward_batches(session, frame, queue, sent_through)
         )
@@ -508,10 +601,14 @@ class ReproServer:
                     session, self._reply(frame, "batch", seq=epoch, mutations=encoded)
                 )
                 sent_through = epoch
+                self._subscriber_progress[queue] = sent_through
+                self._update_lag_gauges()
         except (ConnectionError, OSError):
             pass
         finally:
             self._subscribers.pop(queue, None)
+            self._subscriber_progress.pop(queue, None)
+            self._update_lag_gauges()
 
     # -- failover ------------------------------------------------------------
     def promote(self) -> None:

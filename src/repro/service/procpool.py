@@ -56,6 +56,7 @@ from repro.engine.engine import SpatialEngine
 from repro.engine.executors import run_join, timed
 from repro.engine.queries import Query, SpatialJoin
 from repro.errors import ServiceError
+from repro.obs import trace
 from repro.objects import SpatialObject
 from repro.storage.arena import ColumnarArena
 
@@ -240,9 +241,19 @@ class ProcessShardExecutor:
 
     # -- fan-out ------------------------------------------------------------
     def submit_query(
-        self, publication: _Publication, shard_id: int, query: Query, backend: str
+        self,
+        publication: _Publication,
+        shard_id: int,
+        query: Query,
+        backend: str,
+        traced: bool = False,
     ) -> Future:
-        """One shard subtask against the publication's mapped columns."""
+        """One shard subtask against the publication's mapped columns.
+
+        With ``traced`` the worker captures a local span tree around the
+        execution and ships it back pickled (``Span.to_dict``) as the
+        result tuple's last element for the parent to re-parent.
+        """
         segment = publication.segments[shard_id]
         return self._submit(
             _run_query_task,
@@ -251,6 +262,7 @@ class ProcessShardExecutor:
             self._engine_kwargs,
             query,
             backend,
+            traced,
         )
 
     def submit_join_chunk(
@@ -260,9 +272,12 @@ class ProcessShardExecutor:
         chunk: Sequence[SpatialObject],
         query: SpatialJoin,
         backend: str,
+        traced: bool = False,
     ) -> Future:
         """One probe-side join chunk (sides travel by pickle, not by shm)."""
-        return self._submit(_run_join_task, strategy, side_a, chunk, query, backend)
+        return self._submit(
+            _run_join_task, strategy, side_a, chunk, query, backend, traced
+        )
 
     def _submit(self, fn, *args) -> Future:
         with self._lock:
@@ -362,13 +377,23 @@ def _run_query_task(
     engine_kwargs: dict[str, Any],
     query: Query,
     backend: str,
+    traced: bool = False,
 ):
     engine = _attached_engine(seg_name, stamp, engine_kwargs)
     with kernels.use_backend(backend):
         cpu_start = time.thread_time()
-        result = engine.execute(query)
+        if traced:
+            # The parent's span objects cannot cross the process boundary;
+            # capture a local trace and return it pickled for re-parenting.
+            with trace.start_trace("shard.worker") as root:
+                root.set(pid=os.getpid())
+                result = engine.execute(query)
+            span_dict = root.to_dict()
+        else:
+            result = engine.execute(query)
+            span_dict = None
         cpu_ms = (time.thread_time() - cpu_start) * 1000.0
-    return result.payload, result.stats, cpu_ms
+    return result.payload, result.stats, cpu_ms, span_dict
 
 
 def _run_join_task(
@@ -377,9 +402,21 @@ def _run_join_task(
     chunk: Sequence[SpatialObject],
     query: SpatialJoin,
     backend: str,
+    traced: bool = False,
 ):
     with kernels.use_backend(backend):
         cpu_start = time.thread_time()
-        payload, stats, _raw = timed(lambda: run_join(strategy, side_a, chunk, query))
+        if traced:
+            with trace.start_trace("shard.worker") as root:
+                root.set(pid=os.getpid())
+                payload, stats, _raw = timed(
+                    lambda: run_join(strategy, side_a, chunk, query)
+                )
+            span_dict = root.to_dict()
+        else:
+            payload, stats, _raw = timed(
+                lambda: run_join(strategy, side_a, chunk, query)
+            )
+            span_dict = None
         cpu_ms = (time.thread_time() - cpu_start) * 1000.0
-    return payload, stats, cpu_ms
+    return payload, stats, cpu_ms, span_dict

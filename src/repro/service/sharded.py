@@ -58,6 +58,7 @@ True
 
 from __future__ import annotations
 
+import contextvars
 import heapq
 import time
 from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
@@ -94,6 +95,8 @@ from repro.geometry.segment import Segment
 from repro.hilbert.curve import HilbertEncoder3D
 from repro.neuro.circuit import Circuit, generate_circuit
 from repro.neuro.persistence import load_circuit
+from repro.obs import trace
+from repro.obs.slowlog import SlowQueryLog
 from repro.objects import BoxObject, SpatialObject
 from repro.service.admission import AdmissionController
 from repro.service.procpool import ProcessShardExecutor
@@ -188,6 +191,10 @@ class ShardedEngine:
         Process-mode start method (``"fork"`` / ``"spawn"``); ``None``
         picks ``fork`` where available.  See
         :class:`~repro.service.procpool.ProcessShardExecutor`.
+    slow_query_ms:
+        Record every query whose wall time crosses this threshold into
+        the ring-buffer :attr:`slow_log` (queryable over the wire via the
+        ``slowlog`` frame); ``None`` disables recording.
     engine_kwargs:
         Forwarded to every per-shard :class:`SpatialEngine`
         (``page_capacity``, ``pool_capacity``, ``disk_params``, ...).
@@ -209,6 +216,7 @@ class ShardedEngine:
         initial_epoch: int = 0,
         executor: str = "thread",
         mp_start: str | None = None,
+        slow_query_ms: float | None = None,
         **engine_kwargs: Any,
     ) -> None:
         if not objects:
@@ -264,6 +272,7 @@ class ShardedEngine:
             queue_timeout_s=queue_timeout_s,
         )
         self.telemetry = ServiceTelemetry()
+        self.slow_log = SlowQueryLog(threshold_ms=slow_query_ms)
         self._epoch_listeners: list[Callable[[int, Sequence[Mutation]], None]] = []
         self._lifecycle = Condition()
         self._active = 0
@@ -723,24 +732,42 @@ class ShardedEngine:
         """
         self._begin_work()
         try:
-            self.telemetry.record_submitted()
-            try:
-                wait_ms = self.admission.admit()
-            except ServiceOverloadError:
-                self.telemetry.record_rejected()
-                raise
-            try:
-                result = self._execute_admitted(query, timeout_s, wait_ms)
-            except ServiceTimeoutError:
-                self.telemetry.record_timeout()
-                raise
-            except BaseException:
-                self.telemetry.record_failure()
-                raise
-            finally:
-                self.admission.release()
-            self.telemetry.record_completed(result.stats)
-            return result
+            with trace.span("service.execute", query=type(query).__name__) as sp:
+                self.telemetry.record_submitted()
+                try:
+                    with trace.span("service.admit") as admit_sp:
+                        wait_ms = self.admission.admit()
+                        admit_sp.set(wait_ms=round(wait_ms, 3))
+                except ServiceOverloadError:
+                    self.telemetry.record_rejected()
+                    raise
+                try:
+                    result = self._execute_admitted(query, timeout_s, wait_ms)
+                except ServiceTimeoutError:
+                    self.telemetry.record_timeout()
+                    raise
+                except BaseException:
+                    self.telemetry.record_failure()
+                    raise
+                finally:
+                    self.admission.release()
+                self.telemetry.record_completed(result.stats)
+                stats = result.stats
+                sp.set(
+                    kind=stats.kind,
+                    epoch=stats.epoch,
+                    shards=stats.shards_used,
+                    results=stats.num_results,
+                )
+                self.slow_log.record(
+                    stats.kind,
+                    stats.elapsed_ms,
+                    epoch=stats.epoch,
+                    shards_used=stats.shards_used,
+                    num_results=stats.num_results,
+                    admission_wait_ms=round(stats.admission_wait_ms, 3),
+                )
+                return result
         finally:
             self._end_work()
 
@@ -806,10 +833,27 @@ class ShardedEngine:
         subtasks: Sequence[tuple[int, Callable[[], Any]]],
         deadline: float | None,
     ) -> list[Any]:
-        """Run ``(shard_id, thunk)`` subtasks on the thread pool, in order."""
-        futures: list[tuple[int, Future]] = [
-            (shard_id, self._pool.submit(thunk)) for shard_id, thunk in subtasks
-        ]
+        """Run ``(shard_id, thunk)`` subtasks on the thread pool, in order.
+
+        When a trace is open, each thunk is submitted inside a copy of the
+        calling context, so the worker thread sees the parent span through
+        the :class:`~contextvars.ContextVar` and its ``shard.subtask`` span
+        (with that thread's own kernel-batch delta) lands under it.
+        """
+        if trace.active():
+            futures: list[tuple[int, Future]] = [
+                (
+                    shard_id,
+                    self._pool.submit(
+                        contextvars.copy_context().run, _traced_thunk, shard_id, thunk
+                    ),
+                )
+                for shard_id, thunk in subtasks
+            ]
+        else:
+            futures = [
+                (shard_id, self._pool.submit(thunk)) for shard_id, thunk in subtasks
+            ]
         return self._collect(futures, deadline)
 
     def _collect(
@@ -871,22 +915,28 @@ class ShardedEngine:
         """
         if self._procpool is not None and view.publication is not None:
             backend = kernels.active_backend()
+            traced = trace.active()
             futures = [
                 (
                     shard_id,
                     self._procpool.submit_query(
-                        view.publication, shard_id, subquery, backend
+                        view.publication, shard_id, subquery, backend, traced
                     ),
                 )
                 for shard_id, subquery in shard_queries
             ]
             outcomes = self._collect(futures, deadline)
-            return [
-                (_work_from(shard_id, stats, io_model=True, cpu_ms=cpu_ms), payload)
-                for (shard_id, _), (payload, stats, cpu_ms) in zip(
-                    shard_queries, outcomes
+            results = []
+            for (shard_id, _), (payload, stats, cpu_ms, span_dict) in zip(
+                shard_queries, outcomes
+            ):
+                # Worker spans come back pickled; re-parent them here so the
+                # process fan-out renders like the thread fan-out.
+                trace.attach(span_dict)
+                results.append(
+                    (_work_from(shard_id, stats, io_model=True, cpu_ms=cpu_ms), payload)
                 )
-            ]
+            return results
         shards_by_id = {s.spec.shard_id: s for s in view.shards}
         subtasks = [
             (
@@ -972,11 +1022,12 @@ class ShardedEngine:
             # the thread-mode split, so the sorted pair merge is
             # byte-identical.
             backend = kernels.active_backend()
+            traced = trace.active()
             futures = [
                 (
                     shard_id,
                     self._procpool.submit_join_chunk(
-                        plan.strategy, side_a, chunk, query, backend
+                        plan.strategy, side_a, chunk, query, backend, traced
                     ),
                 )
                 for shard_id, chunk in enumerate(chunks)
@@ -985,7 +1036,10 @@ class ShardedEngine:
             start = time.perf_counter()
             pairs: list[tuple[int, int]] = []
             work: list[ShardWork] = []
-            for (shard_id, _), (chunk_pairs, stats, cpu_ms) in zip(futures, outcomes):
+            for (shard_id, _), (chunk_pairs, stats, cpu_ms, span_dict) in zip(
+                futures, outcomes
+            ):
+                trace.attach(span_dict)
                 pairs.extend(chunk_pairs)
                 work.append(_work_from(shard_id, stats, io_model=False, cpu_ms=cpu_ms))
             pairs.sort()
@@ -1069,6 +1123,17 @@ class ShardedEngine:
             for shard_id, items in sorted(per_shard.items())
         ]
         return steps, combined, merge_ms
+
+
+def _traced_thunk(shard_id: int, thunk: Callable[[], Any]) -> Any:
+    """Run one fan-out thunk under a ``shard.subtask`` span.
+
+    Executes on the worker thread inside a copied context, so the span's
+    kernel-batch delta is that thread's own and the finished span appends
+    to the parent captured at submit time.
+    """
+    with trace.span("shard.subtask", shard=shard_id):
+        return thunk()
 
 
 def _work_from(

@@ -13,8 +13,8 @@ Per query the service reports two clocks:
   and machine-independent — which is what lets CI gate on it.
 
 :class:`ServiceTelemetry` aggregates across queries *and threads*: every
-mutation takes the internal lock, so counters sum consistently no matter
-how many client threads hammer one service.
+count rides the metrics registry's lock-free per-thread cells, so counters
+sum consistently no matter how many client threads hammer one service.
 """
 
 from __future__ import annotations
@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.engine.stats import EngineStats
+from repro.obs.metrics import LATENCY_BUCKETS_MS, Counter, global_registry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.mutations import MutationStats
@@ -215,71 +216,110 @@ def batch_cpu_makespan_ms(results: Iterable[ServiceResult]) -> float:
     return max(batch_per_shard_cpu_ms(results).values(), default=0.0)
 
 
+#: Process-wide service families, registered eagerly for the wire scrape.
+_REGISTRY = global_registry()
+_S_REQUESTS = _REGISTRY.counter(
+    "repro_service_requests_total",
+    "Sharded-service requests by outcome",
+    label_names=("outcome",),
+)
+_S_RESULTS = _REGISTRY.counter(
+    "repro_service_results_total", "Result rows returned by the sharded service"
+)
+_S_ADMISSION = _REGISTRY.histogram(
+    "repro_service_admission_wait_ms",
+    "Time requests spent queued before execution (ms)",
+    buckets=LATENCY_BUCKETS_MS,
+)
+_S_SUBTASK_CPU = _REGISTRY.histogram(
+    "repro_service_subtask_cpu_ms",
+    "CPU-clock time of one shard subtask (ms), thread or process executor",
+    buckets=LATENCY_BUCKETS_MS,
+)
+_S_MUTATIONS = _REGISTRY.counter(
+    "repro_service_mutations_total",
+    "Mutations applied through the sharded service",
+    label_names=("op",),
+)
+_S_EPOCH = _REGISTRY.gauge(
+    "repro_service_current_epoch", "Highest dataset epoch published by any service"
+)
+
+
 class ServiceTelemetry:
     """Service-lifetime aggregate, safe under concurrent mutation.
 
-    Unlike :class:`~repro.engine.stats.EngineTelemetry` (which guards only
-    its own ``record``), this object is the service's single source of
+    Every count is a per-instance :class:`repro.obs.metrics.Counter`, so
+    updates — including the ones issued from process-pool result handler
+    threads — ride the registry's lock-free per-thread cells; only the
+    epoch high-water mark keeps a lock (it is a max, not a sum).  Reads
+    sum the cells, which makes this object the service's single source of
     truth for conservation checks: ``completed + failed + rejected +
     timed_out == submitted`` holds at every quiescent point, and
     ``results_returned`` equals the sum of per-query result counts.
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.submitted = 0
-        self.completed = 0
-        self.rejected = 0
-        self.timed_out = 0
-        self.failed = 0
-        self.results_returned = 0
-        self.shard_subtasks = 0
-        self.admission_wait_ms = 0.0
-        self.makespan_ms = 0.0
-        self.total_work_ms = 0.0
-        self.by_kind: dict[str, int] = {}
-        self.per_shard_service_ms: dict[int, float] = {}
+        self._submitted = Counter("submitted")
+        self._completed = Counter("completed")
+        self._rejected = Counter("rejected")
+        self._timed_out = Counter("timed_out")
+        self._failed = Counter("failed")
+        self._results = Counter("results_returned")
+        self._shard_subtasks = Counter("shard_subtasks")
+        self._admission_wait_ms = Counter("admission_wait_ms")
+        self._makespan_ms = Counter("makespan_ms")
+        self._total_work_ms = Counter("total_work_ms")
+        self._by_kind = Counter("by_kind", label_names=("kind",))
+        self._per_shard_service_ms = Counter(
+            "per_shard_service_ms", label_names=("shard",)
+        )
+        self._per_shard_cpu_ms = Counter("per_shard_cpu_ms", label_names=("shard",))
         # Write-path counters (mutation batches published as epochs).
-        self.mutation_batches = 0
-        self.mutations_applied = 0
-        self.inserts = 0
-        self.deletes = 0
-        self.moves = 0
-        self.mutation_ms = 0.0
-        self.shards_rebuilt = 0
-        self.rebalances = 0
-        self.current_epoch = 0
+        self._mutation_batches = Counter("mutation_batches")
+        self._mutations_applied = Counter("mutations_applied")
+        self._inserts = Counter("inserts")
+        self._deletes = Counter("deletes")
+        self._moves = Counter("moves")
+        self._mutation_ms = Counter("mutation_ms")
+        self._shards_rebuilt = Counter("shards_rebuilt")
+        self._rebalances = Counter("rebalances")
+        self._epoch_lock = threading.Lock()
+        self._current_epoch = 0
 
-    # -- recording (each method takes the lock once) ---------------------------
+    # -- recording (lock-free except the epoch high-water mark) ----------------
     def record_submitted(self) -> None:
-        with self._lock:
-            self.submitted += 1
+        self._submitted.inc()
+        _S_REQUESTS.labels(outcome="submitted").inc()
 
     def record_rejected(self) -> None:
-        with self._lock:
-            self.rejected += 1
+        self._rejected.inc()
+        _S_REQUESTS.labels(outcome="rejected").inc()
 
     def record_timeout(self) -> None:
-        with self._lock:
-            self.timed_out += 1
+        self._timed_out.inc()
+        _S_REQUESTS.labels(outcome="timed_out").inc()
 
     def record_failure(self) -> None:
-        with self._lock:
-            self.failed += 1
+        self._failed.inc()
+        _S_REQUESTS.labels(outcome="failed").inc()
 
     def record_completed(self, stats: ServiceStats) -> None:
-        with self._lock:
-            self.completed += 1
-            self.results_returned += stats.num_results
-            self.shard_subtasks += stats.shards_used
-            self.admission_wait_ms += stats.admission_wait_ms
-            self.makespan_ms += stats.makespan_ms
-            self.total_work_ms += stats.total_work_ms
-            self.by_kind[stats.kind] = self.by_kind.get(stats.kind, 0) + 1
-            for work in stats.shard_work:
-                self.per_shard_service_ms[work.shard_id] = (
-                    self.per_shard_service_ms.get(work.shard_id, 0.0) + work.service_ms
-                )
+        self._completed.inc()
+        self._results.inc(stats.num_results)
+        self._shard_subtasks.inc(stats.shards_used)
+        self._admission_wait_ms.inc(stats.admission_wait_ms)
+        self._makespan_ms.inc(stats.makespan_ms)
+        self._total_work_ms.inc(stats.total_work_ms)
+        self._by_kind.labels(kind=stats.kind).inc()
+        for work in stats.shard_work:
+            self._per_shard_service_ms.labels(shard=work.shard_id).inc(work.service_ms)
+            if work.cpu_ms:
+                self._per_shard_cpu_ms.labels(shard=work.shard_id).inc(work.cpu_ms)
+                _S_SUBTASK_CPU.observe(work.cpu_ms)
+        _S_REQUESTS.labels(outcome="completed").inc()
+        _S_RESULTS.inc(stats.num_results)
+        _S_ADMISSION.observe(stats.admission_wait_ms)
 
     def record_mutations(self, stats: "MutationStats") -> None:
         """Fold one published mutation batch into the lifetime view.
@@ -290,53 +330,158 @@ class ServiceTelemetry:
         batches published (every ``apply_many`` bumps the epoch exactly
         once, rebalance or not).
         """
-        with self._lock:
-            self.mutation_batches += 1
-            self.mutations_applied += stats.applied
-            self.inserts += stats.inserts
-            self.deletes += stats.deletes
-            self.moves += stats.moves
-            self.mutation_ms += stats.elapsed_ms
-            self.shards_rebuilt += stats.shards_touched
-            if stats.rebalanced:
-                self.rebalances += 1
-            self.current_epoch = max(self.current_epoch, stats.epoch)
+        self._mutation_batches.inc()
+        self._mutations_applied.inc(stats.applied)
+        self._inserts.inc(stats.inserts)
+        self._deletes.inc(stats.deletes)
+        self._moves.inc(stats.moves)
+        self._mutation_ms.inc(stats.elapsed_ms)
+        self._shards_rebuilt.inc(stats.shards_touched)
+        if stats.rebalanced:
+            self._rebalances.inc()
+        _S_MUTATIONS.labels(op="insert").inc(stats.inserts)
+        _S_MUTATIONS.labels(op="delete").inc(stats.deletes)
+        _S_MUTATIONS.labels(op="move").inc(stats.moves)
+        with self._epoch_lock:
+            if stats.epoch > self._current_epoch:
+                self._current_epoch = stats.epoch
+                _S_EPOCH.set(stats.epoch)
+
+    # -- compat surface (the attributes the lock-era class exposed) ------------
+    @property
+    def submitted(self) -> int:
+        return int(self._submitted.value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def rejected(self) -> int:
+        return int(self._rejected.value)
+
+    @property
+    def timed_out(self) -> int:
+        return int(self._timed_out.value)
+
+    @property
+    def failed(self) -> int:
+        return int(self._failed.value)
+
+    @property
+    def results_returned(self) -> int:
+        return int(self._results.value)
+
+    @property
+    def shard_subtasks(self) -> int:
+        return int(self._shard_subtasks.value)
+
+    @property
+    def admission_wait_ms(self) -> float:
+        return self._admission_wait_ms.value
+
+    @property
+    def makespan_ms(self) -> float:
+        return self._makespan_ms.value
+
+    @property
+    def total_work_ms(self) -> float:
+        return self._total_work_ms.value
+
+    @property
+    def by_kind(self) -> dict[str, int]:
+        return {
+            child.label_values[0]: int(child.value)
+            for child in self._by_kind.children()
+            if child.value
+        }
+
+    @property
+    def per_shard_service_ms(self) -> dict[int, float]:
+        return {
+            int(child.label_values[0]): child.value
+            for child in self._per_shard_service_ms.children()
+        }
+
+    @property
+    def per_shard_cpu_ms(self) -> dict[int, float]:
+        """Total subtask CPU-clock ms per shard (thread or process workers)."""
+        return {
+            int(child.label_values[0]): child.value
+            for child in self._per_shard_cpu_ms.children()
+        }
+
+    @property
+    def mutation_batches(self) -> int:
+        return int(self._mutation_batches.value)
+
+    @property
+    def mutations_applied(self) -> int:
+        return int(self._mutations_applied.value)
+
+    @property
+    def inserts(self) -> int:
+        return int(self._inserts.value)
+
+    @property
+    def deletes(self) -> int:
+        return int(self._deletes.value)
+
+    @property
+    def moves(self) -> int:
+        return int(self._moves.value)
+
+    @property
+    def mutation_ms(self) -> float:
+        return self._mutation_ms.value
+
+    @property
+    def shards_rebuilt(self) -> int:
+        return int(self._shards_rebuilt.value)
+
+    @property
+    def rebalances(self) -> int:
+        return int(self._rebalances.value)
+
+    @property
+    def current_epoch(self) -> int:
+        with self._epoch_lock:
+            return self._current_epoch
 
     # -- reading ---------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
-        """A consistent copy of every counter (one lock acquisition)."""
-        with self._lock:
-            return {
-                "submitted": self.submitted,
-                "completed": self.completed,
-                "rejected": self.rejected,
-                "timed_out": self.timed_out,
-                "failed": self.failed,
-                "results_returned": self.results_returned,
-                "shard_subtasks": self.shard_subtasks,
-                "admission_wait_ms": self.admission_wait_ms,
-                "makespan_ms": self.makespan_ms,
-                "total_work_ms": self.total_work_ms,
-                "by_kind": dict(self.by_kind),
-                "per_shard_service_ms": dict(self.per_shard_service_ms),
-                "mutation_batches": self.mutation_batches,
-                "mutations_applied": self.mutations_applied,
-                "inserts": self.inserts,
-                "deletes": self.deletes,
-                "moves": self.moves,
-                "mutation_ms": self.mutation_ms,
-                "shards_rebuilt": self.shards_rebuilt,
-                "rebalances": self.rebalances,
-                "current_epoch": self.current_epoch,
-            }
+        """A copy of every counter (exact at any quiescent point)."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "timed_out": self.timed_out,
+            "failed": self.failed,
+            "results_returned": self.results_returned,
+            "shard_subtasks": self.shard_subtasks,
+            "admission_wait_ms": self.admission_wait_ms,
+            "makespan_ms": self.makespan_ms,
+            "total_work_ms": self.total_work_ms,
+            "by_kind": self.by_kind,
+            "per_shard_service_ms": self.per_shard_service_ms,
+            "mutation_batches": self.mutation_batches,
+            "mutations_applied": self.mutations_applied,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "moves": self.moves,
+            "mutation_ms": self.mutation_ms,
+            "shards_rebuilt": self.shards_rebuilt,
+            "rebalances": self.rebalances,
+            "current_epoch": self.current_epoch,
+        }
 
     @property
     def modelled_speedup(self) -> float:
         """Aggregate total-work / makespan — the modelled sharding win."""
-        with self._lock:
-            if self.makespan_ms <= 0.0:
-                return 1.0
-            return self.total_work_ms / self.makespan_ms
+        makespan = self.makespan_ms
+        if makespan <= 0.0:
+            return 1.0
+        return self.total_work_ms / makespan
 
     def render(self) -> str:
         snap = self.snapshot()

@@ -217,6 +217,35 @@ class TestCommittedArtifacts:
         for name, ratio in ratios.items():
             assert ratio >= 1.0, f"{name} vectorized is {ratio:.3f}x of scalar"
 
+    def test_trace_overhead_is_committed_under_5_percent(self, committed):
+        """The observability promise: with no trace open, the span plumbing
+        on the flat range-scan path costs under 5% versus no instrumentation
+        at all.  The workload records the overhead *percentage* in its
+        wall_ms field, so the committed artifacts pin the claim directly."""
+        for path in committed:
+            report = json.loads(path.read_text(encoding="utf-8"))
+            entries = [
+                w for w in report["workloads"] if w["name"] == "obs.trace_overhead_pct"
+            ]
+            assert entries, f"{path.name} missing obs.trace_overhead_pct"
+            for entry in entries:
+                assert entry["wall_ms"] < 5.0, (
+                    f"tracing-off overhead {entry['wall_ms']:.2f}% "
+                    f"[{entry['mode']}] breaches the 5% budget"
+                )
+
+    def test_trace_overhead_live_under_5_percent(self):
+        """Measure the disabled-path span overhead on this machine and hold
+        it to the same 5% budget the committed artifacts promise."""
+        _, results = bench.run_suite(
+            smoke=True, modes=[kernels.active_backend()], only="obs.trace_overhead_pct"
+        )
+        assert results
+        for result in results:
+            assert result.wall_ms < 5.0, (
+                f"tracing-off overhead measured {result.wall_ms:.2f}% live"
+            )
+
     def test_durability_regression_trips_the_gate(self):
         baseline = make_report({("recover.replay_ms", "numpy"): 50.0})
         current = make_report({("recover.replay_ms", "numpy"): 80.0})
